@@ -1,0 +1,137 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one testing.B benchmark per experiment, on the tiny configuration so the
+// whole suite runs in seconds), plus micro-benchmarks for the components on
+// ReStore's critical path: plan matching, canonicalization, and the
+// end-to-end execute pipeline.
+//
+// For full-size experiment output, use: go run ./cmd/restore-bench
+package restore_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := bench.TinyConfig()
+	exp, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig9WholeJobReuse(b *testing.B)    { runExperiment(b, "fig9") }
+func BenchmarkFig10SubJobReuse(b *testing.B)     { runExperiment(b, "fig10") }
+func BenchmarkFig11Overhead(b *testing.B)        { runExperiment(b, "fig11") }
+func BenchmarkFig12Speedup(b *testing.B)         { runExperiment(b, "fig12") }
+func BenchmarkFig13Heuristics(b *testing.B)      { runExperiment(b, "fig13") }
+func BenchmarkFig14InjectionCost(b *testing.B)   { runExperiment(b, "fig14") }
+func BenchmarkTable1StoredBytes(b *testing.B)    { runExperiment(b, "table1") }
+func BenchmarkFig15ReuseTypes(b *testing.B)      { runExperiment(b, "fig15") }
+func BenchmarkTable2SyntheticData(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkFig16ProjectSweep(b *testing.B)    { runExperiment(b, "fig16") }
+func BenchmarkFig17FilterSweep(b *testing.B)     { runExperiment(b, "fig17") }
+func BenchmarkAblationRepoOrdering(b *testing.B) { runExperiment(b, "ablation-order") }
+func BenchmarkAblationEviction(b *testing.B)     { runExperiment(b, "ablation-evict") }
+
+// seededSystem builds a system with a small log table for micro-benchmarks.
+func seededSystem(b *testing.B, opts ...restore.Option) *restore.System {
+	b.Helper()
+	sys := restore.New(opts...)
+	lines := make([]string, 2000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("user%03d\t%d\t%d.5\t%s", i%100, i%86400, i%50, strings.Repeat("p", 60))
+	}
+	if err := sys.LoadTSV("bench/views", "user, ts:long, rev:double, pad", lines, 4); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+const benchQuery = `
+A = load 'bench/views' as (user, ts:long, rev:double, pad);
+B = foreach A generate user, rev;
+C = group B by user;
+D = foreach C generate group, SUM(B.rev);
+store D into 'out/%d';
+`
+
+// BenchmarkExecuteColdNoReuse measures the full pipeline (parse, build,
+// compile, run) without ReStore.
+func BenchmarkExecuteColdNoReuse(b *testing.B) {
+	sys := seededSystem(b,
+		restore.WithReuse(false),
+		restore.WithHeuristic(restore.HeuristicOff),
+		restore.WithRegistration(false))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Execute(fmt.Sprintf(benchQuery, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteWarmReuse measures the pipeline when every job is
+// answered from the repository (the steady state ReStore optimizes for).
+func BenchmarkExecuteWarmReuse(b *testing.B) {
+	sys := seededSystem(b)
+	if _, err := sys.Execute(fmt.Sprintf(benchQuery, 1<<30)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Execute(fmt.Sprintf(benchQuery, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatcherScaling measures repository scan cost as the repository
+// grows: the §3 sequential scan is linear in entries, which is the paper's
+// stated reason for bounding repository size with the §5 rules.
+func BenchmarkMatcherScaling(b *testing.B) {
+	for _, entries := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			sys := seededSystem(b)
+			// Populate the repository with that many distinct filters.
+			for i := 0; i < entries; i++ {
+				q := fmt.Sprintf(`
+A = load 'bench/views' as (user, ts:long, rev:double, pad);
+B = filter A by ts > %d;
+C = foreach B generate user, rev;
+D = group C by user;
+E = foreach D generate group, SUM(C.rev);
+store E into 'out/pop%d';
+`, i*7, i)
+				if _, err := sys.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			probe := fmt.Sprintf(benchQuery, 1<<20)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Execute(strings.Replace(probe, "out/1048576", fmt.Sprintf("out/m%d", i), 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

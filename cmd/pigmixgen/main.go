@@ -1,0 +1,98 @@
+// Command pigmixgen generates the PigMix-style and synthetic workload data
+// and prints table statistics, exporting samples as TSV for inspection.
+//
+// Usage:
+//
+//	pigmixgen                        # default 150GB-profile instance stats
+//	pigmixgen -instance 15gb
+//	pigmixgen -rows 50000 -sample 3  # custom size, print 3 rows per table
+//	pigmixgen -synth -rows 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dfs"
+	"repro/internal/pigmix"
+	"repro/internal/synth"
+	"repro/internal/types"
+)
+
+func main() {
+	var (
+		instance = flag.String("instance", "150gb", "pigmix instance profile: 15gb or 150gb")
+		rows     = flag.Int("rows", 0, "override page_views / synth row count")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		sample   = flag.Int("sample", 2, "sample rows to print per table")
+		doSynth  = flag.Bool("synth", false, "generate the synthetic (§7.5) table instead")
+	)
+	flag.Parse()
+
+	fs := dfs.New()
+	if *doSynth {
+		n := *rows
+		if n == 0 {
+			n = 40_000
+		}
+		if err := synth.Generate(fs, n, 4, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "pigmixgen:", err)
+			os.Exit(1)
+		}
+		describe(fs, synth.Path, *sample)
+		for _, spec := range synth.Table2() {
+			fmt.Printf("  %-8s cardinality=%-6.2f target-selectivity=%.1f%%\n",
+				spec.Name, spec.Cardinality, spec.Selectivity*100)
+		}
+		return
+	}
+
+	var inst pigmix.Instance
+	switch *instance {
+	case "15gb":
+		inst = pigmix.Instance15GB()
+	case "150gb":
+		inst = pigmix.Instance150GB()
+	default:
+		fmt.Fprintf(os.Stderr, "pigmixgen: unknown instance %q\n", *instance)
+		os.Exit(2)
+	}
+	cfg := inst.Config
+	cfg.Seed = *seed
+	if *rows > 0 {
+		cfg.PageViewsRows = *rows
+	}
+	if err := pigmix.Generate(fs, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "pigmixgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("instance %s (stands in for %d GB)\n", inst.Name, inst.TargetBytes>>30)
+	for _, p := range []string{pigmix.PathPageViews, pigmix.PathUsers, pigmix.PathPowerUsers, pigmix.PathWideRow} {
+		describe(fs, p, *sample)
+	}
+}
+
+func describe(fs *dfs.FS, path string, sample int) {
+	st, err := fs.StatFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pigmixgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-22s rows=%-8d bytes=%-10d partitions=%d\n", path, st.Records, st.Bytes, st.Partitions)
+	if sample <= 0 {
+		return
+	}
+	rows, err := fs.ReadAll(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pigmixgen:", err)
+		os.Exit(1)
+	}
+	for i := 0; i < sample && i < len(rows); i++ {
+		line := types.FormatTSV(rows[i])
+		if len(line) > 120 {
+			line = line[:117] + "..."
+		}
+		fmt.Printf("  %s\n", line)
+	}
+}

@@ -1,0 +1,181 @@
+// Command pigsh runs dataflow scripts through the ReStore system: it seeds
+// an in-memory DFS with a generated workload, executes one or more script
+// files sequentially against a shared repository, and reports what each
+// query reused, stored, and cost.
+//
+// Usage:
+//
+//	pigsh -data pigmix script1.pig script2.pig
+//	pigsh -data synth -heuristic conservative -show 10 query.pig
+//	echo "A = load 'pigmix/users' as (name); store A into 'o';" | pigsh -data pigmix -
+//
+// Running several scripts (or the same script twice) against one pigsh
+// invocation demonstrates cross-query reuse: later scripts are rewritten
+// against the outputs stored by earlier ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/pigmix"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "pigmix", "seed data set: pigmix, pigmix-small, synth, none")
+		heuristic = flag.String("heuristic", "aggressive", "sub-job heuristic: off, conservative, aggressive, all")
+		noReuse   = flag.Bool("no-reuse", false, "disable plan matching and rewriting")
+		show      = flag.Int("show", 5, "result rows to print per output (0 = none)")
+		explain   = flag.Bool("explain", false, "dry-run: report what each script would reuse, without executing")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "pigsh: no scripts given (use - for stdin)")
+		os.Exit(2)
+	}
+
+	h, err := parseHeuristic(*heuristic)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pigsh:", err)
+		os.Exit(2)
+	}
+	sys := restore.New(
+		restore.WithHeuristic(h),
+		restore.WithReuse(!*noReuse),
+	)
+	if err := seed(sys, *data); err != nil {
+		fmt.Fprintln(os.Stderr, "pigsh:", err)
+		os.Exit(1)
+	}
+
+	for _, arg := range flag.Args() {
+		src, err := readScript(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pigsh:", err)
+			os.Exit(1)
+		}
+		if *explain {
+			ex, err := sys.Explain(src)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pigsh: %s: %v\n", arg, err)
+				os.Exit(1)
+			}
+			fmt.Printf("-- %s (explain) --\n", arg)
+			fmt.Printf("jobs: %d -> %d after rewriting\n", ex.JobsBeforeRewrite, ex.JobsAfterRewrite)
+			for _, rw := range ex.Rewrites {
+				fmt.Printf("would reuse %s via %s\n", rw.OutputPath, rw.EntryID)
+			}
+			for want, have := range ex.Aliases {
+				fmt.Printf("output %s already available as %s\n", want, have)
+			}
+			fmt.Println()
+			continue
+		}
+		res, err := sys.Execute(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pigsh: %s: %v\n", arg, err)
+			os.Exit(1)
+		}
+		report(sys, arg, res, *show)
+	}
+}
+
+func parseHeuristic(name string) (restore.Heuristic, error) {
+	switch name {
+	case "off":
+		return restore.HeuristicOff, nil
+	case "conservative":
+		return restore.HeuristicConservative, nil
+	case "aggressive":
+		return restore.HeuristicAggressive, nil
+	case "all", "no-heuristic":
+		return restore.HeuristicAll, nil
+	default:
+		return 0, fmt.Errorf("unknown heuristic %q", name)
+	}
+}
+
+func seed(sys *restore.System, data string) error {
+	switch data {
+	case "pigmix":
+		inst := pigmix.Instance150GB()
+		if err := pigmix.Generate(sys.FS(), inst.Config); err != nil {
+			return err
+		}
+		return setScale(sys, pigmix.PathPageViews, inst.TargetBytes)
+	case "pigmix-small":
+		inst := pigmix.Instance15GB()
+		if err := pigmix.Generate(sys.FS(), inst.Config); err != nil {
+			return err
+		}
+		return setScale(sys, pigmix.PathPageViews, inst.TargetBytes)
+	case "synth":
+		if err := synth.Generate(sys.FS(), 40_000, 4, 11); err != nil {
+			return err
+		}
+		return setScale(sys, synth.Path, 40<<30)
+	case "none":
+		return nil
+	default:
+		return fmt.Errorf("unknown data set %q", data)
+	}
+}
+
+func setScale(sys *restore.System, path string, target int64) error {
+	st, err := sys.FS().StatFile(path)
+	if err != nil {
+		return err
+	}
+	sys.Cluster().ScaleFactor = float64(target) / float64(st.Bytes)
+	return nil
+}
+
+func readScript(arg string) (string, error) {
+	if arg == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(arg)
+	return string(b), err
+}
+
+func report(sys *restore.System, name string, res *restore.Result, show int) {
+	fmt.Printf("-- %s --\n", name)
+	fmt.Printf("simulated time: %v over %d job(s)\n", res.SimulatedTime.Round(1e9), len(res.Jobs))
+	for _, rw := range res.Rewrites {
+		kind := "sub-plan"
+		if rw.WholeJob {
+			kind = "whole job"
+		}
+		fmt.Printf("reused %s via %s (%s)\n", rw.OutputPath, rw.EntryID, kind)
+	}
+	if res.Registered > 0 {
+		fmt.Printf("stored %d new repository entr(ies); repository now holds %d\n",
+			res.Registered, sys.Repository().Len())
+	}
+	for requested, actual := range res.Outputs {
+		label := requested
+		if actual != requested {
+			label = fmt.Sprintf("%s (aliased to stored %s)", requested, actual)
+		}
+		rows, err := sys.ReadOutputTSV(res, requested)
+		if err != nil {
+			fmt.Printf("output %s: error: %v\n", label, err)
+			continue
+		}
+		fmt.Printf("output %s: %d rows\n", label, len(rows))
+		for i, row := range rows {
+			if i >= show {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  %s\n", row)
+		}
+	}
+	fmt.Println()
+}

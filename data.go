@@ -1,0 +1,93 @@
+package restore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// ParseSchema parses a schema declaration in the LOAD ... AS syntax, e.g.
+// "user:chararray, timestamp:long, est_revenue:double, flags". Types:
+// int/long, float/double, chararray/string, boolean/bool; untyped columns
+// hold strings.
+func ParseSchema(decl string) (types.Schema, error) {
+	var fields []types.Field
+	for _, part := range strings.Split(decl, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return types.Schema{}, fmt.Errorf("restore: empty column in schema %q", decl)
+		}
+		name, typeName, hasType := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		f := types.Field{Name: name}
+		if hasType {
+			switch strings.ToLower(strings.TrimSpace(typeName)) {
+			case "int", "long":
+				f.Kind = types.KindInt
+			case "float", "double":
+				f.Kind = types.KindFloat
+			case "chararray", "string":
+				f.Kind = types.KindString
+			case "boolean", "bool":
+				f.Kind = types.KindBool
+			case "bytearray":
+				f.Kind = types.KindNull
+			default:
+				return types.Schema{}, fmt.Errorf("restore: unknown type %q in schema %q", typeName, decl)
+			}
+		}
+		fields = append(fields, f)
+	}
+	if len(fields) == 0 {
+		return types.Schema{}, fmt.Errorf("restore: empty schema %q", decl)
+	}
+	return types.Schema{Fields: fields}, nil
+}
+
+// LoadTSV creates a dataset in the system's DFS from tab-separated lines,
+// typed according to the schema declaration. partitions controls how many
+// map tasks scan the dataset.
+func (s *System) LoadTSV(path, schemaDecl string, lines []string, partitions int) error {
+	schema, err := ParseSchema(schemaDecl)
+	if err != nil {
+		return err
+	}
+	tuples := make([]types.Tuple, len(lines))
+	for i, line := range lines {
+		tuples[i] = types.ParseTSVTyped(line, schema)
+	}
+	return s.fs.WritePartitioned(path, schema, tuples, partitions)
+}
+
+// Stat describes a DFS dataset.
+type Stat struct {
+	Path       string
+	Bytes      int64
+	Records    int64
+	Partitions int
+}
+
+// StatPath returns size information for a dataset.
+func (s *System) StatPath(path string) (Stat, error) {
+	st, err := s.fs.StatFile(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	return Stat{Path: st.Path, Bytes: st.Bytes, Records: st.Records, Partitions: st.Partitions}, nil
+}
+
+// SetDataScale configures the cluster clock so the dataset at path stands in
+// for targetBytes of data (see DESIGN.md: execution is real, only the
+// simulated clock extrapolates).
+func (s *System) SetDataScale(path string, targetBytes int64) error {
+	st, err := s.fs.StatFile(path)
+	if err != nil {
+		return err
+	}
+	if st.Bytes == 0 {
+		return fmt.Errorf("restore: %s is empty; cannot derive scale", path)
+	}
+	s.cluster.ScaleFactor = float64(targetBytes) / float64(st.Bytes)
+	return nil
+}

@@ -1,0 +1,106 @@
+package restore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := ParseSchema("user:chararray, ts:long, rev:double, ok:bool, raw:bytearray, untyped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []types.Kind{types.KindString, types.KindInt, types.KindFloat, types.KindBool, types.KindNull, types.KindNull}
+	if s.Len() != len(want) {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i, k := range want {
+		if s.Fields[i].Kind != k {
+			t.Errorf("field %d kind = %v, want %v", i, s.Fields[i].Kind, k)
+		}
+	}
+	if s.Fields[0].Name != "user" || s.Fields[5].Name != "untyped" {
+		t.Errorf("names = %v", s.Names())
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, decl := range []string{"", "a:frobnicate", "a,,b"} {
+		if _, err := ParseSchema(decl); err == nil {
+			t.Errorf("ParseSchema(%q) accepted", decl)
+		}
+	}
+}
+
+func TestLoadTSVAndStat(t *testing.T) {
+	s := New()
+	lines := []string{"alice\t3\t1.5", "bob\t7\t2.5", "carol\tx\t9"}
+	if err := s.LoadTSV("t", "name, n:int, f:double", lines, 2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.StatPath("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 3 || st.Partitions != 2 || st.Bytes == 0 {
+		t.Errorf("stat = %+v", st)
+	}
+	rows, err := s.FS().ReadAll("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]types.Tuple)
+	for _, r := range rows {
+		byName[r[0].Str()] = r
+	}
+	if byName["alice"][1].Int() != 3 || byName["bob"][2].Float() != 2.5 {
+		t.Errorf("typed parse wrong: %v", rows)
+	}
+	if !byName["carol"][1].IsNull() {
+		t.Error("malformed int should parse as null")
+	}
+	if _, err := s.StatPath("missing"); err == nil {
+		t.Error("StatPath on missing path succeeded")
+	}
+}
+
+func TestSetDataScale(t *testing.T) {
+	s := New()
+	if err := s.LoadTSV("d", "a", []string{"xxxxxxxxxx"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDataScale("d", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cluster().ScaleFactor <= 1 {
+		t.Errorf("scale = %v", s.Cluster().ScaleFactor)
+	}
+	if err := s.SetDataScale("missing", 1); err == nil {
+		t.Error("scale on missing path succeeded")
+	}
+}
+
+func TestLoadTSVThenQuery(t *testing.T) {
+	s := New()
+	if err := s.LoadTSV("sales", "sku, qty:int",
+		[]string{"a\t2", "b\t3", "a\t5"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Execute(`
+S = load 'sales' as (sku, qty:int);
+G = group S by sku;
+R = foreach G generate group, SUM(S.qty);
+store R into 'out/r';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.ReadOutputTSV(res, "out/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(rows, "|") != "a\t7|b\t3" {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,82 @@
+package restore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExplainReportsReuseWithoutExecuting(t *testing.T) {
+	s := New()
+	seedPaperData(t, s, 300)
+	if _, err := s.Execute(sysQ1); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Repository().Len()
+
+	ex, err := s.Explain(sysQ2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.JobsBeforeRewrite != 2 {
+		t.Errorf("jobs before = %d, want 2", ex.JobsBeforeRewrite)
+	}
+	if len(ex.Rewrites) == 0 {
+		t.Error("explain found no reuse after Q1")
+	}
+	// Explain must not execute or mutate anything.
+	if s.Repository().Len() != before {
+		t.Error("explain changed the repository")
+	}
+	if s.FS().Exists("out/q2") {
+		t.Error("explain executed the query")
+	}
+	for _, e := range s.Repository().All() {
+		if e.UseCount != 0 {
+			t.Errorf("explain bumped use count on %s", e.ID)
+		}
+	}
+}
+
+func TestExplainParseError(t *testing.T) {
+	s := New()
+	if _, err := s.Explain("garbage"); err == nil {
+		t.Error("bad script accepted")
+	}
+}
+
+func TestSaveLoadRepositoryThroughSystem(t *testing.T) {
+	s := New()
+	seedPaperData(t, s, 300)
+	if _, err := s.Execute(sysQ1); err != nil {
+		t.Fatal(err)
+	}
+	n := s.Repository().Len()
+	if n == 0 {
+		t.Fatal("nothing stored")
+	}
+	var buf bytes.Buffer
+	if err := s.SaveRepository(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "restarted" system over the same DFS: reload the repository and the
+	// stored files are still reusable.
+	if err := s.LoadRepositoryFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if s.Repository().Len() != n {
+		t.Fatalf("reloaded %d entries, want %d", s.Repository().Len(), n)
+	}
+	res, err := s.Execute(strings.Replace(sysQ1, "out/q1", "out/q1_after_reload", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewrites) == 0 {
+		t.Error("reloaded repository produced no reuse")
+	}
+
+	if err := s.LoadRepositoryFrom(strings.NewReader("junk")); err == nil {
+		t.Error("corrupt repository accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/pigmix"
+)
+
+// AblationRepoOrdering tests the §3 repository ordering rules: with both a
+// whole-join entry and its subsumed projection sub-job stored, the ordered
+// scan must pick the join (maximum saving) for a query containing both,
+// while a reversed scan settles for the projection.
+func AblationRepoOrdering(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "ablation-order",
+		Title:   "Repository ordering: first match under ordered vs reversed scan",
+		Columns: []string{"scan-order", "picked-entry", "ops-matched", "reuse-minutes"},
+	}
+
+	// Populate a system by running L3 with the aggressive heuristic: the
+	// repository then holds the join job's output (whole job, as the
+	// workflow temp) and the projection sub-jobs it subsumes.
+	s, err := newPigmixSystem(cfg.Large, restore.WithHeuristic(restore.HeuristicAggressive))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runQuery(s, "L3", "out/l3_populate"); err != nil {
+		return nil, err
+	}
+
+	// Reuse run with the proper ordering.
+	resOrdered, err := runQuery(s, "L3", "out/l3_ordered")
+	if err != nil {
+		return nil, err
+	}
+
+	entries := s.Repository().Ordered()
+	if len(entries) < 2 {
+		return nil, fmt.Errorf("bench: ordering ablation needs >=2 entries, have %d", len(entries))
+	}
+	best := entries[0]
+	worst := entries[len(entries)-1]
+	t.AddRow("ordered (paper §3)", describeEntry(best), fmt.Sprintf("%d", best.Plan.Len()-1), minutes(resOrdered.SimulatedTime))
+
+	// Simulate a reversed repository: only the smallest entry available.
+	s2, err := newPigmixSystem(cfg.Large, restore.WithHeuristic(restore.HeuristicOff))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runQuery(s2, "L3", "out/l3_populate2"); err != nil {
+		return nil, err
+	}
+	// Drop every entry except ones no larger than the smallest, emulating a
+	// scan that stops at the worst match first.
+	minSize := worst.Plan.Len()
+	for _, e := range s2.Repository().All() {
+		if e.Plan.Len() > minSize {
+			s2.Repository().Remove(e.ID)
+		}
+	}
+	resReversed, err := runQuery(s2, "L3", "out/l3_reversed")
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("reversed (worst-first)", describeEntry(worst), fmt.Sprintf("%d", worst.Plan.Len()-1), minutes(resReversed.SimulatedTime))
+	t.AddNote("ordered scan must be at least as fast: subsumers first (§3 rule 1)")
+	return t, nil
+}
+
+func describeEntry(e *core.Entry) string {
+	kinds := make([]string, 0, 4)
+	for _, o := range e.Plan.Ops() {
+		kinds = append(kinds, string(o.Kind)[:2])
+	}
+	return strings.Join(kinds, ">")
+}
+
+// AblationEviction compares repository growth and reuse under the §5
+// policies over a stream of variant queries.
+func AblationEviction(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "ablation-evict",
+		Title:   "Repository policies over the variant query stream",
+		Columns: []string{"policy", "entries", "stored-GB", "rewrites", "stream-minutes"},
+	}
+	policies := []struct {
+		label string
+		p     restore.Policy
+	}{
+		{"keep-all (paper)", core.DefaultPolicy()},
+		{"rule1 size-reduction", restore.Policy{RequireSizeReduction: true, CheckInputVersions: true}},
+		{"rule3 window=2", restore.Policy{KeepAll: true, EvictionWindow: 2, CheckInputVersions: true}},
+	}
+	for _, pol := range policies {
+		s, err := newPigmixSystem(cfg.Large,
+			restore.WithHeuristic(restore.HeuristicAggressive),
+			restore.WithPolicy(pol.p))
+		if err != nil {
+			return nil, err
+		}
+		var total time.Duration
+		rewrites := 0
+		for i, name := range pigmix.VariantNames() {
+			res, err := runQuery(s, name, fmt.Sprintf("out/%s_%d", name, i))
+			if err != nil {
+				return nil, err
+			}
+			total += res.SimulatedTime
+			rewrites += len(res.Rewrites)
+		}
+		scale := s.Cluster().ScaleFactor
+		t.AddRow(pol.label,
+			fmt.Sprintf("%d", s.Repository().Len()),
+			gb(float64(s.Repository().TotalStoredBytes())*scale),
+			fmt.Sprintf("%d", rewrites),
+			minutes(total))
+	}
+	t.AddNote("tighter policies shrink the repository at some cost in reuse")
+	return t, nil
+}

@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/pigmix"
+)
+
+// measureNoReuse runs the query on a fresh baseline system (plain Pig).
+func measureNoReuse(inst pigmix.Instance, name string) (time.Duration, *restore.Result, error) {
+	s, err := newPigmixSystem(inst, baselineOpts()...)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := runQuery(s, name, "out/"+name+"_noreuse")
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.SimulatedTime, res, nil
+}
+
+// measureGenerateAndReuse runs the query twice on a fresh system with the
+// given heuristic: the first run pays the materialization overhead and
+// populates the repository, the second reuses the stored outputs. It
+// returns (generation time, reuse time, first-run result).
+func measureGenerateAndReuse(inst pigmix.Instance, name string, h restore.Heuristic) (gen, reuse time.Duration, first *restore.Result, err error) {
+	s, err := newPigmixSystem(inst, restore.WithHeuristic(h))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	first, err = runQuery(s, name, "out/"+name+"_gen")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	second, err := runQuery(s, name, "out/"+name+"_reuse")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return first.SimulatedTime, second.SimulatedTime, first, nil
+}
+
+// Fig9WholeJobReuse reproduces Figure 9: execution time of the L3/L11
+// variants at 150 GB without reuse and when reusing whole-job outputs
+// stored by a previous execution (heuristic off — whole jobs only).
+func Fig9WholeJobReuse(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Reusing whole job outputs, 150GB (minutes)",
+		Columns: []string{"query", "no-reuse", "reusing-jobs", "speedup"},
+	}
+	var sum float64
+	for _, name := range pigmix.VariantNames() {
+		noReuse, _, err := measureNoReuse(cfg.Large, name)
+		if err != nil {
+			return nil, err
+		}
+		_, reuse, _, err := measureGenerateAndReuse(cfg.Large, name, restore.HeuristicOff)
+		if err != nil {
+			return nil, err
+		}
+		sp := safeRatio(noReuse, reuse)
+		sum += sp
+		t.AddRow(name, minutes(noReuse), minutes(reuse), ratio(sp))
+	}
+	t.AddNote("average speedup %.1f (paper: 9.8, overhead 0%%)", sum/float64(len(pigmix.VariantNames())))
+	return t, nil
+}
+
+// Fig10SubJobReuse reproduces Figure 10: L2-L8 and L11 at 150 GB — no
+// reuse, generating sub-jobs under the Aggressive Heuristic, and reusing
+// the stored sub-jobs.
+func Fig10SubJobReuse(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Reusing sub-job outputs (Aggressive), 150GB (minutes)",
+		Columns: []string{"query", "no-reuse", "generating", "reusing", "speedup", "overhead"},
+	}
+	var spSum, ovSum float64
+	for _, name := range pigmix.Names() {
+		noReuse, _, err := measureNoReuse(cfg.Large, name)
+		if err != nil {
+			return nil, err
+		}
+		gen, reuse, _, err := measureGenerateAndReuse(cfg.Large, name, restore.HeuristicAggressive)
+		if err != nil {
+			return nil, err
+		}
+		sp := safeRatio(noReuse, reuse)
+		ov := safeRatio(gen, noReuse)
+		spSum += sp
+		ovSum += ov
+		t.AddRow(name, minutes(noReuse), minutes(gen), minutes(reuse), ratio(sp), ratio(ov))
+	}
+	n := float64(len(pigmix.Names()))
+	t.AddNote("average speedup %.1f (paper: 24.4)", spSum/n)
+	t.AddNote("average generation overhead %.1f (paper: 1.6)", ovSum/n)
+	return t, nil
+}
+
+// Fig11Overhead reproduces Figure 11: the materialization overhead ratio
+// for both data sizes under the Aggressive Heuristic.
+func Fig11Overhead(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Store-injection overhead, 15GB vs 150GB (ratio to no-reuse)",
+		Columns: []string{"query", "15GB", "150GB"},
+	}
+	var sum15, sum150 float64
+	for _, name := range pigmix.Names() {
+		no15, _, err := measureNoReuse(cfg.Small, name)
+		if err != nil {
+			return nil, err
+		}
+		gen15, _, _, err := measureGenerateAndReuse(cfg.Small, name, restore.HeuristicAggressive)
+		if err != nil {
+			return nil, err
+		}
+		no150, _, err := measureNoReuse(cfg.Large, name)
+		if err != nil {
+			return nil, err
+		}
+		gen150, _, _, err := measureGenerateAndReuse(cfg.Large, name, restore.HeuristicAggressive)
+		if err != nil {
+			return nil, err
+		}
+		ov15 := safeRatio(gen15, no15)
+		ov150 := safeRatio(gen150, no150)
+		sum15 += ov15
+		sum150 += ov150
+		t.AddRow(name, ratio(ov15), ratio(ov150))
+	}
+	n := float64(len(pigmix.Names()))
+	t.AddNote("average overhead %.1f @15GB, %.1f @150GB (paper: 2.4 and 1.6)", sum15/n, sum150/n)
+	return t, nil
+}
+
+// Fig12Speedup reproduces Figure 12: sub-job reuse speedup for both sizes.
+func Fig12Speedup(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "Sub-job reuse speedup, 15GB vs 150GB",
+		Columns: []string{"query", "15GB", "150GB"},
+	}
+	var sum15, sum150 float64
+	for _, name := range pigmix.Names() {
+		no15, _, err := measureNoReuse(cfg.Small, name)
+		if err != nil {
+			return nil, err
+		}
+		_, reuse15, _, err := measureGenerateAndReuse(cfg.Small, name, restore.HeuristicAggressive)
+		if err != nil {
+			return nil, err
+		}
+		no150, _, err := measureNoReuse(cfg.Large, name)
+		if err != nil {
+			return nil, err
+		}
+		_, reuse150, _, err := measureGenerateAndReuse(cfg.Large, name, restore.HeuristicAggressive)
+		if err != nil {
+			return nil, err
+		}
+		sp15 := safeRatio(no15, reuse15)
+		sp150 := safeRatio(no150, reuse150)
+		sum15 += sp15
+		sum150 += sp150
+		t.AddRow(name, ratio(sp15), ratio(sp150))
+	}
+	n := float64(len(pigmix.Names()))
+	t.AddNote("average speedup %.1f @15GB, %.1f @150GB (paper: 3.0 and 24.4)", sum15/n, sum150/n)
+	return t, nil
+}
+
+var heuristicSeries = []struct {
+	label string
+	h     restore.Heuristic
+}{
+	{"conservative", restore.HeuristicConservative},
+	{"aggressive", restore.HeuristicAggressive},
+	{"no-heuristic", restore.HeuristicAll},
+}
+
+// Fig13HeuristicsReuse reproduces Figure 13: execution time when reusing
+// sub-jobs chosen by each heuristic (150 GB).
+func Fig13HeuristicsReuse(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Reuse execution time by heuristic, 150GB (minutes)",
+		Columns: []string{"query", "no-reuse", "conservative", "aggressive", "no-heuristic"},
+	}
+	for _, name := range pigmix.Names() {
+		noReuse, _, err := measureNoReuse(cfg.Large, name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name, minutes(noReuse)}
+		for _, hs := range heuristicSeries {
+			_, reuse, _, err := measureGenerateAndReuse(cfg.Large, name, hs.h)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, minutes(reuse))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: HA matches NH and beats HC; all beat no-reuse")
+	return t, nil
+}
+
+// Fig14HeuristicsGeneration reproduces Figure 14: execution time of the
+// generation run (with injected Stores) under each heuristic (150 GB).
+func Fig14HeuristicsGeneration(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Generation execution time by heuristic, 150GB (minutes)",
+		Columns: []string{"query", "no-reuse", "conservative", "aggressive", "no-heuristic"},
+	}
+	for _, name := range pigmix.Names() {
+		noReuse, _, err := measureNoReuse(cfg.Large, name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name, minutes(noReuse)}
+		for _, hs := range heuristicSeries {
+			gen, _, _, err := measureGenerateAndReuse(cfg.Large, name, hs.h)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, minutes(gen))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: NH is always worst; HA is close to HC except L6")
+	return t, nil
+}
+
+// Table1StoredBytes reproduces Table 1: input bytes, stored sub-job bytes
+// under each heuristic, and final output size per query (paper-scale GB).
+func Table1StoredBytes(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Loaded, stored, and output data per query (GB at paper scale)",
+		Columns: []string{"query", "input", "HC", "HA", "NH", "output"},
+	}
+	for _, name := range pigmix.Names() {
+		row := []string{name}
+		var inputGB, outputGB string
+		for i, hs := range heuristicSeries {
+			s, err := newPigmixSystem(cfg.Large, restore.WithHeuristic(hs.h))
+			if err != nil {
+				return nil, err
+			}
+			res, err := runQuery(s, name, "out/"+name)
+			if err != nil {
+				return nil, err
+			}
+			scale := s.Cluster().ScaleFactor
+			if i == 0 {
+				var in, out int64
+				for _, j := range res.Jobs {
+					in += j.InputBytes
+					out += j.OutputBytes
+				}
+				inputGB = gb(float64(in) * scale)
+				outputGB = gb(float64(out) * scale)
+			}
+			row = append(row, gb(float64(res.InjectedBytes)*scale))
+		}
+		// Order: query, input, HC, HA, NH, output.
+		t.AddRow(row[0], inputGB, row[1], row[2], row[3], outputGB)
+	}
+	t.AddNote("paper: NH stores far more than HA; HA is usually close to HC (L6 excepted)")
+	return t, nil
+}
+
+// Fig15ReuseTypes reproduces Figure 15: the variant workload with no reuse,
+// sub-job reuse under HC and HA, and whole-job reuse (150 GB).
+func Fig15ReuseTypes(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Whole jobs vs sub-jobs, 150GB (minutes)",
+		Columns: []string{"query", "no-reuse", "sub-jobs-HC", "sub-jobs-HA", "whole-jobs"},
+	}
+	for _, name := range pigmix.VariantNames() {
+		noReuse, _, err := measureNoReuse(cfg.Large, name)
+		if err != nil {
+			return nil, err
+		}
+		_, hc, _, err := measureGenerateAndReuse(cfg.Large, name, restore.HeuristicConservative)
+		if err != nil {
+			return nil, err
+		}
+		_, ha, _, err := measureGenerateAndReuse(cfg.Large, name, restore.HeuristicAggressive)
+		if err != nil {
+			return nil, err
+		}
+		_, whole, _, err := measureGenerateAndReuse(cfg.Large, name, restore.HeuristicOff)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, minutes(noReuse), minutes(hc), minutes(ha), minutes(whole))
+	}
+	t.AddNote("paper: whole-job reuse and HA sub-job reuse are nearly equal and best")
+	return t, nil
+}
+
+func safeRatio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a.Seconds() / b.Seconds()
+}
+
+var _ = fmt.Sprintf

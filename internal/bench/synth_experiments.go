@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/synth"
+)
+
+// Table2Synthetic verifies the synthetic data generator against the Table 2
+// specification by measuring realized selectivities.
+func Table2Synthetic(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Title:   "Synthetic data fields: cardinality and realized selectivity",
+		Columns: []string{"field", "cardinality", "target-sel", "measured-sel"},
+	}
+	s, err := newSynthSystem(cfg, baselineOpts()...)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.FS().ReadAll(synth.Path)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range synth.Table2() {
+		hits := 0
+		for _, r := range rows {
+			if r[5+i].Int() == 0 {
+				hits++
+			}
+		}
+		measured := float64(hits) / float64(len(rows))
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%.2f", spec.Cardinality),
+			fmt.Sprintf("%.1f%%", spec.Selectivity*100),
+			fmt.Sprintf("%.1f%%", measured*100))
+	}
+	t.AddNote("paper Table 2: selectivities 0.5%% to 60%%")
+	return t, nil
+}
+
+// Fig16ProjectSweep reproduces Figure 16: overhead and speedup of storing
+// and reusing the Project output of template QP as the number of projected
+// fields grows (and with it the fraction of data retained).
+func Fig16ProjectSweep(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig16",
+		Title:   "QP projection sweep: overhead and speedup vs retained data",
+		Columns: []string{"fields", "retained", "overhead", "speedup"},
+	}
+	for k := 1; k <= 5; k++ {
+		src, err := synth.QP(k, "out/qp")
+		if err != nil {
+			return nil, err
+		}
+		retained, ov, sp, err := sweepPoint(cfg, src)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%.0f%%", retained*100), ratio(ov), ratio(sp))
+	}
+	t.AddNote("paper: overhead rises and speedup falls as projection keeps more data;")
+	t.AddNote("net win if the Project halves the data and the output is reused once")
+	return t, nil
+}
+
+// Fig17FilterSweep reproduces Figure 17: the same sweep over the Filter
+// selectivities of Table 2 using template QF.
+func Fig17FilterSweep(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig17",
+		Title:   "QF filter sweep: overhead and speedup vs selectivity",
+		Columns: []string{"field", "selectivity", "overhead", "speedup"},
+	}
+	for i, spec := range synth.Table2() {
+		src, err := synth.QF(6+i, "out/qf")
+		if err != nil {
+			return nil, err
+		}
+		_, ov, sp, err := sweepPoint(cfg, src)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.Name, fmt.Sprintf("%.1f%%", spec.Selectivity*100), ratio(ov), ratio(sp))
+	}
+	t.AddNote("paper: as the filter keeps more data, overhead rises and speedup falls")
+	return t, nil
+}
+
+// sweepPoint measures one point of the §7.5 sweeps: baseline time, the
+// generation run with a Store injected after the Project/Filter operator
+// (Conservative Heuristic — exactly the paper's setup), and the reuse run.
+// It returns the fraction of input bytes the materialized operator
+// retained, the overhead ratio, and the speedup.
+func sweepPoint(cfg Config, src string) (retained, overhead, speedup float64, err error) {
+	base, err := newSynthSystem(cfg, baselineOpts()...)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	resBase, err := base.Execute(src)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	s, err := newSynthSystem(cfg, restore.WithHeuristic(restore.HeuristicConservative))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	gen, err := s.Execute(src)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	reuse, err := s.Execute(src)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	var inBytes int64
+	for _, j := range gen.Jobs {
+		inBytes += j.InputBytes
+	}
+	if inBytes > 0 {
+		retained = float64(gen.InjectedBytes) / float64(inBytes)
+	}
+	overhead = safeRatio(gen.SimulatedTime, resBase.SimulatedTime)
+	speedup = safeRatio(resBase.SimulatedTime, reuse.SimulatedTime)
+	return retained, overhead, speedup, nil
+}

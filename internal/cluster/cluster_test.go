@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := Default()
+	if c.MapSlots() != 56 || c.ReduceSlots() != 28 {
+		t.Errorf("slots = %d/%d, want 56/28 (paper cluster)", c.MapSlots(), c.ReduceSlots())
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.MapSlotsPerWorker = 0 },
+		func(c *Config) { c.ReduceSlotsPerWorker = 0 },
+		func(c *Config) { c.SplitSize = 0 },
+		func(c *Config) { c.DiskReadMBps = 0 },
+		func(c *Config) { c.DiskWriteMBps = -1 },
+		func(c *Config) { c.NetworkMBps = 0 },
+		func(c *Config) { c.CPUMBps = 0 },
+		func(c *Config) { c.ReduceCPUMBps = 0 },
+		func(c *Config) { c.SortMBps = 0 },
+		func(c *Config) { c.Replication = 0 },
+		func(c *Config) { c.ScaleFactor = 0 },
+		func(c *Config) { c.BytesPerReducer = 0 },
+	}
+	for i, m := range mutations {
+		c := Default()
+		m(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateMapOnlyScalesWithInput(t *testing.T) {
+	c := Default()
+	small := c.Simulate(JobStats{InputBytes: 1 << 30, OutputBytes: 1 << 20})
+	big := c.Simulate(JobStats{InputBytes: 150 << 30, OutputBytes: 1 << 20})
+	if big.Total <= small.Total {
+		t.Errorf("150GB (%v) should take longer than 1GB (%v)", big.Total, small.Total)
+	}
+	if small.ReduceTasks != 0 || small.Reduce != 0 {
+		t.Errorf("map-only job has reduce component: %+v", small)
+	}
+	// 150GB at 64MB splits = 2400 tasks, ceil(2400/56) = 43 waves.
+	if big.MapTasks != 2400 || big.MapWaves != 43 {
+		t.Errorf("map tasks/waves = %d/%d, want 2400/43", big.MapTasks, big.MapWaves)
+	}
+}
+
+func TestSimulateReduceJob(t *testing.T) {
+	c := Default()
+	s := JobStats{
+		InputBytes:   10 << 30,
+		ShuffleBytes: 4 << 30,
+		OutputBytes:  1 << 30,
+		HasReduce:    true,
+	}
+	ts := c.Simulate(s)
+	if ts.Shuffle <= 0 || ts.Reduce <= 0 {
+		t.Errorf("reduce job missing phases: %+v", ts)
+	}
+	if ts.Total != c.JobStartup+ts.Map+ts.Shuffle+ts.Reduce {
+		t.Error("total != sum of phases + startup")
+	}
+	// 4GB shuffle at 256MB per reducer = 16 reduce tasks.
+	if ts.ReduceTasks != 16 {
+		t.Errorf("reduce tasks = %d, want 16", ts.ReduceTasks)
+	}
+}
+
+func TestReduceTasksCappedAtSlots(t *testing.T) {
+	c := Default()
+	ts := c.Simulate(JobStats{InputBytes: 1 << 40, ShuffleBytes: 1 << 40, HasReduce: true})
+	if ts.ReduceTasks != c.ReduceSlots() {
+		t.Errorf("reduce tasks = %d, want capped at %d", ts.ReduceTasks, c.ReduceSlots())
+	}
+}
+
+func TestInjectedStoreAddsOverhead(t *testing.T) {
+	c := Default()
+	base := JobStats{InputBytes: 10 << 30, ShuffleBytes: 1 << 30, OutputBytes: 1 << 20, HasReduce: true}
+	withStore := base
+	withStore.MapStoreBytes = 3 << 30
+	a, b := c.Simulate(base), c.Simulate(withStore)
+	if b.Total <= a.Total {
+		t.Errorf("injected map store did not add time: %v vs %v", a.Total, b.Total)
+	}
+	// A large store in the reduce phase (the paper's L6 case) hurts more
+	// than the same bytes in the map phase, because few reduce tasks share
+	// the write.
+	mapHeavy := base
+	mapHeavy.MapStoreBytes = 5 << 30
+	redHeavy := base
+	redHeavy.ReduceStoreBytes = 5 << 30
+	mt, rt := c.Simulate(mapHeavy), c.Simulate(redHeavy)
+	if rt.Total <= mt.Total {
+		t.Errorf("reduce-side store (%v) should cost more than map-side (%v)", rt.Total, mt.Total)
+	}
+}
+
+func TestScaleFactorExtrapolates(t *testing.T) {
+	c := Default()
+	small := c.Simulate(JobStats{InputBytes: 1 << 20})
+	c.ScaleFactor = 150 * 1024 // 1MB -> 150GB
+	big := c.Simulate(JobStats{InputBytes: 1 << 20})
+	if big.Total < 10*small.Total {
+		t.Errorf("scale factor barely changed time: %v -> %v", small.Total, big.Total)
+	}
+	if big.Map < 100*small.Map {
+		t.Errorf("map phase should scale ~linearly: %v -> %v", small.Map, big.Map)
+	}
+	if big.MapTasks != 2400 {
+		t.Errorf("scaled map tasks = %d, want 2400", big.MapTasks)
+	}
+}
+
+func TestFixedCostsDominateSmallJobs(t *testing.T) {
+	// A tiny job should still pay startup: this is why reuse speedups
+	// saturate and why overhead ratios are worse on the 15GB instance.
+	c := Default()
+	tiny := c.Simulate(JobStats{InputBytes: 1})
+	if tiny.Total < c.JobStartup {
+		t.Errorf("tiny job (%v) cheaper than job startup (%v)", tiny.Total, c.JobStartup)
+	}
+}
+
+func TestCriticalPathLinearChain(t *testing.T) {
+	dur := map[string]time.Duration{"a": time.Minute, "b": 2 * time.Minute, "c": 3 * time.Minute}
+	deps := map[string][]string{"b": {"a"}, "c": {"b"}}
+	got, err := CriticalPath(dur, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6*time.Minute {
+		t.Errorf("chain = %v, want 6m", got)
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	// Equation 1: job waits for its slowest dependency.
+	dur := map[string]time.Duration{
+		"load1": 10 * time.Minute,
+		"load2": 2 * time.Minute,
+		"join":  5 * time.Minute,
+	}
+	deps := map[string][]string{"join": {"load1", "load2"}}
+	got, err := CriticalPath(dur, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15*time.Minute {
+		t.Errorf("diamond = %v, want 15m", got)
+	}
+}
+
+func TestCriticalPathErrors(t *testing.T) {
+	if _, err := CriticalPath(map[string]time.Duration{"a": 1}, map[string][]string{"a": {"missing"}}); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+	if _, err := CriticalPath(
+		map[string]time.Duration{"a": 1, "b": 1},
+		map[string][]string{"a": {"b"}, "b": {"a"}}); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestReuseSpeedupShape(t *testing.T) {
+	// The headline mechanism: a query over 150GB vs the same query reading
+	// a 3GB stored sub-job output. The paper reports order-of-magnitude
+	// speedups at 150GB (avg 24.4) and much smaller at 15GB (avg 3.0).
+	c := Default()
+	full := c.Simulate(JobStats{InputBytes: 150 << 30, ShuffleBytes: 2 << 30, OutputBytes: 1 << 20, HasReduce: true})
+	reuse := c.Simulate(JobStats{InputBytes: 3 << 30, ShuffleBytes: 2 << 30, OutputBytes: 1 << 20, HasReduce: true})
+	speedup150 := full.Total.Seconds() / reuse.Total.Seconds()
+	if speedup150 < 5 {
+		t.Errorf("150GB speedup = %.1f, want >5", speedup150)
+	}
+	full15 := c.Simulate(JobStats{InputBytes: 15 << 30, ShuffleBytes: 200 << 20, OutputBytes: 1 << 20, HasReduce: true})
+	reuse15 := c.Simulate(JobStats{InputBytes: 300 << 20, ShuffleBytes: 200 << 20, OutputBytes: 1 << 20, HasReduce: true})
+	speedup15 := full15.Total.Seconds() / reuse15.Total.Seconds()
+	if speedup15 >= speedup150 {
+		t.Errorf("speedup should grow with data size: 15GB=%.1f, 150GB=%.1f", speedup15, speedup150)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/physical"
+)
+
+// Heuristic selects which operators' outputs the sub-job enumerator
+// materializes (§4).
+type Heuristic int
+
+const (
+	// HeuristicOff injects nothing: only whole-job outputs are candidates.
+	HeuristicOff Heuristic = iota
+	// HeuristicConservative materializes operators known to reduce their
+	// input size: Project (Foreach) and Filter.
+	HeuristicConservative
+	// HeuristicAggressive additionally materializes expensive operators:
+	// Join, Group, and CoGroup. The paper's default.
+	HeuristicAggressive
+	// HeuristicAll ("No Heuristic" in §7.3) materializes after every
+	// physical operator.
+	HeuristicAll
+)
+
+// String names the heuristic as the paper does.
+func (h Heuristic) String() string {
+	switch h {
+	case HeuristicOff:
+		return "off"
+	case HeuristicConservative:
+		return "conservative"
+	case HeuristicAggressive:
+		return "aggressive"
+	case HeuristicAll:
+		return "no-heuristic"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}
+
+// materializes reports whether the heuristic stores the output of the given
+// operator kind. Load produces no new data, Store is already materialized,
+// and Split is ReStore's own plumbing — none are ever candidates.
+func (h Heuristic) materializes(k physical.OpKind) bool {
+	switch k {
+	case physical.OpLoad, physical.OpStore, physical.OpSplit:
+		return false
+	}
+	switch h {
+	case HeuristicOff:
+		return false
+	case HeuristicConservative:
+		return k == physical.OpForeach || k == physical.OpFilter
+	case HeuristicAggressive:
+		switch k {
+		case physical.OpForeach, physical.OpFilter, physical.OpJoin, physical.OpGroup, physical.OpCoGroup:
+			return true
+		}
+		return false
+	case HeuristicAll:
+		return true
+	default:
+		return false
+	}
+}
+
+// Injection records one materialization point added to a job plan.
+type Injection struct {
+	// OpID is the operator (in the job plan) whose output is materialized.
+	OpID int
+	// Path is the DFS file the injected Store writes.
+	Path string
+	// CandidatePlan is the standalone sub-job plan (Loads ... op, Store)
+	// registered in the repository after execution; Splits and injected
+	// stores are spliced out so it matches future pre-injection jobs.
+	CandidatePlan *physical.Plan
+}
+
+// EnumerateSubJobs walks the job plan and injects Split+Store after every
+// operator the heuristic selects (§4, Figure 8). pathGen must return a fresh
+// DFS path per call. The plan is modified in place; the returned injections
+// carry the candidate plans to register after the job executes.
+//
+// Operators whose output is already stored (they feed a Store directly) are
+// skipped — their output will be a whole-job candidate anyway.
+func EnumerateSubJobs(plan *physical.Plan, h Heuristic, pathGen func() string) ([]Injection, error) {
+	if h == HeuristicOff {
+		return nil, nil
+	}
+	order, err := plan.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	var injections []Injection
+	for _, op := range order {
+		if !h.materializes(op.Kind) {
+			continue
+		}
+		if feedsStore(plan, op.ID) {
+			continue
+		}
+		path := pathGen()
+		candidate, err := plan.ExtractPrefix(op.ID, path)
+		if err != nil {
+			return nil, fmt.Errorf("core: extract sub-job at %s: %w", op, err)
+		}
+		split := plan.Add(&physical.Operator{
+			Kind:     physical.OpSplit,
+			Inputs:   []int{op.ID},
+			Schema:   op.Schema,
+			Injected: true,
+		})
+		for _, c := range plan.Consumers(op.ID) {
+			if c.ID == split.ID {
+				continue
+			}
+			c.ReplaceInput(op.ID, split.ID)
+		}
+		plan.Add(&physical.Operator{
+			Kind:     physical.OpStore,
+			Path:     path,
+			Inputs:   []int{split.ID},
+			Schema:   op.Schema,
+			Injected: true,
+		})
+		injections = append(injections, Injection{OpID: op.ID, Path: path, CandidatePlan: candidate})
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("core: plan invalid after sub-job injection: %w", err)
+	}
+	return injections, nil
+}
+
+// feedsStore reports whether the operator's output is already written to the
+// DFS by a directly attached Store.
+func feedsStore(plan *physical.Plan, id int) bool {
+	for _, c := range plan.Consumers(id) {
+		if c.Kind == physical.OpStore {
+			return true
+		}
+		// Look through tees: op -> Split -> Store counts as stored.
+		if c.Kind == physical.OpSplit {
+			for _, cc := range plan.Consumers(c.ID) {
+				if cc.Kind == physical.OpStore {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// WholeJobCandidate builds the repository candidate plan for one of the
+// job's own (non-injected) Stores: the upstream cone of the store's producer
+// with injected plumbing spliced out.
+func WholeJobCandidate(plan *physical.Plan, store *physical.Operator) (*physical.Plan, error) {
+	if store.Kind != physical.OpStore {
+		return nil, fmt.Errorf("core: %s is not a Store", store)
+	}
+	return plan.ExtractPrefix(store.Inputs[0], store.Path)
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/physical"
+)
+
+func pathGen(prefix string) func() string {
+	n := 0
+	return func() string {
+		n++
+		return fmt.Sprintf("restore/%s_%d", prefix, n)
+	}
+}
+
+func countKind(p *physical.Plan, k physical.OpKind) int {
+	n := 0
+	for _, o := range p.Ops() {
+		if o.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func countInjectedStores(p *physical.Plan) int {
+	n := 0
+	for _, o := range p.Ops() {
+		if o.Kind == physical.OpStore && o.Injected {
+			n++
+		}
+	}
+	return n
+}
+
+func TestHeuristicSelection(t *testing.T) {
+	cases := []struct {
+		h    Heuristic
+		kind physical.OpKind
+		want bool
+	}{
+		{HeuristicConservative, physical.OpForeach, true},
+		{HeuristicConservative, physical.OpFilter, true},
+		{HeuristicConservative, physical.OpJoin, false},
+		{HeuristicConservative, physical.OpGroup, false},
+		{HeuristicAggressive, physical.OpForeach, true},
+		{HeuristicAggressive, physical.OpJoin, true},
+		{HeuristicAggressive, physical.OpGroup, true},
+		{HeuristicAggressive, physical.OpCoGroup, true},
+		{HeuristicAggressive, physical.OpUnion, false},
+		{HeuristicAll, physical.OpUnion, true},
+		{HeuristicAll, physical.OpDistinct, true},
+		{HeuristicAll, physical.OpLoad, false},
+		{HeuristicAll, physical.OpStore, false},
+		{HeuristicAll, physical.OpSplit, false},
+		{HeuristicOff, physical.OpForeach, false},
+	}
+	for _, c := range cases {
+		if got := c.h.materializes(c.kind); got != c.want {
+			t.Errorf("%s.materializes(%s) = %v, want %v", c.h, c.kind, got, c.want)
+		}
+	}
+}
+
+func TestEnumerateQ1Conservative(t *testing.T) {
+	// Figure 8: Q1 with Store operators injected after the two projections.
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	plan := q1[0].Plan.Clone()
+	inj, err := EnumerateSubJobs(plan, HeuristicConservative, pathGen("hc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj) != 2 {
+		t.Fatalf("HC injections = %d, want 2 (the projections)", len(inj))
+	}
+	if countInjectedStores(plan) != 2 || countKind(plan, physical.OpSplit) != 2 {
+		t.Errorf("plan after injection:\n%s", plan)
+	}
+	for _, in := range inj {
+		if err := in.CandidatePlan.Validate(); err != nil {
+			t.Errorf("candidate invalid: %v", err)
+		}
+		if countKind(in.CandidatePlan, physical.OpSplit) != 0 {
+			t.Error("candidate plan contains Split plumbing")
+		}
+		if len(in.CandidatePlan.Sinks()) != 1 || in.CandidatePlan.Sinks()[0].Path != in.Path {
+			t.Errorf("candidate sinks = %v", in.CandidatePlan.Sinks())
+		}
+	}
+}
+
+func TestEnumerateQ1AggressiveSkipsStoredJoin(t *testing.T) {
+	// The join feeds Q1's own Store, so HA must not inject another Store
+	// after it: its output is a whole-job candidate already.
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	plan := q1[0].Plan.Clone()
+	inj, err := EnumerateSubJobs(plan, HeuristicAggressive, pathGen("ha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj) != 2 {
+		t.Errorf("HA injections = %d, want 2 (join already stored)", len(inj))
+	}
+}
+
+func TestEnumerateQ2Aggressive(t *testing.T) {
+	q2 := compileJobs(t, q2Src, "tmp/q2")
+	// Job 1: projections + join; join feeds the temp store -> skip.
+	plan1 := q2[0].Plan.Clone()
+	inj1, err := EnumerateSubJobs(plan1, HeuristicAggressive, pathGen("j1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj1) != 2 {
+		t.Errorf("job1 HA injections = %d, want 2", len(inj1))
+	}
+	// Job 2: group feeds foreach; the group gets a store, the final
+	// foreach feeds the user store -> skip.
+	plan2 := q2[1].Plan.Clone()
+	inj2, err := EnumerateSubJobs(plan2, HeuristicAggressive, pathGen("j2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj2) != 1 {
+		t.Errorf("job2 HA injections = %d, want 1 (the group)", len(inj2))
+	}
+	if len(inj2) == 1 {
+		term := plan2.Op(inj2[0].OpID)
+		if term.Kind != physical.OpGroup {
+			t.Errorf("job2 injection after %s, want Group", term)
+		}
+	}
+}
+
+func TestEnumerateAllInjectsEverywhere(t *testing.T) {
+	q2 := compileJobs(t, q2Src, "tmp/q2")
+	plan := q2[0].Plan.Clone()
+	injAll, err := EnumerateSubJobs(plan.Clone(), HeuristicAll, pathGen("nh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injHA, err := EnumerateSubJobs(plan.Clone(), HeuristicAggressive, pathGen("ha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injAll) < len(injHA) {
+		t.Errorf("NH injected %d < HA %d", len(injAll), len(injHA))
+	}
+}
+
+func TestEnumerateOffInjectsNothing(t *testing.T) {
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	plan := q1[0].Plan.Clone()
+	inj, err := EnumerateSubJobs(plan, HeuristicOff, pathGen("off"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj) != 0 || countKind(plan, physical.OpSplit) != 0 {
+		t.Error("HeuristicOff modified the plan")
+	}
+}
+
+func TestEnumeratedPlanStillExecutable(t *testing.T) {
+	// After injection the plan must still form a valid single-blocking job.
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	plan := q1[0].Plan.Clone()
+	if _, err := EnumerateSubJobs(plan, HeuristicAggressive, pathGen("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("injected plan invalid: %v", err)
+	}
+}
+
+func TestCandidatePlansMatchFutureJobs(t *testing.T) {
+	// The central invariant of §4: a candidate registered from an injected
+	// sub-job must match the SAME query when submitted again, pre-injection.
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	plan := q1[0].Plan.Clone()
+	inj, err := EnumerateSubJobs(plan, HeuristicAggressive, pathGen("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := compileJobs(t, q1Src, "tmp/q1b")
+	for _, in := range inj {
+		e := &Entry{ID: in.Path, Plan: in.CandidatePlan, OutputPath: in.Path,
+			Schema: in.CandidatePlan.Sinks()[0].Schema}
+		if err := e.finish(); err != nil {
+			t.Fatalf("candidate entry: %v", err)
+		}
+		if _, ok := Match(fresh[0].Plan, e); !ok {
+			t.Errorf("candidate %s does not match a fresh Q1:\n%s", in.Path, in.CandidatePlan)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"repro/internal/physical"
+)
+
+// Matching (§3 of the paper). A repository plan matches an input MapReduce
+// job when the repository plan (minus its final Store) is *contained* in the
+// input job's physical plan: every repository operator has an equivalent
+// operator in the input plan. Two operators are equivalent when (1) they
+// perform the same function — equal Signature() — and (2) their inputs are
+// pairwise equivalent operators or the same stored data sets.
+//
+// The paper's Algorithm 1 (PairwisePlanTraversal) establishes containment by
+// a simultaneous depth-first traversal of both plans starting from their
+// Load operators. We perform the same simultaneous traversal anchored at the
+// repository plan's terminal operator and walking producer edges — the
+// traversal visits exactly the same operator pairs (the repository plan is
+// the upstream cone of its terminal), but needs no backtracking over which
+// Load pairs up with which, because the pairing is forced by walking inputs
+// in argument order.
+
+// MatchResult describes a successful containment: Terminal is the input-plan
+// operator equivalent to the repository plan's last operator before its
+// Store — the operator whose output the stored file holds.
+type MatchResult struct {
+	Entry    *Entry
+	Terminal *physical.Operator
+	// Mapping pairs repository operator IDs with input operator IDs.
+	Mapping map[int]int
+}
+
+// Match tests whether the entry's plan is contained in the input plan. On
+// success it returns the input operator that computes the stored output.
+func Match(input *physical.Plan, e *Entry) (*MatchResult, bool) {
+	repoTerm := e.Plan.Op(e.terminal)
+	if repoTerm == nil {
+		return nil, false
+	}
+	// Try every input operator as the image of the repository terminal.
+	for _, cand := range input.Ops() {
+		mapping := make(map[int]int)
+		if pairwiseTraversal(input, cand, e.Plan, repoTerm, mapping) {
+			// A match that is already a Load of this entry's output is a
+			// no-op rewrite; report no match to keep rewriting terminating.
+			if cand.Kind == physical.OpLoad && cand.Path == e.OutputPath {
+				continue
+			}
+			return &MatchResult{Entry: e, Terminal: cand, Mapping: mapping}, true
+		}
+	}
+	return nil, false
+}
+
+// pairwiseTraversal is the simultaneous DFS of Algorithm 1: it checks that
+// inOp is equivalent to repoOp, recursing over their producers pairwise.
+// mapping accumulates repoOpID -> inOpID and enforces consistency when the
+// repository plan's DAG shares operators between branches.
+func pairwiseTraversal(input *physical.Plan, inOp *physical.Operator, repo *physical.Plan, repoOp *physical.Operator, mapping map[int]int) bool {
+	if prev, ok := mapping[repoOp.ID]; ok {
+		return prev == inOp.ID
+	}
+	if inOp.Signature() != repoOp.Signature() {
+		return false
+	}
+	if len(inOp.Inputs) != len(repoOp.Inputs) {
+		return false
+	}
+	mapping[repoOp.ID] = inOp.ID
+	for i, repoIn := range repoOp.Inputs {
+		rp := repo.Op(repoIn)
+		ip := input.Op(inOp.Inputs[i])
+		if rp == nil || ip == nil {
+			delete(mapping, repoOp.ID)
+			return false
+		}
+		// Splits are transparent tees: skip them on the input side so a
+		// previously injected materialization point does not break
+		// equivalence.
+		for ip.Kind == physical.OpSplit {
+			ip = input.Op(ip.Inputs[0])
+			if ip == nil {
+				delete(mapping, repoOp.ID)
+				return false
+			}
+		}
+		if !pairwiseTraversal(input, ip, repo, rp, mapping) {
+			delete(mapping, repoOp.ID)
+			return false
+		}
+	}
+	return true
+}
+
+// FindBestMatch scans the repository in §3 order and returns the first (and
+// therefore best) entry contained in the input plan.
+func FindBestMatch(input *physical.Plan, repo *Repository) (*MatchResult, bool) {
+	for _, e := range repo.Ordered() {
+		if m, ok := Match(input, e); ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Subsumes reports whether entry A's plan contains entry B's plan (used by
+// ordering diagnostics and tests; the scan order guarantees subsumers come
+// first without computing this per pair).
+func Subsumes(a, b *Entry) bool {
+	bTerm := b.Plan.Op(b.terminal)
+	for _, cand := range a.Plan.Ops() {
+		mapping := make(map[int]int)
+		if pairwiseTraversal(a.Plan, cand, b.Plan, bTerm, mapping) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/logical"
+	"repro/internal/mapred"
+	"repro/internal/mrcompile"
+	"repro/internal/physical"
+	"repro/internal/piglatin"
+)
+
+// compileJobs parses and compiles a script into its workflow jobs.
+func compileJobs(t *testing.T, src, tmp string) []*mapred.Job {
+	t.Helper()
+	script, err := piglatin.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	plan, err := logical.Build(script)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	w, err := mrcompile.Compile(plan, tmp)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return w.Jobs
+}
+
+const q1Src = `
+A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+alpha = load 'users' as (name, phone, address, city);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+store C into 'out/q1';
+`
+
+const q2Src = `
+A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+alpha = load 'users' as (name, phone, address, city);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, SUM(C.est_revenue);
+store E into 'out/q2';
+`
+
+// entryFromJob builds a repository entry for a job's primary output.
+func entryFromJob(t *testing.T, job *mapred.Job, id string) *Entry {
+	t.Helper()
+	stores := job.Plan.Sinks()
+	if len(stores) != 1 {
+		t.Fatalf("job %s has %d stores", job.ID, len(stores))
+	}
+	cand, err := WholeJobCandidate(job.Plan, stores[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Entry{
+		ID:         id,
+		Plan:       cand,
+		OutputPath: stores[0].Path,
+		Schema:     stores[0].Schema,
+		InputBytes: 1000, OutputBytes: 100, ExecTime: time.Minute,
+	}
+	if err := e.finish(); err != nil {
+		t.Fatalf("entry %s: %v", id, err)
+	}
+	return e
+}
+
+func TestMatchWholeJobQ1InQ2(t *testing.T) {
+	// The paper's running example: Q1's join job is contained in Q2's
+	// first job (Figures 2-4).
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	if len(q1) != 1 {
+		t.Fatalf("q1 jobs = %d", len(q1))
+	}
+	q2 := compileJobs(t, q2Src, "tmp/q2")
+	if len(q2) != 2 {
+		t.Fatalf("q2 jobs = %d", len(q2))
+	}
+	entry := entryFromJob(t, q1[0], "q1")
+
+	m, ok := Match(q2[0].Plan, entry)
+	if !ok {
+		t.Fatalf("Q1 plan not found in Q2 job1:\ninput:\n%s\nrepo:\n%s", q2[0].Plan, entry.Plan)
+	}
+	if m.Terminal.Kind != physical.OpJoin {
+		t.Errorf("matched terminal = %s, want Join", m.Terminal)
+	}
+	// Q2's second job (group over the temp) must NOT match Q1's entry.
+	if _, ok := Match(q2[1].Plan, entry); ok {
+		t.Error("Q1 entry matched Q2's group job")
+	}
+}
+
+func TestMatchSubPlanProjection(t *testing.T) {
+	// A stored projection sub-job (Figure 5) matches inside Q1 (Figure 6).
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	sub := compileJobs(t, `
+A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+store B into 'restore/pv_proj';
+`, "tmp/sub")
+	entry := entryFromJob(t, sub[0], "pv-proj")
+	m, ok := Match(q1[0].Plan, entry)
+	if !ok {
+		t.Fatal("projection sub-job not matched in Q1")
+	}
+	if m.Terminal.Kind != physical.OpForeach {
+		t.Errorf("terminal = %s, want Foreach", m.Terminal)
+	}
+}
+
+func TestNoMatchDifferentSource(t *testing.T) {
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	other := compileJobs(t, `
+A = load 'OTHER_TABLE' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+store B into 'restore/other';
+`, "tmp/o")
+	entry := entryFromJob(t, other[0], "other")
+	if _, ok := Match(q1[0].Plan, entry); ok {
+		t.Error("matched across different source tables")
+	}
+}
+
+func TestNoMatchDifferentPredicate(t *testing.T) {
+	mk := func(pred, out string) *Entry {
+		jobs := compileJobs(t, `
+A = load 'page_views' as (user, timestamp:int, est_revenue:double);
+B = filter A by timestamp `+pred+`;
+store B into '`+out+`';
+`, "tmp/p")
+		return entryFromJob(t, jobs[0], out)
+	}
+	e1 := mk("> 100", "restore/f1")
+	input := compileJobs(t, `
+A = load 'page_views' as (user, timestamp:int, est_revenue:double);
+B = filter A by timestamp > 200;
+store B into 'out/f';
+`, "tmp/f")
+	if _, ok := Match(input[0].Plan, e1); ok {
+		t.Error("filter with different constant matched")
+	}
+	e2 := mk("> 200", "restore/f2")
+	if _, ok := Match(input[0].Plan, e2); !ok {
+		t.Error("identical filter did not match")
+	}
+}
+
+func TestMatchIgnoresAliasesAndStorePath(t *testing.T) {
+	a := compileJobs(t, `
+x = load 'page_views' as (u, ts, rev:double, pi, pl);
+y = foreach x generate u, rev;
+store y into 'somewhere/else';
+`, "tmp/a")
+	entry := entryFromJob(t, a[0], "renamed")
+	input := compileJobs(t, `
+A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+store B into 'out/b';
+`, "tmp/b")
+	if _, ok := Match(input[0].Plan, entry); !ok {
+		t.Error("alias/store-path differences blocked the match")
+	}
+}
+
+func TestMatchSkipsLoadOfOwnOutput(t *testing.T) {
+	// A plan that already loads the stored output must not "match" again.
+	sub := compileJobs(t, `
+A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+store B into 'restore/pv_proj';
+`, "tmp/s")
+	entry := entryFromJob(t, sub[0], "proj")
+	rewritten := compileJobs(t, `
+B = load 'restore/pv_proj' as (user, est_revenue:double);
+C = filter B by est_revenue > 1.0;
+store C into 'out/c';
+`, "tmp/r")
+	if _, ok := Match(rewritten[0].Plan, entry); ok {
+		t.Error("matched a plan that already loads the stored output")
+	}
+}
+
+func TestMatchSeesThroughInjectedSplits(t *testing.T) {
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	plan := q1[0].Plan.Clone()
+	n := 0
+	if _, err := EnumerateSubJobs(plan, HeuristicAggressive, func() string {
+		n++
+		return "restore/inj" + string(rune('a'+n))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sub := compileJobs(t, `
+A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+store B into 'restore/pv_proj';
+`, "tmp/s")
+	entry := entryFromJob(t, sub[0], "proj")
+	if _, ok := Match(plan, entry); !ok {
+		t.Errorf("injected Splits broke matching:\n%s", plan)
+	}
+}
+
+func TestSubsumptionAndOrdering(t *testing.T) {
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	whole := entryFromJob(t, q1[0], "whole")
+	sub := compileJobs(t, `
+A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+store B into 'restore/pv_proj';
+`, "tmp/s")
+	part := entryFromJob(t, sub[0], "part")
+
+	if !Subsumes(whole, part) {
+		t.Error("whole job should subsume its projection sub-job")
+	}
+	if Subsumes(part, whole) {
+		t.Error("projection cannot subsume the whole job")
+	}
+
+	repo := NewRepository()
+	if _, _, err := repo.Add(part); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := repo.Add(whole); err != nil {
+		t.Fatal(err)
+	}
+	ordered := repo.Ordered()
+	if ordered[0].ID != "whole" {
+		t.Errorf("ordering = [%s, %s], want whole first (§3 rule 1)", ordered[0].ID, ordered[1].ID)
+	}
+
+	// FindBestMatch against Q2's join job must pick the whole join, not
+	// the smaller projection.
+	q2 := compileJobs(t, q2Src, "tmp/q2")
+	m, ok := FindBestMatch(q2[0].Plan, repo)
+	if !ok || m.Entry.ID != "whole" {
+		t.Errorf("best match = %+v, want whole", m)
+	}
+}
+
+func TestRepositoryDedup(t *testing.T) {
+	repo := NewRepository()
+	q1a := compileJobs(t, q1Src, "tmp/a")
+	q1b := compileJobs(t, q1Src, "tmp/b")
+	e1 := entryFromJob(t, q1a[0], "first")
+	e2 := entryFromJob(t, q1b[0], "second")
+	if _, added, err := repo.Add(e1); err != nil || !added {
+		t.Fatalf("first add: %v %v", added, err)
+	}
+	prev, added, err := repo.Add(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added || prev.ID != "first" {
+		t.Errorf("duplicate plan added twice: added=%v id=%s", added, prev.ID)
+	}
+	if repo.Len() != 1 {
+		t.Errorf("repo len = %d", repo.Len())
+	}
+}
+
+func TestRepositoryRejectsTrivialEntry(t *testing.T) {
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "x"})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "y", Inputs: []int{l.ID}})
+	e := &Entry{Plan: p, OutputPath: "y"}
+	if _, _, err := NewRepository().Add(e); err == nil {
+		t.Error("trivial Load->Store entry accepted")
+	}
+}
+
+func TestMarkUsedAndRemove(t *testing.T) {
+	repo := NewRepository()
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	e := entryFromJob(t, q1[0], "e")
+	if _, _, err := repo.Add(e); err != nil {
+		t.Fatal(err)
+	}
+	repo.MarkUsed("e", 7)
+	got := repo.Get("e")
+	if got.UseCount != 1 || got.LastUsedSeq != 7 {
+		t.Errorf("use stats = %d/%d", got.UseCount, got.LastUsedSeq)
+	}
+	if repo.Remove("e") == nil || repo.Len() != 0 {
+		t.Error("remove failed")
+	}
+	if repo.Remove("e") != nil {
+		t.Error("double remove returned entry")
+	}
+}

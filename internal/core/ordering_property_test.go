@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomEntries builds a repository population of chained-filter plans of
+// random depth over the same source, so deeper entries subsume shallower
+// ones with matching prefixes.
+func randomEntries(t *testing.T, r *rand.Rand, n int) []*Entry {
+	t.Helper()
+	var out []*Entry
+	for i := 0; i < n; i++ {
+		depth := 1 + r.Intn(3)
+		src := "A = load 'page_views' as (user, ts:int, rev:double);\n"
+		cur := "A"
+		for d := 0; d < depth; d++ {
+			next := fmt.Sprintf("S%d", d)
+			// A shared prefix (ts > 10) followed by random suffix filters.
+			bound := 10
+			if d > 0 {
+				bound = 20 + r.Intn(5)*10
+			}
+			src += fmt.Sprintf("%s = filter %s by ts > %d;\n", next, cur, bound)
+			cur = next
+		}
+		src += fmt.Sprintf("store %s into 'restore/prop%d';\n", cur, i)
+		jobs := compileJobs(t, src, fmt.Sprintf("tmp/p%d", i))
+		e := entryFromJob(t, jobs[0], fmt.Sprintf("e%d", i))
+		// Statistics derive deterministically from the plan so that
+		// duplicate plans (deduplicated on Add, keeping the first) carry
+		// identical ordering metrics regardless of which copy survives.
+		h := int64(0)
+		for _, c := range e.Plan.Canonical() {
+			h = h*31 + int64(c)
+			h &= 0xffffff
+		}
+		e.InputBytes = 1000 + h
+		e.OutputBytes = 1 + h%2000
+		e.ExecTime = time.Duration(h%1000) * time.Second
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestPropertyOrderingRespectsSubsumption checks the §3 invariant the
+// repository scan depends on: no entry may appear before another entry that
+// subsumes it (otherwise "first match" would not be "best match").
+func TestPropertyOrderingRespectsSubsumption(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		repo := NewRepository()
+		for _, e := range randomEntries(t, r, 2+r.Intn(5)) {
+			if _, _, err := repo.Add(e); err != nil {
+				return false
+			}
+		}
+		ordered := repo.Ordered()
+		for i := 0; i < len(ordered); i++ {
+			for j := i + 1; j < len(ordered); j++ {
+				// If a later entry subsumes an earlier one, the order is
+				// wrong (equal plans are deduplicated, so strict).
+				if Subsumes(ordered[j], ordered[i]) && !Subsumes(ordered[i], ordered[j]) {
+					t.Logf("entry %s (pos %d) subsumed by later %s (pos %d)",
+						ordered[i].ID, i, ordered[j].ID, j)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOrderingDeterministic: Ordered() must be stable across calls
+// and independent of insertion order.
+func TestPropertyOrderingDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		entries := randomEntries(t, r, 2+r.Intn(5))
+
+		repoA := NewRepository()
+		for _, e := range entries {
+			if _, _, err := repoA.Add(e); err != nil {
+				return false
+			}
+		}
+		repoB := NewRepository()
+		for _, i := range r.Perm(len(entries)) {
+			if _, _, err := repoB.Add(entries[i]); err != nil {
+				return false
+			}
+		}
+		a, b := repoA.Ordered(), repoB.Ordered()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			// Duplicate plans may survive under different IDs depending on
+			// insertion order; the *plans* must order identically.
+			if a[i].Plan.Canonical() != b[i].Plan.Canonical() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMatchAgreesWithCanonKey cross-validates the pairwise
+// traversal against the recursive canonical keys: an entry matches an input
+// plan iff some input operator's upstream cone has the same canon key as
+// the entry's terminal.
+func TestPropertyMatchAgreesWithCanonKey(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		entries := randomEntries(t, r, 3)
+		probeJobs := compileJobs(t, `
+A = load 'page_views' as (user, ts:int, rev:double);
+S0 = filter A by ts > 10;
+S1 = filter S0 by ts > 30;
+store S1 into 'out/probe';`, "tmp/probe")
+		probe := probeJobs[0].Plan
+		for _, e := range entries {
+			_, matched := Match(probe, e)
+			termKey := e.Plan.CanonKey(e.Plan.Sinks()[0].Inputs[0])
+			canonHit := false
+			for _, o := range probe.Ops() {
+				if probe.CanonKey(o.ID) == termKey {
+					canonHit = true
+					break
+				}
+			}
+			if matched != canonHit {
+				t.Logf("disagreement on entry %s: match=%v canon=%v", e.ID, matched, canonHit)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package core implements ReStore itself — the paper's contribution:
+//
+//   - a repository of stored MapReduce job outputs, each entry holding the
+//     job's physical plan, the DFS filename of its output, and execution
+//     statistics (§2.2);
+//   - the plan matcher and rewriter (§3, Algorithm 1), which tests whether a
+//     repository plan is contained in an input job's plan and rewrites the
+//     job to load the stored output instead of recomputing it;
+//   - the sub-job enumerator (§4), which injects Split+Store operators after
+//     selected physical operators (Conservative / Aggressive / No-Heuristic)
+//     so their outputs are materialized during execution;
+//   - the enumerated sub-job selector (§5), which applies keep/evict rules
+//     based on post-execution statistics.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// Entry is one stored job output: the physical plan that produced it (ending
+// in a Store), where the output lives, and statistics used for repository
+// ordering and eviction.
+type Entry struct {
+	ID         string         `json:"id"`
+	Plan       *physical.Plan `json:"plan"`
+	OutputPath string         `json:"outputPath"`
+	Schema     types.Schema   `json:"schema"`
+
+	// Statistics (§2.2): sizes, execution time, and usage.
+	InputBytes  int64         `json:"inputBytes"`
+	OutputBytes int64         `json:"outputBytes"`
+	ExecTime    time.Duration `json:"execTime"`
+	UseCount    int64         `json:"useCount"`
+	CreatedSeq  int64         `json:"createdSeq"`
+	LastUsedSeq int64         `json:"lastUsedSeq"`
+
+	// InputVersions snapshots the DFS version of every base input when the
+	// output was stored; eviction Rule 4 compares them against the current
+	// versions.
+	InputVersions map[string]uint64 `json:"inputVersions"`
+
+	// OwnsFile marks outputs whose files the repository manages (temps and
+	// injected sub-job outputs). Evicting such an entry also deletes the
+	// file; user-named outputs are only dropped from the index.
+	OwnsFile bool `json:"ownsFile"`
+
+	// terminal caches the ID of the operator feeding the entry's Store.
+	terminal int
+	// planOps caches len(Plan.Ops()) minus the Store for ordering.
+	matchSize int
+}
+
+// ioRatio is the input/output size ratio used as ordering metric 2a (§3):
+// higher means the stored output compresses its input more.
+func (e *Entry) ioRatio() float64 {
+	if e.OutputBytes <= 0 {
+		return float64(e.InputBytes)
+	}
+	return float64(e.InputBytes) / float64(e.OutputBytes)
+}
+
+// finish validates and indexes a freshly built entry.
+func (e *Entry) finish() error {
+	sinks := e.Plan.Sinks()
+	if len(sinks) != 1 {
+		return fmt.Errorf("core: entry %s: plan must have exactly one Store, has %d", e.ID, len(sinks))
+	}
+	if sinks[0].Path != e.OutputPath {
+		return fmt.Errorf("core: entry %s: store path %q != output path %q", e.ID, sinks[0].Path, e.OutputPath)
+	}
+	e.terminal = sinks[0].Inputs[0]
+	e.matchSize = e.Plan.Len() - 1
+	if term := e.Plan.Op(e.terminal); term != nil && term.Kind == physical.OpLoad {
+		return fmt.Errorf("core: entry %s: trivial Load->Store plan is not storable", e.ID)
+	}
+	return e.Plan.Validate()
+}
+
+// Repository holds the stored job outputs. All methods are safe for
+// concurrent use.
+type Repository struct {
+	mu      sync.RWMutex
+	entries []*Entry
+	byCanon map[string]*Entry // dedup on plan canonical form
+	nextID  int
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{byCanon: make(map[string]*Entry)}
+}
+
+// Len returns the number of entries.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Add registers an entry. If an entry with an identical plan already exists
+// the repository keeps the existing one (its output is the same data) and
+// returns it with added=false.
+func (r *Repository) Add(e *Entry) (*Entry, bool, error) {
+	if err := e.finish(); err != nil {
+		return nil, false, err
+	}
+	canon := e.Plan.Canonical()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byCanon[canon]; ok {
+		return prev, false, nil
+	}
+	if e.ID == "" {
+		r.nextID++
+		e.ID = fmt.Sprintf("entry-%d", r.nextID)
+	}
+	r.entries = append(r.entries, e)
+	r.byCanon[canon] = e
+	return e, true, nil
+}
+
+// Remove evicts an entry by ID, returning it (or nil if absent).
+func (r *Repository) Remove(id string) *Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, e := range r.entries {
+		if e.ID == id {
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			delete(r.byCanon, e.Plan.Canonical())
+			return e
+		}
+	}
+	return nil
+}
+
+// Get returns the entry with the given ID, or nil.
+func (r *Repository) Get(id string) *Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// Ordered returns the entries in match-scan order, implementing the §3
+// ordering rules:
+//
+//  1. If plan A subsumes plan B, A comes first. Subsumption implies A has at
+//     least as many operators as B (every B operator needs an equivalent in
+//     A), so ordering by descending plan size guarantees no subsumed entry
+//     precedes its subsumer; identical plans are deduplicated at Add.
+//  2. Ties order by descending input/output ratio, then descending
+//     execution time — both favor entries whose reuse saves more.
+func (r *Repository) Ordered() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, len(r.entries))
+	copy(out, r.entries)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.matchSize != b.matchSize {
+			return a.matchSize > b.matchSize
+		}
+		ra, rb := a.ioRatio(), b.ioRatio()
+		if ra != rb {
+			return ra > rb
+		}
+		if a.ExecTime != b.ExecTime {
+			return a.ExecTime > b.ExecTime
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// All returns the entries in insertion order (for inspection tools).
+func (r *Repository) All() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// MarkUsed records a reuse of the entry at the given workflow sequence.
+func (r *Repository) MarkUsed(id string, seq int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if e.ID == id {
+			e.UseCount++
+			if seq > e.LastUsedSeq {
+				e.LastUsedSeq = seq
+			}
+			return
+		}
+	}
+}
+
+// TotalStoredBytes sums OutputBytes over all entries.
+func (r *Repository) TotalStoredBytes() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var n int64
+	for _, e := range r.entries {
+		n += e.OutputBytes
+	}
+	return n
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mapred"
+	"repro/internal/physical"
+)
+
+// Rewriter applies repository matches to an input workflow of MapReduce
+// jobs (§3). Jobs are processed in dependency order — the ones reading base
+// data first — so that by the time a job is matched, the jobs it depends on
+// have been rewritten and its Loads reference stable repository paths
+// rather than fresh temporaries.
+type Rewriter struct {
+	Repo *Repository
+	// Seq is the submitting workflow's sequence number, recorded on reused
+	// entries for the Rule-3 eviction window.
+	Seq int64
+	// DryRun suppresses usage-statistics updates (for Explain-style
+	// inspection that must not perturb eviction decisions).
+	DryRun bool
+}
+
+// RewriteInfo describes one applied reuse.
+type RewriteInfo struct {
+	JobID      string
+	EntryID    string
+	OutputPath string // the stored output now loaded instead of recomputed
+	WholeJob   bool   // true when the whole job collapsed and was removed
+}
+
+// Outcome is the rewritten workflow.
+type Outcome struct {
+	Jobs []*mapred.Job
+	// Aliases maps output paths of eliminated jobs to the stored files that
+	// hold identical data. Downstream jobs were remapped already; callers
+	// use this to locate user-visible outputs that were never written.
+	Aliases  map[string]string
+	Rewrites []RewriteInfo
+}
+
+// RewriteWorkflow rewrites every job against the repository and drops jobs
+// whose entire computation is available in stored outputs.
+func (rw *Rewriter) RewriteWorkflow(w *mapred.Workflow) (*Outcome, error) {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Aliases: make(map[string]string)}
+	for _, job := range order {
+		plan := job.Plan.Clone()
+
+		// Remap loads of outputs of eliminated upstream jobs.
+		for _, load := range plan.Sources() {
+			if actual, ok := out.Aliases[load.Path]; ok {
+				load.Path = actual
+			}
+		}
+
+		// Repeated scans: after each rewrite, scan the repository again for
+		// further matches against the rewritten job (§3).
+		for {
+			m, ok := FindBestMatch(plan, rw.Repo)
+			if !ok {
+				break
+			}
+			whole := rewriteMatch(plan, m)
+			if !rw.DryRun {
+				rw.Repo.MarkUsed(m.Entry.ID, rw.Seq)
+			}
+			out.Rewrites = append(out.Rewrites, RewriteInfo{
+				JobID:      job.ID,
+				EntryID:    m.Entry.ID,
+				OutputPath: m.Entry.OutputPath,
+				WholeJob:   whole,
+			})
+		}
+
+		if loads, trivial := trivialCopy(plan); trivial {
+			// The full job is answered by stored outputs: record aliases
+			// and drop the job (Figure 4 in the paper: rewritten Q2 reads
+			// stored o/p Q1 directly).
+			for storePath, loadPath := range loads {
+				out.Aliases[storePath] = loadPath
+			}
+			if n := len(out.Rewrites); n > 0 && out.Rewrites[n-1].JobID == job.ID {
+				out.Rewrites[n-1].WholeJob = true
+			}
+			continue
+		}
+		newJob, err := mapred.NewJob(job.ID, plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: rewritten job %s invalid: %w", job.ID, err)
+		}
+		out.Jobs = append(out.Jobs, newJob)
+	}
+	return out, nil
+}
+
+// rewriteMatch replaces the matched plan region with a Load of the stored
+// output. It reports whether the plan is now a trivial copy.
+func rewriteMatch(plan *physical.Plan, m *MatchResult) bool {
+	load := plan.Add(&physical.Operator{
+		Kind:   physical.OpLoad,
+		Path:   m.Entry.OutputPath,
+		Schema: m.Entry.Schema,
+	})
+	for _, c := range plan.Consumers(m.Terminal.ID) {
+		c.ReplaceInput(m.Terminal.ID, load.ID)
+	}
+	pruneToStores(plan)
+	_, trivial := trivialCopy(plan)
+	return trivial
+}
+
+// pruneToStores removes operators that no longer reach a Store.
+func pruneToStores(plan *physical.Plan) {
+	live := make(map[int]bool)
+	for _, st := range plan.Sinks() {
+		for id := range plan.ReachableFrom(st.ID) {
+			live[id] = true
+		}
+	}
+	for _, o := range plan.Ops() {
+		if !live[o.ID] {
+			plan.Remove(o.ID)
+		}
+	}
+}
+
+// trivialCopy reports whether every operator is a Load or a Store fed
+// directly by a Load. On success it returns storePath -> loadPath.
+func trivialCopy(plan *physical.Plan) (map[string]string, bool) {
+	aliases := make(map[string]string)
+	for _, o := range plan.Ops() {
+		switch o.Kind {
+		case physical.OpLoad:
+		case physical.OpStore:
+			in := plan.Op(o.Inputs[0])
+			if in == nil || in.Kind != physical.OpLoad {
+				return nil, false
+			}
+			aliases[o.Path] = in.Path
+		default:
+			return nil, false
+		}
+	}
+	return aliases, len(aliases) > 0
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mapred"
+	"repro/internal/physical"
+)
+
+func rewrite(t *testing.T, repo *Repository, jobs []*mapred.Job) *Outcome {
+	t.Helper()
+	rw := &Rewriter{Repo: repo, Seq: 1}
+	out, err := rw.RewriteWorkflow(&mapred.Workflow{Jobs: jobs})
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	return out
+}
+
+func TestRewriteQ2WithWholeQ1(t *testing.T) {
+	// Figure 4: Q2 rewritten to reuse the stored output of Q1. Q2's join
+	// job collapses entirely; the group job loads the stored file.
+	repo := NewRepository()
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	if _, _, err := repo.Add(entryFromJob(t, q1[0], "q1")); err != nil {
+		t.Fatal(err)
+	}
+	q2 := compileJobs(t, q2Src, "tmp/q2")
+	out := rewrite(t, repo, q2)
+
+	if len(out.Jobs) != 1 {
+		t.Fatalf("rewritten Q2 has %d jobs, want 1 (Figure 4)", len(out.Jobs))
+	}
+	job := out.Jobs[0]
+	if job.Blocking() == nil || job.Blocking().Kind != physical.OpGroup {
+		t.Errorf("surviving job blocks on %v, want Group", job.Blocking())
+	}
+	if in := job.InputPaths(); len(in) != 1 || in[0] != "out/q1" {
+		t.Errorf("surviving job reads %v, want the stored Q1 output", in)
+	}
+	if len(out.Rewrites) == 0 || !out.Rewrites[0].WholeJob {
+		t.Errorf("rewrites = %+v, want a whole-job rewrite", out.Rewrites)
+	}
+	if repo.Get("q1").UseCount != 1 {
+		t.Error("reuse not recorded on entry")
+	}
+}
+
+func TestRewriteQ1WithSubJobs(t *testing.T) {
+	// Figure 6: Q1 rewritten to load both stored projections and keep only
+	// the join.
+	repo := NewRepository()
+	for i, src := range []string{
+		`A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+store B into 'restore/pv_proj';`,
+		`alpha = load 'users' as (name, phone, address, city);
+beta = foreach alpha generate name;
+store beta into 'restore/user_proj';`,
+	} {
+		jobs := compileJobs(t, src, "tmp/s")
+		if _, _, err := repo.Add(entryFromJob(t, jobs[0], []string{"pv", "users"}[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	out := rewrite(t, repo, q1)
+
+	if len(out.Jobs) != 1 {
+		t.Fatalf("jobs = %d", len(out.Jobs))
+	}
+	plan := out.Jobs[0].Plan
+	var kinds []string
+	for _, o := range plan.Ops() {
+		kinds = append(kinds, string(o.Kind))
+	}
+	got := strings.Join(kinds, ",")
+	// Exactly: two Loads of stored outputs, the Join, the Store.
+	if plan.Len() != 4 {
+		t.Errorf("rewritten plan ops = %s\n%s", got, plan)
+	}
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpForeach {
+			t.Error("projection survived rewriting")
+		}
+		if o.Kind == physical.OpLoad && !strings.HasPrefix(o.Path, "restore/") {
+			t.Errorf("load of %s, want stored outputs only", o.Path)
+		}
+	}
+	if len(out.Rewrites) != 2 {
+		t.Errorf("rewrites = %d, want 2 (repeated scans)", len(out.Rewrites))
+	}
+}
+
+func TestRewriteNoMatchesLeavesWorkflowIntact(t *testing.T) {
+	repo := NewRepository()
+	q2 := compileJobs(t, q2Src, "tmp/q2")
+	out := rewrite(t, repo, q2)
+	if len(out.Jobs) != 2 || len(out.Rewrites) != 0 || len(out.Aliases) != 0 {
+		t.Errorf("empty repo changed workflow: %d jobs, %d rewrites", len(out.Jobs), len(out.Rewrites))
+	}
+}
+
+func TestRewriteWholeFinalJobAliasesUserOutput(t *testing.T) {
+	// When the final job itself is fully answered by a stored output, the
+	// user's requested path is aliased to the stored file.
+	repo := NewRepository()
+	q1 := compileJobs(t, q1Src, "tmp/q1a")
+	if _, _, err := repo.Add(entryFromJob(t, q1[0], "q1")); err != nil {
+		t.Fatal(err)
+	}
+	// Same query stored under a different user path.
+	q1b := compileJobs(t, strings.Replace(q1Src, "out/q1", "out/q1_again", 1), "tmp/q1b")
+	out := rewrite(t, repo, q1b)
+	if len(out.Jobs) != 0 {
+		t.Fatalf("jobs = %d, want 0 (fully reused)", len(out.Jobs))
+	}
+	if got := out.Aliases["out/q1_again"]; got != "out/q1" {
+		t.Errorf("alias = %q, want out/q1", got)
+	}
+}
+
+func TestRewriteChainAcrossJobs(t *testing.T) {
+	// Store both Q2 jobs' outputs: re-running Q2 should collapse to zero
+	// jobs, with the final output aliased — this requires job2's loads to
+	// be remapped after job1's elimination (the §3 bottom-up order).
+	repo := NewRepository()
+	q2 := compileJobs(t, q2Src, "tmp/q2")
+
+	// Entry for job1 (join into temp).
+	e1 := entryFromJob(t, q2[0], "join")
+	if _, _, err := repo.Add(e1); err != nil {
+		t.Fatal(err)
+	}
+	// Entry for job2 (group over the temp) — its plan loads the temp path,
+	// which is exactly what a future rewritten job2 will reference.
+	e2 := entryFromJob(t, q2[1], "group")
+	if _, _, err := repo.Add(e2); err != nil {
+		t.Fatal(err)
+	}
+
+	q2again := compileJobs(t, strings.Replace(q2Src, "out/q2", "out/q2_again", 1), "tmp/q2x")
+	out := rewrite(t, repo, q2again)
+	if len(out.Jobs) != 0 {
+		t.Fatalf("jobs = %d, want 0:\n%+v", len(out.Jobs), out.Rewrites)
+	}
+	if got := out.Aliases["out/q2_again"]; got != "out/q2" {
+		t.Errorf("alias = %q, want out/q2", got)
+	}
+}
+
+func TestRewritePreservesFanOut(t *testing.T) {
+	// A matched region that also feeds an unmatched consumer must survive
+	// for that consumer.
+	repo := NewRepository()
+	sub := compileJobs(t, `
+A = load 'page_views' as (user, timestamp:int, est_revenue:double);
+B = filter A by timestamp > 100;
+store B into 'restore/recent';`, "tmp/s")
+	if _, _, err := repo.Add(entryFromJob(t, sub[0], "recent")); err != nil {
+		t.Fatal(err)
+	}
+	// The load feeds both the matched filter and an unmatched projection.
+	input := compileJobs(t, `
+A = load 'page_views' as (user, timestamp:int, est_revenue:double);
+B = filter A by timestamp > 100;
+C = foreach A generate user;
+store B into 'out/recent';
+store C into 'out/all_users';`, "tmp/i")
+	out := rewrite(t, repo, input)
+	if len(out.Jobs) != 1 {
+		t.Fatalf("jobs = %d", len(out.Jobs))
+	}
+	plan := out.Jobs[0].Plan
+	loads := plan.Sources()
+	foundBase, foundStored := false, false
+	for _, l := range loads {
+		if l.Path == "page_views" {
+			foundBase = true
+		}
+		if l.Path == "restore/recent" {
+			foundStored = true
+		}
+	}
+	if !foundBase || !foundStored {
+		t.Errorf("loads = %v, want both base and stored", plan)
+	}
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpFilter {
+			t.Error("matched filter not replaced")
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// Policy configures the enumerated sub-job selector (§5). The paper's
+// experiments store every candidate (KeepAll); the rules are available for
+// deployments where storage or repository scan time matters.
+type Policy struct {
+	// KeepAll stores every candidate regardless of the rules below.
+	KeepAll bool
+	// RequireSizeReduction is Rule 1: keep only candidates whose output is
+	// smaller than their input.
+	RequireSizeReduction bool
+	// RequireTimeSaving is Rule 2: keep only candidates whose stored output
+	// can be read back faster than re-executing the job (Equation 1).
+	RequireTimeSaving bool
+	// EvictionWindow is Rule 3: evict entries not reused within this many
+	// workflows. Zero disables the rule.
+	EvictionWindow int64
+	// CheckInputVersions is Rule 4: evict entries whose inputs were deleted
+	// or modified.
+	CheckInputVersions bool
+}
+
+// DefaultPolicy is the paper's experimental configuration: keep everything,
+// but still honor Rule 4 so stale results are never served.
+func DefaultPolicy() Policy {
+	return Policy{KeepAll: true, CheckInputVersions: true}
+}
+
+// Candidate is a materialized output considered for the repository after a
+// workflow executed.
+type Candidate struct {
+	Plan       *physical.Plan
+	OutputPath string
+	Schema     types.Schema
+
+	InputBytes  int64
+	OutputBytes int64
+	ExecTime    time.Duration
+	// OwnsFile marks files the repository manages (temps and injected
+	// sub-job outputs): rejected or evicted candidates are deleted.
+	OwnsFile bool
+}
+
+// Selector decides which candidates enter the repository and which stored
+// entries to evict.
+type Selector struct {
+	Repo    *Repository
+	FS      *dfs.FS
+	Cluster *cluster.Config
+	Policy  Policy
+}
+
+// Consider applies Rules 1–2 to a candidate. When the candidate is accepted
+// it becomes a repository entry stamped with the current sequence number; a
+// rejected repository-owned file is deleted from the DFS.
+func (s *Selector) Consider(c Candidate, seq int64) (*Entry, bool, error) {
+	if !s.Policy.KeepAll {
+		if s.Policy.RequireSizeReduction && c.OutputBytes >= c.InputBytes {
+			return nil, false, s.discard(c)
+		}
+		if s.Policy.RequireTimeSaving && s.readBackTime(c.OutputBytes) >= c.ExecTime {
+			return nil, false, s.discard(c)
+		}
+	}
+	versions := make(map[string]uint64)
+	for _, load := range c.Plan.Sources() {
+		v, err := s.FS.Version(load.Path)
+		if err != nil {
+			// Input vanished between execution and selection; the candidate
+			// can never be validated, so discard it.
+			return nil, false, s.discard(c)
+		}
+		versions[load.Path] = v
+	}
+	entry := &Entry{
+		Plan:          c.Plan,
+		OutputPath:    c.OutputPath,
+		Schema:        c.Schema,
+		InputBytes:    c.InputBytes,
+		OutputBytes:   c.OutputBytes,
+		ExecTime:      c.ExecTime,
+		CreatedSeq:    seq,
+		LastUsedSeq:   seq,
+		InputVersions: versions,
+		OwnsFile:      c.OwnsFile,
+	}
+	prev, added, err := s.Repo.Add(entry)
+	if err != nil {
+		return nil, false, err
+	}
+	if !added {
+		// An identical plan is already stored; this candidate's file is
+		// redundant unless it IS the stored file.
+		if c.OwnsFile && c.OutputPath != prev.OutputPath {
+			if err := s.discard(c); err != nil {
+				return prev, false, err
+			}
+		}
+		return prev, false, nil
+	}
+	return entry, true, nil
+}
+
+// discard deletes a rejected candidate's file when the repository owns it.
+func (s *Selector) discard(c Candidate) error {
+	if !c.OwnsFile {
+		return nil
+	}
+	if err := s.FS.Delete(c.OutputPath); err != nil {
+		return fmt.Errorf("core: discard candidate %s: %w", c.OutputPath, err)
+	}
+	return nil
+}
+
+// readBackTime estimates how long a future workflow spends loading the
+// stored output (a map-only scan of the file).
+func (s *Selector) readBackTime(bytes int64) time.Duration {
+	return s.Cluster.Simulate(cluster.JobStats{InputBytes: bytes}).Total
+}
+
+// Evict applies Rules 3 and 4 at the given sequence, removing stale or
+// invalidated entries (and their repository-owned files). It returns the
+// IDs of the evicted entries.
+func (s *Selector) Evict(nowSeq int64) ([]string, error) {
+	var evicted []string
+	for _, e := range s.Repo.All() {
+		stale := false
+		if w := s.Policy.EvictionWindow; w > 0 {
+			last := e.LastUsedSeq
+			if e.CreatedSeq > last {
+				last = e.CreatedSeq
+			}
+			if nowSeq-last > w {
+				stale = true
+			}
+		}
+		if !stale && s.Policy.CheckInputVersions {
+			for path, v := range e.InputVersions {
+				cur, err := s.FS.Version(path)
+				if err != nil || cur != v {
+					stale = true
+					break
+				}
+			}
+		}
+		if !stale {
+			continue
+		}
+		s.Repo.Remove(e.ID)
+		if e.OwnsFile && s.FS.Exists(e.OutputPath) {
+			if err := s.FS.Delete(e.OutputPath); err != nil {
+				return evicted, fmt.Errorf("core: evict %s: %w", e.ID, err)
+			}
+		}
+		evicted = append(evicted, e.ID)
+	}
+	return evicted, nil
+}

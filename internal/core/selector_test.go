@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/types"
+)
+
+func newSelector(t *testing.T, policy Policy) (*Selector, *dfs.FS) {
+	t.Helper()
+	fs := dfs.New()
+	return &Selector{
+		Repo:    NewRepository(),
+		FS:      fs,
+		Cluster: cluster.Default(),
+		Policy:  policy,
+	}, fs
+}
+
+// seedCandidate writes the base input and the candidate output files and
+// returns a candidate over them.
+func seedCandidate(t *testing.T, fs *dfs.FS, outPath string, inBytes, outBytes int64, execTime time.Duration) Candidate {
+	t.Helper()
+	if !fs.Exists("page_views") {
+		if err := fs.WriteTuples("page_views", types.Schema{}, []types.Tuple{{types.NewInt(1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.WriteTuples(outPath, types.Schema{}, []types.Tuple{{types.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	jobs := compileJobs(t, `
+A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+store B into '`+outPath+`';`, "tmp/sel")
+	cand, err := WholeJobCandidate(jobs[0].Plan, jobs[0].Plan.Sinks()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Candidate{
+		Plan:       cand,
+		OutputPath: outPath,
+		Schema:     types.SchemaFromNames("user", "est_revenue"),
+		InputBytes: inBytes, OutputBytes: outBytes,
+		ExecTime: execTime,
+		OwnsFile: true,
+	}
+}
+
+func TestKeepAllStoresEverything(t *testing.T) {
+	s, fs := newSelector(t, DefaultPolicy())
+	c := seedCandidate(t, fs, "restore/a", 100, 1000, time.Second) // output > input
+	if _, added, err := s.Consider(c, 1); err != nil || !added {
+		t.Fatalf("KeepAll rejected candidate: %v %v", added, err)
+	}
+	if s.Repo.Len() != 1 {
+		t.Error("entry missing")
+	}
+}
+
+func TestRule1SizeReduction(t *testing.T) {
+	s, fs := newSelector(t, Policy{RequireSizeReduction: true, CheckInputVersions: true})
+	grow := seedCandidate(t, fs, "restore/grow", 100, 1000, time.Second)
+	if _, added, err := s.Consider(grow, 1); err != nil || added {
+		t.Errorf("rule 1 accepted growing output: %v %v", added, err)
+	}
+	if fs.Exists("restore/grow") {
+		t.Error("rejected owned file not deleted")
+	}
+	shrink := seedCandidate(t, fs, "restore/shrink", 1000, 100, time.Second)
+	if _, added, err := s.Consider(shrink, 1); err != nil || !added {
+		t.Errorf("rule 1 rejected shrinking output: %v %v", added, err)
+	}
+}
+
+func TestRule2TimeSaving(t *testing.T) {
+	s, fs := newSelector(t, Policy{RequireTimeSaving: true, CheckInputVersions: true})
+	// Reading back ~1GB costs well over a minute of simulated time; a job
+	// that only took 1s to run is not worth storing.
+	cheap := seedCandidate(t, fs, "restore/cheap", 10<<30, 1<<30, time.Second)
+	if _, added, err := s.Consider(cheap, 1); err != nil || added {
+		t.Errorf("rule 2 accepted cheap job: %v %v", added, err)
+	}
+	// A job that took an hour is worth a one-minute read-back.
+	costly := seedCandidate(t, fs, "restore/costly", 10<<30, 1<<30, time.Hour)
+	if _, added, err := s.Consider(costly, 1); err != nil || !added {
+		t.Errorf("rule 2 rejected costly job: %v %v", added, err)
+	}
+}
+
+func TestDuplicateCandidateDiscarded(t *testing.T) {
+	s, fs := newSelector(t, DefaultPolicy())
+	a := seedCandidate(t, fs, "restore/a", 1000, 10, time.Second)
+	if _, added, err := s.Consider(a, 1); err != nil || !added {
+		t.Fatal(err)
+	}
+	b := seedCandidate(t, fs, "restore/b", 1000, 10, time.Second) // same plan, new file
+	prev, added, err := s.Consider(b, 2)
+	if err != nil || added {
+		t.Fatalf("duplicate added: %v %v", added, err)
+	}
+	if prev.OutputPath != "restore/a" {
+		t.Errorf("kept %s, want restore/a", prev.OutputPath)
+	}
+	if fs.Exists("restore/b") {
+		t.Error("redundant duplicate file not deleted")
+	}
+	if !fs.Exists("restore/a") {
+		t.Error("original file deleted")
+	}
+}
+
+func TestEvictionRule3Window(t *testing.T) {
+	s, fs := newSelector(t, Policy{KeepAll: true, EvictionWindow: 5})
+	c := seedCandidate(t, fs, "restore/old", 1000, 10, time.Second)
+	if _, _, err := s.Consider(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Within the window: survives.
+	if ev, err := s.Evict(4); err != nil || len(ev) != 0 {
+		t.Errorf("early eviction: %v %v", ev, err)
+	}
+	// Reuse at seq 6 extends the lease.
+	s.Repo.MarkUsed(s.Repo.All()[0].ID, 6)
+	if ev, err := s.Evict(10); err != nil || len(ev) != 0 {
+		t.Errorf("evicted despite recent use: %v %v", ev, err)
+	}
+	// Far beyond the window: evicted, file deleted.
+	ev, err := s.Evict(20)
+	if err != nil || len(ev) != 1 {
+		t.Fatalf("eviction failed: %v %v", ev, err)
+	}
+	if fs.Exists("restore/old") || s.Repo.Len() != 0 {
+		t.Error("evicted entry's file or index entry survived")
+	}
+}
+
+func TestEvictionRule4InputModified(t *testing.T) {
+	s, fs := newSelector(t, DefaultPolicy())
+	c := seedCandidate(t, fs, "restore/x", 1000, 10, time.Second)
+	if _, _, err := s.Consider(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := s.Evict(2); err != nil || len(ev) != 0 {
+		t.Errorf("spurious eviction: %v %v", ev, err)
+	}
+	// Rewrite the base input: the stored result is stale.
+	if err := fs.WriteTuples("page_views", types.Schema{}, []types.Tuple{{types.NewInt(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.Evict(3)
+	if err != nil || len(ev) != 1 {
+		t.Fatalf("rule 4 eviction failed: %v %v", ev, err)
+	}
+	if fs.Exists("restore/x") {
+		t.Error("stale file survived")
+	}
+}
+
+func TestEvictionRule4InputDeleted(t *testing.T) {
+	s, fs := newSelector(t, DefaultPolicy())
+	c := seedCandidate(t, fs, "restore/y", 1000, 10, time.Second)
+	if _, _, err := s.Consider(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("page_views"); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.Evict(2)
+	if err != nil || len(ev) != 1 {
+		t.Fatalf("rule 4 (deleted input) failed: %v %v", ev, err)
+	}
+}
+
+func TestUserOutputNotDeletedOnEvict(t *testing.T) {
+	s, fs := newSelector(t, Policy{KeepAll: true, EvictionWindow: 1})
+	c := seedCandidate(t, fs, "out/user_owned", 1000, 10, time.Second)
+	c.OwnsFile = false
+	if _, _, err := s.Consider(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.Evict(10)
+	if err != nil || len(ev) != 1 {
+		t.Fatalf("eviction: %v %v", ev, err)
+	}
+	if !fs.Exists("out/user_owned") {
+		t.Error("user-owned output was deleted by eviction")
+	}
+}
+
+func TestConsiderVanishedInputDiscards(t *testing.T) {
+	s, fs := newSelector(t, DefaultPolicy())
+	c := seedCandidate(t, fs, "restore/z", 1000, 10, time.Second)
+	if err := fs.Delete("page_views"); err != nil {
+		t.Fatal(err)
+	}
+	if _, added, err := s.Consider(c, 1); err != nil || added {
+		t.Errorf("candidate with vanished input accepted: %v %v", added, err)
+	}
+	if fs.Exists("restore/z") {
+		t.Error("discarded candidate file survived")
+	}
+}

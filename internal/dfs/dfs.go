@@ -1,0 +1,376 @@
+// Package dfs implements the simulated distributed file system that stands in
+// for HDFS. Datasets are partitioned files of encoded tuple records; the FS
+// tracks logical bytes, physical (replicated) bytes, record counts, and a
+// version number per file so that ReStore's repository can detect when a
+// stored job output has been invalidated by changes to its inputs
+// (eviction Rule 4 in the paper, §5).
+package dfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// DefaultBlockSize mirrors the classic HDFS 64 MB block, used to derive the
+// number of map tasks per input file.
+const DefaultBlockSize = 64 << 20
+
+// DefaultReplication is the HDFS default 3-way replication the paper's
+// cluster used.
+const DefaultReplication = 3
+
+// Partition is one part-file of a dataset (what a single task wrote).
+type Partition struct {
+	Data    []byte
+	Records int64
+}
+
+// File is a dataset: an ordered list of partitions plus bookkeeping.
+type File struct {
+	Path    string
+	Parts   []Partition
+	Version uint64 // bumped whenever the file is (re)written
+	// Schema optionally records the column layout of the dataset so that
+	// loads of materialized intermediates keep column names.
+	Schema types.Schema
+}
+
+// Bytes returns the logical (pre-replication) size of the file.
+func (f *File) Bytes() int64 {
+	var n int64
+	for _, p := range f.Parts {
+		n += int64(len(p.Data))
+	}
+	return n
+}
+
+// Records returns the number of tuple records in the file.
+func (f *File) Records() int64 {
+	var n int64
+	for _, p := range f.Parts {
+		n += p.Records
+	}
+	return n
+}
+
+// Stat is a point-in-time description of a file.
+type Stat struct {
+	Path       string
+	Bytes      int64
+	Records    int64
+	Partitions int
+	Version    uint64
+}
+
+// FS is the simulated distributed file system. All methods are safe for
+// concurrent use.
+type FS struct {
+	mu          sync.RWMutex
+	files       map[string]*File
+	version     uint64
+	blockSize   int64
+	replication int
+
+	// Counters accumulate across the lifetime of the FS.
+	bytesWritten int64 // logical bytes written
+	bytesRead    int64 // logical bytes read
+}
+
+// New creates an empty FS with default block size and replication.
+func New() *FS {
+	return &FS{
+		files:       make(map[string]*File),
+		blockSize:   DefaultBlockSize,
+		replication: DefaultReplication,
+	}
+}
+
+// BlockSize returns the configured block size.
+func (fs *FS) BlockSize() int64 { return fs.blockSize }
+
+// Replication returns the configured replication factor.
+func (fs *FS) Replication() int { return fs.replication }
+
+// SetReplication overrides the replication factor (affects physical-byte
+// accounting only).
+func (fs *FS) SetReplication(r int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if r < 1 {
+		r = 1
+	}
+	fs.replication = r
+}
+
+// Exists reports whether a file exists.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// StatFile returns metadata for the file at path.
+func (fs *FS) StatFile(path string) (Stat, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return Stat{}, fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
+	}
+	return Stat{Path: path, Bytes: f.Bytes(), Records: f.Records(), Partitions: len(f.Parts), Version: f.Version}, nil
+}
+
+// ErrNotExist is returned when a path is absent.
+var ErrNotExist = fmt.Errorf("file does not exist")
+
+// Create makes (or truncates) a file with the given number of partitions and
+// returns its new version.
+func (fs *FS) Create(path string, partitions int) (uint64, error) {
+	if path == "" {
+		return 0, fmt.Errorf("dfs: empty path")
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.version++
+	fs.files[path] = &File{Path: path, Parts: make([]Partition, partitions), Version: fs.version}
+	return fs.version, nil
+}
+
+// SetSchema attaches a schema to an existing file.
+func (fs *FS) SetSchema(path string, schema types.Schema) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
+	}
+	f.Schema = schema
+	return nil
+}
+
+// SchemaOf returns the schema recorded for the file (possibly empty).
+func (fs *FS) SchemaOf(path string) (types.Schema, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return types.Schema{}, fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
+	}
+	return f.Schema, nil
+}
+
+// CommitPartition atomically installs the bytes for one partition of a file
+// created with Create. Tasks buffer locally and commit once, keeping the FS
+// lock out of the encode path.
+func (fs *FS) CommitPartition(path string, idx int, data []byte, records int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("dfs: commit to %s: %w", path, ErrNotExist)
+	}
+	if idx < 0 || idx >= len(f.Parts) {
+		return fmt.Errorf("dfs: commit to %s: partition %d out of range [0,%d)", path, idx, len(f.Parts))
+	}
+	f.Parts[idx] = Partition{Data: data, Records: records}
+	fs.bytesWritten += int64(len(data))
+	return nil
+}
+
+// Delete removes a file. Deleting a missing file is an error so that callers
+// notice double-deletes.
+func (fs *FS) Delete(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("dfs: delete %s: %w", path, ErrNotExist)
+	}
+	delete(fs.files, path)
+	fs.version++
+	return nil
+}
+
+// Version returns the current version of the file at path, or 0 with
+// ErrNotExist if absent. ReStore snapshots input versions when storing a job
+// output and compares them later to detect invalidation.
+func (fs *FS) Version(path string) (uint64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
+	}
+	return f.Version, nil
+}
+
+// List returns the paths with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Partitions returns the number of partitions of a file.
+func (fs *FS) Partitions(path string) (int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
+	}
+	return len(f.Parts), nil
+}
+
+// OpenPartition returns a record reader over one partition and charges the
+// read counters.
+func (fs *FS) OpenPartition(path string, idx int) (*types.Reader, int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, 0, fmt.Errorf("dfs: open %s: %w", path, ErrNotExist)
+	}
+	if idx < 0 || idx >= len(f.Parts) {
+		return nil, 0, fmt.Errorf("dfs: open %s: partition %d out of range [0,%d)", path, idx, len(f.Parts))
+	}
+	data := f.Parts[idx].Data
+	fs.bytesRead += int64(len(data))
+	return types.NewReader(&sliceReader{data: data}), int64(len(data)), nil
+}
+
+// ReadAll decodes every tuple in the file, in partition order. Intended for
+// tests and result verification, not the execution hot path.
+func (fs *FS) ReadAll(path string) ([]types.Tuple, error) {
+	n, err := fs.Partitions(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []types.Tuple
+	for i := 0; i < n; i++ {
+		r, _, err := fs.OpenPartition(path, i)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			t, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// WriteTuples creates a single-partition file holding the given tuples.
+// Convenience for tests and data generators.
+func (fs *FS) WriteTuples(path string, schema types.Schema, tuples []types.Tuple) error {
+	if _, err := fs.Create(path, 1); err != nil {
+		return err
+	}
+	var buf writeBuffer
+	w := types.NewWriter(&buf)
+	for _, t := range tuples {
+		if err := w.Write(t); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := fs.CommitPartition(path, 0, buf.b, w.Records); err != nil {
+		return err
+	}
+	return fs.SetSchema(path, schema)
+}
+
+// WritePartitioned creates a file with the tuples spread round-robin over n
+// partitions, so the MapReduce engine schedules n map tasks against it.
+func (fs *FS) WritePartitioned(path string, schema types.Schema, tuples []types.Tuple, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	if _, err := fs.Create(path, n); err != nil {
+		return err
+	}
+	bufs := make([]writeBuffer, n)
+	ws := make([]*types.Writer, n)
+	for i := range ws {
+		ws[i] = types.NewWriter(&bufs[i])
+	}
+	for i, t := range tuples {
+		if err := ws[i%n].Write(t); err != nil {
+			return err
+		}
+	}
+	for i := range ws {
+		if err := ws[i].Flush(); err != nil {
+			return err
+		}
+		if err := fs.CommitPartition(path, i, bufs[i].b, ws[i].Records); err != nil {
+			return err
+		}
+	}
+	return fs.SetSchema(path, schema)
+}
+
+// Counters returns cumulative logical bytes written and read.
+func (fs *FS) Counters() (written, read int64) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.bytesWritten, fs.bytesRead
+}
+
+// TotalBytes sums the logical bytes of the files at the given paths,
+// skipping any that are missing.
+func (fs *FS) TotalBytes(paths ...string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, p := range paths {
+		if f, ok := fs.files[p]; ok {
+			n += f.Bytes()
+		}
+	}
+	return n
+}
+
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+type writeBuffer struct{ b []byte }
+
+func (w *writeBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

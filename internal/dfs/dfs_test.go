@@ -1,0 +1,238 @@
+package dfs
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func tupleN(n int64) types.Tuple {
+	return types.Tuple{types.NewInt(n), types.NewString("payload")}
+}
+
+func TestCreateCommitRead(t *testing.T) {
+	fs := New()
+	if _, err := fs.Create("data/x", 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf writeBuffer
+	w := types.NewWriter(&buf)
+	for i := int64(0); i < 5; i++ {
+		if err := w.Write(tupleN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CommitPartition("data/x", 0, buf.b, 5); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fs.StatFile("data/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 5 || st.Partitions != 2 || st.Bytes != int64(len(buf.b)) {
+		t.Errorf("stat = %+v", st)
+	}
+
+	r, n, err := fs.OpenPartition("data/x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(buf.b)) {
+		t.Errorf("partition size = %d", n)
+	}
+	count := 0
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 5 {
+		t.Errorf("read %d records", count)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	fs := New()
+	if _, err := fs.StatFile("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("stat missing: %v", err)
+	}
+	if err := fs.Delete("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("delete missing: %v", err)
+	}
+	if err := fs.CommitPartition("missing", 0, nil, 0); !errors.Is(err, ErrNotExist) {
+		t.Errorf("commit missing: %v", err)
+	}
+	if _, err := fs.Create("", 1); err == nil {
+		t.Error("create empty path should fail")
+	}
+	if _, err := fs.Create("f", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CommitPartition("f", 3, nil, 0); err == nil {
+		t.Error("commit out-of-range partition should fail")
+	}
+	if _, _, err := fs.OpenPartition("f", 9); err == nil {
+		t.Error("open out-of-range partition should fail")
+	}
+}
+
+func TestVersionBumpsOnRewrite(t *testing.T) {
+	fs := New()
+	v1, err := fs.Create("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := fs.Create("a", 1) // truncate/rewrite
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 <= v1 {
+		t.Errorf("version did not advance: %d -> %d", v1, v2)
+	}
+	got, err := fs.Version("a")
+	if err != nil || got != v2 {
+		t.Errorf("Version = %d, %v", got, err)
+	}
+	if err := fs.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Version("a"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("version of deleted file: %v", err)
+	}
+}
+
+func TestWriteTuplesAndReadAll(t *testing.T) {
+	fs := New()
+	schema := types.SchemaFromNames("n", "s")
+	in := []types.Tuple{tupleN(1), tupleN(2), tupleN(3)}
+	if err := fs.WriteTuples("d", schema, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := fs.ReadAll("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d tuples", len(out))
+	}
+	for i := range in {
+		if !types.EqualTuples(in[i], out[i]) {
+			t.Errorf("tuple %d: %v != %v", i, in[i], out[i])
+		}
+	}
+	s, err := fs.SchemaOf("d")
+	if err != nil || s.Len() != 2 {
+		t.Errorf("schema = %v, %v", s, err)
+	}
+}
+
+func TestWritePartitionedSpreadsRecords(t *testing.T) {
+	fs := New()
+	var in []types.Tuple
+	for i := int64(0); i < 10; i++ {
+		in = append(in, tupleN(i))
+	}
+	if err := fs.WritePartitioned("p", types.Schema{}, in, 4); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fs.Partitions("p")
+	if err != nil || n != 4 {
+		t.Fatalf("partitions = %d, %v", n, err)
+	}
+	out, err := fs.ReadAll("p")
+	if err != nil || len(out) != 10 {
+		t.Fatalf("read %d tuples, %v", len(out), err)
+	}
+}
+
+func TestListAndTotalBytes(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"restore/sub1", "restore/sub2", "base/users"} {
+		if err := fs.WriteTuples(p, types.Schema{}, []types.Tuple{tupleN(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.List("restore/")
+	if len(got) != 2 || got[0] != "restore/sub1" || got[1] != "restore/sub2" {
+		t.Errorf("List = %v", got)
+	}
+	if fs.TotalBytes("restore/sub1", "missing") == 0 {
+		t.Error("TotalBytes should count existing files and skip missing")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	fs := New()
+	if err := fs.WriteTuples("c", types.Schema{}, []types.Tuple{tupleN(1), tupleN(2)}); err != nil {
+		t.Fatal(err)
+	}
+	w0, r0 := fs.Counters()
+	if w0 == 0 {
+		t.Error("bytesWritten should be counted")
+	}
+	if _, err := fs.ReadAll("c"); err != nil {
+		t.Fatal(err)
+	}
+	_, r1 := fs.Counters()
+	if r1 <= r0 {
+		t.Error("bytesRead should advance on reads")
+	}
+}
+
+func TestConcurrentCommits(t *testing.T) {
+	fs := New()
+	const parts = 16
+	if _, err := fs.Create("conc", parts); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < parts; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			var buf writeBuffer
+			w := types.NewWriter(&buf)
+			for j := 0; j < 100; j++ {
+				if err := w.Write(tupleN(int64(idx*100 + j))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fs.CommitPartition("conc", idx, buf.b, 100); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st, err := fs.StatFile("conc")
+	if err != nil || st.Records != parts*100 {
+		t.Errorf("stat = %+v, %v", st, err)
+	}
+}
+
+func TestSetReplicationClamps(t *testing.T) {
+	fs := New()
+	fs.SetReplication(0)
+	if fs.Replication() != 1 {
+		t.Errorf("replication = %d, want clamp to 1", fs.Replication())
+	}
+	fs.SetReplication(3)
+	if fs.Replication() != 3 {
+		t.Errorf("replication = %d", fs.Replication())
+	}
+}

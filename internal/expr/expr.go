@@ -1,0 +1,516 @@
+// Package expr implements the expression language used inside physical
+// operators: column references, literals, arithmetic, comparisons, boolean
+// connectives, scalar functions, aggregate functions over bags, and bag
+// projections (C.est_revenue).
+//
+// Expressions have two lifecycle phases. The parser produces *unbound* trees
+// that reference columns by name; the plan builder *binds* them against an
+// input schema, resolving every name to a column index. Binding errors
+// (unknown column, arity mismatch) surface at compile time; evaluation never
+// fails structurally — type mismatches yield null, matching Pig semantics.
+//
+// Canonical() renders a deterministic, alias-free signature used by ReStore's
+// plan matcher to decide operator equivalence: two expressions are equivalent
+// iff their canonical strings are equal.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Op identifies the node type of an expression.
+type Op string
+
+// Expression node types.
+const (
+	OpCol     Op = "col"     // column reference
+	OpLit     Op = "lit"     // literal constant
+	OpBinary  Op = "bin"     // binary operator (Sym)
+	OpUnary   Op = "un"      // unary operator (Sym)
+	OpCall    Op = "call"    // function call (Name)
+	OpBagProj Op = "bagproj" // project a field out of a bag column
+)
+
+// Expr is one node of an expression tree. A single concrete struct (rather
+// than an interface per node type) keeps JSON serialization for the ReStore
+// repository trivial.
+type Expr struct {
+	Op Op `json:"op"`
+	// Name holds the unresolved column name for OpCol/OpBagProj and the
+	// function name for OpCall.
+	Name string `json:"name,omitempty"`
+	// Index is the bound column index; -1 while unbound.
+	Index int `json:"index"`
+	// Lit is the constant payload for OpLit.
+	Lit types.Value `json:"lit,omitempty"`
+	// Sym is the operator symbol for OpBinary/OpUnary.
+	Sym string `json:"sym,omitempty"`
+	// Args are the child expressions.
+	Args []*Expr `json:"args,omitempty"`
+}
+
+// Col references a column by name (bound later).
+func Col(name string) *Expr { return &Expr{Op: OpCol, Name: name, Index: -1} }
+
+// ColIdx references a column by position ($n in Pig Latin).
+func ColIdx(i int) *Expr { return &Expr{Op: OpCol, Index: i} }
+
+// Lit wraps a constant.
+func Lit(v types.Value) *Expr { return &Expr{Op: OpLit, Lit: v, Index: -1} }
+
+// Binary builds a binary operation.
+func Binary(sym string, l, r *Expr) *Expr {
+	return &Expr{Op: OpBinary, Sym: sym, Args: []*Expr{l, r}, Index: -1}
+}
+
+// Unary builds a unary operation ("not", "neg").
+func Unary(sym string, e *Expr) *Expr {
+	return &Expr{Op: OpUnary, Sym: sym, Args: []*Expr{e}, Index: -1}
+}
+
+// Call builds a function call. Function names are case-insensitive and
+// canonicalized to upper case.
+func Call(name string, args ...*Expr) *Expr {
+	return &Expr{Op: OpCall, Name: strings.ToUpper(name), Args: args, Index: -1}
+}
+
+// BagProj projects the named field from each tuple of the bag produced by
+// base, yielding a bag of 1-tuples (Pig's C.est_revenue).
+func BagProj(base *Expr, field string) *Expr {
+	return &Expr{Op: OpBagProj, Name: field, Args: []*Expr{base}, Index: -1}
+}
+
+// Clone deep-copies the expression tree.
+func (e *Expr) Clone() *Expr {
+	if e == nil {
+		return nil
+	}
+	out := *e
+	out.Args = make([]*Expr, len(e.Args))
+	for i, a := range e.Args {
+		out.Args[i] = a.Clone()
+	}
+	return &out
+}
+
+// aggregates maps aggregate function names to true. Aggregates take a bag and
+// fold it to a scalar.
+var aggregates = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// IsAggregateCall reports whether e is a call to an aggregate function.
+func (e *Expr) IsAggregateCall() bool {
+	return e.Op == OpCall && aggregates[e.Name]
+}
+
+// Bind resolves column names against the schema, returning a new bound tree.
+// For OpBagProj the field name is resolved inside the bag column's element
+// schema (Field.Sub).
+func (e *Expr) Bind(schema types.Schema) (*Expr, error) {
+	out := e.Clone()
+	if err := out.bind(schema); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Expr) bind(schema types.Schema) error {
+	switch e.Op {
+	case OpCol:
+		if e.Index >= 0 {
+			if e.Index >= schema.Len() && schema.Len() > 0 {
+				return fmt.Errorf("expr: column $%d out of range for schema %s", e.Index, schema)
+			}
+			return nil
+		}
+		ix := schema.IndexOf(e.Name)
+		if ix < 0 {
+			return fmt.Errorf("expr: unknown column %q in schema %s", e.Name, schema)
+		}
+		e.Index = ix
+		return nil
+	case OpLit:
+		return nil
+	case OpBagProj:
+		if err := e.Args[0].bind(schema); err != nil {
+			return err
+		}
+		// Resolve the projected field within the bag's element schema.
+		sub := bagElementSchema(e.Args[0], schema)
+		if e.Index >= 0 {
+			return nil
+		}
+		if sub == nil {
+			return fmt.Errorf("expr: cannot resolve %q: bag column has no element schema", e.Name)
+		}
+		ix := sub.IndexOf(e.Name)
+		if ix < 0 {
+			return fmt.Errorf("expr: unknown field %q in bag schema %s", e.Name, sub)
+		}
+		e.Index = ix
+		return nil
+	default:
+		for _, a := range e.Args {
+			if err := a.bind(schema); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// bagElementSchema returns the element schema of the bag a column expression
+// refers to, or nil if unknown.
+func bagElementSchema(e *Expr, schema types.Schema) *types.Schema {
+	if e.Op != OpCol || e.Index < 0 || e.Index >= schema.Len() {
+		return nil
+	}
+	return schema.Fields[e.Index].Sub
+}
+
+// Canonical renders the alias-free deterministic signature of the bound
+// expression. Unbound columns render by name (used in error paths only).
+func (e *Expr) Canonical() string {
+	var sb strings.Builder
+	e.canonical(&sb)
+	return sb.String()
+}
+
+func (e *Expr) canonical(sb *strings.Builder) {
+	switch e.Op {
+	case OpCol:
+		if e.Index >= 0 {
+			fmt.Fprintf(sb, "$%d", e.Index)
+		} else {
+			fmt.Fprintf(sb, "col(%s)", e.Name)
+		}
+	case OpLit:
+		fmt.Fprintf(sb, "lit:%s:%s", e.Lit.Kind(), e.Lit.String())
+	case OpBinary:
+		// Commutative operators canonicalize argument order so that
+		// "a == b" matches "b == a" in the repository.
+		l, r := e.Args[0].Canonical(), e.Args[1].Canonical()
+		if isCommutative(e.Sym) && r < l {
+			l, r = r, l
+		}
+		fmt.Fprintf(sb, "(%s %s %s)", l, e.Sym, r)
+	case OpUnary:
+		fmt.Fprintf(sb, "(%s %s)", e.Sym, e.Args[0].Canonical())
+	case OpCall:
+		sb.WriteString(e.Name)
+		sb.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			a.canonical(sb)
+		}
+		sb.WriteByte(')')
+	case OpBagProj:
+		if e.Index >= 0 {
+			fmt.Fprintf(sb, "%s.$%d", e.Args[0].Canonical(), e.Index)
+		} else {
+			fmt.Fprintf(sb, "%s.%s", e.Args[0].Canonical(), e.Name)
+		}
+	}
+}
+
+func isCommutative(sym string) bool {
+	switch sym {
+	case "+", "*", "==", "!=", "and", "or":
+		return true
+	}
+	return false
+}
+
+// Eval evaluates the bound expression against a tuple. Type mismatches and
+// nulls propagate as null; boolean context treats null as false.
+func (e *Expr) Eval(t types.Tuple) types.Value {
+	switch e.Op {
+	case OpCol:
+		if e.Index < 0 || e.Index >= len(t) {
+			return types.Null()
+		}
+		return t[e.Index]
+	case OpLit:
+		return e.Lit
+	case OpBinary:
+		return evalBinary(e.Sym, e.Args[0].Eval(t), e.Args[1].Eval(t))
+	case OpUnary:
+		return evalUnary(e.Sym, e.Args[0].Eval(t))
+	case OpCall:
+		args := make([]types.Value, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = a.Eval(t)
+		}
+		return evalCall(e.Name, args)
+	case OpBagProj:
+		base := e.Args[0].Eval(t)
+		if base.Kind() != types.KindBag {
+			return types.Null()
+		}
+		out := &types.Bag{}
+		for _, row := range base.Bag().Tuples {
+			if e.Index >= 0 && e.Index < len(row) {
+				out.Add(types.Tuple{row[e.Index]})
+			}
+		}
+		return types.NewBag(out)
+	default:
+		return types.Null()
+	}
+}
+
+func evalBinary(sym string, l, r types.Value) types.Value {
+	switch sym {
+	case "and":
+		return types.NewBool(l.Truthy() && r.Truthy())
+	case "or":
+		return types.NewBool(l.Truthy() || r.Truthy())
+	}
+	if l.IsNull() || r.IsNull() {
+		return types.Null()
+	}
+	switch sym {
+	case "==":
+		return types.NewBool(types.Compare(l, r) == 0)
+	case "!=":
+		return types.NewBool(types.Compare(l, r) != 0)
+	case "<":
+		return types.NewBool(types.Compare(l, r) < 0)
+	case "<=":
+		return types.NewBool(types.Compare(l, r) <= 0)
+	case ">":
+		return types.NewBool(types.Compare(l, r) > 0)
+	case ">=":
+		return types.NewBool(types.Compare(l, r) >= 0)
+	case "+", "-", "*", "/", "%":
+		return evalArith(sym, l, r)
+	default:
+		return types.Null()
+	}
+}
+
+func evalArith(sym string, l, r types.Value) types.Value {
+	if l.Kind() == types.KindInt && r.Kind() == types.KindInt {
+		a, b := l.Int(), r.Int()
+		switch sym {
+		case "+":
+			return types.NewInt(a + b)
+		case "-":
+			return types.NewInt(a - b)
+		case "*":
+			return types.NewInt(a * b)
+		case "/":
+			if b == 0 {
+				return types.Null()
+			}
+			return types.NewInt(a / b)
+		case "%":
+			if b == 0 {
+				return types.Null()
+			}
+			return types.NewInt(a % b)
+		}
+	}
+	a, okA := types.CoerceFloat(l)
+	b, okB := types.CoerceFloat(r)
+	if !okA || !okB {
+		return types.Null()
+	}
+	switch sym {
+	case "+":
+		return types.NewFloat(a + b)
+	case "-":
+		return types.NewFloat(a - b)
+	case "*":
+		return types.NewFloat(a * b)
+	case "/":
+		if b == 0 {
+			return types.Null()
+		}
+		return types.NewFloat(a / b)
+	case "%":
+		if b == 0 {
+			return types.Null()
+		}
+		return types.NewFloat(math.Mod(a, b))
+	}
+	return types.Null()
+}
+
+func evalUnary(sym string, v types.Value) types.Value {
+	switch sym {
+	case "not":
+		return types.NewBool(!v.Truthy())
+	case "neg":
+		switch v.Kind() {
+		case types.KindInt:
+			return types.NewInt(-v.Int())
+		case types.KindFloat:
+			return types.NewFloat(-v.Float())
+		}
+		return types.Null()
+	default:
+		return types.Null()
+	}
+}
+
+func evalCall(name string, args []types.Value) types.Value {
+	switch name {
+	case "COUNT":
+		if len(args) != 1 || args[0].Kind() != types.KindBag {
+			return types.Null()
+		}
+		return types.NewInt(int64(args[0].Bag().Len()))
+	case "SUM", "AVG", "MIN", "MAX":
+		if len(args) != 1 || args[0].Kind() != types.KindBag {
+			return types.Null()
+		}
+		return foldBag(name, args[0].Bag())
+	case "ISEMPTY":
+		if len(args) != 1 || args[0].Kind() != types.KindBag {
+			return types.Null()
+		}
+		return types.NewBool(args[0].Bag().Len() == 0)
+	case "SIZE":
+		if len(args) != 1 {
+			return types.Null()
+		}
+		switch args[0].Kind() {
+		case types.KindBag:
+			return types.NewInt(int64(args[0].Bag().Len()))
+		case types.KindString:
+			return types.NewInt(int64(len(args[0].Str())))
+		case types.KindTuple:
+			return types.NewInt(int64(len(args[0].Tuple())))
+		}
+		return types.Null()
+	case "CONCAT":
+		var sb strings.Builder
+		for _, a := range args {
+			if a.IsNull() {
+				return types.Null()
+			}
+			sb.WriteString(a.String())
+		}
+		return types.NewString(sb.String())
+	case "LOWER":
+		if len(args) != 1 || args[0].Kind() != types.KindString {
+			return types.Null()
+		}
+		return types.NewString(strings.ToLower(args[0].Str()))
+	case "UPPER":
+		if len(args) != 1 || args[0].Kind() != types.KindString {
+			return types.Null()
+		}
+		return types.NewString(strings.ToUpper(args[0].Str()))
+	case "ROUND":
+		if len(args) != 1 {
+			return types.Null()
+		}
+		if f, ok := types.CoerceFloat(args[0]); ok {
+			return types.NewInt(int64(math.Round(f)))
+		}
+		return types.Null()
+	case "ABS":
+		if len(args) != 1 {
+			return types.Null()
+		}
+		switch args[0].Kind() {
+		case types.KindInt:
+			v := args[0].Int()
+			if v < 0 {
+				v = -v
+			}
+			return types.NewInt(v)
+		case types.KindFloat:
+			return types.NewFloat(math.Abs(args[0].Float()))
+		}
+		return types.Null()
+	case "DISTINCTCOUNT":
+		// Number of distinct tuples in a bag (used by PigMix L4's nested
+		// distinct + count idiom).
+		if len(args) != 1 || args[0].Kind() != types.KindBag {
+			return types.Null()
+		}
+		return types.NewInt(distinctCount(args[0].Bag()))
+	default:
+		return types.Null()
+	}
+}
+
+func distinctCount(b *types.Bag) int64 {
+	tuples := make([]types.Tuple, len(b.Tuples))
+	copy(tuples, b.Tuples)
+	sort.Slice(tuples, func(i, j int) bool { return types.CompareTuples(tuples[i], tuples[j]) < 0 })
+	var n int64
+	for i := range tuples {
+		if i == 0 || types.CompareTuples(tuples[i], tuples[i-1]) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// foldBag computes SUM/AVG/MIN/MAX over the first field of each tuple in the
+// bag, skipping nulls (Pig aggregate semantics).
+func foldBag(name string, b *types.Bag) types.Value {
+	var (
+		sum    float64
+		allInt = true
+		count  int64
+		best   types.Value
+	)
+	for _, t := range b.Tuples {
+		if len(t) == 0 || t[0].IsNull() {
+			continue
+		}
+		v := t[0]
+		switch name {
+		case "SUM", "AVG":
+			f, ok := types.CoerceFloat(v)
+			if !ok {
+				continue
+			}
+			if v.Kind() != types.KindInt {
+				allInt = false
+			}
+			sum += f
+			count++
+		case "MIN":
+			if count == 0 || types.Compare(v, best) < 0 {
+				best = v
+			}
+			count++
+		case "MAX":
+			if count == 0 || types.Compare(v, best) > 0 {
+				best = v
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return types.Null()
+	}
+	switch name {
+	case "SUM":
+		if allInt {
+			return types.NewInt(int64(sum))
+		}
+		return types.NewFloat(sum)
+	case "AVG":
+		return types.NewFloat(sum / float64(count))
+	default:
+		return best
+	}
+}
+
+// String renders the expression for diagnostics; identical to Canonical.
+func (e *Expr) String() string { return e.Canonical() }

@@ -1,0 +1,402 @@
+// Package logical builds an executable physical plan from a parsed script:
+// it resolves aliases, binds expressions against input schemas, propagates
+// schemas through operators, prunes operators that do not reach a Store, and
+// applies rule-based optimizations. As in Pig, every logical operator of our
+// dialect maps 1:1 onto a physical operator, so the bound plan doubles as
+// the physical plan the MapReduce compiler and ReStore operate on.
+package logical
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/piglatin"
+	"repro/internal/types"
+)
+
+// Build converts a script AST into a validated physical plan.
+func Build(script *piglatin.Script) (*physical.Plan, error) {
+	b := &builder{
+		plan:    physical.NewPlan(),
+		aliases: make(map[string]*physical.Operator),
+	}
+	stored := false
+	for _, st := range script.Stmts {
+		switch s := st.(type) {
+		case *piglatin.AssignStmt:
+			op, err := b.buildOp(s.Op, s.Alias)
+			if err != nil {
+				return nil, fmt.Errorf("logical: line %d (%s): %w", s.Line, s.Alias, err)
+			}
+			b.aliases[s.Alias] = op
+		case *piglatin.StoreStmt:
+			src, err := b.resolve(s.Alias)
+			if err != nil {
+				return nil, fmt.Errorf("logical: line %d: %w", s.Line, err)
+			}
+			b.plan.Add(&physical.Operator{
+				Kind:   physical.OpStore,
+				Path:   s.Path,
+				Inputs: []int{src.ID},
+				Schema: src.Schema,
+			})
+			stored = true
+		case *piglatin.SplitStmt:
+			// SPLIT compiles to one Filter per branch, fanning out from the
+			// source — the plan-level equivalent of the Split tee plus
+			// per-branch predicates.
+			src, err := b.resolve(s.Src)
+			if err != nil {
+				return nil, fmt.Errorf("logical: line %d: %w", s.Line, err)
+			}
+			for _, br := range s.Branches {
+				pred, err := br.Pred.Bind(src.Schema)
+				if err != nil {
+					return nil, fmt.Errorf("logical: line %d (%s): %w", s.Line, br.Alias, err)
+				}
+				b.aliases[br.Alias] = b.plan.Add(&physical.Operator{
+					Kind:   physical.OpFilter,
+					Inputs: []int{src.ID},
+					Pred:   pred,
+					Schema: src.Schema,
+				})
+			}
+		default:
+			return nil, fmt.Errorf("logical: unknown statement type %T", st)
+		}
+	}
+	if !stored {
+		return nil, fmt.Errorf("logical: script has no STORE statement; nothing to execute")
+	}
+	pruneDead(b.plan)
+	if err := Optimize(b.plan); err != nil {
+		return nil, err
+	}
+	if err := b.plan.Validate(); err != nil {
+		return nil, fmt.Errorf("logical: built plan invalid: %w", err)
+	}
+	return b.plan, nil
+}
+
+type builder struct {
+	plan    *physical.Plan
+	aliases map[string]*physical.Operator
+}
+
+func (b *builder) resolve(alias string) (*physical.Operator, error) {
+	op, ok := b.aliases[alias]
+	if !ok {
+		return nil, fmt.Errorf("undefined alias %q", alias)
+	}
+	return op, nil
+}
+
+func (b *builder) buildOp(node piglatin.OpNode, alias string) (*physical.Operator, error) {
+	switch n := node.(type) {
+	case *piglatin.LoadNode:
+		return b.plan.Add(&physical.Operator{
+			Kind:   physical.OpLoad,
+			Path:   n.Path,
+			Schema: n.Schema,
+		}), nil
+
+	case *piglatin.FilterNode:
+		src, err := b.resolve(n.Src)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := n.Pred.Bind(src.Schema)
+		if err != nil {
+			return nil, err
+		}
+		return b.plan.Add(&physical.Operator{
+			Kind:   physical.OpFilter,
+			Inputs: []int{src.ID},
+			Pred:   pred,
+			Schema: src.Schema,
+		}), nil
+
+	case *piglatin.ForeachNode:
+		return b.buildForeach(n)
+
+	case *piglatin.JoinNode:
+		srcs, keys, err := b.bindJoinKeys(n.Srcs, n.Keys)
+		if err != nil {
+			return nil, err
+		}
+		schema := srcs[0].Schema.Concat(srcs[1].Schema)
+		return b.plan.Add(&physical.Operator{
+			Kind:   physical.OpJoin,
+			Inputs: []int{srcs[0].ID, srcs[1].ID},
+			Keys:   keys,
+			Schema: schema,
+		}), nil
+
+	case *piglatin.CoGroupNode:
+		srcs, keys, err := b.bindJoinKeys(n.Srcs, n.Keys)
+		if err != nil {
+			return nil, err
+		}
+		fields := []types.Field{{Name: "group", Kind: groupKeyKind(keys[0])}}
+		inputs := make([]int, len(srcs))
+		for i, s := range srcs {
+			sub := s.Schema
+			fields = append(fields, types.Field{Name: n.Srcs[i], Kind: types.KindBag, Sub: &sub})
+			inputs[i] = s.ID
+		}
+		return b.plan.Add(&physical.Operator{
+			Kind:   physical.OpCoGroup,
+			Inputs: inputs,
+			Keys:   keys,
+			Schema: types.Schema{Fields: fields},
+		}), nil
+
+	case *piglatin.GroupNode:
+		src, err := b.resolve(n.Src)
+		if err != nil {
+			return nil, err
+		}
+		var keys []*expr.Expr
+		if !n.All {
+			for _, k := range n.Keys {
+				bk, err := k.Bind(src.Schema)
+				if err != nil {
+					return nil, err
+				}
+				keys = append(keys, bk)
+			}
+			if len(keys) == 0 {
+				return nil, fmt.Errorf("group by with no keys")
+			}
+		}
+		sub := src.Schema
+		groupKind := types.KindString // GROUP ALL key is the string "all"
+		if !n.All {
+			groupKind = groupKeyKind(keys)
+		}
+		return b.plan.Add(&physical.Operator{
+			Kind:   physical.OpGroup,
+			Inputs: []int{src.ID},
+			Keys:   [][]*expr.Expr{keys},
+			Schema: types.Schema{Fields: []types.Field{
+				{Name: "group", Kind: groupKind},
+				{Name: n.Src, Kind: types.KindBag, Sub: &sub},
+			}},
+		}), nil
+
+	case *piglatin.DistinctNode:
+		src, err := b.resolve(n.Src)
+		if err != nil {
+			return nil, err
+		}
+		return b.plan.Add(&physical.Operator{
+			Kind:   physical.OpDistinct,
+			Inputs: []int{src.ID},
+			Schema: src.Schema,
+		}), nil
+
+	case *piglatin.UnionNode:
+		inputs := make([]int, len(n.Srcs))
+		var schema types.Schema
+		for i, alias := range n.Srcs {
+			src, err := b.resolve(alias)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				schema = src.Schema
+			} else if src.Schema.Len() != schema.Len() && src.Schema.Len() > 0 && schema.Len() > 0 {
+				return nil, fmt.Errorf("union inputs have different arities (%d vs %d)", schema.Len(), src.Schema.Len())
+			}
+			inputs[i] = src.ID
+		}
+		return b.plan.Add(&physical.Operator{
+			Kind:   physical.OpUnion,
+			Inputs: inputs,
+			Schema: schema,
+		}), nil
+
+	case *piglatin.OrderNode:
+		src, err := b.resolve(n.Src)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]physical.SortCol, len(n.Cols))
+		for i, c := range n.Cols {
+			idx := c.Idx
+			if c.Name != "" {
+				idx = src.Schema.IndexOf(c.Name)
+				if idx < 0 {
+					return nil, fmt.Errorf("unknown sort column %q in schema %s", c.Name, src.Schema)
+				}
+			}
+			if idx < 0 || (src.Schema.Len() > 0 && idx >= src.Schema.Len()) {
+				return nil, fmt.Errorf("sort column $%d out of range for schema %s", idx, src.Schema)
+			}
+			cols[i] = physical.SortCol{Index: idx, Desc: c.Desc}
+		}
+		return b.plan.Add(&physical.Operator{
+			Kind:     physical.OpOrder,
+			Inputs:   []int{src.ID},
+			SortCols: cols,
+			Schema:   src.Schema,
+		}), nil
+
+	case *piglatin.LimitNode:
+		src, err := b.resolve(n.Src)
+		if err != nil {
+			return nil, err
+		}
+		return b.plan.Add(&physical.Operator{
+			Kind:   physical.OpLimit,
+			Inputs: []int{src.ID},
+			N:      n.N,
+			Schema: src.Schema,
+		}), nil
+
+	default:
+		return nil, fmt.Errorf("unknown operation %T", node)
+	}
+}
+
+func (b *builder) bindJoinKeys(srcAliases []string, keyExprs [][]*expr.Expr) ([]*physical.Operator, [][]*expr.Expr, error) {
+	srcs := make([]*physical.Operator, len(srcAliases))
+	keys := make([][]*expr.Expr, len(srcAliases))
+	arity := -1
+	for i, alias := range srcAliases {
+		src, err := b.resolve(alias)
+		if err != nil {
+			return nil, nil, err
+		}
+		srcs[i] = src
+		keys[i] = make([]*expr.Expr, len(keyExprs[i]))
+		for j, k := range keyExprs[i] {
+			bk, err := k.Bind(src.Schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			keys[i][j] = bk
+		}
+		if arity == -1 {
+			arity = len(keys[i])
+		} else if len(keys[i]) != arity {
+			return nil, nil, fmt.Errorf("join/cogroup key arity mismatch: %d vs %d", arity, len(keys[i]))
+		}
+	}
+	return srcs, keys, nil
+}
+
+// groupKeyKind infers the kind of the group column for single keys.
+func groupKeyKind(keys []*expr.Expr) types.Kind {
+	if len(keys) != 1 {
+		return types.KindTuple
+	}
+	return types.KindNull
+}
+
+func (b *builder) buildForeach(n *piglatin.ForeachNode) (*physical.Operator, error) {
+	src, err := b.resolve(n.Src)
+	if err != nil {
+		return nil, err
+	}
+	extSchema := src.Schema
+	var nested []physical.NestedDef
+	for _, nn := range n.Nested {
+		idx := extSchema.IndexOf(nn.SrcAlias)
+		if idx < 0 {
+			return nil, fmt.Errorf("nested foreach: unknown bag %q in schema %s", nn.SrcAlias, extSchema)
+		}
+		bagField := extSchema.Fields[idx]
+		if bagField.Kind != types.KindBag || bagField.Sub == nil {
+			return nil, fmt.Errorf("nested foreach: %q is not a bag column", nn.SrcAlias)
+		}
+		elem := *bagField.Sub
+		base := expr.Col(nn.SrcAlias)
+		outElem := elem
+		if nn.SrcField != "" {
+			baseProj := expr.BagProj(base, nn.SrcField)
+			fidx := elem.IndexOf(nn.SrcField)
+			if fidx < 0 {
+				return nil, fmt.Errorf("nested foreach: unknown field %q in bag %q", nn.SrcField, nn.SrcAlias)
+			}
+			outElem = types.Schema{Fields: []types.Field{elem.Fields[fidx]}}
+			base = baseProj
+		}
+		boundBase, err := base.Bind(extSchema)
+		if err != nil {
+			return nil, err
+		}
+		def := physical.NestedDef{Alias: nn.Alias, Base: boundBase, Op: nn.Kind}
+		if nn.Kind == "filter" {
+			// The filter predicate is evaluated against the bag's element
+			// schema (pre-projection: Pig filters the source bag's tuples).
+			pred, err := nn.Pred.Bind(elem)
+			if err != nil {
+				return nil, err
+			}
+			if nn.SrcField != "" {
+				// Filtering a projected bag: bind against the single field.
+				pred, err = nn.Pred.Bind(outElem)
+				if err != nil {
+					return nil, err
+				}
+			}
+			def.Pred = pred
+		}
+		nested = append(nested, def)
+		sub := outElem
+		extSchema.Fields = append(append([]types.Field(nil), extSchema.Fields...),
+			types.Field{Name: nn.Alias, Kind: types.KindBag, Sub: &sub})
+	}
+
+	exprs := make([]*expr.Expr, len(n.Gens))
+	names := make([]string, len(n.Gens))
+	fields := make([]types.Field, len(n.Gens))
+	for i, g := range n.Gens {
+		bound, err := g.Expr.Bind(extSchema)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = bound
+		f := inferGenField(bound, extSchema, i)
+		if g.As != "" {
+			f.Name = g.As
+		}
+		names[i] = f.Name
+		fields[i] = f
+	}
+	return b.plan.Add(&physical.Operator{
+		Kind:   physical.OpForeach,
+		Inputs: []int{src.ID},
+		Exprs:  exprs,
+		Names:  names,
+		Nested: nested,
+		Schema: types.Schema{Fields: fields},
+	}), nil
+}
+
+// inferGenField derives the output column descriptor of one generate
+// expression: plain column references keep their field (name, kind, nested
+// schema); everything else gets a synthetic name.
+func inferGenField(e *expr.Expr, in types.Schema, pos int) types.Field {
+	if e.Op == expr.OpCol && e.Index >= 0 && e.Index < in.Len() {
+		return in.Fields[e.Index]
+	}
+	return types.Field{Name: fmt.Sprintf("f%d", pos)}
+}
+
+// pruneDead removes operators that do not reach any Store.
+func pruneDead(p *physical.Plan) {
+	live := make(map[int]bool)
+	for _, st := range p.Sinks() {
+		for id := range p.ReachableFrom(st.ID) {
+			live[id] = true
+		}
+	}
+	for _, o := range p.Ops() {
+		if !live[o.ID] {
+			p.Remove(o.ID)
+		}
+	}
+}

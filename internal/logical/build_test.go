@@ -1,0 +1,311 @@
+package logical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/piglatin"
+	"repro/internal/types"
+)
+
+func build(t *testing.T, src string) *physical.Plan {
+	t.Helper()
+	script, err := piglatin.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	plan, err := Build(script)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return plan
+}
+
+func buildErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	script, err := piglatin.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Build(script); err == nil || !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("Build error = %v, want substring %q", err, wantSubstr)
+	}
+}
+
+const q2 = `
+A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+alpha = load 'users' as (name, phone, address, city);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, SUM(C.est_revenue);
+store E into 'L3_out';
+`
+
+func TestBuildQ2Structure(t *testing.T) {
+	plan := build(t, q2)
+	kinds := map[physical.OpKind]int{}
+	for _, o := range plan.Ops() {
+		kinds[o.Kind]++
+	}
+	if kinds[physical.OpLoad] != 2 || kinds[physical.OpJoin] != 1 || kinds[physical.OpGroup] != 1 ||
+		kinds[physical.OpForeach] != 3 || kinds[physical.OpStore] != 1 {
+		t.Errorf("op census = %v", kinds)
+	}
+	// The group's bag column is named after the grouped alias C, and the
+	// aggregate resolved est_revenue inside it.
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpGroup {
+			if o.Schema.Fields[1].Name != "C" || o.Schema.Fields[1].Sub == nil {
+				t.Errorf("group schema = %v", o.Schema)
+			}
+		}
+	}
+}
+
+func TestBuildBindsAggregates(t *testing.T) {
+	plan := build(t, q2)
+	for _, o := range plan.Ops() {
+		if o.Kind != physical.OpForeach || len(o.Exprs) != 2 {
+			continue
+		}
+		c := o.Exprs[1].Canonical()
+		if strings.Contains(c, "col(") {
+			t.Errorf("unbound column survived binding: %q", c)
+		}
+	}
+}
+
+func TestBuildJoinSchemaConcat(t *testing.T) {
+	plan := build(t, q2)
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpJoin {
+			// beta(name) ++ B(user, est_revenue)
+			if got := o.Schema.String(); got != "(name, user, est_revenue:float)" {
+				t.Errorf("join schema = %s", got)
+			}
+		}
+	}
+}
+
+func TestBuildPrunesDeadAliases(t *testing.T) {
+	plan := build(t, `
+A = load 'x' as (a);
+dead = load 'y' as (b);
+deader = foreach dead generate b;
+store A into 'o';`)
+	if plan.Len() != 2 {
+		t.Errorf("dead ops survived: %s", plan)
+	}
+}
+
+func TestBuildNoStoreFails(t *testing.T) {
+	buildErr(t, `A = load 'x' as (a);`, "no STORE")
+}
+
+func TestBuildUndefinedAliasFails(t *testing.T) {
+	buildErr(t, `B = filter nosuch by $0 == 1; store B into 'o';`, "undefined alias")
+	buildErr(t, `A = load 'x'; store nosuch into 'o';`, "undefined alias")
+}
+
+func TestBuildUnknownColumnFails(t *testing.T) {
+	buildErr(t, `A = load 'x' as (a, b);
+B = filter A by missing == 1;
+store B into 'o';`, "unknown column")
+}
+
+func TestBuildUnionArityMismatchFails(t *testing.T) {
+	buildErr(t, `A = load 'x' as (a);
+B = load 'y' as (a, b);
+C = union A, B;
+store C into 'o';`, "different arities")
+}
+
+func TestBuildOrderByNameAndPosition(t *testing.T) {
+	plan := build(t, `A = load 'x' as (a, b, c);
+B = order A by c desc, $0;
+store B into 'o';`)
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpOrder {
+			if len(o.SortCols) != 2 || o.SortCols[0].Index != 2 || !o.SortCols[0].Desc || o.SortCols[1].Index != 0 {
+				t.Errorf("sort cols = %+v", o.SortCols)
+			}
+		}
+	}
+	buildErr(t, `A = load 'x' as (a);
+B = order A by nosuch;
+store B into 'o';`, "unknown sort column")
+}
+
+func TestBuildNestedForeach(t *testing.T) {
+	plan := build(t, `A = load 'views' as (user, action:int);
+B = group A by user;
+C = foreach B {
+  dst = distinct A.action;
+  generate group, COUNT(dst);
+};
+store C into 'o';`)
+	var fe *physical.Operator
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpForeach && len(o.Nested) > 0 {
+			fe = o
+		}
+	}
+	if fe == nil {
+		t.Fatal("nested foreach not built")
+	}
+	if fe.Nested[0].Op != "distinct" || fe.Nested[0].Base.Canonical() != "$1.$1" {
+		t.Errorf("nested def = %+v base=%q", fe.Nested[0], fe.Nested[0].Base.Canonical())
+	}
+	buildErr(t, `A = load 'views' as (user, action);
+B = foreach A { d = distinct user; generate COUNT(d); };
+store B into 'o';`, "not a bag")
+}
+
+func TestBuildGroupAllSchema(t *testing.T) {
+	plan := build(t, `A = load 'x' as (v:int);
+B = group A all;
+C = foreach B generate COUNT(A), SUM(A.v);
+store C into 'o';`)
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpGroup {
+			if len(o.Keys) != 1 || len(o.Keys[0]) != 0 {
+				t.Errorf("group all keys = %v", o.Keys)
+			}
+			if o.Schema.Fields[0].Kind != types.KindString {
+				t.Errorf("group all key kind = %v", o.Schema.Fields[0].Kind)
+			}
+		}
+	}
+}
+
+func TestOptimizerMergesFilters(t *testing.T) {
+	plan := build(t, `A = load 'x' as (a:int, b:int);
+B = filter A by a > 1;
+C = filter B by b < 5;
+store C into 'o';`)
+	filters := 0
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpFilter {
+			filters++
+			if !strings.Contains(o.Pred.Canonical(), "and") {
+				t.Errorf("merged predicate = %q", o.Pred.Canonical())
+			}
+		}
+	}
+	if filters != 1 {
+		t.Errorf("filters after optimize = %d, want 1", filters)
+	}
+}
+
+func TestOptimizerKeepsSharedFilters(t *testing.T) {
+	// The inner filter feeds two consumers; merging would change semantics.
+	plan := build(t, `A = load 'x' as (a:int);
+B = filter A by a > 1;
+C = filter B by a < 5;
+store B into 'o1';
+store C into 'o2';`)
+	filters := 0
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpFilter {
+			filters++
+		}
+	}
+	if filters != 2 {
+		t.Errorf("filters = %d, want 2 (inner is shared)", filters)
+	}
+}
+
+func TestOptimizerRemovesIdentityForeach(t *testing.T) {
+	plan := build(t, `A = load 'x' as (a, b);
+B = foreach A generate a, b;
+C = filter B by a == 1;
+store C into 'o';`)
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpForeach {
+			t.Errorf("identity foreach survived: %s", o)
+		}
+	}
+}
+
+func TestOptimizerKeepsReorderingForeach(t *testing.T) {
+	plan := build(t, `A = load 'x' as (a, b);
+B = foreach A generate b, a;
+store B into 'o';`)
+	found := false
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpForeach {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("column-swapping foreach was wrongly removed")
+	}
+}
+
+func TestBuildGenExprBinding(t *testing.T) {
+	plan := build(t, `A = load 'x' as (a:int, b:int);
+B = foreach A generate a + b as s, a * 2 as d, 'tag' as tag;
+store B into 'o';`)
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpForeach {
+			if o.Schema.String() != "(s, d, tag)" {
+				t.Errorf("foreach schema = %s", o.Schema)
+			}
+			if o.Exprs[0].Canonical() != "($0 + $1)" {
+				t.Errorf("expr = %q", o.Exprs[0].Canonical())
+			}
+		}
+	}
+}
+
+func TestForeachEvaluation(t *testing.T) {
+	// End-to-end sanity of a built Foreach against a real tuple.
+	plan := build(t, `A = load 'x' as (a:int, b:int);
+B = foreach A generate a + b;
+store B into 'o';`)
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpForeach {
+			got := o.Exprs[0].Eval(types.Tuple{types.NewInt(2), types.NewInt(3)})
+			if got.Int() != 5 {
+				t.Errorf("eval = %v", got)
+			}
+		}
+	}
+	_ = expr.OpCol // keep expr imported for the helpers above
+}
+
+func TestBuildSplitInto(t *testing.T) {
+	plan := build(t, `A = load 'x' as (a:int, b);
+split A into lo if a < 5, hi if a >= 5;
+C = foreach hi generate b;
+store lo into 'o1';
+store C into 'o2';`)
+	filters := 0
+	for _, o := range plan.Ops() {
+		if o.Kind == physical.OpFilter {
+			filters++
+		}
+	}
+	if filters != 2 {
+		t.Errorf("split built %d filters, want 2", filters)
+	}
+	buildErr(t, `A = load 'x' as (a);
+split A into b if nosuch == 1, c if a == 2;
+store b into 'o';`, "unknown column")
+	buildErr(t, `split nosuch into b if 1 == 1, c if 2 == 2; store b into 'o';`, "undefined alias")
+}
+
+func TestBuildSplitRuns(t *testing.T) {
+	// Split branches behave like filters end-to-end (overlap allowed).
+	plan := build(t, `A = load 'x' as (a:int);
+split A into evens if a % 2 == 0, big if a > 2;
+store evens into 'o1';
+store big into 'o2';`)
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package logical
+
+import (
+	"repro/internal/expr"
+	"repro/internal/physical"
+)
+
+// Optimize applies rule-based rewrites to the plan, mirroring the logical
+// optimizer stage of the Pig compiler (§6.1 of the paper). The rules also
+// canonicalize plan shape, which increases ReStore's match rate: two scripts
+// that differ only in redundant projections or chained filters produce the
+// same physical plan.
+func Optimize(p *physical.Plan) error {
+	changed := true
+	for changed {
+		changed = false
+		if mergeAdjacentFilters(p) {
+			changed = true
+		}
+		if removeIdentityForeach(p) {
+			changed = true
+		}
+	}
+	return nil
+}
+
+// mergeAdjacentFilters rewrites Filter(p2, Filter(p1, X)) into
+// Filter(p1 and p2, X) when the inner filter has no other consumers.
+func mergeAdjacentFilters(p *physical.Plan) bool {
+	for _, outer := range p.Ops() {
+		if outer.Kind != physical.OpFilter {
+			continue
+		}
+		inner := p.Op(outer.Inputs[0])
+		if inner == nil || inner.Kind != physical.OpFilter {
+			continue
+		}
+		if len(p.Consumers(inner.ID)) != 1 {
+			continue
+		}
+		outer.Pred = expr.Binary("and", inner.Pred, outer.Pred)
+		outer.Inputs[0] = inner.Inputs[0]
+		p.Remove(inner.ID)
+		return true
+	}
+	return false
+}
+
+// removeIdentityForeach drops Foreach operators that project every input
+// column unchanged and in order ("B = foreach A generate *;" patterns or
+// compiler artifacts).
+func removeIdentityForeach(p *physical.Plan) bool {
+	for _, fe := range p.Ops() {
+		if fe.Kind != physical.OpForeach || len(fe.Nested) > 0 {
+			continue
+		}
+		in := p.Op(fe.Inputs[0])
+		if in == nil || in.Schema.Len() == 0 || len(fe.Exprs) != in.Schema.Len() {
+			continue
+		}
+		identity := true
+		for i, e := range fe.Exprs {
+			if e.Op != expr.OpCol || e.Index != i {
+				identity = false
+				break
+			}
+		}
+		if !identity {
+			continue
+		}
+		for _, c := range p.Consumers(fe.ID) {
+			c.ReplaceInput(fe.ID, in.ID)
+		}
+		p.Remove(fe.ID)
+		return true
+	}
+	return false
+}

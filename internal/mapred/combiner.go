@@ -1,0 +1,248 @@
+package mapred
+
+import (
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// Combiner support. Pig evaluates algebraic aggregates (COUNT, SUM, MIN,
+// MAX) with Hadoop combiners: map tasks pre-aggregate per group key and ship
+// one partial record per key instead of the full bag. The engine applies the
+// same optimization when a job's plan has the shape
+//
+//	Group -> Foreach(only group-key refs and algebraic aggregates) -> ...
+//
+// and the Group's output is not consumed by anything else — in particular, a
+// ReStore-injected Store after the Group forces the full bags to be shipped
+// and disables the combiner, which is precisely why the paper observes a
+// large materialization overhead for group-heavy queries like L6.
+
+// combKind is the merge function of one combined column.
+type combKind uint8
+
+const (
+	combKey combKind = iota
+	combCount
+	combSum
+	combMin
+	combMax
+)
+
+// combAgg is one output column of the combined Foreach.
+type combAgg struct {
+	kind combKind
+	// proj is the bag-projection column for sum/min/max (or the counted
+	// column; -1 when the whole bag is counted).
+	proj int
+}
+
+// combineSpec describes a combinable Group->Foreach pair.
+type combineSpec struct {
+	group   *physical.Operator
+	foreach *physical.Operator
+	aggs    []combAgg
+}
+
+// detectCombiner returns the combine plan for the job, or nil when the job
+// is not combinable.
+func detectCombiner(job *Job) *combineSpec {
+	g := job.Blocking()
+	if g == nil || g.Kind != physical.OpGroup {
+		return nil
+	}
+	consumers := job.Plan.Consumers(g.ID)
+	if len(consumers) != 1 || consumers[0].Kind != physical.OpForeach {
+		return nil
+	}
+	fe := consumers[0]
+	if len(fe.Nested) > 0 {
+		return nil
+	}
+	spec := &combineSpec{group: g, foreach: fe}
+	for _, e := range fe.Exprs {
+		agg, ok := classifyCombExpr(e)
+		if !ok {
+			return nil
+		}
+		spec.aggs = append(spec.aggs, agg)
+	}
+	return spec
+}
+
+func classifyCombExpr(e *expr.Expr) (combAgg, bool) {
+	// Group-key reference: column 0 of the grouped schema.
+	if e.Op == expr.OpCol {
+		if e.Index == 0 {
+			return combAgg{kind: combKey}, true
+		}
+		return combAgg{}, false
+	}
+	if e.Op != expr.OpCall || len(e.Args) != 1 {
+		return combAgg{}, false
+	}
+	arg := e.Args[0]
+	proj := -1
+	switch arg.Op {
+	case expr.OpCol:
+		if arg.Index != 1 {
+			return combAgg{}, false
+		}
+	case expr.OpBagProj:
+		if arg.Args[0].Op != expr.OpCol || arg.Args[0].Index != 1 || arg.Index < 0 {
+			return combAgg{}, false
+		}
+		proj = arg.Index
+	default:
+		return combAgg{}, false
+	}
+	switch e.Name {
+	case "COUNT":
+		return combAgg{kind: combCount, proj: proj}, true
+	case "SUM":
+		if proj < 0 {
+			return combAgg{}, false
+		}
+		return combAgg{kind: combSum, proj: proj}, true
+	case "MIN":
+		if proj < 0 {
+			return combAgg{}, false
+		}
+		return combAgg{kind: combMin, proj: proj}, true
+	case "MAX":
+		if proj < 0 {
+			return combAgg{}, false
+		}
+		return combAgg{kind: combMax, proj: proj}, true
+	default:
+		return combAgg{}, false
+	}
+}
+
+// partialState accumulates one map task's partials for one group key.
+type partialState struct {
+	key  types.Tuple
+	vals []types.Value // one per agg (key slots stay null)
+}
+
+// combAccumulator is the per-map-task combiner.
+type combAccumulator struct {
+	spec   *combineSpec
+	states map[string]*partialState
+	order  []string // deterministic flush order (insertion)
+}
+
+func newCombAccumulator(spec *combineSpec) *combAccumulator {
+	return &combAccumulator{spec: spec, states: make(map[string]*partialState)}
+}
+
+// add folds one pre-shuffle tuple into the partial for its key.
+func (a *combAccumulator) add(key types.Tuple, t types.Tuple) {
+	ks := string(types.EncodeTuple(nil, key))
+	st, ok := a.states[ks]
+	if !ok {
+		st = &partialState{key: key, vals: make([]types.Value, len(a.spec.aggs))}
+		for i, agg := range a.spec.aggs {
+			if agg.kind == combCount {
+				st.vals[i] = types.NewInt(0)
+			}
+		}
+		a.states[ks] = st
+		a.order = append(a.order, ks)
+	}
+	for i, agg := range a.spec.aggs {
+		switch agg.kind {
+		case combKey:
+		case combCount:
+			st.vals[i] = types.NewInt(st.vals[i].Int() + 1)
+		case combSum:
+			st.vals[i] = mergeSum(st.vals[i], fieldOf(t, agg.proj))
+		case combMin:
+			st.vals[i] = mergeBest(st.vals[i], fieldOf(t, agg.proj), -1)
+		case combMax:
+			st.vals[i] = mergeBest(st.vals[i], fieldOf(t, agg.proj), 1)
+		}
+	}
+}
+
+func fieldOf(t types.Tuple, i int) types.Value {
+	if i < 0 || i >= len(t) {
+		return types.Null()
+	}
+	return t[i]
+}
+
+// mergeSum adds v into acc with Pig semantics: nulls are skipped, integer
+// sums stay integers until a float joins.
+func mergeSum(acc, v types.Value) types.Value {
+	if v.IsNull() {
+		return acc
+	}
+	f, ok := types.CoerceFloat(v)
+	if !ok {
+		return acc
+	}
+	if acc.IsNull() {
+		if v.Kind() == types.KindInt {
+			return types.NewInt(v.Int())
+		}
+		return types.NewFloat(f)
+	}
+	if acc.Kind() == types.KindInt && v.Kind() == types.KindInt {
+		return types.NewInt(acc.Int() + v.Int())
+	}
+	af, _ := types.CoerceFloat(acc)
+	return types.NewFloat(af + f)
+}
+
+// mergeBest keeps the smaller (dir<0) or larger (dir>0) non-null value.
+func mergeBest(acc, v types.Value, dir int) types.Value {
+	if v.IsNull() {
+		return acc
+	}
+	if acc.IsNull() {
+		return v
+	}
+	if c := types.Compare(v, acc); (dir < 0 && c < 0) || (dir > 0 && c > 0) {
+		return v
+	}
+	return acc
+}
+
+// mergePartials combines two partial tuples (reduce side).
+func (s *combineSpec) mergePartials(acc, v types.Tuple) types.Tuple {
+	out := make(types.Tuple, len(acc))
+	for i, agg := range s.aggs {
+		switch agg.kind {
+		case combKey:
+			out[i] = types.Null()
+		case combCount:
+			out[i] = types.NewInt(acc[i].Int() + v[i].Int())
+		case combSum:
+			out[i] = mergeSum(acc[i], v[i])
+		case combMin:
+			out[i] = mergeBest(acc[i], v[i], -1)
+		case combMax:
+			out[i] = mergeBest(acc[i], v[i], 1)
+		}
+	}
+	return out
+}
+
+// finalize renders the Foreach's output tuple for one key from the merged
+// partials.
+func (s *combineSpec) finalize(key types.Tuple, merged types.Tuple) types.Tuple {
+	out := make(types.Tuple, len(s.aggs))
+	for i, agg := range s.aggs {
+		if agg.kind == combKey {
+			out[i] = groupValue(s.group, key)
+			continue
+		}
+		v := merged[i]
+		if agg.kind == combCount && v.IsNull() {
+			v = types.NewInt(0)
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,590 @@
+package mapred
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/exec"
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// Engine executes jobs against a DFS and costs them with a cluster model.
+type Engine struct {
+	FS      *dfs.FS
+	Cluster *cluster.Config
+	// ReduceTasks is the number of real reduce partitions (execution
+	// parallelism, independent of the simulated reduce-task count).
+	ReduceTasks int
+	// MapParallelism bounds concurrent map tasks; 0 means GOMAXPROCS.
+	MapParallelism int
+	// DisableCombiner turns off map-side combining of algebraic aggregates
+	// (used by tests to verify the combined and uncombined paths agree).
+	DisableCombiner bool
+}
+
+// NewEngine returns an engine with default execution parallelism.
+func NewEngine(fs *dfs.FS, c *cluster.Config) *Engine {
+	return &Engine{FS: fs, Cluster: c, ReduceTasks: 4}
+}
+
+// JobResult reports the real counters and simulated timing of one job.
+type JobResult struct {
+	JobID string
+	Stats cluster.JobStats
+	Times cluster.Times
+	// StoreBytes maps every written output path to its logical bytes.
+	StoreBytes map[string]int64
+	// InjectedStoreBytes is the total written by ReStore-injected stores —
+	// the materialization overhead the paper measures.
+	InjectedStoreBytes int64
+}
+
+// shuffleRec is one map-output record: a key, the input branch tag, a
+// sequence number for deterministic ordering, and the value tuple.
+type shuffleRec struct {
+	key types.Tuple
+	tag int
+	seq int64
+	val types.Tuple
+}
+
+// mapTask identifies one unit of map work: a Load operator and one partition
+// of its input file.
+type mapTask struct {
+	loadID    int
+	partition int
+	taskIdx   int
+}
+
+// RunJob executes the job and returns its statistics and simulated times.
+func (e *Engine) RunJob(job *Job) (*JobResult, error) {
+	tasks, err := e.planMapTasks(job)
+	if err != nil {
+		return nil, err
+	}
+	reduceParts := e.ReduceTasks
+	if reduceParts < 1 {
+		reduceParts = 1
+	}
+	if b := job.Blocking(); b != nil && (b.Kind == physical.OpOrder || b.Kind == physical.OpLimit) {
+		// Total order and exact limits need a single reduce partition.
+		reduceParts = 1
+	}
+
+	// Create output files: map-side stores get one partition per map task,
+	// reduce-side stores one per reduce partition.
+	mapStores, reduceStores := e.splitStores(job)
+	for _, st := range mapStores {
+		if _, err := e.FS.Create(st.Path, len(tasks)); err != nil {
+			return nil, err
+		}
+		if err := e.FS.SetSchema(st.Path, st.Schema); err != nil {
+			return nil, err
+		}
+	}
+	for _, st := range reduceStores {
+		if _, err := e.FS.Create(st.Path, reduceParts); err != nil {
+			return nil, err
+		}
+		if err := e.FS.SetSchema(st.Path, st.Schema); err != nil {
+			return nil, err
+		}
+	}
+
+	var comb *combineSpec
+	if !e.DisableCombiner {
+		comb = detectCombiner(job)
+	}
+
+	res := &JobResult{JobID: job.ID, StoreBytes: make(map[string]int64)}
+	shuffles, err := e.runMapPhase(job, tasks, reduceParts, comb, res)
+	if err != nil {
+		return nil, err
+	}
+	if job.Blocking() != nil {
+		res.Stats.HasReduce = true
+		if err := e.runReducePhase(job, shuffles, reduceParts, comb, res); err != nil {
+			return nil, err
+		}
+	}
+
+	// Collect per-store byte counts and classify them for the cost model.
+	for _, st := range job.Plan.Sinks() {
+		stat, err := e.FS.StatFile(st.Path)
+		if err != nil {
+			return nil, fmt.Errorf("mapred: job %s: stat output %s: %w", job.ID, st.Path, err)
+		}
+		res.StoreBytes[st.Path] = stat.Bytes
+		onMapSide := job.MapSide(st.ID)
+		if st.Injected {
+			res.Stats.InjectedStores++
+		}
+		switch {
+		case st.Injected && onMapSide:
+			res.Stats.MapStoreBytes += stat.Bytes
+			res.InjectedStoreBytes += stat.Bytes
+		case st.Injected:
+			res.Stats.ReduceStoreBytes += stat.Bytes
+			res.InjectedStoreBytes += stat.Bytes
+		case onMapSide && job.Blocking() != nil:
+			// A primary store on the map side of a reduce job still costs
+			// map-phase writes.
+			res.Stats.MapStoreBytes += stat.Bytes
+		default:
+			res.Stats.OutputBytes += stat.Bytes
+		}
+	}
+	res.Times = e.Cluster.Simulate(res.Stats)
+	return res, nil
+}
+
+// planMapTasks enumerates (load, partition) pairs.
+func (e *Engine) planMapTasks(job *Job) ([]mapTask, error) {
+	var tasks []mapTask
+	for _, load := range job.Plan.Sources() {
+		n, err := e.FS.Partitions(load.Path)
+		if err != nil {
+			return nil, fmt.Errorf("mapred: job %s: input %s: %w", job.ID, load.Path, err)
+		}
+		for p := 0; p < n; p++ {
+			tasks = append(tasks, mapTask{loadID: load.ID, partition: p, taskIdx: len(tasks)})
+		}
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("mapred: job %s has no input partitions", job.ID)
+	}
+	return tasks, nil
+}
+
+func (e *Engine) splitStores(job *Job) (mapStores, reduceStores []*physical.Operator) {
+	for _, st := range job.Plan.Sinks() {
+		if job.MapSide(st.ID) {
+			mapStores = append(mapStores, st)
+		} else {
+			reduceStores = append(reduceStores, st)
+		}
+	}
+	return mapStores, reduceStores
+}
+
+// taskOutput buffers one task's writes to one store.
+type taskOutput struct {
+	buf     []byte
+	scratch []byte
+	records int64
+}
+
+func (o *taskOutput) write(t types.Tuple) {
+	o.scratch = types.EncodeTuple(o.scratch[:0], t)
+	var lenbuf [10]byte
+	n := putUvarint(lenbuf[:], uint64(len(o.scratch)))
+	o.buf = append(o.buf, lenbuf[:n]...)
+	o.buf = append(o.buf, o.scratch...)
+	o.records++
+}
+
+func putUvarint(buf []byte, x uint64) int {
+	i := 0
+	for x >= 0x80 {
+		buf[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	buf[i] = byte(x)
+	return i + 1
+}
+
+// runMapPhase executes all map tasks (bounded parallelism) and returns the
+// shuffle buffers per reduce partition.
+func (e *Engine) runMapPhase(job *Job, tasks []mapTask, reduceParts int, comb *combineSpec, res *JobResult) ([][]shuffleRec, error) {
+	mapStores, _ := e.splitStores(job)
+	blocking := job.Blocking()
+
+	// Per-task results, merged deterministically afterwards.
+	results := make([]*mapTaskResult, len(tasks))
+
+	par := e.MapParallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	errs := make(chan error, len(tasks))
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		wg.Add(1)
+		go func(task mapTask) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tr, err := e.runMapTask(job, task, blocking, mapStores, reduceParts, comb)
+			if err != nil {
+				errs <- fmt.Errorf("mapred: job %s map task %d: %w", job.ID, task.taskIdx, err)
+				return
+			}
+			results[task.taskIdx] = tr
+		}(task)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+
+	// Commit map-side store partitions and merge shuffle buffers.
+	shuffles := make([][]shuffleRec, reduceParts)
+	for idx, tr := range results {
+		for path, out := range tr.stores {
+			if err := e.FS.CommitPartition(path, idx, out.buf, out.records); err != nil {
+				return nil, err
+			}
+		}
+		for r := 0; r < reduceParts; r++ {
+			if tr.shuffle != nil {
+				shuffles[r] = append(shuffles[r], tr.shuffle[r]...)
+			}
+		}
+		res.Stats.InputBytes += tr.inputBytes
+		res.Stats.ShuffleBytes += tr.shuffleLen
+	}
+	return shuffles, nil
+}
+
+// mapTaskResult buffers one map task's outputs until the deterministic
+// merge/commit step.
+type mapTaskResult struct {
+	shuffle    [][]shuffleRec // per reduce partition
+	stores     map[string]*taskOutput
+	inputBytes int64
+	shuffleLen int64 // encoded shuffle bytes
+}
+
+func (e *Engine) runMapTask(job *Job, task mapTask, blocking *physical.Operator, mapStores []*physical.Operator, reduceParts int, comb *combineSpec) (*mapTaskResult, error) {
+	tr := &mapTaskResult{stores: make(map[string]*taskOutput)}
+	pipe := exec.NewPipeline(job.Plan, job.mapSide)
+
+	// Wire map-side stores: every task owns one partition of each.
+	for _, st := range mapStores {
+		out := &taskOutput{}
+		tr.stores[st.Path] = out
+		if err := pipe.SetOutput(st.ID, func(t types.Tuple) error {
+			out.write(t)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Wire shuffle collectors on the producers feeding the blocking op.
+	var seq int64
+	var scratch []byte
+	collect := func(key, val types.Tuple) {
+		r := 0
+		if reduceParts > 1 {
+			r = int(types.HashTuple(key) % uint64(reduceParts))
+		}
+		rec := shuffleRec{key: key, seq: int64(task.taskIdx)<<32 | seq, val: val}
+		seq++
+		tr.shuffle[r] = append(tr.shuffle[r], rec)
+		scratch = types.EncodeTuple(scratch[:0], key)
+		tr.shuffleLen += int64(len(scratch))
+		scratch = types.EncodeTuple(scratch[:0], val)
+		tr.shuffleLen += int64(len(scratch))
+	}
+	var acc *combAccumulator
+	if blocking != nil {
+		tr.shuffle = make([][]shuffleRec, reduceParts)
+		if comb != nil {
+			acc = newCombAccumulator(comb)
+		}
+		for tag, inID := range blocking.Inputs {
+			tag := tag
+			emit := func(t types.Tuple) error {
+				key := blockingKey(blocking, tag, t)
+				if blocking.Kind == physical.OpJoin && exec.KeyHasNull(key) {
+					return nil // null join keys never match
+				}
+				if acc != nil {
+					acc.add(key, t)
+					return nil
+				}
+				r := 0
+				if reduceParts > 1 {
+					r = int(types.HashTuple(key) % uint64(reduceParts))
+				}
+				rec := shuffleRec{key: key, tag: tag, seq: int64(task.taskIdx)<<32 | seq, val: t}
+				seq++
+				tr.shuffle[r] = append(tr.shuffle[r], rec)
+				scratch = types.EncodeTuple(scratch[:0], key)
+				tr.shuffleLen += int64(len(scratch))
+				scratch = types.EncodeTuple(scratch[:0], t)
+				tr.shuffleLen += int64(len(scratch))
+				return nil
+			}
+			if err := pipe.SetOutput(inID, emit); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := pipe.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline for %s: %w", job.ID, err)
+	}
+
+	// Stream the input partition through the pipeline.
+	r, nbytes, err := e.FS.OpenPartition(job.Plan.Op(task.loadID).Path, task.partition)
+	if err != nil {
+		return nil, err
+	}
+	tr.inputBytes = nbytes
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := pipe.Push(task.loadID, t); err != nil {
+			return nil, err
+		}
+	}
+	// Flush combined partials: one shuffle record per group key.
+	if acc != nil {
+		for _, ks := range acc.order {
+			st := acc.states[ks]
+			collect(st.key, st.vals)
+		}
+	}
+	return tr, nil
+}
+
+// blockingKey computes the shuffle key for one record entering the blocking
+// operator on the given input tag.
+func blockingKey(b *physical.Operator, tag int, t types.Tuple) types.Tuple {
+	switch b.Kind {
+	case physical.OpJoin, physical.OpCoGroup:
+		return exec.EvalKey(b.Keys[tag], t)
+	case physical.OpGroup:
+		if len(b.Keys) == 0 || len(b.Keys[0]) == 0 {
+			return types.Tuple{} // GROUP ALL
+		}
+		return exec.EvalKey(b.Keys[0], t)
+	case physical.OpDistinct:
+		return t
+	case physical.OpOrder:
+		key := make(types.Tuple, len(b.SortCols))
+		for i, sc := range b.SortCols {
+			if sc.Index < len(t) {
+				key[i] = t[sc.Index]
+			} else {
+				key[i] = types.Null()
+			}
+		}
+		return key
+	case physical.OpLimit:
+		return types.Tuple{}
+	default:
+		return types.Tuple{}
+	}
+}
+
+// runReducePhase sorts each shuffle partition, applies the blocking
+// operator (or merges combiner partials), and streams results through the
+// reduce-side pipeline.
+func (e *Engine) runReducePhase(job *Job, shuffles [][]shuffleRec, reduceParts int, comb *combineSpec, res *JobResult) error {
+	blocking := job.Blocking()
+	_, reduceStores := e.splitStores(job)
+
+	for r := 0; r < reduceParts; r++ {
+		recs := shuffles[r]
+		sortShuffle(blocking, recs)
+
+		include := make(map[int]bool, len(job.reduceSide)+1)
+		include[blocking.ID] = true
+		for id := range job.reduceSide {
+			include[id] = true
+		}
+		pipe := exec.NewPipeline(job.Plan, include)
+		outs := make(map[string]*taskOutput)
+		for _, st := range reduceStores {
+			out := &taskOutput{}
+			outs[st.Path] = out
+			if err := pipe.SetOutput(st.ID, func(t types.Tuple) error {
+				out.write(t)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		if err := pipe.Validate(); err != nil {
+			return fmt.Errorf("mapred: job %s reduce pipeline: %w", job.ID, err)
+		}
+
+		if comb != nil {
+			// Merge combiner partials per key and emit the Foreach's
+			// output directly, bypassing bag construction.
+			emitFE := func(t types.Tuple) error { return pipe.PushOutputOf(comb.foreach.ID, t) }
+			if err := applyCombined(comb, recs, emitFE); err != nil {
+				return fmt.Errorf("mapred: job %s reduce %d: %w", job.ID, r, err)
+			}
+		} else {
+			emit := func(t types.Tuple) error { return pipe.PushOutputOf(blocking.ID, t) }
+			if err := applyBlocking(blocking, recs, emit); err != nil {
+				return fmt.Errorf("mapred: job %s reduce %d: %w", job.ID, r, err)
+			}
+		}
+		for path, out := range outs {
+			if err := e.FS.CommitPartition(path, r, out.buf, out.records); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortShuffle orders records by key (respecting Order's sort directions),
+// then tag, then sequence — the merge-sort Hadoop performs between map and
+// reduce.
+func sortShuffle(b *physical.Operator, recs []shuffleRec) {
+	cmpKey := func(a, bk types.Tuple) int { return types.CompareTuples(a, bk) }
+	if b.Kind == physical.OpOrder {
+		cmpKey = func(x, y types.Tuple) int {
+			for i, sc := range b.SortCols {
+				var c int
+				if i < len(x) && i < len(y) {
+					c = types.Compare(x[i], y[i])
+				}
+				if sc.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c
+				}
+			}
+			return 0
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if c := cmpKey(recs[i].key, recs[j].key); c != 0 {
+			return c < 0
+		}
+		if recs[i].tag != recs[j].tag {
+			return recs[i].tag < recs[j].tag
+		}
+		return recs[i].seq < recs[j].seq
+	})
+}
+
+// applyBlocking walks runs of equal keys and emits the blocking operator's
+// output tuples.
+func applyBlocking(b *physical.Operator, recs []shuffleRec, emit func(types.Tuple) error) error {
+	switch b.Kind {
+	case physical.OpLimit:
+		n := b.N
+		for i := int64(0); i < n && i < int64(len(recs)); i++ {
+			if err := emit(recs[i].val); err != nil {
+				return err
+			}
+		}
+		return nil
+	case physical.OpOrder:
+		for _, rec := range recs {
+			if err := emit(rec.val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for start := 0; start < len(recs); {
+		end := start + 1
+		for end < len(recs) && types.CompareTuples(recs[end].key, recs[start].key) == 0 {
+			end++
+		}
+		run := recs[start:end]
+		switch b.Kind {
+		case physical.OpDistinct:
+			if err := emit(run[0].val); err != nil {
+				return err
+			}
+		case physical.OpGroup:
+			bag := &types.Bag{}
+			for _, rec := range run {
+				bag.Add(rec.val)
+			}
+			if err := emit(types.Tuple{groupValue(b, run[0].key), types.NewBag(bag)}); err != nil {
+				return err
+			}
+		case physical.OpCoGroup:
+			bags := make([]*types.Bag, len(b.Inputs))
+			for i := range bags {
+				bags[i] = &types.Bag{}
+			}
+			for _, rec := range run {
+				bags[rec.tag].Add(rec.val)
+			}
+			out := types.Tuple{groupValue(b, run[0].key)}
+			for _, bag := range bags {
+				out = append(out, types.NewBag(bag))
+			}
+			if err := emit(out); err != nil {
+				return err
+			}
+		case physical.OpJoin:
+			// Tags are sorted within the run; find the tag boundary.
+			split := sort.Search(len(run), func(i int) bool { return run[i].tag > 0 })
+			left, right := run[:split], run[split:]
+			for _, l := range left {
+				for _, rt := range right {
+					joined := make(types.Tuple, 0, len(l.val)+len(rt.val))
+					joined = append(joined, l.val...)
+					joined = append(joined, rt.val...)
+					if err := emit(joined); err != nil {
+						return err
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("unsupported blocking operator %s", b.Kind)
+		}
+		start = end
+	}
+	return nil
+}
+
+// applyCombined walks runs of equal keys, merging combiner partials and
+// emitting the finalized aggregate tuple per group.
+func applyCombined(comb *combineSpec, recs []shuffleRec, emit func(types.Tuple) error) error {
+	for start := 0; start < len(recs); {
+		end := start + 1
+		for end < len(recs) && types.CompareTuples(recs[end].key, recs[start].key) == 0 {
+			end++
+		}
+		merged := recs[start].val
+		for _, rec := range recs[start+1 : end] {
+			merged = comb.mergePartials(merged, rec.val)
+		}
+		if err := emit(comb.finalize(recs[start].key, merged)); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// groupValue renders the group column: the bare key for single-key groups, a
+// tuple for composite keys, and "all" for GROUP ALL.
+func groupValue(b *physical.Operator, key types.Tuple) types.Value {
+	if b.Kind == physical.OpGroup && (len(b.Keys) == 0 || len(b.Keys[0]) == 0) {
+		return types.NewString("all")
+	}
+	if len(key) == 1 {
+		return key[0]
+	}
+	return types.NewTuple(key)
+}

@@ -1,0 +1,469 @@
+package mapred
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+func newTestEngine() *Engine {
+	return NewEngine(dfs.New(), cluster.Default())
+}
+
+func seedUsers(t *testing.T, fs *dfs.FS) {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Field{Name: "name", Kind: types.KindString},
+		types.Field{Name: "city", Kind: types.KindString},
+	)
+	rows := []types.Tuple{
+		{types.NewString("alice"), types.NewString("waterloo")},
+		{types.NewString("bob"), types.NewString("toronto")},
+		{types.NewString("carol"), types.NewString("waterloo")},
+	}
+	if err := fs.WritePartitioned("data/users", schema, rows, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seedViews(t *testing.T, fs *dfs.FS) {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Field{Name: "user", Kind: types.KindString},
+		types.Field{Name: "rev", Kind: types.KindInt},
+	)
+	rows := []types.Tuple{
+		{types.NewString("alice"), types.NewInt(10)},
+		{types.NewString("alice"), types.NewInt(5)},
+		{types.NewString("bob"), types.NewInt(7)},
+		{types.NewString("dave"), types.NewInt(99)}, // no matching user
+		{types.NewString("carol"), types.NewInt(1)},
+	}
+	if err := fs.WritePartitioned("data/views", schema, rows, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func usersSchema() types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "name", Kind: types.KindString},
+		types.Field{Name: "city", Kind: types.KindString},
+	)
+}
+
+func viewsSchema() types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "user", Kind: types.KindString},
+		types.Field{Name: "rev", Kind: types.KindInt},
+	)
+}
+
+func mustJob(t *testing.T, id string, p *physical.Plan) *Job {
+	t.Helper()
+	j, err := NewJob(id, p)
+	if err != nil {
+		t.Fatalf("NewJob(%s): %v\n%s", id, err, p)
+	}
+	return j
+}
+
+func readSorted(t *testing.T, fs *dfs.FS, path string) []string {
+	t.Helper()
+	rows, err := fs.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = types.FormatTSV(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestMapOnlyFilterProject(t *testing.T) {
+	e := newTestEngine()
+	seedViews(t, e.FS)
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	f := p.Add(&physical.Operator{Kind: physical.OpFilter, Inputs: []int{l.ID},
+		Pred:   expr.Binary(">", expr.ColIdx(1), expr.Lit(types.NewInt(4))),
+		Schema: l.Schema})
+	fe := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{f.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0)}, Names: []string{"user"},
+		Schema: types.SchemaFromNames("user")})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/filtered", Inputs: []int{fe.ID}, Schema: fe.Schema})
+
+	job := mustJob(t, "j1", p)
+	if job.Blocking() != nil {
+		t.Fatal("expected map-only job")
+	}
+	res, err := e.RunJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readSorted(t, e.FS, "out/filtered")
+	want := []string{"alice", "alice", "bob", "dave"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("output = %v, want %v", got, want)
+	}
+	if res.Stats.HasReduce || res.Stats.ShuffleBytes != 0 {
+		t.Errorf("map-only stats wrong: %+v", res.Stats)
+	}
+	if res.Stats.InputBytes == 0 || res.Stats.OutputBytes == 0 {
+		t.Errorf("byte counters empty: %+v", res.Stats)
+	}
+	if res.Times.Total <= 0 {
+		t.Error("no simulated time")
+	}
+}
+
+func TestJoinJob(t *testing.T) {
+	e := newTestEngine()
+	seedUsers(t, e.FS)
+	seedViews(t, e.FS)
+	p := physical.NewPlan()
+	u := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/users", Schema: usersSchema()})
+	v := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	j := p.Add(&physical.Operator{Kind: physical.OpJoin, Inputs: []int{u.ID, v.ID},
+		Keys:   [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}},
+		Schema: usersSchema().Concat(viewsSchema())})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/joined", Inputs: []int{j.ID}, Schema: j.Schema})
+
+	job := mustJob(t, "join", p)
+	res, err := e.RunJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readSorted(t, e.FS, "out/joined")
+	want := []string{
+		"alice\twaterloo\talice\t10",
+		"alice\twaterloo\talice\t5",
+		"bob\ttoronto\tbob\t7",
+		"carol\twaterloo\tcarol\t1",
+	}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("join output:\n%v\nwant:\n%v", got, want)
+	}
+	if !res.Stats.HasReduce || res.Stats.ShuffleBytes == 0 {
+		t.Errorf("join stats wrong: %+v", res.Stats)
+	}
+}
+
+func TestGroupAggregateJob(t *testing.T) {
+	e := newTestEngine()
+	seedViews(t, e.FS)
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	sub := viewsSchema()
+	g := p.Add(&physical.Operator{Kind: physical.OpGroup, Inputs: []int{l.ID},
+		Keys: [][]*expr.Expr{{expr.ColIdx(0)}},
+		Schema: types.Schema{Fields: []types.Field{
+			{Name: "group"}, {Name: "C", Kind: types.KindBag, Sub: &sub}}}})
+	fe := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{g.ID},
+		Exprs:  []*expr.Expr{expr.ColIdx(0), mustBind(t, expr.Call("SUM", expr.BagProj(expr.Col("C"), "rev")), g.Schema)},
+		Schema: types.SchemaFromNames("group", "total")})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/grouped", Inputs: []int{fe.ID}, Schema: fe.Schema})
+
+	job := mustJob(t, "group", p)
+	if _, err := e.RunJob(job); err != nil {
+		t.Fatal(err)
+	}
+	got := readSorted(t, e.FS, "out/grouped")
+	want := []string{"alice\t15", "bob\t7", "carol\t1", "dave\t99"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("grouped = %v, want %v", got, want)
+	}
+}
+
+func mustBind(t *testing.T, e *expr.Expr, s types.Schema) *expr.Expr {
+	t.Helper()
+	b, err := e.Bind(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGroupAllJob(t *testing.T) {
+	e := newTestEngine()
+	seedViews(t, e.FS)
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	sub := viewsSchema()
+	g := p.Add(&physical.Operator{Kind: physical.OpGroup, Inputs: []int{l.ID},
+		Keys: [][]*expr.Expr{{}},
+		Schema: types.Schema{Fields: []types.Field{
+			{Name: "group"}, {Name: "A", Kind: types.KindBag, Sub: &sub}}}})
+	fe := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{g.ID},
+		Exprs: []*expr.Expr{
+			mustBind(t, expr.Call("COUNT", expr.Col("A")), g.Schema),
+			mustBind(t, expr.Call("SUM", expr.BagProj(expr.Col("A"), "rev")), g.Schema)},
+		Schema: types.SchemaFromNames("n", "total")})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/all", Inputs: []int{fe.ID}, Schema: fe.Schema})
+
+	if _, err := e.RunJob(mustJob(t, "all", p)); err != nil {
+		t.Fatal(err)
+	}
+	got := readSorted(t, e.FS, "out/all")
+	if len(got) != 1 || got[0] != "5\t122" {
+		t.Errorf("group all = %v, want [5\\t122]", got)
+	}
+}
+
+func TestDistinctJob(t *testing.T) {
+	e := newTestEngine()
+	seedViews(t, e.FS)
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	fe := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{l.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0)}, Schema: types.SchemaFromNames("user")})
+	d := p.Add(&physical.Operator{Kind: physical.OpDistinct, Inputs: []int{fe.ID}, Schema: fe.Schema})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/distinct", Inputs: []int{d.ID}, Schema: d.Schema})
+
+	if _, err := e.RunJob(mustJob(t, "distinct", p)); err != nil {
+		t.Fatal(err)
+	}
+	got := readSorted(t, e.FS, "out/distinct")
+	want := []string{"alice", "bob", "carol", "dave"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("distinct = %v, want %v", got, want)
+	}
+}
+
+func TestCoGroupJob(t *testing.T) {
+	e := newTestEngine()
+	seedUsers(t, e.FS)
+	seedViews(t, e.FS)
+	p := physical.NewPlan()
+	u := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/users", Schema: usersSchema()})
+	v := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	us, vs := usersSchema(), viewsSchema()
+	cg := p.Add(&physical.Operator{Kind: physical.OpCoGroup, Inputs: []int{u.ID, v.ID},
+		Keys: [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}},
+		Schema: types.Schema{Fields: []types.Field{
+			{Name: "group"},
+			{Name: "users", Kind: types.KindBag, Sub: &us},
+			{Name: "views", Kind: types.KindBag, Sub: &vs}}}})
+	// Anti-join: users with no views, and vice versa dave has views but no user.
+	fe := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{cg.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0),
+			mustBind(t, expr.Call("COUNT", expr.Col("users")), cg.Schema),
+			mustBind(t, expr.Call("COUNT", expr.Col("views")), cg.Schema)},
+		Schema: types.SchemaFromNames("group", "nu", "nv")})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/cg", Inputs: []int{fe.ID}, Schema: fe.Schema})
+
+	if _, err := e.RunJob(mustJob(t, "cg", p)); err != nil {
+		t.Fatal(err)
+	}
+	got := readSorted(t, e.FS, "out/cg")
+	want := []string{"alice\t1\t2", "bob\t1\t1", "carol\t1\t1", "dave\t0\t1"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("cogroup = %v, want %v", got, want)
+	}
+}
+
+func TestOrderJob(t *testing.T) {
+	e := newTestEngine()
+	seedViews(t, e.FS)
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	o := p.Add(&physical.Operator{Kind: physical.OpOrder, Inputs: []int{l.ID},
+		SortCols: []physical.SortCol{{Index: 1, Desc: true}}, Schema: l.Schema})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/sorted", Inputs: []int{o.ID}, Schema: o.Schema})
+
+	if _, err := e.RunJob(mustJob(t, "order", p)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.FS.ReadAll("out/sorted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var revs []int64
+	for _, r := range rows {
+		revs = append(revs, r[1].Int())
+	}
+	for i := 1; i < len(revs); i++ {
+		if revs[i] > revs[i-1] {
+			t.Fatalf("not descending: %v", revs)
+		}
+	}
+	if len(revs) != 5 {
+		t.Errorf("row count = %d", len(revs))
+	}
+}
+
+func TestLimitJob(t *testing.T) {
+	e := newTestEngine()
+	seedViews(t, e.FS)
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	lim := p.Add(&physical.Operator{Kind: physical.OpLimit, Inputs: []int{l.ID}, N: 2, Schema: l.Schema})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/limited", Inputs: []int{lim.ID}, Schema: l.Schema})
+
+	if _, err := e.RunJob(mustJob(t, "limit", p)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.FS.ReadAll("out/limited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("limit produced %d rows", len(rows))
+	}
+}
+
+func TestUnionIntoDistinct(t *testing.T) {
+	e := newTestEngine()
+	seedUsers(t, e.FS)
+	seedViews(t, e.FS)
+	p := physical.NewPlan()
+	u := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/users", Schema: usersSchema()})
+	v := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	fu := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{u.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0)}, Schema: types.SchemaFromNames("user")})
+	fv := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{v.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0)}, Schema: types.SchemaFromNames("user")})
+	un := p.Add(&physical.Operator{Kind: physical.OpUnion, Inputs: []int{fu.ID, fv.ID}, Schema: fu.Schema})
+	d := p.Add(&physical.Operator{Kind: physical.OpDistinct, Inputs: []int{un.ID}, Schema: un.Schema})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/names", Inputs: []int{d.ID}, Schema: d.Schema})
+
+	if _, err := e.RunJob(mustJob(t, "union", p)); err != nil {
+		t.Fatal(err)
+	}
+	got := readSorted(t, e.FS, "out/names")
+	want := []string{"alice", "bob", "carol", "dave"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("union+distinct = %v, want %v", got, want)
+	}
+}
+
+func TestNullJoinKeysDropped(t *testing.T) {
+	e := newTestEngine()
+	schema := types.NewSchema(types.Field{Name: "k", Kind: types.KindString})
+	if err := e.FS.WriteTuples("a", schema, []types.Tuple{{types.Null()}, {types.NewString("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FS.WriteTuples("b", schema, []types.Tuple{{types.Null()}, {types.NewString("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	p := physical.NewPlan()
+	a := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "a", Schema: schema})
+	b := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "b", Schema: schema})
+	j := p.Add(&physical.Operator{Kind: physical.OpJoin, Inputs: []int{a.ID, b.ID},
+		Keys: [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}}, Schema: schema.Concat(schema)})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/nulljoin", Inputs: []int{j.ID}, Schema: j.Schema})
+
+	if _, err := e.RunJob(mustJob(t, "nj", p)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.FS.ReadAll("out/nulljoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("null keys joined: %d rows", len(rows))
+	}
+}
+
+func TestInjectedStoreAccounting(t *testing.T) {
+	e := newTestEngine()
+	seedViews(t, e.FS)
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	fe := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{l.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0)}, Schema: types.SchemaFromNames("user")})
+	sp := p.Add(&physical.Operator{Kind: physical.OpSplit, Inputs: []int{fe.ID}, Schema: fe.Schema, Injected: true})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "restore/sub", Inputs: []int{sp.ID}, Schema: fe.Schema, Injected: true})
+	g := p.Add(&physical.Operator{Kind: physical.OpGroup, Inputs: []int{sp.ID},
+		Keys: [][]*expr.Expr{{expr.ColIdx(0)}}, Schema: types.SchemaFromNames("group", "C")})
+	fe2 := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{g.ID},
+		Exprs:  []*expr.Expr{expr.ColIdx(0), expr.Call("COUNT", expr.ColIdx(1))},
+		Schema: types.SchemaFromNames("group", "cnt")})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/counts", Inputs: []int{fe2.ID}, Schema: fe2.Schema})
+
+	job := mustJob(t, "inj", p)
+	res, err := e.RunJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InjectedStoreBytes == 0 {
+		t.Error("injected store bytes not counted")
+	}
+	if res.Stats.MapStoreBytes != res.InjectedStoreBytes {
+		t.Errorf("map store bytes %d != injected %d", res.Stats.MapStoreBytes, res.InjectedStoreBytes)
+	}
+	if res.StoreBytes["restore/sub"] == 0 || res.StoreBytes["out/counts"] == 0 {
+		t.Errorf("per-store bytes missing: %v", res.StoreBytes)
+	}
+	// The materialized sub-job output must hold the projection results.
+	got := readSorted(t, e.FS, "restore/sub")
+	if len(got) != 5 {
+		t.Errorf("sub-job output rows = %d, want 5", len(got))
+	}
+	// And the final result is unaffected by the injection.
+	counts := readSorted(t, e.FS, "out/counts")
+	want := []string{"alice\t2", "bob\t1", "carol\t1", "dave\t1"}
+	if strings.Join(counts, "|") != strings.Join(want, "|") {
+		t.Errorf("counts = %v, want %v", counts, want)
+	}
+}
+
+func TestTwoBlockingOperatorsRejected(t *testing.T) {
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "x", Schema: types.SchemaFromNames("a")})
+	d := p.Add(&physical.Operator{Kind: physical.OpDistinct, Inputs: []int{l.ID}, Schema: l.Schema})
+	o := p.Add(&physical.Operator{Kind: physical.OpOrder, Inputs: []int{d.ID},
+		SortCols: []physical.SortCol{{Index: 0}}, Schema: l.Schema})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "y", Inputs: []int{o.ID}, Schema: l.Schema})
+	if _, err := NewJob("bad", p); err == nil {
+		t.Error("two blocking operators accepted")
+	}
+}
+
+func TestMissingInputFails(t *testing.T) {
+	e := newTestEngine()
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "nonexistent", Schema: types.SchemaFromNames("a")})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "o", Inputs: []int{l.ID}, Schema: l.Schema})
+	if _, err := e.RunJob(mustJob(t, "missing", p)); err == nil {
+		t.Error("job over missing input succeeded")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []string {
+		e := newTestEngine()
+		seedUsers(t, e.FS)
+		seedViews(t, e.FS)
+		p := physical.NewPlan()
+		u := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/users", Schema: usersSchema()})
+		v := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+		j := p.Add(&physical.Operator{Kind: physical.OpJoin, Inputs: []int{u.ID, v.ID},
+			Keys:   [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}},
+			Schema: usersSchema().Concat(viewsSchema())})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/j", Inputs: []int{j.ID}, Schema: j.Schema})
+		if _, err := e.RunJob(mustJob(t, "det", p)); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := e.FS.ReadAll("out/j")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = types.FormatTSV(r)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Error("same job produced different partition contents across runs")
+	}
+}

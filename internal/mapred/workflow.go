@@ -1,0 +1,127 @@
+package mapred
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Workflow is a DAG of MapReduce jobs. Dependencies are implied by data: a
+// job that loads a path some other job stores depends on that job — exactly
+// how Pig's JobControlCompiler sequences a compiled query.
+type Workflow struct {
+	Jobs []*Job
+}
+
+// DependencyMap derives jobID -> dependency jobIDs from input/output paths.
+func (w *Workflow) DependencyMap() map[string][]string {
+	producer := make(map[string]string) // path -> jobID
+	for _, j := range w.Jobs {
+		for _, out := range j.OutputPaths() {
+			producer[out] = j.ID
+		}
+	}
+	deps := make(map[string][]string, len(w.Jobs))
+	for _, j := range w.Jobs {
+		seen := make(map[string]bool)
+		var d []string
+		for _, in := range j.InputPaths() {
+			if p, ok := producer[in]; ok && p != j.ID && !seen[p] {
+				seen[p] = true
+				d = append(d, p)
+			}
+		}
+		sort.Strings(d)
+		deps[j.ID] = d
+	}
+	return deps
+}
+
+// TopoOrder returns the jobs in dependency order.
+func (w *Workflow) TopoOrder() ([]*Job, error) {
+	deps := w.DependencyMap()
+	byID := make(map[string]*Job, len(w.Jobs))
+	for _, j := range w.Jobs {
+		if byID[j.ID] != nil {
+			return nil, fmt.Errorf("mapred: duplicate job id %q", j.ID)
+		}
+		byID[j.ID] = j
+	}
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var out []*Job
+	var visit func(id string) error
+	visit = func(id string) error {
+		switch state[id] {
+		case 1:
+			return fmt.Errorf("mapred: workflow cycle at job %q", id)
+		case 2:
+			return nil
+		}
+		state[id] = 1
+		for _, d := range deps[id] {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[id] = 2
+		out = append(out, byID[id])
+		return nil
+	}
+	ids := make([]string, 0, len(w.Jobs))
+	for _, j := range w.Jobs {
+		ids = append(ids, j.ID)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := visit(id); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WorkflowResult aggregates per-job results and the Equation-1 workflow time.
+type WorkflowResult struct {
+	JobResults map[string]*JobResult
+	// Order is the execution order used.
+	Order []string
+	// SimulatedTime is the critical-path completion time (Equation 1).
+	SimulatedTime time.Duration
+	// Stats aggregates the per-job counters.
+	TotalInputBytes    int64
+	TotalOutputBytes   int64
+	TotalShuffleBytes  int64
+	TotalInjectedBytes int64
+}
+
+// RunWorkflow executes every job in dependency order and computes the
+// simulated workflow completion time via the Equation-1 critical path.
+func (e *Engine) RunWorkflow(w *Workflow) (*WorkflowResult, error) {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	res := &WorkflowResult{JobResults: make(map[string]*JobResult, len(order))}
+	durations := make(map[string]time.Duration, len(order))
+	for _, j := range order {
+		jr, err := e.RunJob(j)
+		if err != nil {
+			return nil, fmt.Errorf("mapred: workflow job %s: %w", j.ID, err)
+		}
+		res.JobResults[j.ID] = jr
+		res.Order = append(res.Order, j.ID)
+		durations[j.ID] = jr.Times.Total
+		res.TotalInputBytes += jr.Stats.InputBytes
+		res.TotalOutputBytes += jr.Stats.OutputBytes
+		res.TotalShuffleBytes += jr.Stats.ShuffleBytes
+		res.TotalInjectedBytes += jr.InjectedStoreBytes
+	}
+	total, err := cluster.CriticalPath(durations, w.DependencyMap())
+	if err != nil {
+		return nil, err
+	}
+	res.SimulatedTime = total
+	return res, nil
+}

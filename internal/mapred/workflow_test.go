@@ -1,0 +1,168 @@
+package mapred
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// buildQ2Workflow compiles the paper's Q2 by hand: job1 joins users with
+// views into a temp file; job2 groups the join result by name and sums
+// revenue. Mirrors Figure 3.
+func buildQ2Workflow(t *testing.T) *Workflow {
+	t.Helper()
+	// Job 1: join.
+	p1 := physical.NewPlan()
+	u := p1.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/users", Schema: usersSchema()})
+	v := p1.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	fu := p1.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{u.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0)}, Names: []string{"name"},
+		Schema: types.SchemaFromNames("name")})
+	j := p1.Add(&physical.Operator{Kind: physical.OpJoin, Inputs: []int{fu.ID, v.ID},
+		Keys:   [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}},
+		Schema: types.SchemaFromNames("name", "user", "rev")})
+	p1.Add(&physical.Operator{Kind: physical.OpStore, Path: "tmp/q2_join", Inputs: []int{j.ID}, Schema: j.Schema})
+	job1 := mustJob(t, "q2-join", p1)
+
+	// Job 2: group + aggregate.
+	p2 := physical.NewPlan()
+	joinSchema := types.NewSchema(
+		types.Field{Name: "name", Kind: types.KindString},
+		types.Field{Name: "user", Kind: types.KindString},
+		types.Field{Name: "rev", Kind: types.KindInt},
+	)
+	l2 := p2.Add(&physical.Operator{Kind: physical.OpLoad, Path: "tmp/q2_join", Schema: joinSchema})
+	sub := joinSchema
+	g := p2.Add(&physical.Operator{Kind: physical.OpGroup, Inputs: []int{l2.ID},
+		Keys: [][]*expr.Expr{{expr.ColIdx(0)}},
+		Schema: types.Schema{Fields: []types.Field{
+			{Name: "group"}, {Name: "C", Kind: types.KindBag, Sub: &sub}}}})
+	fe := p2.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{g.ID},
+		Exprs:  []*expr.Expr{expr.ColIdx(0), mustBind(t, expr.Call("SUM", expr.BagProj(expr.Col("C"), "rev")), g.Schema)},
+		Schema: types.SchemaFromNames("group", "total")})
+	p2.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/q2", Inputs: []int{fe.ID}, Schema: fe.Schema})
+	job2 := mustJob(t, "q2-group", p2)
+
+	return &Workflow{Jobs: []*Job{job2, job1}} // deliberately out of order
+}
+
+func TestWorkflowDependenciesAndOrder(t *testing.T) {
+	w := buildQ2Workflow(t)
+	deps := w.DependencyMap()
+	if len(deps["q2-group"]) != 1 || deps["q2-group"][0] != "q2-join" {
+		t.Errorf("deps = %v", deps)
+	}
+	order, err := w.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0].ID != "q2-join" || order[1].ID != "q2-group" {
+		t.Errorf("order = %v", []string{order[0].ID, order[1].ID})
+	}
+}
+
+func TestRunWorkflowQ2(t *testing.T) {
+	e := newTestEngine()
+	seedUsers(t, e.FS)
+	seedViews(t, e.FS)
+	w := buildQ2Workflow(t)
+	res, err := e.RunWorkflow(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readSorted(t, e.FS, "out/q2")
+	want := []string{"alice\t15", "bob\t7", "carol\t1"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("q2 = %v, want %v", got, want)
+	}
+	if len(res.Order) != 2 || res.Order[0] != "q2-join" {
+		t.Errorf("order = %v", res.Order)
+	}
+	// Equation 1 over a chain: total = job1 + job2.
+	sum := res.JobResults["q2-join"].Times.Total + res.JobResults["q2-group"].Times.Total
+	if res.SimulatedTime != sum {
+		t.Errorf("critical path %v != chain sum %v", res.SimulatedTime, sum)
+	}
+	if res.TotalInputBytes == 0 || res.TotalOutputBytes == 0 {
+		t.Errorf("workflow counters empty: %+v", res)
+	}
+}
+
+func TestWorkflowCycleDetected(t *testing.T) {
+	p1 := physical.NewPlan()
+	a := p1.Add(&physical.Operator{Kind: physical.OpLoad, Path: "x", Schema: types.SchemaFromNames("a")})
+	p1.Add(&physical.Operator{Kind: physical.OpStore, Path: "y", Inputs: []int{a.ID}, Schema: types.SchemaFromNames("a")})
+	j1 := mustJob(t, "j1", p1)
+
+	p2 := physical.NewPlan()
+	b := p2.Add(&physical.Operator{Kind: physical.OpLoad, Path: "y", Schema: types.SchemaFromNames("a")})
+	p2.Add(&physical.Operator{Kind: physical.OpStore, Path: "x", Inputs: []int{b.ID}, Schema: types.SchemaFromNames("a")})
+	j2 := mustJob(t, "j2", p2)
+
+	w := &Workflow{Jobs: []*Job{j1, j2}}
+	if _, err := w.TopoOrder(); err == nil {
+		t.Error("cyclic workflow accepted")
+	}
+}
+
+func TestWorkflowDuplicateJobID(t *testing.T) {
+	p := physical.NewPlan()
+	a := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "x", Schema: types.SchemaFromNames("a")})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "y", Inputs: []int{a.ID}, Schema: types.SchemaFromNames("a")})
+	j1 := mustJob(t, "dup", p)
+	j2 := mustJob(t, "dup", p.Clone())
+	w := &Workflow{Jobs: []*Job{j1, j2}}
+	if _, err := w.TopoOrder(); err == nil {
+		t.Error("duplicate job ids accepted")
+	}
+}
+
+func TestWorkflowDiamondCriticalPath(t *testing.T) {
+	e := newTestEngine()
+	// Two independent producers with very different sizes, one consumer.
+	small := []types.Tuple{{types.NewString("k"), types.NewInt(1)}}
+	var big []types.Tuple
+	for i := 0; i < 2000; i++ {
+		big = append(big, types.Tuple{types.NewString("k"), types.NewInt(int64(i))})
+	}
+	schema := types.NewSchema(types.Field{Name: "k", Kind: types.KindString}, types.Field{Name: "v", Kind: types.KindInt})
+	if err := e.FS.WriteTuples("data/small", schema, small); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FS.WritePartitioned("data/big", schema, big, 4); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id, in, out string) *Job {
+		p := physical.NewPlan()
+		l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: in, Schema: schema})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: out, Inputs: []int{l.ID}, Schema: schema})
+		return mustJob(t, id, p)
+	}
+	j1 := mk("copy-small", "data/small", "tmp/s")
+	j2 := mk("copy-big", "data/big", "tmp/b")
+	// Consumer joins both.
+	p := physical.NewPlan()
+	a := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "tmp/s", Schema: schema})
+	b := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "tmp/b", Schema: schema})
+	j := p.Add(&physical.Operator{Kind: physical.OpJoin, Inputs: []int{a.ID, b.ID},
+		Keys: [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}}, Schema: schema.Concat(schema)})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/d", Inputs: []int{j.ID}, Schema: j.Schema})
+	j3 := mustJob(t, "join", p)
+
+	res, err := e.RunWorkflow(&Workflow{Jobs: []*Job{j3, j1, j2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equation 1: join waits for the slower producer only.
+	slow := res.JobResults["copy-big"].Times.Total
+	if s := res.JobResults["copy-small"].Times.Total; s > slow {
+		slow = s
+	}
+	want := slow + res.JobResults["join"].Times.Total
+	if res.SimulatedTime != want {
+		t.Errorf("critical path = %v, want %v", res.SimulatedTime, want)
+	}
+}

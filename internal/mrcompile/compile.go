@@ -1,0 +1,229 @@
+// Package mrcompile turns a physical plan into a workflow of MapReduce jobs,
+// reproducing the MapReduce-compiler stage of Pig (§2 and §6.1 of the
+// paper): each blocking operator (Join, Group, CoGroup, Distinct, Order,
+// Limit) needs its own shuffle, so the plan is cut into jobs containing at
+// most one blocking operator each. Intermediate results flow between jobs
+// through temporary DFS files, exactly the files ReStore later decides to
+// keep and reuse.
+package mrcompile
+
+import (
+	"fmt"
+
+	"repro/internal/mapred"
+	"repro/internal/physical"
+)
+
+// Compile cuts the plan into MapReduce jobs. tmpPrefix namespaces the
+// intermediate files of this workflow (it must be unique per submitted
+// query so that repository-managed intermediates are never overwritten).
+func Compile(plan *physical.Plan, tmpPrefix string) (*mapred.Workflow, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("mrcompile: %w", err)
+	}
+	remaining := plan.Clone()
+	var jobs []*mapred.Job
+	jobNo := 0
+	tmpNo := 0
+
+	newTmp := func() string {
+		tmpNo++
+		return fmt.Sprintf("%s/tmp%d", tmpPrefix, tmpNo)
+	}
+
+	for {
+		b := pickBlockingRoot(remaining)
+		if b == nil {
+			break
+		}
+		include := remaining.ReachableFrom(b.ID)
+		growReduceSide(remaining, b, include)
+		jobPlan, err := extractJob(remaining, include, newTmp)
+		if err != nil {
+			return nil, err
+		}
+		jobNo++
+		job, err := mapred.NewJob(fmt.Sprintf("job%d", jobNo), jobPlan)
+		if err != nil {
+			return nil, fmt.Errorf("mrcompile: cut job %d: %w", jobNo, err)
+		}
+		jobs = append(jobs, job)
+	}
+
+	// Whatever remains is map-only work (possibly nothing).
+	pruneDeadOps(remaining)
+	if remaining.Len() > 0 {
+		if len(remaining.Sinks()) == 0 {
+			return nil, fmt.Errorf("mrcompile: %d residual operators without stores", remaining.Len())
+		}
+		jobNo++
+		job, err := mapred.NewJob(fmt.Sprintf("job%d", jobNo), remaining)
+		if err != nil {
+			return nil, fmt.Errorf("mrcompile: map-only job: %w", err)
+		}
+		jobs = append(jobs, job)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("mrcompile: plan compiled to zero jobs")
+	}
+	return &mapred.Workflow{Jobs: jobs}, nil
+}
+
+// pickBlockingRoot returns a blocking operator with no blocking ancestor in
+// the plan, preferring the lowest ID for determinism. Returns nil when the
+// plan has no blocking operators.
+func pickBlockingRoot(p *physical.Plan) *physical.Operator {
+	for _, o := range p.Ops() {
+		if !o.Kind.Blocking() {
+			continue
+		}
+		hasBlockingAncestor := false
+		for id := range p.ReachableFrom(o.ID) {
+			if id != o.ID && p.Op(id).Kind.Blocking() {
+				hasBlockingAncestor = true
+				break
+			}
+		}
+		if !hasBlockingAncestor {
+			return o
+		}
+	}
+	return nil
+}
+
+// growReduceSide extends the included set with the maximal set of
+// non-blocking descendants of b whose inputs are all inside the set — the
+// operators that can run in b's reduce phase.
+func growReduceSide(p *physical.Plan, b *physical.Operator, include map[int]bool) {
+	changed := true
+	for changed {
+		changed = false
+		for id := range include {
+			for _, c := range p.Consumers(id) {
+				if include[c.ID] || c.Kind.Blocking() {
+					continue
+				}
+				allIn := true
+				for _, in := range c.Inputs {
+					if !include[in] {
+						allIn = false
+						break
+					}
+				}
+				if allIn {
+					include[c.ID] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// extractJob removes the included operators from remaining and returns them
+// as a standalone job plan. Edges from included operators to excluded
+// consumers are cut by materializing the producer to a temp file: the job
+// gains a Store, the remainder gains a Load. Included Loads that excluded
+// operators also read are duplicated instead (a Load has no state to cut).
+func extractJob(remaining *physical.Plan, include map[int]bool, newTmp func() string) (*physical.Plan, error) {
+	jobPlan := physical.NewPlan()
+	remap := make(map[int]int) // remaining ID -> job plan ID
+
+	for _, o := range remaining.Ops() {
+		if include[o.ID] {
+			cp := o.Clone()
+			jobPlan.Add(cp)
+			remap[o.ID] = cp.ID
+		}
+	}
+	for oldID, newID := range remap {
+		op := jobPlan.Op(newID)
+		for i, in := range remaining.Op(oldID).Inputs {
+			mapped, ok := remap[in]
+			if !ok {
+				return nil, fmt.Errorf("mrcompile: included op %d has excluded input %d", oldID, in)
+			}
+			op.Inputs[i] = mapped
+		}
+	}
+
+	// Cut outgoing edges.
+	for _, o := range remaining.Ops() {
+		if !include[o.ID] {
+			continue
+		}
+		var outside []*physical.Operator
+		for _, c := range remaining.Consumers(o.ID) {
+			if !include[c.ID] {
+				outside = append(outside, c)
+			}
+		}
+		if len(outside) == 0 {
+			continue
+		}
+		if o.Kind == physical.OpLoad {
+			// Duplicate the Load into the remainder.
+			dup := o.Clone()
+			dup.Inputs = nil
+			remaining.Add(dup)
+			for _, c := range outside {
+				c.ReplaceInput(o.ID, dup.ID)
+			}
+			continue
+		}
+		// Reuse an existing user Store of this producer when present, so
+		// the workflow does not write the same bytes twice.
+		var path string
+		for _, c := range jobPlan.Consumers(remap[o.ID]) {
+			if c.Kind == physical.OpStore && !c.Injected {
+				path = c.Path
+				break
+			}
+		}
+		if path == "" {
+			path = newTmp()
+			jobPlan.Add(&physical.Operator{
+				Kind:   physical.OpStore,
+				Path:   path,
+				Inputs: []int{remap[o.ID]},
+				Schema: o.Schema,
+			})
+		}
+		load := remaining.Add(&physical.Operator{
+			Kind:   physical.OpLoad,
+			Path:   path,
+			Schema: o.Schema,
+		})
+		for _, c := range outside {
+			c.ReplaceInput(o.ID, load.ID)
+		}
+	}
+
+	// Remove the extracted operators from the remainder.
+	for oldID := range remap {
+		remaining.Remove(oldID)
+	}
+
+	// The job's terminal operators need Stores: if the blocking segment's
+	// frontier ends without one (all consumers were excluded and cut above,
+	// which added Stores), validation will catch residual problems.
+	if len(jobPlan.Sinks()) == 0 {
+		return nil, fmt.Errorf("mrcompile: extracted job has no store")
+	}
+	return jobPlan, nil
+}
+
+// pruneDeadOps removes operators that no longer reach a Store (artifacts of
+// edge cutting).
+func pruneDeadOps(p *physical.Plan) {
+	live := make(map[int]bool)
+	for _, st := range p.Sinks() {
+		for id := range p.ReachableFrom(st.ID) {
+			live[id] = true
+		}
+	}
+	for _, o := range p.Ops() {
+		if !live[o.ID] {
+			p.Remove(o.ID)
+		}
+	}
+}

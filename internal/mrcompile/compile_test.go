@@ -1,0 +1,307 @@
+package mrcompile
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/logical"
+	"repro/internal/mapred"
+	"repro/internal/physical"
+	"repro/internal/piglatin"
+	"repro/internal/types"
+)
+
+func compile(t *testing.T, src, tmpPrefix string) *mapred.Workflow {
+	t.Helper()
+	script, err := piglatin.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	plan, err := logical.Build(script)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	w, err := Compile(plan, tmpPrefix)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return w
+}
+
+func seed(t *testing.T, fs *dfs.FS) {
+	t.Helper()
+	views := types.NewSchema(
+		types.Field{Name: "user", Kind: types.KindString},
+		types.Field{Name: "timestamp", Kind: types.KindInt},
+		types.Field{Name: "est_revenue", Kind: types.KindFloat},
+	)
+	if err := fs.WritePartitioned("page_views", views, []types.Tuple{
+		{types.NewString("alice"), types.NewInt(1), types.NewFloat(1.5)},
+		{types.NewString("alice"), types.NewInt(2), types.NewFloat(2.5)},
+		{types.NewString("bob"), types.NewInt(3), types.NewFloat(3.0)},
+		{types.NewString("eve"), types.NewInt(4), types.NewFloat(9.9)},
+	}, 2); err != nil {
+		t.Fatal(err)
+	}
+	users := types.NewSchema(
+		types.Field{Name: "name", Kind: types.KindString},
+		types.Field{Name: "phone", Kind: types.KindString},
+	)
+	if err := fs.WritePartitioned("users", users, []types.Tuple{
+		{types.NewString("alice"), types.NewString("555-1")},
+		{types.NewString("bob"), types.NewString("555-2")},
+		{types.NewString("carol"), types.NewString("555-3")},
+	}, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runWorkflow(t *testing.T, fs *dfs.FS, w *mapred.Workflow) *mapred.WorkflowResult {
+	t.Helper()
+	e := mapred.NewEngine(fs, cluster.Default())
+	res, err := e.RunWorkflow(w)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func sorted(t *testing.T, fs *dfs.FS, path string) []string {
+	t.Helper()
+	rows, err := fs.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = types.FormatTSV(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+const q1Src = `
+A = load 'page_views' as (user, timestamp, est_revenue:double);
+B = foreach A generate user, est_revenue;
+alpha = load 'users' as (name, phone);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+store C into 'out/q1';
+`
+
+const q2Src = `
+A = load 'page_views' as (user, timestamp, est_revenue:double);
+B = foreach A generate user, est_revenue;
+alpha = load 'users' as (name, phone);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, SUM(C.est_revenue);
+store E into 'out/q2';
+`
+
+func TestCompileQ1SingleJob(t *testing.T) {
+	w := compile(t, q1Src, "tmp/q1")
+	if len(w.Jobs) != 1 {
+		t.Fatalf("Q1 compiled to %d jobs, want 1 (paper Fig. 2)", len(w.Jobs))
+	}
+	if w.Jobs[0].Blocking() == nil || w.Jobs[0].Blocking().Kind != physical.OpJoin {
+		t.Error("Q1 job should block on Join")
+	}
+}
+
+func TestCompileAndRunQ1(t *testing.T) {
+	fs := dfs.New()
+	seed(t, fs)
+	w := compile(t, q1Src, "tmp/q1")
+	runWorkflow(t, fs, w)
+	got := sorted(t, fs, "out/q1")
+	want := []string{
+		"alice\talice\t1.5",
+		"alice\talice\t2.5",
+		"bob\tbob\t3",
+	}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("q1 = %v, want %v", got, want)
+	}
+}
+
+func TestCompileQ2TwoJobs(t *testing.T) {
+	w := compile(t, q2Src, "tmp/q2")
+	if len(w.Jobs) != 2 {
+		t.Fatalf("Q2 compiled to %d jobs, want 2 (paper Fig. 3)", len(w.Jobs))
+	}
+	deps := w.DependencyMap()
+	if len(deps["job2"]) != 1 || deps["job2"][0] != "job1" {
+		t.Errorf("deps = %v", deps)
+	}
+	// Job 1 blocks on Join, job 2 on Group — the paper's exact cut.
+	if w.Jobs[0].Blocking().Kind != physical.OpJoin || w.Jobs[1].Blocking().Kind != physical.OpGroup {
+		t.Errorf("blocking ops = %s, %s", w.Jobs[0].Blocking().Kind, w.Jobs[1].Blocking().Kind)
+	}
+}
+
+func TestCompileAndRunQ2(t *testing.T) {
+	fs := dfs.New()
+	seed(t, fs)
+	w := compile(t, q2Src, "tmp/q2")
+	runWorkflow(t, fs, w)
+	got := sorted(t, fs, "out/q2")
+	want := []string{"alice\t4", "bob\t3"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("q2 = %v, want %v", got, want)
+	}
+}
+
+const l11Src = `
+A = load 'page_views' as (user, timestamp, est_revenue:double);
+B = foreach A generate user;
+C = distinct B;
+alpha = load 'users' as (name, phone);
+beta = foreach alpha generate name;
+gamma = distinct beta;
+D = union C, gamma;
+E = distinct D;
+store E into 'out/l11';
+`
+
+func TestCompileL11ThreeJobs(t *testing.T) {
+	w := compile(t, l11Src, "tmp/l11")
+	if len(w.Jobs) != 3 {
+		t.Fatalf("L11 compiled to %d jobs, want 3 (paper §7.1)", len(w.Jobs))
+	}
+	deps := w.DependencyMap()
+	finals := 0
+	for _, d := range deps {
+		if len(d) == 2 {
+			finals++
+		}
+	}
+	if finals != 1 {
+		t.Errorf("expected one job depending on the other two: %v", deps)
+	}
+}
+
+func TestCompileAndRunL11(t *testing.T) {
+	fs := dfs.New()
+	seed(t, fs)
+	w := compile(t, l11Src, "tmp/l11")
+	runWorkflow(t, fs, w)
+	got := sorted(t, fs, "out/l11")
+	want := []string{"alice", "bob", "carol", "eve"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("l11 = %v, want %v", got, want)
+	}
+}
+
+func TestCompileMapOnlyScript(t *testing.T) {
+	fs := dfs.New()
+	seed(t, fs)
+	w := compile(t, `
+A = load 'page_views' as (user, timestamp, est_revenue:double);
+B = filter A by est_revenue > 2.0;
+C = foreach B generate user;
+store C into 'out/maponly';
+`, "tmp/mo")
+	if len(w.Jobs) != 1 || w.Jobs[0].Blocking() != nil {
+		t.Fatalf("map-only script compiled wrong: %d jobs", len(w.Jobs))
+	}
+	runWorkflow(t, fs, w)
+	got := sorted(t, fs, "out/maponly")
+	want := []string{"alice", "bob", "eve"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("maponly = %v, want %v", got, want)
+	}
+}
+
+func TestCompileStoreAndContinue(t *testing.T) {
+	// The join result is both stored by the user and grouped further: the
+	// cut must reuse the user's store path instead of a duplicate temp.
+	fs := dfs.New()
+	seed(t, fs)
+	src := `
+A = load 'page_views' as (user, timestamp, est_revenue:double);
+B = foreach A generate user, est_revenue;
+alpha = load 'users' as (name, phone);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+store C into 'out/joined';
+D = group C by $0;
+E = foreach D generate group, SUM(C.est_revenue);
+store E into 'out/agg';
+`
+	w := compile(t, src, "tmp/sc")
+	if len(w.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(w.Jobs))
+	}
+	// Job 2 should read the user's stored join output, not a temp.
+	if in := w.Jobs[1].InputPaths(); len(in) != 1 || in[0] != "out/joined" {
+		t.Errorf("job2 inputs = %v, want [out/joined]", in)
+	}
+	runWorkflow(t, fs, w)
+	if got := sorted(t, fs, "out/agg"); strings.Join(got, "|") != "alice\t4|bob\t3" {
+		t.Errorf("agg = %v", got)
+	}
+	if got := sorted(t, fs, "out/joined"); len(got) != 3 {
+		t.Errorf("joined rows = %d", len(got))
+	}
+}
+
+func TestCompileNestedForeachRuns(t *testing.T) {
+	fs := dfs.New()
+	seed(t, fs)
+	src := `
+A = load 'page_views' as (user, timestamp:int, est_revenue:double);
+B = group A by user;
+C = foreach B {
+  early = filter A by timestamp < 3;
+  generate group, COUNT(early), COUNT(A);
+};
+store C into 'out/nested';
+`
+	w := compile(t, src, "tmp/nf")
+	runWorkflow(t, fs, w)
+	got := sorted(t, fs, "out/nested")
+	want := []string{"alice\t2\t2", "bob\t0\t1", "eve\t0\t1"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("nested = %v, want %v", got, want)
+	}
+}
+
+func TestCompileOrderAfterGroup(t *testing.T) {
+	fs := dfs.New()
+	seed(t, fs)
+	src := `
+A = load 'page_views' as (user, timestamp, est_revenue:double);
+B = group A by user;
+C = foreach B generate group, SUM(A.est_revenue) as total;
+D = order C by total desc;
+store D into 'out/top';
+`
+	w := compile(t, src, "tmp/og")
+	if len(w.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2 (group job + order job)", len(w.Jobs))
+	}
+	runWorkflow(t, fs, w)
+	rows, err := fs.ReadAll("out/top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0].Str() != "eve" {
+		t.Errorf("top = %v", rows)
+	}
+}
+
+func TestTempPathsNamespaced(t *testing.T) {
+	w := compile(t, q2Src, "tmp/queryX")
+	for _, j := range w.Jobs {
+		for _, out := range j.OutputPaths() {
+			if !strings.HasPrefix(out, "out/") && !strings.HasPrefix(out, "tmp/queryX/") {
+				t.Errorf("temp path %q not under requested prefix", out)
+			}
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package physical defines the physical query execution plan model: the
+// operator vocabulary shared by the dataflow compiler, the MapReduce engine,
+// and ReStore. A MapReduce job carries one Plan (a DAG of operators from
+// Load(s) to Store(s)); ReStore's matcher tests plan containment over this
+// representation, and the repository persists plans as JSON.
+//
+// The vocabulary mirrors Pig's physical operators as described in the paper:
+// Load, Store, Foreach (projection/transformation), Filter, Join, Group,
+// CoGroup, Union, Distinct, Order, Limit, and Split (the tee operator
+// ReStore injects to materialize sub-job outputs).
+package physical
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// OpKind names a physical operator type.
+type OpKind string
+
+// Operator kinds.
+const (
+	OpLoad     OpKind = "Load"
+	OpStore    OpKind = "Store"
+	OpForeach  OpKind = "Foreach"
+	OpFilter   OpKind = "Filter"
+	OpJoin     OpKind = "Join"
+	OpGroup    OpKind = "Group"
+	OpCoGroup  OpKind = "CoGroup"
+	OpUnion    OpKind = "Union"
+	OpDistinct OpKind = "Distinct"
+	OpOrder    OpKind = "Order"
+	OpLimit    OpKind = "Limit"
+	OpSplit    OpKind = "Split"
+)
+
+// Blocking reports whether the operator requires a shuffle (map/reduce
+// boundary). The MapReduce compiler places at most one blocking operator per
+// job — the paper's job-cutting rule. Limit is blocking because it funnels
+// through a single reducer to produce an exact row count, as in Pig.
+func (k OpKind) Blocking() bool {
+	switch k {
+	case OpJoin, OpGroup, OpCoGroup, OpDistinct, OpOrder, OpLimit:
+		return true
+	}
+	return false
+}
+
+// SortCol is one sort key of an Order operator.
+type SortCol struct {
+	Index int  `json:"index"`
+	Desc  bool `json:"desc,omitempty"`
+}
+
+// NestedDef is one statement inside a nested foreach block: it derives a new
+// bag from a bag-valued expression over the input tuple, optionally running a
+// nested operator (distinct, filter) over the bag's tuples. The resulting bag
+// is appended to the input tuple under Alias before the generate expressions
+// run.
+type NestedDef struct {
+	Alias string     `json:"alias"`
+	Base  *expr.Expr `json:"base"`
+	// Op is "ident", "distinct", or "filter".
+	Op   string     `json:"nestedOp"`
+	Pred *expr.Expr `json:"pred,omitempty"`
+}
+
+// Operator is one node of a physical plan.
+type Operator struct {
+	ID   int    `json:"id"`
+	Kind OpKind `json:"kind"`
+	// Inputs are producer operator IDs, in argument order (order matters
+	// for Join/CoGroup output layout).
+	Inputs []int `json:"inputs,omitempty"`
+
+	// Path is the DFS path for Load (source) and Store (destination).
+	Path string `json:"path,omitempty"`
+	// Schema is the operator's output schema.
+	Schema types.Schema `json:"schema"`
+
+	// Exprs are the generate expressions of a Foreach.
+	Exprs []*expr.Expr `json:"exprs,omitempty"`
+	// Names are the output column aliases of a Foreach (not part of
+	// operator equivalence).
+	Names []string `json:"names,omitempty"`
+	// Nested are the nested-block statements of a Foreach.
+	Nested []NestedDef `json:"nested,omitempty"`
+
+	// Pred is the Filter predicate.
+	Pred *expr.Expr `json:"predExpr,omitempty"`
+
+	// Keys hold one key-expression list per input for Join/CoGroup, and a
+	// single list (Keys[0]) for Group. An empty Keys on Group means
+	// GROUP ALL.
+	Keys [][]*expr.Expr `json:"keys,omitempty"`
+
+	// SortCols are the Order keys.
+	SortCols []SortCol `json:"sortCols,omitempty"`
+
+	// N is the Limit row count.
+	N int64 `json:"n,omitempty"`
+
+	// Injected marks Store (and their feeding Split) operators that
+	// ReStore added to materialize sub-job outputs, as opposed to the
+	// query's own Stores. Injected stores are costed separately (they are
+	// the "overhead" the paper measures) and never count as job outputs.
+	Injected bool `json:"injected,omitempty"`
+}
+
+// Clone deep-copies the operator.
+func (o *Operator) Clone() *Operator {
+	out := *o
+	out.Inputs = append([]int(nil), o.Inputs...)
+	out.Exprs = cloneExprs(o.Exprs)
+	out.Names = append([]string(nil), o.Names...)
+	out.Nested = make([]NestedDef, len(o.Nested))
+	for i, n := range o.Nested {
+		out.Nested[i] = NestedDef{Alias: n.Alias, Base: n.Base.Clone(), Op: n.Op, Pred: n.Pred.Clone()}
+	}
+	if o.Pred != nil {
+		out.Pred = o.Pred.Clone()
+	}
+	out.Keys = make([][]*expr.Expr, len(o.Keys))
+	for i, ks := range o.Keys {
+		out.Keys[i] = cloneExprs(ks)
+	}
+	out.SortCols = append([]SortCol(nil), o.SortCols...)
+	return &out
+}
+
+func cloneExprs(es []*expr.Expr) []*expr.Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]*expr.Expr, len(es))
+	for i, e := range es {
+		out[i] = e.Clone()
+	}
+	return out
+}
+
+// Signature returns the canonical description of the *function* the operator
+// performs, excluding its input linkage and output aliases. Two operators
+// are equivalent (paper §3) iff their signatures match AND their inputs are
+// pairwise equivalent — the plan matcher checks the latter by simultaneous
+// traversal.
+//
+// Store signatures deliberately exclude the destination path: a stored
+// repository plan matches an input job regardless of where either writes.
+func (o *Operator) Signature() string {
+	var sb strings.Builder
+	sb.WriteString(string(o.Kind))
+	switch o.Kind {
+	case OpLoad:
+		// Column names are user aliases and excluded; the declared kinds
+		// affect decoding and stay.
+		fmt.Fprintf(&sb, "[%s](", o.Path)
+		for i, f := range o.Schema.Fields {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(f.Kind.String())
+		}
+		sb.WriteByte(')')
+	case OpStore:
+		// path excluded
+	case OpForeach:
+		sb.WriteByte('[')
+		for i, n := range o.Nested {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			fmt.Fprintf(&sb, "%s:%s(%s", n.Alias, n.Op, n.Base.Canonical())
+			if n.Pred != nil {
+				fmt.Fprintf(&sb, "|%s", n.Pred.Canonical())
+			}
+			sb.WriteByte(')')
+		}
+		sb.WriteByte(']')
+		sb.WriteByte('[')
+		for i, e := range o.Exprs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(e.Canonical())
+		}
+		sb.WriteByte(']')
+	case OpFilter:
+		fmt.Fprintf(&sb, "[%s]", o.Pred.Canonical())
+	case OpJoin, OpCoGroup, OpGroup:
+		sb.WriteByte('[')
+		for i, ks := range o.Keys {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			for j, k := range ks {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(k.Canonical())
+			}
+		}
+		sb.WriteByte(']')
+	case OpOrder:
+		sb.WriteByte('[')
+		for i, sc := range o.SortCols {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "$%d", sc.Index)
+			if sc.Desc {
+				sb.WriteString(" desc")
+			}
+		}
+		sb.WriteByte(']')
+	case OpLimit:
+		fmt.Fprintf(&sb, "[%d]", o.N)
+	case OpUnion, OpDistinct, OpSplit:
+		// no parameters
+	}
+	return sb.String()
+}
+
+// String renders the operator for diagnostics.
+func (o *Operator) String() string {
+	return fmt.Sprintf("#%d %s", o.ID, o.Signature())
+}
+
+// InferSchema computes the operator's output schema from its input schemas.
+// It is used by the plan builder and revalidated when plans are rewritten.
+func InferSchema(o *Operator, inputs []types.Schema) (types.Schema, error) {
+	switch o.Kind {
+	case OpLoad:
+		return o.Schema, nil
+	case OpStore, OpLimit:
+		if len(inputs) != 1 {
+			return types.Schema{}, fmt.Errorf("physical: %s wants 1 input, got %d", o.Kind, len(inputs))
+		}
+		return inputs[0], nil
+	case OpFilter, OpDistinct, OpOrder, OpSplit:
+		if len(inputs) != 1 {
+			return types.Schema{}, fmt.Errorf("physical: %s wants 1 input, got %d", o.Kind, len(inputs))
+		}
+		return inputs[0], nil
+	case OpForeach:
+		if len(inputs) != 1 {
+			return types.Schema{}, fmt.Errorf("physical: Foreach wants 1 input, got %d", len(inputs))
+		}
+		fields := make([]types.Field, len(o.Exprs))
+		for i := range o.Exprs {
+			name := fmt.Sprintf("f%d", i)
+			if i < len(o.Names) && o.Names[i] != "" {
+				name = o.Names[i]
+			}
+			fields[i] = types.Field{Name: name, Kind: types.KindNull}
+		}
+		return types.Schema{Fields: fields}, nil
+	case OpUnion:
+		if len(inputs) == 0 {
+			return types.Schema{}, fmt.Errorf("physical: Union wants >=1 input")
+		}
+		return inputs[0], nil
+	case OpJoin:
+		if len(inputs) != 2 {
+			return types.Schema{}, fmt.Errorf("physical: Join wants 2 inputs, got %d", len(inputs))
+		}
+		return inputs[0].Concat(inputs[1]), nil
+	case OpGroup:
+		if len(inputs) != 1 {
+			return types.Schema{}, fmt.Errorf("physical: Group wants 1 input, got %d", len(inputs))
+		}
+		sub := inputs[0]
+		return types.Schema{Fields: []types.Field{
+			{Name: "group"},
+			{Name: "$bag", Kind: types.KindBag, Sub: &sub},
+		}}, nil
+	case OpCoGroup:
+		if len(inputs) < 2 {
+			return types.Schema{}, fmt.Errorf("physical: CoGroup wants >=2 inputs, got %d", len(inputs))
+		}
+		fields := []types.Field{{Name: "group"}}
+		for i := range inputs {
+			sub := inputs[i]
+			fields = append(fields, types.Field{Name: fmt.Sprintf("$bag%d", i), Kind: types.KindBag, Sub: &sub})
+		}
+		return types.Schema{Fields: fields}, nil
+	default:
+		return types.Schema{}, fmt.Errorf("physical: unknown operator kind %q", o.Kind)
+	}
+}
+
+// sortedIDs returns the keys of m ascending.
+func sortedIDs(m map[int]*Operator) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,320 @@
+package physical
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// buildQ1 constructs the paper's Figure 2 plan:
+//
+//	Load(page_views) -> Foreach(user, est_revenue) \
+//	                                                Join -> Store
+//
+// Load(users)      -> Foreach(name)              /
+func buildQ1(t *testing.T, outPath string) *Plan {
+	t.Helper()
+	p := NewPlan()
+	pv := p.Add(&Operator{Kind: OpLoad, Path: "data/page_views",
+		Schema: types.SchemaFromNames("user", "timestamp", "est_revenue", "page_info", "page_links")})
+	users := p.Add(&Operator{Kind: OpLoad, Path: "data/users",
+		Schema: types.SchemaFromNames("name", "phone", "address", "city")})
+	projPV := p.Add(&Operator{Kind: OpForeach, Inputs: []int{pv.ID},
+		Exprs:  []*expr.Expr{expr.ColIdx(0), expr.ColIdx(2)},
+		Names:  []string{"user", "est_revenue"},
+		Schema: types.SchemaFromNames("user", "est_revenue")})
+	projU := p.Add(&Operator{Kind: OpForeach, Inputs: []int{users.ID},
+		Exprs:  []*expr.Expr{expr.ColIdx(0)},
+		Names:  []string{"name"},
+		Schema: types.SchemaFromNames("name")})
+	join := p.Add(&Operator{Kind: OpJoin, Inputs: []int{projU.ID, projPV.ID},
+		Keys:   [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}},
+		Schema: types.SchemaFromNames("name", "user", "est_revenue")})
+	p.Add(&Operator{Kind: OpStore, Path: outPath, Inputs: []int{join.ID},
+		Schema: join.Schema})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Q1 plan invalid: %v", err)
+	}
+	return p
+}
+
+func TestPlanNavigation(t *testing.T) {
+	p := buildQ1(t, "out/q1")
+	if p.Len() != 6 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	srcs := p.Sources()
+	if len(srcs) != 2 || srcs[0].Path != "data/page_views" {
+		t.Errorf("sources = %v", srcs)
+	}
+	sinks := p.Sinks()
+	if len(sinks) != 1 || sinks[0].Path != "out/q1" {
+		t.Errorf("sinks = %v", sinks)
+	}
+	cons := p.Consumers(srcs[0].ID)
+	if len(cons) != 1 || cons[0].Kind != OpForeach {
+		t.Errorf("consumers of load = %v", cons)
+	}
+	prods := p.Producers(sinks[0])
+	if len(prods) != 1 || prods[0].Kind != OpJoin {
+		t.Errorf("producers of store = %v", prods)
+	}
+}
+
+func TestTopoOrderProducersFirst(t *testing.T) {
+	p := buildQ1(t, "out/q1")
+	order, err := p.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, o := range order {
+		pos[o.ID] = i
+	}
+	for _, o := range order {
+		for _, in := range o.Inputs {
+			if pos[in] >= pos[o.ID] {
+				t.Errorf("input %d of %s ordered after it", in, o)
+			}
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	p := NewPlan()
+	a := p.Add(&Operator{Kind: OpFilter, Pred: expr.Lit(types.NewBool(true))})
+	b := p.Add(&Operator{Kind: OpFilter, Pred: expr.Lit(types.NewBool(true))})
+	a.Inputs = []int{b.ID}
+	b.Inputs = []int{a.ID}
+	if _, err := p.TopoOrder(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestValidateCatchesArityAndDangling(t *testing.T) {
+	p := NewPlan()
+	l := p.Add(&Operator{Kind: OpLoad, Path: "x", Schema: types.SchemaFromNames("a")})
+	j := p.Add(&Operator{Kind: OpJoin, Inputs: []int{l.ID}, Keys: [][]*expr.Expr{{expr.ColIdx(0)}}})
+	p.Add(&Operator{Kind: OpStore, Path: "o", Inputs: []int{j.ID}})
+	if err := p.Validate(); err == nil {
+		t.Error("join with one input should fail validation")
+	}
+
+	p2 := NewPlan()
+	st := p2.Add(&Operator{Kind: OpStore, Path: "o", Inputs: []int{99}})
+	_ = st
+	if err := p2.Validate(); err == nil {
+		t.Error("dangling input should fail validation")
+	}
+
+	p3 := NewPlan()
+	p3.Add(&Operator{Kind: OpLoad, Path: "x", Schema: types.SchemaFromNames("a")})
+	if err := p3.Validate(); err == nil {
+		t.Error("load without consumers should fail validation")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildQ1(t, "out/q1")
+	c := p.Clone()
+	for _, o := range c.Ops() {
+		if o.Kind == OpJoin {
+			o.Keys[0][0] = expr.ColIdx(7)
+		}
+		if o.Kind == OpLoad {
+			o.Path = "changed"
+		}
+	}
+	for _, o := range p.Ops() {
+		if o.Kind == OpJoin && o.Keys[0][0].Index == 7 {
+			t.Error("clone aliases join keys")
+		}
+		if o.Kind == OpLoad && o.Path == "changed" {
+			t.Error("clone aliases operators")
+		}
+	}
+}
+
+func TestCanonicalIgnoresIDsAndAliases(t *testing.T) {
+	a := buildQ1(t, "out/q1")
+
+	// Build the same dataflow but in a different insertion order and with
+	// different Foreach output aliases.
+	p := NewPlan()
+	users := p.Add(&Operator{Kind: OpLoad, Path: "data/users",
+		Schema: types.SchemaFromNames("name", "phone", "address", "city")})
+	projU := p.Add(&Operator{Kind: OpForeach, Inputs: []int{users.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0)}, Names: []string{"renamed"},
+		Schema: types.SchemaFromNames("renamed")})
+	pv := p.Add(&Operator{Kind: OpLoad, Path: "data/page_views",
+		Schema: types.SchemaFromNames("user", "timestamp", "est_revenue", "page_info", "page_links")})
+	projPV := p.Add(&Operator{Kind: OpForeach, Inputs: []int{pv.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0), expr.ColIdx(2)}, Names: []string{"u", "r"},
+		Schema: types.SchemaFromNames("u", "r")})
+	join := p.Add(&Operator{Kind: OpJoin, Inputs: []int{projU.ID, projPV.ID},
+		Keys:   [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}},
+		Schema: types.SchemaFromNames("name", "user", "est_revenue")})
+	p.Add(&Operator{Kind: OpStore, Path: "different/out", Inputs: []int{join.ID}, Schema: join.Schema})
+
+	if a.Canonical() != p.Canonical() {
+		t.Errorf("canonical differs:\n%s\n---\n%s", a.Canonical(), p.Canonical())
+	}
+}
+
+func TestCanonicalDistinguishesPaths(t *testing.T) {
+	a := buildQ1(t, "out/q1")
+	p := NewPlan()
+	l := p.Add(&Operator{Kind: OpLoad, Path: "data/OTHER",
+		Schema: types.SchemaFromNames("user", "timestamp", "est_revenue", "page_info", "page_links")})
+	f := p.Add(&Operator{Kind: OpForeach, Inputs: []int{l.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0)}, Schema: types.SchemaFromNames("user")})
+	p.Add(&Operator{Kind: OpStore, Path: "o", Inputs: []int{f.ID}, Schema: f.Schema})
+	if a.Canonical() == p.Canonical() {
+		t.Error("plans over different sources must differ")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := buildQ1(t, "out/q1")
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Canonical() != p.Canonical() {
+		t.Errorf("round trip changed canonical:\n%s\n---\n%s", back.Canonical(), p.Canonical())
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped plan invalid: %v", err)
+	}
+}
+
+func TestSignatureExcludesStorePathIncludesLoadPath(t *testing.T) {
+	s1 := (&Operator{Kind: OpStore, Path: "a"}).Signature()
+	s2 := (&Operator{Kind: OpStore, Path: "b"}).Signature()
+	if s1 != s2 {
+		t.Error("store path must not affect signature")
+	}
+	l1 := (&Operator{Kind: OpLoad, Path: "a", Schema: types.SchemaFromNames("x")}).Signature()
+	l2 := (&Operator{Kind: OpLoad, Path: "b", Schema: types.SchemaFromNames("x")}).Signature()
+	if l1 == l2 {
+		t.Error("load path must affect signature")
+	}
+}
+
+func TestBlockingKinds(t *testing.T) {
+	blocking := []OpKind{OpJoin, OpGroup, OpCoGroup, OpDistinct, OpOrder, OpLimit}
+	for _, k := range blocking {
+		if !k.Blocking() {
+			t.Errorf("%s should be blocking", k)
+		}
+	}
+	streaming := []OpKind{OpLoad, OpStore, OpForeach, OpFilter, OpUnion, OpSplit}
+	for _, k := range streaming {
+		if k.Blocking() {
+			t.Errorf("%s should not be blocking", k)
+		}
+	}
+}
+
+func TestExtractPrefix(t *testing.T) {
+	p := buildQ1(t, "out/q1")
+	// Extract the cone of the page_views projection.
+	var projID int
+	for _, o := range p.Ops() {
+		if o.Kind == OpForeach && len(o.Exprs) == 2 {
+			projID = o.ID
+		}
+	}
+	sub, err := p.ExtractPrefix(projID, "restore/sub1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("prefix invalid: %v\n%s", err, sub)
+	}
+	if len(sub.Sources()) != 1 || sub.Sources()[0].Path != "data/page_views" {
+		t.Errorf("prefix sources = %v", sub.Sources())
+	}
+	sinks := sub.Sinks()
+	if len(sinks) != 1 || sinks[0].Path != "restore/sub1" {
+		t.Errorf("prefix sinks = %v", sinks)
+	}
+	if sub.Len() != 3 { // Load, Foreach, Store
+		t.Errorf("prefix len = %d\n%s", sub.Len(), sub)
+	}
+}
+
+func TestExtractPrefixSplicesSplit(t *testing.T) {
+	p := NewPlan()
+	l := p.Add(&Operator{Kind: OpLoad, Path: "x", Schema: types.SchemaFromNames("a")})
+	f := p.Add(&Operator{Kind: OpForeach, Inputs: []int{l.ID},
+		Exprs: []*expr.Expr{expr.ColIdx(0)}, Schema: types.SchemaFromNames("a")})
+	sp := p.Add(&Operator{Kind: OpSplit, Inputs: []int{f.ID}, Schema: f.Schema})
+	flt := p.Add(&Operator{Kind: OpFilter, Inputs: []int{sp.ID},
+		Pred: expr.Binary("==", expr.ColIdx(0), expr.Lit(types.NewInt(1))), Schema: f.Schema})
+	p.Add(&Operator{Kind: OpStore, Path: "o1", Inputs: []int{sp.ID}, Schema: f.Schema})
+	p.Add(&Operator{Kind: OpStore, Path: "o2", Inputs: []int{flt.ID}, Schema: f.Schema})
+
+	sub, err := p.ExtractPrefix(flt.ID, "restore/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range sub.Ops() {
+		if o.Kind == OpSplit {
+			t.Errorf("split survived extraction:\n%s", sub)
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("spliced prefix invalid: %v\n%s", err, sub)
+	}
+}
+
+func TestInferSchema(t *testing.T) {
+	in := types.SchemaFromNames("a", "b")
+	cases := []struct {
+		op     *Operator
+		inputs []types.Schema
+		want   string
+	}{
+		{&Operator{Kind: OpFilter}, []types.Schema{in}, "(a, b)"},
+		{&Operator{Kind: OpForeach, Exprs: []*expr.Expr{expr.ColIdx(1)}, Names: []string{"x"}},
+			[]types.Schema{in}, "(x)"},
+		{&Operator{Kind: OpJoin}, []types.Schema{in, types.SchemaFromNames("a", "c")}, "(a, b, r::a, c)"},
+	}
+	for _, c := range cases {
+		got, err := InferSchema(c.op, c.inputs)
+		if err != nil {
+			t.Fatalf("%s: %v", c.op.Kind, err)
+		}
+		if got.String() != c.want {
+			t.Errorf("%s schema = %s, want %s", c.op.Kind, got, c.want)
+		}
+	}
+	g, err := InferSchema(&Operator{Kind: OpGroup}, []types.Schema{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fields[1].Kind != types.KindBag || g.Fields[1].Sub == nil {
+		t.Errorf("group schema = %+v", g)
+	}
+	if _, err := InferSchema(&Operator{Kind: OpJoin}, []types.Schema{in}); err == nil {
+		t.Error("join with 1 input schema should error")
+	}
+}
+
+func TestPlanStringContainsOps(t *testing.T) {
+	p := buildQ1(t, "out/q1")
+	s := p.String()
+	for _, want := range []string{"Load", "Join", "Store"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %s:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package physical
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// randomPlan builds a random valid plan: distinct Load sources, a few
+// layers of unary/binary operators with per-plan-unique parameters (so no
+// two separate operators compute identical cones — mirroring compiler
+// output, which shares operators via fan-out instead of duplicating them),
+// and a Store on every dangling frontier.
+func randomPlan(r *rand.Rand) *Plan {
+	p := NewPlan()
+	frontier := make([]*Operator, 0, 4)
+	paths := []string{"t/a", "t/b", "t/c"}
+	nLoads := 1 + r.Intn(3)
+	for i := 0; i < nLoads; i++ {
+		frontier = append(frontier, p.Add(&Operator{
+			Kind:   OpLoad,
+			Path:   paths[i],
+			Schema: types.SchemaFromNames("c0", "c1", "c2"),
+		}))
+	}
+	uniq := int64(0) // per-plan unique literal, keeps operator cones distinct
+	usedJoins := make(map[[2]int]bool)
+	steps := 1 + r.Intn(5)
+	for i := 0; i < steps; i++ {
+		src := frontier[r.Intn(len(frontier))]
+		uniq++
+		switch r.Intn(4) {
+		case 0, 2:
+			frontier = append(frontier, p.Add(&Operator{
+				Kind:   OpFilter,
+				Inputs: []int{src.ID},
+				Pred:   expr.Binary(">", expr.ColIdx(r.Intn(3)), expr.Lit(types.NewInt(uniq))),
+				Schema: src.Schema,
+			}))
+		case 1:
+			frontier = append(frontier, p.Add(&Operator{
+				Kind:   OpForeach,
+				Inputs: []int{src.ID},
+				Exprs: []*expr.Expr{
+					expr.ColIdx(r.Intn(3)),
+					expr.ColIdx(r.Intn(3)),
+					expr.Binary("+", expr.ColIdx(r.Intn(3)), expr.Lit(types.NewInt(uniq))),
+				},
+				Schema: types.SchemaFromNames("c0", "c1", "c2"),
+			}))
+		case 3:
+			other := frontier[r.Intn(len(frontier))]
+			if other.ID == src.ID || usedJoins[[2]int{src.ID, other.ID}] {
+				continue
+			}
+			usedJoins[[2]int{src.ID, other.ID}] = true
+			frontier = append(frontier, p.Add(&Operator{
+				Kind:   OpJoin,
+				Inputs: []int{src.ID, other.ID},
+				Keys:   [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}},
+				Schema: src.Schema.Concat(other.Schema),
+			}))
+		}
+	}
+	// Store every operator that has no consumer (keeps the plan valid).
+	for _, o := range p.Ops() {
+		if o.Kind != OpStore && len(p.Consumers(o.ID)) == 0 {
+			p.Add(&Operator{
+				Kind:   OpStore,
+				Path:   "out/" + o.Signature()[:2],
+				Inputs: []int{o.ID},
+				Schema: o.Schema,
+			})
+		}
+	}
+	return p
+}
+
+// TestPropertyRandomPlansValid: the generator itself must produce valid
+// plans, otherwise the remaining properties are vacuous.
+func TestPropertyRandomPlansValid(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomPlan(rand.New(rand.NewSource(seed)))
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyJSONRoundTripPreservesCanonical: serialization must preserve
+// plan structure exactly (the repository depends on it).
+func TestPropertyJSONRoundTripPreservesCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomPlan(rand.New(rand.NewSource(seed)))
+		data, err := json.Marshal(p)
+		if err != nil {
+			return false
+		}
+		var back Plan
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.Canonical() == p.Canonical() && back.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCanonicalIDInvariant: re-inserting the same operators under
+// fresh IDs (in shuffled order) must not change the canonical form.
+func TestPropertyCanonicalIDInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPlan(r)
+		ops := p.Ops()
+		perm := r.Perm(len(ops))
+		q := NewPlan()
+		remap := make(map[int]int, len(ops))
+		// Insert in permuted order; producers may not exist yet, so fix
+		// input references in a second pass.
+		for _, i := range perm {
+			cp := ops[i].Clone()
+			oldID := cp.ID
+			q.Add(cp)
+			remap[oldID] = cp.ID
+		}
+		for _, o := range q.Ops() {
+			for i, in := range o.Inputs {
+				o.Inputs[i] = remap[in]
+			}
+		}
+		return q.Canonical() == p.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyClonePreservesCanonical: Clone must be structure-preserving.
+func TestPropertyClonePreservesCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomPlan(rand.New(rand.NewSource(seed)))
+		return p.Clone().Canonical() == p.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExtractPrefixValid: any non-Store operator's prefix must be a
+// valid standalone sub-job plan with exactly one Store.
+func TestPropertyExtractPrefixValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPlan(r)
+		var candidates []*Operator
+		for _, o := range p.Ops() {
+			if o.Kind != OpStore && o.Kind != OpSplit {
+				candidates = append(candidates, o)
+			}
+		}
+		o := candidates[r.Intn(len(candidates))]
+		sub, err := p.ExtractPrefix(o.ID, "restore/prop")
+		if err != nil {
+			return false
+		}
+		return sub.Validate() == nil && len(sub.Sinks()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package piglatin
+
+import (
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Script is a parsed query: an ordered list of statements.
+type Script struct {
+	Stmts []Stmt
+}
+
+// Stmt is a top-level statement.
+type Stmt interface{ stmt() }
+
+// AssignStmt binds an alias to a relational operation.
+type AssignStmt struct {
+	Alias string
+	Op    OpNode
+	Line  int
+}
+
+// StoreStmt writes an alias to a DFS path.
+type StoreStmt struct {
+	Alias string
+	Path  string
+	Line  int
+}
+
+// SplitStmt routes tuples of Src into multiple aliases by predicate
+// (Pig's SPLIT ... INTO a IF p1, b IF p2). Each branch compiles to a
+// Filter; a tuple can reach several branches.
+type SplitStmt struct {
+	Src      string
+	Branches []SplitBranch
+	Line     int
+}
+
+// SplitBranch is one conditional output of a SPLIT.
+type SplitBranch struct {
+	Alias string
+	Pred  *expr.Expr
+}
+
+func (*AssignStmt) stmt() {}
+func (*StoreStmt) stmt()  {}
+func (*SplitStmt) stmt()  {}
+
+// OpNode is a relational operation on the right-hand side of an assignment.
+type OpNode interface{ opNode() }
+
+// LoadNode reads a DFS path with an optional declared schema.
+type LoadNode struct {
+	Path   string
+	Schema types.Schema
+}
+
+// GenExpr is one generated column of a FOREACH.
+type GenExpr struct {
+	Expr *expr.Expr
+	As   string
+}
+
+// NestedNode is one statement inside a nested FOREACH block, e.g.
+// "dst = distinct C.action;" or "m = filter C by x > 1;".
+type NestedNode struct {
+	Alias string
+	// Kind is "distinct", "filter", or "ident".
+	Kind string
+	// Src is the bag being derived from: an alias (the grouped bag) with an
+	// optional projected field.
+	SrcAlias string
+	SrcField string
+	Pred     *expr.Expr
+}
+
+// ForeachNode projects/transforms each tuple of Src.
+type ForeachNode struct {
+	Src    string
+	Nested []NestedNode
+	Gens   []GenExpr
+}
+
+// FilterNode keeps tuples of Src satisfying Pred.
+type FilterNode struct {
+	Src  string
+	Pred *expr.Expr
+}
+
+// JoinNode equi-joins two or more aliases on per-input key expressions.
+type JoinNode struct {
+	Srcs []string
+	Keys [][]*expr.Expr
+}
+
+// GroupNode groups Src by key expressions (All means GROUP ... ALL).
+type GroupNode struct {
+	Src  string
+	Keys []*expr.Expr
+	All  bool
+}
+
+// CoGroupNode cogroups multiple aliases on per-input keys.
+type CoGroupNode struct {
+	Srcs []string
+	Keys [][]*expr.Expr
+}
+
+// DistinctNode removes duplicate tuples.
+type DistinctNode struct {
+	Src string
+}
+
+// UnionNode concatenates aliases.
+type UnionNode struct {
+	Srcs []string
+}
+
+// OrderCol is one sort key of an ORDER BY.
+type OrderCol struct {
+	Name string // named column, or
+	Idx  int    // positional column when Name == ""
+	Desc bool
+}
+
+// OrderNode globally sorts Src.
+type OrderNode struct {
+	Src  string
+	Cols []OrderCol
+}
+
+// LimitNode keeps the first N tuples of Src.
+type LimitNode struct {
+	Src string
+	N   int64
+}
+
+func (*LoadNode) opNode()     {}
+func (*ForeachNode) opNode()  {}
+func (*FilterNode) opNode()   {}
+func (*JoinNode) opNode()     {}
+func (*GroupNode) opNode()    {}
+func (*CoGroupNode) opNode()  {}
+func (*DistinctNode) opNode() {}
+func (*UnionNode) opNode()    {}
+func (*OrderNode) opNode()    {}
+func (*LimitNode) opNode()    {}

@@ -1,0 +1,924 @@
+package piglatin
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Parse parses a script into an AST.
+func Parse(src string) (*Script, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	script := &Script{}
+	for p.tok.kind != tokEOF {
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		script.Stmts = append(script.Stmts, st)
+	}
+	if len(script.Stmts) == 0 {
+		return nil, &Error{Line: 1, Col: 1, Msg: "empty script"}
+	}
+	return script, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) *Error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// keyword matching is case-insensitive.
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %q, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errf("expected %q, found %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.tok.kind == tokPunct && p.tok.text == s
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected identifier, found %s %q", p.tok.kind, p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) expectString() (string, error) {
+	if p.tok.kind != tokString {
+		return "", p.errf("expected quoted string, found %q", p.tok.text)
+	}
+	s := p.tok.text
+	return s, p.advance()
+}
+
+// reserved words cannot be used as relation aliases on the LHS.
+var reserved = map[string]bool{
+	"load": true, "store": true, "foreach": true, "generate": true,
+	"filter": true, "join": true, "group": true, "cogroup": true,
+	"distinct": true, "union": true, "order": true, "limit": true,
+	"by": true, "as": true, "into": true, "all": true, "and": true,
+	"or": true, "not": true, "asc": true, "desc": true, "if": true,
+	"split": true, "using": true,
+}
+
+func (p *parser) parseStatement() (Stmt, error) {
+	line := p.tok.line
+	if p.isKeyword("split") {
+		return p.parseSplit(line)
+	}
+	if p.isKeyword("store") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("into"); err != nil {
+			return nil, err
+		}
+		path, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &StoreStmt{Alias: alias, Path: path, Line: line}, nil
+	}
+
+	alias, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if reserved[strings.ToLower(alias)] {
+		return nil, p.errf("reserved word %q cannot be an alias", alias)
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Alias: alias, Op: op, Line: line}, nil
+}
+
+func (p *parser) parseSplit(line int) (Stmt, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	st := &SplitStmt{Src: src, Line: line}
+	for {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if reserved[strings.ToLower(alias)] {
+			return nil, p.errf("reserved word %q cannot be an alias", alias)
+		}
+		if err := p.expectKeyword("if"); err != nil {
+			return nil, err
+		}
+		pred, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Branches = append(st.Branches, SplitBranch{Alias: alias, Pred: pred})
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if len(st.Branches) < 2 {
+		return nil, p.errf("split needs at least two branches")
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseOp() (OpNode, error) {
+	switch {
+	case p.isKeyword("load"):
+		return p.parseLoad()
+	case p.isKeyword("foreach"):
+		return p.parseForeach()
+	case p.isKeyword("filter"):
+		return p.parseFilter()
+	case p.isKeyword("join"):
+		return p.parseJoinLike(false)
+	case p.isKeyword("cogroup"):
+		return p.parseJoinLike(true)
+	case p.isKeyword("group"):
+		return p.parseGroup()
+	case p.isKeyword("distinct"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		src, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DistinctNode{Src: src}, nil
+	case p.isKeyword("union"):
+		return p.parseUnion()
+	case p.isKeyword("order"):
+		return p.parseOrder()
+	case p.isKeyword("limit"):
+		return p.parseLimit()
+	default:
+		return nil, p.errf("expected an operation keyword, found %q", p.tok.text)
+	}
+}
+
+func (p *parser) parseLoad() (OpNode, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	path, err := p.expectString()
+	if err != nil {
+		return nil, err
+	}
+	node := &LoadNode{Path: path}
+	// Optional "using loader" clause, accepted and ignored (all our data is
+	// in the native tuple format).
+	if p.isKeyword("using") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if p.isPunct("(") {
+			if err := p.skipParens(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.isKeyword("as") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		schema, err := p.parseSchema()
+		if err != nil {
+			return nil, err
+		}
+		node.Schema = schema
+	}
+	return node, nil
+}
+
+func (p *parser) skipParens() error {
+	depth := 0
+	for {
+		switch {
+		case p.isPunct("("):
+			depth++
+		case p.isPunct(")"):
+			depth--
+		case p.tok.kind == tokEOF:
+			return p.errf("unbalanced parentheses")
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if depth == 0 {
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseSchema() (types.Schema, error) {
+	if err := p.expectPunct("("); err != nil {
+		return types.Schema{}, err
+	}
+	var fields []types.Field
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return types.Schema{}, err
+		}
+		f := types.Field{Name: name}
+		if p.isPunct(":") {
+			if err := p.advance(); err != nil {
+				return types.Schema{}, err
+			}
+			tname, err := p.expectIdent()
+			if err != nil {
+				return types.Schema{}, err
+			}
+			kind, ok := kindFromTypeName(tname)
+			if !ok {
+				return types.Schema{}, p.errf("unknown type %q", tname)
+			}
+			f.Kind = kind
+		}
+		fields = append(fields, f)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return types.Schema{}, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return types.Schema{}, err
+	}
+	return types.Schema{Fields: fields}, nil
+}
+
+func kindFromTypeName(name string) (types.Kind, bool) {
+	switch strings.ToLower(name) {
+	case "int", "long":
+		return types.KindInt, true
+	case "float", "double":
+		return types.KindFloat, true
+	case "chararray", "string":
+		return types.KindString, true
+	case "boolean", "bool":
+		return types.KindBool, true
+	case "bytearray":
+		return types.KindNull, true
+	default:
+		return types.KindNull, false
+	}
+}
+
+func (p *parser) parseForeach() (OpNode, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	node := &ForeachNode{Src: src}
+	if p.isPunct("{") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for !p.isKeyword("generate") {
+			n, err := p.parseNested()
+			if err != nil {
+				return nil, err
+			}
+			node.Nested = append(node.Nested, n)
+		}
+		gens, err := p.parseGenerate()
+		if err != nil {
+			return nil, err
+		}
+		node.Gens = gens
+		if p.isPunct(";") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return node, nil
+	}
+	gens, err := p.parseGenerate()
+	if err != nil {
+		return nil, err
+	}
+	node.Gens = gens
+	return node, nil
+}
+
+func (p *parser) parseNested() (NestedNode, error) {
+	alias, err := p.expectIdent()
+	if err != nil {
+		return NestedNode{}, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return NestedNode{}, err
+	}
+	n := NestedNode{Alias: alias, Kind: "ident"}
+	switch {
+	case p.isKeyword("distinct"):
+		n.Kind = "distinct"
+		if err := p.advance(); err != nil {
+			return NestedNode{}, err
+		}
+		if err := p.parseNestedSrc(&n); err != nil {
+			return NestedNode{}, err
+		}
+	case p.isKeyword("filter"):
+		n.Kind = "filter"
+		if err := p.advance(); err != nil {
+			return NestedNode{}, err
+		}
+		if err := p.parseNestedSrc(&n); err != nil {
+			return NestedNode{}, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return NestedNode{}, err
+		}
+		pred, err := p.parseExpr()
+		if err != nil {
+			return NestedNode{}, err
+		}
+		n.Pred = pred
+	default:
+		if err := p.parseNestedSrc(&n); err != nil {
+			return NestedNode{}, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return NestedNode{}, err
+	}
+	return n, nil
+}
+
+func (p *parser) parseNestedSrc(n *NestedNode) error {
+	src, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	n.SrcAlias = src
+	if p.isPunct(".") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		field, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		n.SrcField = field
+	}
+	return nil
+}
+
+func (p *parser) parseGenerate() ([]GenExpr, error) {
+	if err := p.expectKeyword("generate"); err != nil {
+		return nil, err
+	}
+	var gens []GenExpr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		g := GenExpr{Expr: e}
+		if p.isKeyword("as") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			g.As = name
+		}
+		gens = append(gens, g)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return gens, nil
+	}
+}
+
+func (p *parser) parseFilter() (OpNode, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("by"); err != nil {
+		return nil, err
+	}
+	pred, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &FilterNode{Src: src, Pred: pred}, nil
+}
+
+func (p *parser) parseJoinLike(cogroup bool) (OpNode, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var srcs []string
+	var keys [][]*expr.Expr
+	for {
+		src, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		ks, err := p.parseKeySpec()
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, src)
+		keys = append(keys, ks)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if len(srcs) < 2 {
+		return nil, p.errf("join/cogroup needs at least two inputs")
+	}
+	if cogroup {
+		return &CoGroupNode{Srcs: srcs, Keys: keys}, nil
+	}
+	if len(srcs) != 2 {
+		return nil, p.errf("join supports exactly two inputs (got %d)", len(srcs))
+	}
+	return &JoinNode{Srcs: srcs, Keys: keys}, nil
+}
+
+func (p *parser) parseKeySpec() ([]*expr.Expr, error) {
+	if p.isPunct("(") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var ks []*expr.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ks = append(ks, e)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return ks, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return []*expr.Expr{e}, nil
+}
+
+func (p *parser) parseGroup() (OpNode, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKeyword("all") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &GroupNode{Src: src, All: true}, nil
+	}
+	if err := p.expectKeyword("by"); err != nil {
+		return nil, err
+	}
+	keys, err := p.parseKeySpec()
+	if err != nil {
+		return nil, err
+	}
+	return &GroupNode{Src: src, Keys: keys}, nil
+}
+
+func (p *parser) parseUnion() (OpNode, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var srcs []string
+	for {
+		src, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, src)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if len(srcs) < 2 {
+		return nil, p.errf("union needs at least two inputs")
+	}
+	return &UnionNode{Srcs: srcs}, nil
+}
+
+func (p *parser) parseOrder() (OpNode, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("by"); err != nil {
+		return nil, err
+	}
+	var cols []OrderCol
+	for {
+		var col OrderCol
+		switch p.tok.kind {
+		case tokIdent:
+			col.Name = p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokPosCol:
+			idx, err := strconv.Atoi(p.tok.text)
+			if err != nil {
+				return nil, p.errf("bad positional column $%s", p.tok.text)
+			}
+			col.Idx = idx
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected sort column, found %q", p.tok.text)
+		}
+		if p.isKeyword("desc") {
+			col.Desc = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.isKeyword("asc") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		cols = append(cols, col)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	return &OrderNode{Src: src, Cols: cols}, nil
+}
+
+func (p *parser) parseLimit() (OpNode, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokInt {
+		return nil, p.errf("expected limit count, found %q", p.tok.text)
+	}
+	n, err := strconv.ParseInt(p.tok.text, 10, 64)
+	if err != nil || n < 0 {
+		return nil, p.errf("bad limit count %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &LimitNode{Src: src, N: n}, nil
+}
+
+// --- expressions ---
+
+// parseExpr parses with precedence: or < and < not < comparison < additive <
+// multiplicative < unary < postfix < primary.
+func (p *parser) parseExpr() (*expr.Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (*expr.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Binary("or", left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (*expr.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Binary("and", left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (*expr.Expr, error) {
+	if p.isKeyword("not") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Unary("not", e), nil
+	}
+	return p.parseComparison()
+}
+
+var comparisonOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parseComparison() (*expr.Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokPunct && comparisonOps[p.tok.text] {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Binary(op, left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (*expr.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Binary(op, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (*expr.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") || p.isPunct("%") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Binary(op, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (*expr.Expr, error) {
+	if p.isPunct("-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Unary("neg", e), nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix handles "alias.field" bag projection.
+func (p *parser) parsePostfix() (*expr.Expr, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct(".") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		field, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		base = expr.BagProj(base, field)
+	}
+	return base, nil
+}
+
+func (p *parser) parsePrimary() (*expr.Expr, error) {
+	switch p.tok.kind {
+	case tokInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.Lit(types.NewInt(n)), nil
+	case tokFloat:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.Lit(types.NewFloat(f)), nil
+	case tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.Lit(types.NewString(s)), nil
+	case tokPosCol:
+		idx, err := strconv.Atoi(p.tok.text)
+		if err != nil {
+			return nil, p.errf("bad positional column $%s", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.ColIdx(idx), nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isPunct("(") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var args []*expr.Expr
+			if !p.isPunct(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.isPunct(",") {
+						if err := p.advance(); err != nil {
+							return nil, err
+						}
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return expr.Call(name, args...), nil
+		}
+		return expr.Col(name), nil
+	case tokPunct:
+		if p.tok.text == "(" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("expected an expression, found %q", p.tok.text)
+}

@@ -1,0 +1,295 @@
+package piglatin
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func parseOK(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse failed: %v\nscript:\n%s", err, src)
+	}
+	return s
+}
+
+func parseFail(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("expected parse error containing %q, got success", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err, wantSubstr)
+	}
+}
+
+// The paper's Q1 (based on PigMix L2).
+const q1Source = `
+A = load 'page_views' as (user, timestamp, est_revenue, page_info, page_links);
+B = foreach A generate user, est_revenue;
+alpha = load 'users' as (name, phone, address, city);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+store C into 'L2_out';
+`
+
+// The paper's Q2 (based on PigMix L3).
+const q2Source = `
+A = load 'page_views' as (user, timestamp, est_revenue, page_info, page_links);
+B = foreach A generate user, est_revenue;
+alpha = load 'users' as (name, phone, address, city);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, SUM(C.est_revenue);
+store E into 'L3_out';
+`
+
+func TestParseQ1(t *testing.T) {
+	s := parseOK(t, q1Source)
+	if len(s.Stmts) != 6 {
+		t.Fatalf("stmts = %d", len(s.Stmts))
+	}
+	load, ok := s.Stmts[0].(*AssignStmt)
+	if !ok || load.Alias != "A" {
+		t.Fatalf("stmt 0 = %+v", s.Stmts[0])
+	}
+	ln, ok := load.Op.(*LoadNode)
+	if !ok || ln.Path != "page_views" || ln.Schema.Len() != 5 {
+		t.Fatalf("load = %+v", load.Op)
+	}
+	join, ok := s.Stmts[4].(*AssignStmt).Op.(*JoinNode)
+	if !ok || len(join.Srcs) != 2 || join.Srcs[0] != "beta" || join.Srcs[1] != "B" {
+		t.Fatalf("join = %+v", join)
+	}
+	st, ok := s.Stmts[5].(*StoreStmt)
+	if !ok || st.Alias != "C" || st.Path != "L2_out" {
+		t.Fatalf("store = %+v", s.Stmts[5])
+	}
+}
+
+func TestParseQ2GroupAndAggregate(t *testing.T) {
+	s := parseOK(t, q2Source)
+	grp, ok := s.Stmts[5].(*AssignStmt).Op.(*GroupNode)
+	if !ok || grp.Src != "C" || grp.All || len(grp.Keys) != 1 {
+		t.Fatalf("group = %+v", grp)
+	}
+	fe, ok := s.Stmts[6].(*AssignStmt).Op.(*ForeachNode)
+	if !ok || len(fe.Gens) != 2 {
+		t.Fatalf("foreach = %+v", fe)
+	}
+	if got := fe.Gens[1].Expr.Canonical(); got != "SUM(col(C).est_revenue)" {
+		t.Errorf("aggregate expr = %q", got)
+	}
+}
+
+func TestParseTypedSchema(t *testing.T) {
+	s := parseOK(t, `A = load 'x' as (a:int, b:chararray, c:double, d:bool, e);
+store A into 'o';`)
+	ln := s.Stmts[0].(*AssignStmt).Op.(*LoadNode)
+	want := []types.Kind{types.KindInt, types.KindString, types.KindFloat, types.KindBool, types.KindNull}
+	for i, k := range want {
+		if ln.Schema.Fields[i].Kind != k {
+			t.Errorf("field %d kind = %v, want %v", i, ln.Schema.Fields[i].Kind, k)
+		}
+	}
+}
+
+func TestParseLoadUsingClauseIgnored(t *testing.T) {
+	s := parseOK(t, `A = load 'x' using PigStorage(',') as (a, b);
+store A into 'o';`)
+	ln := s.Stmts[0].(*AssignStmt).Op.(*LoadNode)
+	if ln.Schema.Len() != 2 {
+		t.Errorf("schema = %v", ln.Schema)
+	}
+}
+
+func TestParseFilterPredicates(t *testing.T) {
+	s := parseOK(t, `A = load 'x' as (a:int, b:int);
+B = filter A by a > 1 and not (b == 2 or a + b * 2 >= 10);
+store B into 'o';`)
+	f := s.Stmts[1].(*AssignStmt).Op.(*FilterNode)
+	got := f.Pred.Canonical()
+	// Multiplication binds tighter than +, which binds tighter than >=.
+	if !strings.Contains(got, "(col(b) * lit:int:2)") {
+		t.Errorf("precedence wrong: %q", got)
+	}
+	if !strings.Contains(got, "and") || !strings.Contains(got, "not") {
+		t.Errorf("boolean structure missing: %q", got)
+	}
+}
+
+func TestParseGroupAll(t *testing.T) {
+	s := parseOK(t, `A = load 'x' as (a);
+B = group A all;
+C = foreach B generate COUNT(A);
+store C into 'o';`)
+	g := s.Stmts[1].(*AssignStmt).Op.(*GroupNode)
+	if !g.All || g.Keys != nil {
+		t.Errorf("group all = %+v", g)
+	}
+}
+
+func TestParseMultiKeyGroup(t *testing.T) {
+	s := parseOK(t, `A = load 'x' as (a, b, c);
+B = group A by (a, b);
+store B into 'o';`)
+	g := s.Stmts[1].(*AssignStmt).Op.(*GroupNode)
+	if len(g.Keys) != 2 {
+		t.Errorf("keys = %d", len(g.Keys))
+	}
+}
+
+func TestParseCoGroup(t *testing.T) {
+	s := parseOK(t, `A = load 'x' as (a);
+B = load 'y' as (b);
+C = cogroup A by a, B by b;
+store C into 'o';`)
+	cg := s.Stmts[2].(*AssignStmt).Op.(*CoGroupNode)
+	if len(cg.Srcs) != 2 || len(cg.Keys) != 2 {
+		t.Errorf("cogroup = %+v", cg)
+	}
+}
+
+func TestParseNestedForeach(t *testing.T) {
+	s := parseOK(t, `A = load 'x' as (user, action);
+B = group A by user;
+C = foreach B {
+  dst = distinct A.action;
+  mrn = filter A by action < 43200;
+  generate group, COUNT(dst), COUNT(mrn);
+};
+store C into 'o';`)
+	fe := s.Stmts[2].(*AssignStmt).Op.(*ForeachNode)
+	if len(fe.Nested) != 2 {
+		t.Fatalf("nested = %+v", fe.Nested)
+	}
+	if fe.Nested[0].Kind != "distinct" || fe.Nested[0].SrcAlias != "A" || fe.Nested[0].SrcField != "action" {
+		t.Errorf("nested[0] = %+v", fe.Nested[0])
+	}
+	if fe.Nested[1].Kind != "filter" || fe.Nested[1].Pred == nil {
+		t.Errorf("nested[1] = %+v", fe.Nested[1])
+	}
+	if len(fe.Gens) != 3 {
+		t.Errorf("gens = %d", len(fe.Gens))
+	}
+}
+
+func TestParseUnionOrderLimitDistinct(t *testing.T) {
+	s := parseOK(t, `A = load 'x' as (a, b);
+B = load 'y' as (a, b);
+C = union A, B;
+D = distinct C;
+E = order D by a desc, $1;
+F = limit E 10;
+store F into 'o';`)
+	if u := s.Stmts[2].(*AssignStmt).Op.(*UnionNode); len(u.Srcs) != 2 {
+		t.Errorf("union = %+v", u)
+	}
+	o := s.Stmts[4].(*AssignStmt).Op.(*OrderNode)
+	if len(o.Cols) != 2 || !o.Cols[0].Desc || o.Cols[0].Name != "a" || o.Cols[1].Idx != 1 {
+		t.Errorf("order = %+v", o)
+	}
+	if l := s.Stmts[5].(*AssignStmt).Op.(*LimitNode); l.N != 10 {
+		t.Errorf("limit = %+v", l)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s := parseOK(t, `-- leading comment
+A = load 'x' as (a); -- trailing comment
+store A into 'o';`)
+	if len(s.Stmts) != 2 {
+		t.Errorf("stmts = %d", len(s.Stmts))
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	s := parseOK(t, `A = load 'pa\'th';
+B = filter A by $0 == 'tab\there';
+store B into 'o';`)
+	ln := s.Stmts[0].(*AssignStmt).Op.(*LoadNode)
+	if ln.Path != "pa'th" {
+		t.Errorf("path = %q", ln.Path)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseFail(t, ``, "empty script")
+	parseFail(t, `A = load ;`, "expected quoted string")
+	parseFail(t, `A = bogus B;`, "expected an operation keyword")
+	parseFail(t, `load = load 'x'; store load into 'o';`, "reserved word")
+	parseFail(t, `A = load 'x' as (a:frobnicate); store A into 'o';`, "unknown type")
+	parseFail(t, `A = load 'x'; B = join A by x; store B into 'o';`, "at least two inputs")
+	parseFail(t, `A = load 'x'; B = limit A x; store B into 'o';`, "expected limit count")
+	parseFail(t, `A = load 'x' store A into 'o';`, `expected ";"`)
+	parseFail(t, `A = load 'unterminated`, "unterminated string")
+	parseFail(t, `A = filter B by (a == 1; store A into 'o';`, `expected ")"`)
+	parseFail(t, `A = load 'x'; B = union A; store B into 'o';`, "at least two inputs")
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("A = load 'x';\nB = bogus A;\nstore B into 'o';")
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Line)
+	}
+}
+
+func TestParseJoinThreeWayRejected(t *testing.T) {
+	parseFail(t, `A = load 'x'; B = load 'y'; C = load 'z';
+D = join A by $0, B by $0, C by $0;
+store D into 'o';`, "exactly two")
+}
+
+func TestParsePositionalColumns(t *testing.T) {
+	s := parseOK(t, `A = load 'x';
+B = foreach A generate $0, $2 as renamed;
+store B into 'o';`)
+	fe := s.Stmts[1].(*AssignStmt).Op.(*ForeachNode)
+	if fe.Gens[0].Expr.Canonical() != "$0" {
+		t.Errorf("gen 0 = %q", fe.Gens[0].Expr.Canonical())
+	}
+	if fe.Gens[1].As != "renamed" {
+		t.Errorf("gen 1 as = %q", fe.Gens[1].As)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	s := parseOK(t, `a = LOAD 'x' AS (col1);
+b = FILTER a BY col1 == 1;
+STORE b INTO 'o';`)
+	if len(s.Stmts) != 3 {
+		t.Errorf("stmts = %d", len(s.Stmts))
+	}
+}
+
+func TestParseSplitInto(t *testing.T) {
+	s := parseOK(t, `A = load 'x' as (a:int);
+split A into small if a < 10, big if a >= 10;
+store small into 'o1';
+store big into 'o2';`)
+	sp, ok := s.Stmts[1].(*SplitStmt)
+	if !ok || sp.Src != "A" || len(sp.Branches) != 2 {
+		t.Fatalf("split = %+v", s.Stmts[1])
+	}
+	if sp.Branches[0].Alias != "small" || sp.Branches[1].Alias != "big" {
+		t.Errorf("branches = %+v", sp.Branches)
+	}
+	if sp.Branches[0].Pred == nil {
+		t.Error("predicate missing")
+	}
+}
+
+func TestParseSplitErrors(t *testing.T) {
+	parseFail(t, `split A into b if 1;`, "at least two branches")
+	parseFail(t, `split A into store if 1, c if 2;`, "reserved word")
+	parseFail(t, `split A into b 1, c if 2;`, `expected "if"`)
+}

@@ -1,0 +1,375 @@
+// Package pigmix provides the PigMix-style workload of the paper's
+// evaluation (§7): a data generator for the page_views / users /
+// power_users / widerow tables and the queries L2–L8 and L11 (plus the
+// L3/L11 variants of §7.1) written in this repository's Pig Latin dialect.
+//
+// The paper generated two instances: 10M rows (~15 GB) and 100M rows
+// (~150 GB). Laptop-scale reproduction keeps the 1:10 row ratio and bills
+// simulated time through cluster.Config.ScaleFactor (see DESIGN.md).
+package pigmix
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dfs"
+	"repro/internal/types"
+)
+
+// GenConfig sizes one generated instance.
+type GenConfig struct {
+	// PageViewsRows is the number of rows of the dominant table.
+	PageViewsRows int
+	// Users is the number of distinct users (rows in the users table).
+	Users int
+	// PowerUsers is the size of the small power_users table.
+	PowerUsers int
+	// WideRows is the number of rows of the widerow table.
+	WideRows int
+	// Partitions is the partition count of page_views (drives real map
+	// parallelism).
+	Partitions int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Instance describes a generated dataset standing in for one of the paper's
+// two instances.
+type Instance struct {
+	Name        string
+	Config      GenConfig
+	TargetBytes int64 // the paper-scale size this instance represents
+}
+
+// Instance15GB mirrors the paper's 10M-row / 15 GB instance.
+func Instance15GB() Instance {
+	return Instance{
+		Name: "15GB",
+		Config: GenConfig{
+			PageViewsRows: 6_000,
+			Users:         500,
+			PowerUsers:    50,
+			WideRows:      1_200,
+			Partitions:    4,
+			Seed:          1,
+		},
+		TargetBytes: 15 << 30,
+	}
+}
+
+// Instance150GB mirrors the paper's 100M-row / 150 GB instance (10x rows).
+func Instance150GB() Instance {
+	return Instance{
+		Name: "150GB",
+		Config: GenConfig{
+			PageViewsRows: 60_000,
+			Users:         5_000,
+			PowerUsers:    500,
+			WideRows:      12_000,
+			Partitions:    8,
+			Seed:          1,
+		},
+		TargetBytes: 150 << 30,
+	}
+}
+
+// Table paths in the DFS.
+const (
+	PathPageViews  = "pigmix/page_views"
+	PathUsers      = "pigmix/users"
+	PathPowerUsers = "pigmix/power_users"
+	PathWideRow    = "pigmix/widerow"
+)
+
+// PageViewsSchema is the declared schema of page_views.
+func PageViewsSchema() types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "user", Kind: types.KindString},
+		types.Field{Name: "action", Kind: types.KindInt},
+		types.Field{Name: "timespent", Kind: types.KindInt},
+		types.Field{Name: "query_term", Kind: types.KindString},
+		types.Field{Name: "ip_addr", Kind: types.KindString},
+		types.Field{Name: "timestamp", Kind: types.KindInt},
+		types.Field{Name: "estimated_revenue", Kind: types.KindFloat},
+		types.Field{Name: "page_info", Kind: types.KindString},
+		types.Field{Name: "page_links", Kind: types.KindString},
+	)
+}
+
+// UsersSchema is the declared schema of users and power_users.
+func UsersSchema() types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "name", Kind: types.KindString},
+		types.Field{Name: "phone", Kind: types.KindString},
+		types.Field{Name: "address", Kind: types.KindString},
+		types.Field{Name: "city", Kind: types.KindString},
+		types.Field{Name: "state", Kind: types.KindString},
+		types.Field{Name: "zip", Kind: types.KindString},
+	)
+}
+
+// WideRowSchema is the declared schema of widerow.
+func WideRowSchema() types.Schema {
+	fields := []types.Field{{Name: "user", Kind: types.KindString}}
+	for i := 1; i <= 10; i++ {
+		fields = append(fields, types.Field{Name: fmt.Sprintf("c%d", i), Kind: types.KindString})
+	}
+	return types.Schema{Fields: fields}
+}
+
+// Generate writes all four tables into the DFS, deterministically per seed.
+func Generate(fs *dfs.FS, cfg GenConfig) error {
+	if cfg.PageViewsRows <= 0 || cfg.Users <= 0 {
+		return fmt.Errorf("pigmix: non-positive table sizes")
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	userName := func(i int) string { return fmt.Sprintf("user%06d", i) }
+
+	views := make([]types.Tuple, cfg.PageViewsRows)
+	for i := range views {
+		// Zipf-flavored skew: quadratic bias toward low user IDs, like the
+		// PigMix generator's power-law user activity.
+		u := int(float64(cfg.Users) * rng.Float64() * rng.Float64())
+		if u >= cfg.Users {
+			u = cfg.Users - 1
+		}
+		views[i] = types.Tuple{
+			types.NewString(userName(u)),
+			types.NewInt(int64(1 + rng.Intn(10))),
+			types.NewInt(int64(rng.Intn(600))),
+			types.NewString(fmt.Sprintf("term%04d", rng.Intn(1000))),
+			types.NewString(fmt.Sprintf("10.0.%d.%d", rng.Intn(256), rng.Intn(256))),
+			types.NewInt(int64(rng.Intn(86400))),
+			types.NewFloat(float64(rng.Intn(10000)) / 100),
+			// page_info / page_links dominate PigMix's row width (maps and
+			// bags in the original); they are what makes the projected
+			// sub-jobs so much smaller than the input (Table 1).
+			types.NewString(randText(rng, 350)),
+			types.NewString(randText(rng, 350)),
+		}
+	}
+	if err := fs.WritePartitioned(PathPageViews, PageViewsSchema(), views, cfg.Partitions); err != nil {
+		return err
+	}
+
+	mkUser := func(i int) types.Tuple {
+		return types.Tuple{
+			types.NewString(userName(i)),
+			types.NewString(fmt.Sprintf("555-%04d", rng.Intn(10000))),
+			types.NewString(randText(rng, 12)),
+			types.NewString(fmt.Sprintf("city%03d", rng.Intn(200))),
+			types.NewString(fmt.Sprintf("st%02d", rng.Intn(50))),
+			types.NewString(fmt.Sprintf("%05d", rng.Intn(100000))),
+		}
+	}
+	users := make([]types.Tuple, cfg.Users)
+	for i := range users {
+		users[i] = mkUser(i)
+	}
+	if err := fs.WritePartitioned(PathUsers, UsersSchema(), users, 2); err != nil {
+		return err
+	}
+
+	if cfg.PowerUsers > cfg.Users {
+		cfg.PowerUsers = cfg.Users
+	}
+	power := make([]types.Tuple, cfg.PowerUsers)
+	for i := range power {
+		power[i] = mkUser(i) // the most active users
+	}
+	if err := fs.WritePartitioned(PathPowerUsers, UsersSchema(), power, 1); err != nil {
+		return err
+	}
+
+	wide := make([]types.Tuple, cfg.WideRows)
+	for i := range wide {
+		row := types.Tuple{types.NewString(userName(rng.Intn(cfg.Users * 2)))} // half overlap
+		for c := 0; c < 10; c++ {
+			row = append(row, types.NewString(randText(rng, 8)))
+		}
+		wide[i] = row
+	}
+	return fs.WritePartitioned(PathWideRow, WideRowSchema(), wide, 2)
+}
+
+func randText(rng *rand.Rand, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('a' + rng.Intn(26)))
+	}
+	return sb.String()
+}
+
+const loadPageViews = `A = load 'pigmix/page_views' as (user, action:int, timespent:int, query_term, ip_addr, timestamp:int, estimated_revenue:double, page_info, page_links);`
+
+// Query returns the named query storing into out. Names: L2–L8, L11, and
+// the §7.1 variants L3a–L3c (different aggregates) and L11a–L11d
+// (different unioned data sets).
+func Query(name, out string) (string, error) {
+	body, ok := queries[name]
+	if !ok {
+		return "", fmt.Errorf("pigmix: unknown query %q", name)
+	}
+	return strings.ReplaceAll(body, "$out", out), nil
+}
+
+// Names lists the base benchmark queries in evaluation order.
+func Names() []string {
+	return []string{"L2", "L3", "L4", "L5", "L6", "L7", "L8", "L11"}
+}
+
+// VariantNames lists the whole-job-reuse workload of §7.1.
+func VariantNames() []string {
+	return []string{"L3", "L3a", "L3b", "L3c", "L11", "L11a", "L11b", "L11c", "L11d"}
+}
+
+var queries = map[string]string{
+	// L2: project the big table and join with the small power_users table.
+	"L2": loadPageViews + `
+B = foreach A generate user, estimated_revenue;
+alpha = load 'pigmix/power_users' as (name, phone, address, city, state, zip);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+store C into '$out';`,
+
+	// L3: join the big table with users, then group and aggregate.
+	"L3": loadPageViews + `
+B = foreach A generate user, estimated_revenue;
+alpha = load 'pigmix/users' as (name, phone, address, city, state, zip);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, SUM(C.estimated_revenue);
+store E into '$out';`,
+
+	"L3a": loadPageViews + `
+B = foreach A generate user, estimated_revenue;
+alpha = load 'pigmix/users' as (name, phone, address, city, state, zip);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, AVG(C.estimated_revenue);
+store E into '$out';`,
+
+	"L3b": loadPageViews + `
+B = foreach A generate user, estimated_revenue;
+alpha = load 'pigmix/users' as (name, phone, address, city, state, zip);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, MIN(C.estimated_revenue);
+store E into '$out';`,
+
+	"L3c": loadPageViews + `
+B = foreach A generate user, estimated_revenue;
+alpha = load 'pigmix/users' as (name, phone, address, city, state, zip);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, MAX(C.estimated_revenue);
+store E into '$out';`,
+
+	// L4: distinct aggregate inside a nested foreach.
+	"L4": loadPageViews + `
+B = foreach A generate user, action;
+C = group B by user;
+D = foreach C {
+  aleph = distinct B.action;
+  generate group, COUNT(aleph);
+};
+store D into '$out';`,
+
+	// L5: anti-join — users with no page views, via cogroup + IsEmpty.
+	"L5": loadPageViews + `
+B = foreach A generate user;
+alpha = load 'pigmix/users' as (name, phone, address, city, state, zip);
+beta = foreach alpha generate name;
+C = cogroup beta by name, B by user;
+D = filter C by ISEMPTY(B);
+E = foreach D generate group;
+store E into '$out';`,
+
+	// L6: large group-by producing a big aggregate output.
+	"L6": loadPageViews + `
+B = foreach A generate user, action, timespent, query_term;
+C = group B by (user, query_term);
+D = foreach C generate group, SUM(B.timespent);
+store D into '$out';`,
+
+	// L7: nested plan with split-like conditional counts.
+	"L7": loadPageViews + `
+B = foreach A generate user, timestamp;
+C = group B by user;
+D = foreach C {
+  morning = filter B by timestamp < 43200;
+  afternoon = filter B by timestamp >= 43200;
+  generate group, COUNT(morning), COUNT(afternoon);
+};
+store D into '$out';`,
+
+	// L8: global aggregates over the whole table.
+	"L8": loadPageViews + `
+B = foreach A generate user, estimated_revenue, timespent;
+C = group B all;
+D = foreach C generate COUNT(B), SUM(B.estimated_revenue), SUM(B.timespent);
+store D into '$out';`,
+
+	// L11: distinct users unioned across two tables (3 MapReduce jobs:
+	// two distincts feeding a final union+distinct).
+	"L11": loadPageViews + `
+B = foreach A generate user;
+C = distinct B;
+alpha = load 'pigmix/widerow' as (user, c1, c2, c3, c4, c5, c6, c7, c8, c9, c10);
+beta = foreach alpha generate user;
+gamma = distinct beta;
+D = union C, gamma;
+E = distinct D;
+store E into '$out';`,
+
+	// L11 variants: different table combinations (§7.1 "changed the data
+	// sets that are combined").
+	"L11a": loadPageViews + `
+B = foreach A generate user;
+C = distinct B;
+alpha = load 'pigmix/users' as (name, phone, address, city, state, zip);
+beta = foreach alpha generate name;
+gamma = distinct beta;
+D = union C, gamma;
+E = distinct D;
+store E into '$out';`,
+
+	"L11b": loadPageViews + `
+B = foreach A generate user;
+C = distinct B;
+alpha = load 'pigmix/power_users' as (name, phone, address, city, state, zip);
+beta = foreach alpha generate name;
+gamma = distinct beta;
+D = union C, gamma;
+E = distinct D;
+store E into '$out';`,
+
+	"L11c": loadPageViews + `
+B = foreach A generate query_term;
+C = distinct B;
+alpha = load 'pigmix/widerow' as (user, c1, c2, c3, c4, c5, c6, c7, c8, c9, c10);
+beta = foreach alpha generate c1;
+gamma = distinct beta;
+D = union C, gamma;
+E = distinct D;
+store E into '$out';`,
+
+	"L11d": loadPageViews + `
+B = foreach A generate ip_addr;
+C = distinct B;
+alpha = load 'pigmix/widerow' as (user, c1, c2, c3, c4, c5, c6, c7, c8, c9, c10);
+beta = foreach alpha generate c2;
+gamma = distinct beta;
+D = union C, gamma;
+E = distinct D;
+store E into '$out';`,
+}

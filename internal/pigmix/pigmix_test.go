@@ -1,0 +1,135 @@
+package pigmix
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/logical"
+	"repro/internal/mrcompile"
+	"repro/internal/piglatin"
+)
+
+func tinyConfig() GenConfig {
+	return GenConfig{PageViewsRows: 500, Users: 60, PowerUsers: 10, WideRows: 100, Partitions: 2, Seed: 7}
+}
+
+func TestGenerateTables(t *testing.T) {
+	fs := dfs.New()
+	if err := Generate(fs, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{PathPageViews, PathUsers, PathPowerUsers, PathWideRow} {
+		st, err := fs.StatFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Records == 0 || st.Bytes == 0 {
+			t.Errorf("%s empty: %+v", p, st)
+		}
+	}
+	st, _ := fs.StatFile(PathPageViews)
+	if st.Records != 500 || st.Partitions != 2 {
+		t.Errorf("page_views = %+v", st)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := dfs.New(), dfs.New()
+	if err := Generate(a, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Generate(b, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.ReadAll(PathPageViews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.ReadAll(PathPageViews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatal("row counts differ")
+	}
+	for i := range ra {
+		if ra[i][0].Str() != rb[i][0].Str() {
+			t.Fatal("same seed produced different data")
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if err := Generate(dfs.New(), GenConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestAllQueriesParseAndCompile(t *testing.T) {
+	wantJobs := map[string]int{
+		"L2": 1, "L3": 2, "L4": 1, "L5": 1, "L6": 1, "L7": 1, "L8": 1, "L11": 3,
+		"L3a": 2, "L3b": 2, "L3c": 2, "L11a": 3, "L11b": 3, "L11c": 3, "L11d": 3,
+	}
+	for name, want := range wantJobs {
+		src, err := Query(name, "out/"+name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		script, err := piglatin.Parse(src)
+		if err != nil {
+			t.Fatalf("%s parse: %v", name, err)
+		}
+		plan, err := logical.Build(script)
+		if err != nil {
+			t.Fatalf("%s build: %v", name, err)
+		}
+		w, err := mrcompile.Compile(plan, "tmp/"+name)
+		if err != nil {
+			t.Fatalf("%s compile: %v", name, err)
+		}
+		if len(w.Jobs) != want {
+			t.Errorf("%s compiled to %d jobs, want %d", name, len(w.Jobs), want)
+		}
+	}
+}
+
+func TestUnknownQuery(t *testing.T) {
+	if _, err := Query("L99", "out"); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestQuerySubstitutesOut(t *testing.T) {
+	src, err := Query("L2", "results/here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "results/here") || strings.Contains(src, "$out") {
+		t.Error("output path not substituted")
+	}
+}
+
+func TestNamesAndVariants(t *testing.T) {
+	if len(Names()) != 8 {
+		t.Errorf("Names = %v", Names())
+	}
+	if len(VariantNames()) != 9 {
+		t.Errorf("VariantNames = %v", VariantNames())
+	}
+	for _, n := range append(Names(), VariantNames()...) {
+		if _, err := Query(n, "o"); err != nil {
+			t.Errorf("query %s missing: %v", n, err)
+		}
+	}
+}
+
+func TestInstancesKeepPaperRatio(t *testing.T) {
+	i15, i150 := Instance15GB(), Instance150GB()
+	if i150.Config.PageViewsRows != 10*i15.Config.PageViewsRows {
+		t.Error("instances should keep the paper's 1:10 row ratio")
+	}
+	if i15.TargetBytes != 15<<30 || i150.TargetBytes != 150<<30 {
+		t.Error("target bytes wrong")
+	}
+}

@@ -1,0 +1,142 @@
+// Package synth implements the synthetic workload of §7.5: a 12-field data
+// set whose string fields study Project data reduction and whose integer
+// fields have calibrated cardinalities so equality predicates select fixed
+// fractions of the data (Table 2), plus the QP (projection sweep) and QF
+// (filter sweep) query templates.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dfs"
+	"repro/internal/types"
+)
+
+// Path is the DFS location of the generated table.
+const Path = "synth/data"
+
+// FieldSpec describes one filterable field of Table 2.
+type FieldSpec struct {
+	Name        string
+	Cardinality float64 // number of distinct values
+	Selectivity float64 // fraction selected by an equality predicate
+}
+
+// Table2 returns the paper's field specification: cardinalities 200, 100,
+// 20, 10, 5, 2, and 1.67, i.e. selectivities 0.5%–60%.
+func Table2() []FieldSpec {
+	return []FieldSpec{
+		{Name: "field6", Cardinality: 200, Selectivity: 0.005},
+		{Name: "field7", Cardinality: 100, Selectivity: 0.01},
+		{Name: "field8", Cardinality: 20, Selectivity: 0.05},
+		{Name: "field9", Cardinality: 10, Selectivity: 0.10},
+		{Name: "field10", Cardinality: 5, Selectivity: 0.20},
+		{Name: "field11", Cardinality: 2, Selectivity: 0.50},
+		{Name: "field12", Cardinality: 1.67, Selectivity: 0.60},
+	}
+}
+
+// Schema returns the 12-field schema: field1–field5 are 20-character
+// strings, field6–field12 integers.
+func Schema() types.Schema {
+	var fields []types.Field
+	for i := 1; i <= 5; i++ {
+		fields = append(fields, types.Field{Name: fmt.Sprintf("field%d", i), Kind: types.KindString})
+	}
+	for i := 6; i <= 12; i++ {
+		fields = append(fields, types.Field{Name: fmt.Sprintf("field%d", i), Kind: types.KindInt})
+	}
+	return types.Schema{Fields: fields}
+}
+
+// Generate writes rows of synthetic data. String fields are random
+// 20-character strings; integer field values are distributed so that the
+// predicate "fieldN == 0" selects the Table 2 fraction.
+func Generate(fs *dfs.FS, rows, partitions int, seed int64) error {
+	if rows <= 0 {
+		return fmt.Errorf("synth: rows must be positive")
+	}
+	if partitions <= 0 {
+		partitions = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	specs := Table2()
+	data := make([]types.Tuple, rows)
+	for i := range data {
+		t := make(types.Tuple, 12)
+		// The string fields carry the paper's size structure (20 chars
+		// each, so projecting k of them retains ~18%..74% of the bytes).
+		// field2..field5 are denormalized attributes of field1 so that
+		// QP's group-by collapses to ~1000 groups regardless of how many
+		// fields are projected — the grouped output stays small while the
+		// projected (materialized) data grows, as in the paper's sweep.
+		key := rng.Intn(1000)
+		t[0] = types.NewString(fmt.Sprintf("key%017d", key))
+		for f := 1; f < 5; f++ {
+			t[f] = types.NewString(fmt.Sprintf("val%d%016d", f, key))
+		}
+		for f, spec := range specs {
+			if spec.Cardinality >= 2 {
+				t[5+f] = types.NewInt(int64(rng.Intn(int(spec.Cardinality))))
+			} else {
+				// Fractional cardinality (1.67): value 0 with probability
+				// equal to the target selectivity.
+				v := int64(1)
+				if rng.Float64() < spec.Selectivity {
+					v = 0
+				}
+				t[5+f] = types.NewInt(v)
+			}
+		}
+		data[i] = t
+	}
+	return fs.WritePartitioned(Path, Schema(), data, partitions)
+}
+
+func randString(rng *rand.Rand, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('a' + rng.Intn(26)))
+	}
+	return sb.String()
+}
+
+const loadStmt = `A = load 'synth/data' as (field1, field2, field3, field4, field5, field6:int, field7:int, field8:int, field9:int, field10:int, field11:int, field12:int);`
+
+// QP returns the projection-sweep template of §7.5 selecting the first
+// numFields string fields (1–5), grouping by them, and counting.
+func QP(numFields int, out string) (string, error) {
+	if numFields < 1 || numFields > 5 {
+		return "", fmt.Errorf("synth: QP selects 1..5 fields, got %d", numFields)
+	}
+	var cols []string
+	for i := 1; i <= numFields; i++ {
+		cols = append(cols, fmt.Sprintf("field%d", i))
+	}
+	colList := strings.Join(cols, ", ")
+	keySpec := colList
+	if numFields > 1 {
+		keySpec = "(" + colList + ")"
+	}
+	return fmt.Sprintf(`%s
+B = foreach A generate %s;
+C = group B by %s;
+D = foreach C generate group, COUNT(B);
+store D into '%s';`, loadStmt, colList, keySpec, out), nil
+}
+
+// QF returns the filter-sweep template of §7.5 applying an equality
+// predicate on one of field6..field12 (always "== 0", matching the Table 2
+// selectivities), grouping by field1, and counting.
+func QF(fieldIdx int, out string) (string, error) {
+	if fieldIdx < 6 || fieldIdx > 12 {
+		return "", fmt.Errorf("synth: QF filters field6..field12, got field%d", fieldIdx)
+	}
+	return fmt.Sprintf(`%s
+B = filter A by field%d == 0;
+C = group B by field1;
+D = foreach C generate group, COUNT(B);
+store D into '%s';`, loadStmt, fieldIdx, out), nil
+}

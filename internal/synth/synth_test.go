@@ -1,0 +1,156 @@
+package synth
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/logical"
+	"repro/internal/mrcompile"
+	"repro/internal/piglatin"
+)
+
+func TestGenerateSelectivities(t *testing.T) {
+	fs := dfs.New()
+	const rows = 20000
+	if err := Generate(fs, rows, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadAll(Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != rows {
+		t.Fatalf("rows = %d", len(data))
+	}
+	// Each integer field's "== 0" selectivity must approximate Table 2.
+	for i, spec := range Table2() {
+		hits := 0
+		for _, row := range data {
+			if row[5+i].Int() == 0 {
+				hits++
+			}
+		}
+		got := float64(hits) / rows
+		if math.Abs(got-spec.Selectivity) > spec.Selectivity*0.25+0.005 {
+			t.Errorf("%s selectivity = %.4f, want ~%.4f", spec.Name, got, spec.Selectivity)
+		}
+	}
+	// String fields are 20 characters.
+	if l := len(data[0][1].Str()); l != 20 {
+		t.Errorf("string field length = %d", l)
+	}
+}
+
+func TestProjectionSizeRatios(t *testing.T) {
+	// The paper designed the data so projecting 1 field keeps ~18% of the
+	// bytes and all 5 keep ~74%. Verify the generated encoding reproduces
+	// that shape (monotone growth from <25% to >55%).
+	fs := dfs.New()
+	if err := Generate(fs, 5000, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	full, err := fs.StatFile(Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadAll(Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for k := 1; k <= 5; k++ {
+		var bytes int64
+		for _, row := range data {
+			for f := 0; f < k; f++ {
+				bytes += int64(len(row[f].Str())) + 2
+			}
+		}
+		ratio := float64(bytes) / float64(full.Bytes)
+		if ratio <= prev {
+			t.Errorf("projection ratio not increasing at k=%d: %.3f", k, ratio)
+		}
+		prev = ratio
+		if k == 1 && (ratio < 0.10 || ratio > 0.30) {
+			t.Errorf("1-field ratio = %.3f, want ~0.18", ratio)
+		}
+		if k == 5 && (ratio < 0.55 || ratio > 0.95) {
+			t.Errorf("5-field ratio = %.3f, want ~0.74", ratio)
+		}
+	}
+}
+
+func TestQPTemplatesCompile(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		src, err := QP(k, "out/qp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		script, err := piglatin.Parse(src)
+		if err != nil {
+			t.Fatalf("QP(%d) parse: %v\n%s", k, err, src)
+		}
+		plan, err := logical.Build(script)
+		if err != nil {
+			t.Fatalf("QP(%d) build: %v", k, err)
+		}
+		if _, err := mrcompile.Compile(plan, "tmp/qp"); err != nil {
+			t.Fatalf("QP(%d) compile: %v", k, err)
+		}
+	}
+	if _, err := QP(0, "o"); err == nil {
+		t.Error("QP(0) accepted")
+	}
+	if _, err := QP(6, "o"); err == nil {
+		t.Error("QP(6) accepted")
+	}
+}
+
+func TestQFTemplatesCompile(t *testing.T) {
+	for f := 6; f <= 12; f++ {
+		src, err := QF(f, "out/qf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		script, err := piglatin.Parse(src)
+		if err != nil {
+			t.Fatalf("QF(%d) parse: %v", f, err)
+		}
+		plan, err := logical.Build(script)
+		if err != nil {
+			t.Fatalf("QF(%d) build: %v", f, err)
+		}
+		if _, err := mrcompile.Compile(plan, "tmp/qf"); err != nil {
+			t.Fatalf("QF(%d) compile: %v", f, err)
+		}
+		if !strings.Contains(src, "filter A by field") {
+			t.Error("QF missing filter")
+		}
+	}
+	if _, err := QF(5, "o"); err == nil {
+		t.Error("QF(5) accepted")
+	}
+	if _, err := QF(13, "o"); err == nil {
+		t.Error("QF(13) accepted")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := Generate(dfs.New(), 0, 1, 1); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	specs := Table2()
+	if len(specs) != 7 {
+		t.Fatalf("fields = %d", len(specs))
+	}
+	wantSel := []float64{0.005, 0.01, 0.05, 0.10, 0.20, 0.50, 0.60}
+	for i, s := range specs {
+		if s.Selectivity != wantSel[i] {
+			t.Errorf("%s selectivity = %v, want %v", s.Name, s.Selectivity, wantSel[i])
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package types
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"strings"
+)
+
+// The binary codec is the storage and shuffle format. Layout per value:
+//
+//	kind byte, then payload:
+//	  null            -> nothing
+//	  bool            -> 1 byte
+//	  int             -> uvarint(zigzag)
+//	  float           -> 8 bytes big endian IEEE-754
+//	  string          -> uvarint length + bytes
+//	  tuple           -> uvarint arity + values
+//	  bag             -> uvarint count + tuples (each as a tuple payload)
+//
+// A record on disk is one tuple value. Records are length-prefixed so a
+// reader can skip without decoding.
+
+// EncodeTuple appends the binary encoding of t to dst and returns it.
+func EncodeTuple(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = encodeValue(dst, v)
+	}
+	return dst
+}
+
+func encodeValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindBool:
+		if v.b {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case KindInt:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindFloat:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		dst = append(dst, buf[:]...)
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case KindTuple:
+		dst = EncodeTuple(dst, v.t)
+	case KindBag:
+		dst = binary.AppendUvarint(dst, uint64(len(v.bag.Tuples)))
+		for _, t := range v.bag.Tuples {
+			dst = EncodeTuple(dst, t)
+		}
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from buf, returning the tuple and the number
+// of bytes consumed.
+func DecodeTuple(buf []byte) (Tuple, int, error) {
+	arity, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("types: corrupt tuple arity")
+	}
+	off := n
+	t := make(Tuple, arity)
+	for i := range t {
+		v, n, err := decodeValue(buf[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		t[i] = v
+		off += n
+	}
+	return t, off, nil
+}
+
+func decodeValue(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Value{}, 0, io.ErrUnexpectedEOF
+	}
+	kind := Kind(buf[0])
+	off := 1
+	switch kind {
+	case KindNull:
+		return Null(), off, nil
+	case KindBool:
+		if len(buf) < 2 {
+			return Value{}, 0, io.ErrUnexpectedEOF
+		}
+		return NewBool(buf[1] != 0), 2, nil
+	case KindInt:
+		i, n := binary.Varint(buf[off:])
+		if n <= 0 {
+			return Value{}, 0, fmt.Errorf("types: corrupt varint")
+		}
+		return NewInt(i), off + n, nil
+	case KindFloat:
+		if len(buf) < off+8 {
+			return Value{}, 0, io.ErrUnexpectedEOF
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+		return NewFloat(f), off + 8, nil
+	case KindString:
+		l, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return Value{}, 0, fmt.Errorf("types: corrupt string length")
+		}
+		off += n
+		if uint64(len(buf)-off) < l {
+			return Value{}, 0, io.ErrUnexpectedEOF
+		}
+		return NewString(string(buf[off : off+int(l)])), off + int(l), nil
+	case KindTuple:
+		t, n, err := DecodeTuple(buf[off:])
+		if err != nil {
+			return Value{}, 0, err
+		}
+		return NewTuple(t), off + n, nil
+	case KindBag:
+		count, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return Value{}, 0, fmt.Errorf("types: corrupt bag count")
+		}
+		off += n
+		bag := &Bag{Tuples: make([]Tuple, 0, count)}
+		for i := uint64(0); i < count; i++ {
+			t, n, err := DecodeTuple(buf[off:])
+			if err != nil {
+				return Value{}, 0, err
+			}
+			bag.Add(t)
+			off += n
+		}
+		return NewBag(bag), off, nil
+	default:
+		return Value{}, 0, fmt.Errorf("types: unknown kind byte %d", buf[0])
+	}
+}
+
+// Writer streams length-prefixed tuple records to an io.Writer.
+type Writer struct {
+	w       *bufio.Writer
+	scratch []byte
+	// Records and Bytes count what has been written.
+	Records int64
+	Bytes   int64
+}
+
+// NewWriter wraps w in a record writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one tuple record.
+func (w *Writer) Write(t Tuple) error {
+	w.scratch = EncodeTuple(w.scratch[:0], t)
+	var lenbuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenbuf[:], uint64(len(w.scratch)))
+	if _, err := w.w.Write(lenbuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.scratch); err != nil {
+		return err
+	}
+	w.Records++
+	w.Bytes += int64(n + len(w.scratch))
+	return nil
+}
+
+// Flush flushes the underlying buffer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams length-prefixed tuple records from an io.Reader.
+type Reader struct {
+	r       *bufio.Reader
+	scratch []byte
+}
+
+// NewReader wraps r in a record reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next tuple or io.EOF.
+func (r *Reader) Read() (Tuple, error) {
+	l, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return nil, err
+	}
+	if cap(r.scratch) < int(l) {
+		r.scratch = make([]byte, l)
+	}
+	buf := r.scratch[:l]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return nil, fmt.Errorf("types: short record: %w", err)
+	}
+	t, _, err := DecodeTuple(buf)
+	return t, err
+}
+
+// HashTuple returns a stable 64-bit hash of the tuple, used to partition
+// shuffle keys across reducers.
+func HashTuple(t Tuple) uint64 {
+	h := fnv.New64a()
+	var buf []byte
+	buf = EncodeTuple(buf, t)
+	h.Write(buf)
+	return h.Sum64()
+}
+
+// FormatTSV renders a tuple as a tab-separated line (the human-readable
+// export format, mirroring PigStorage).
+func FormatTSV(t Tuple) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "\t")
+}
+
+// ParseTSVTyped parses one tab-separated line according to a schema. Columns
+// with KindNull schema entries stay strings; missing columns become null.
+func ParseTSVTyped(line string, schema Schema) Tuple {
+	cols := strings.Split(line, "\t")
+	n := schema.Len()
+	if n == 0 {
+		n = len(cols)
+	}
+	t := make(Tuple, n)
+	for i := 0; i < n; i++ {
+		if i >= len(cols) {
+			t[i] = Null()
+			continue
+		}
+		raw := cols[i]
+		kind := KindNull
+		if i < schema.Len() {
+			kind = schema.Fields[i].Kind
+		}
+		switch kind {
+		case KindInt:
+			if iv, ok := CoerceInt(NewString(raw)); ok {
+				t[i] = NewInt(iv)
+			} else {
+				t[i] = Null()
+			}
+		case KindFloat:
+			if fv, ok := CoerceFloat(NewString(raw)); ok {
+				t[i] = NewFloat(fv)
+			} else {
+				t[i] = Null()
+			}
+		case KindBool:
+			t[i] = NewBool(raw == "true")
+		default:
+			t[i] = NewString(raw)
+		}
+	}
+	return t
+}

@@ -1,0 +1,128 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field describes one column of a relation: a name and a declared kind.
+// KindNull means "unknown/any", which is how Pig treats undeclared columns.
+// Bag and tuple columns carry the element schema in Sub so expressions such
+// as SUM(C.est_revenue) can resolve names inside the nested relation.
+type Field struct {
+	Name string  `json:"name"`
+	Kind Kind    `json:"kind"`
+	Sub  *Schema `json:"sub,omitempty"`
+}
+
+// Schema describes the columns of a relation. Schemas are value types;
+// transformations return new schemas.
+type Schema struct {
+	Fields []Field `json:"fields"`
+}
+
+// NewSchema builds a schema from (name, kind) pairs.
+func NewSchema(fields ...Field) Schema {
+	return Schema{Fields: fields}
+}
+
+// SchemaFromNames builds a schema of untyped (KindNull) columns.
+func SchemaFromNames(names ...string) Schema {
+	fields := make([]Field, len(names))
+	for i, n := range names {
+		fields[i] = Field{Name: n}
+	}
+	return Schema{Fields: fields}
+}
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Fields) }
+
+// IndexOf returns the position of the named column, or -1 if absent.
+func (s Schema) IndexOf(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// String renders the schema as "(a:int, b, c:string)".
+func (s Schema) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, f := range s.Fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.Name)
+		if f.Kind != KindNull {
+			sb.WriteByte(':')
+			sb.WriteString(f.Kind.String())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Concat returns the concatenation of two schemas, prefixing duplicate names
+// to keep columns addressable (mirrors Pig's a::col disambiguation).
+func (s Schema) Concat(other Schema) Schema {
+	seen := make(map[string]bool, len(s.Fields))
+	out := make([]Field, 0, len(s.Fields)+len(other.Fields))
+	for _, f := range s.Fields {
+		seen[f.Name] = true
+		out = append(out, f)
+	}
+	for _, f := range other.Fields {
+		name := f.Name
+		for seen[name] {
+			name = "r::" + name
+		}
+		seen[name] = true
+		out = append(out, Field{Name: name, Kind: f.Kind})
+	}
+	return Schema{Fields: out}
+}
+
+// Project returns the sub-schema at the given column indexes.
+func (s Schema) Project(idxs []int) (Schema, error) {
+	out := make([]Field, len(idxs))
+	for i, ix := range idxs {
+		if ix < 0 || ix >= len(s.Fields) {
+			return Schema{}, fmt.Errorf("types: project index %d out of range for schema %s", ix, s)
+		}
+		out[i] = s.Fields[ix]
+	}
+	return Schema{Fields: out}, nil
+}
+
+// Canonical returns a deterministic string used in physical-plan operator
+// signatures. Unlike String it always includes kinds.
+func (s Schema) Canonical() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, f := range s.Fields {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(f.Name)
+		sb.WriteByte(':')
+		sb.WriteString(f.Kind.String())
+		if f.Sub != nil {
+			sb.WriteString(f.Sub.Canonical())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

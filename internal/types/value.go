@@ -1,0 +1,369 @@
+// Package types defines the data model shared by every layer of the system:
+// scalar values, tuples, bags, schemas, ordering, and the binary and text
+// codecs used to persist datasets in the distributed file system and to move
+// records through the MapReduce shuffle.
+package types
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value. The vocabulary follows the Pig
+// data model: scalars, tuples, and bags (unordered collections of tuples).
+type Kind uint8
+
+const (
+	// KindNull is the absence of a value.
+	KindNull Kind = iota
+	// KindBool is a boolean scalar.
+	KindBool
+	// KindInt is a 64-bit signed integer scalar.
+	KindInt
+	// KindFloat is a 64-bit floating point scalar.
+	KindFloat
+	// KindString is a UTF-8 string scalar.
+	KindString
+	// KindTuple is an ordered sequence of values.
+	KindTuple
+	// KindBag is a collection of tuples (the output of Group/CoGroup).
+	KindBag
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindTuple:
+		return "tuple"
+	case KindBag:
+		return "bag"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed datum. The zero Value is null. Values are
+// represented as a tagged struct rather than an interface so that hot loops
+// (comparison, hashing, encoding) avoid per-datum allocations.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	t    Tuple
+	bag  *Bag
+}
+
+// Tuple is an ordered sequence of values.
+type Tuple []Value
+
+// Bag is a collection of tuples. Bags preserve insertion order internally but
+// are compared as multisets.
+type Bag struct {
+	Tuples []Tuple
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// NewBool wraps a bool.
+func NewBool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// NewInt wraps an int64.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat wraps a float64.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString wraps a string.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewTuple wraps a tuple.
+func NewTuple(t Tuple) Value { return Value{kind: KindTuple, t: t} }
+
+// NewBag wraps a bag.
+func NewBag(b *Bag) Value { return Value{kind: KindBag, bag: b} }
+
+// Kind reports the runtime kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload. It panics if the kind is not KindBool.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("types: Bool() on %s value", v.kind))
+	}
+	return v.b
+}
+
+// Int returns the integer payload. It panics if the kind is not KindInt.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("types: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the float payload. It panics if the kind is not KindFloat.
+func (v Value) Float() float64 {
+	if v.kind != KindFloat {
+		panic(fmt.Sprintf("types: Float() on %s value", v.kind))
+	}
+	return v.f
+}
+
+// Str returns the string payload. It panics if the kind is not KindString.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("types: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Tuple returns the tuple payload. It panics if the kind is not KindTuple.
+func (v Value) Tuple() Tuple {
+	if v.kind != KindTuple {
+		panic(fmt.Sprintf("types: Tuple() on %s value", v.kind))
+	}
+	return v.t
+}
+
+// Bag returns the bag payload. It panics if the kind is not KindBag.
+func (v Value) Bag() *Bag {
+	if v.kind != KindBag {
+		panic(fmt.Sprintf("types: Bag() on %s value", v.kind))
+	}
+	return v.bag
+}
+
+// AsFloat converts numeric values to float64 for arithmetic. ok is false for
+// non-numeric values.
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// Truthy reports whether the value counts as true in a filter predicate.
+// Null is false; only boolean true is true.
+func (v Value) Truthy() bool { return v.kind == KindBool && v.b }
+
+// String renders the value in the text (tab-free) form used by the text
+// codec and by error messages.
+func (v Value) String() string {
+	var sb strings.Builder
+	v.appendText(&sb)
+	return sb.String()
+}
+
+func (v Value) appendText(sb *strings.Builder) {
+	switch v.kind {
+	case KindNull:
+		sb.WriteString("")
+	case KindBool:
+		sb.WriteString(strconv.FormatBool(v.b))
+	case KindInt:
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case KindFloat:
+		sb.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+	case KindString:
+		sb.WriteString(v.s)
+	case KindTuple:
+		sb.WriteByte('(')
+		for i, e := range v.t {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			e.appendText(sb)
+		}
+		sb.WriteByte(')')
+	case KindBag:
+		sb.WriteByte('{')
+		for i, t := range v.bag.Tuples {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			NewTuple(t).appendText(sb)
+		}
+		sb.WriteByte('}')
+	}
+}
+
+// Compare defines a total order over values. Nulls sort first, then values
+// order by kind, then by payload. Int and Float compare numerically with each
+// other. Bags compare as sorted multisets.
+func Compare(a, b Value) int {
+	an, bn := a.numericKind(), b.numericKind()
+	if an && bn {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0
+		case !a.b:
+			return -1
+		default:
+			return 1
+		}
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindTuple:
+		return CompareTuples(a.t, b.t)
+	case KindBag:
+		return compareBags(a.bag, b.bag)
+	default:
+		return 0
+	}
+}
+
+func (v Value) numericKind() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// CompareTuples orders tuples lexicographically field by field, shorter
+// tuples first on ties.
+func CompareTuples(a, b Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareBags(a, b *Bag) int {
+	as := a.sortedCopy()
+	bs := b.sortedCopy()
+	n := len(as)
+	if len(bs) < n {
+		n = len(bs)
+	}
+	for i := 0; i < n; i++ {
+		if c := CompareTuples(as[i], bs[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(as) < len(bs):
+		return -1
+	case len(as) > len(bs):
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (b *Bag) sortedCopy() []Tuple {
+	out := make([]Tuple, len(b.Tuples))
+	copy(out, b.Tuples)
+	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i], out[j]) < 0 })
+	return out
+}
+
+// Equal reports deep equality under Compare semantics.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// EqualTuples reports deep equality of tuples.
+func EqualTuples(a, b Tuple) bool { return CompareTuples(a, b) == 0 }
+
+// Add adds the tuple to the bag.
+func (b *Bag) Add(t Tuple) { b.Tuples = append(b.Tuples, t) }
+
+// Len returns the number of tuples in the bag.
+func (b *Bag) Len() int { return len(b.Tuples) }
+
+// Clone returns a deep copy of the tuple. Scalar payloads are immutable so
+// only the container spine is copied.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// CoerceInt parses ints out of int, float, and numeric string values.
+func CoerceInt(v Value) (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindFloat:
+		if v.f == math.Trunc(v.f) {
+			return int64(v.f), true
+		}
+		return 0, false
+	case KindString:
+		n, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return n, true
+	default:
+		return 0, false
+	}
+}
+
+// CoerceFloat parses floats out of int, float, and numeric string values.
+func CoerceFloat(v Value) (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	default:
+		return 0, false
+	}
+}

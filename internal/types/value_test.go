@@ -1,0 +1,245 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		want string
+	}{
+		{Null(), KindNull, ""},
+		{NewBool(true), KindBool, "true"},
+		{NewInt(-42), KindInt, "-42"},
+		{NewFloat(2.5), KindFloat, "2.5"},
+		{NewString("hello"), KindString, "hello"},
+		{NewTuple(Tuple{NewInt(1), NewString("x")}), KindTuple, "(1,x)"},
+		{NewBag(&Bag{Tuples: []Tuple{{NewInt(1)}, {NewInt(2)}}}), KindBag, "{(1),(2)}"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind of %v = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int() on string value did not panic")
+		}
+	}()
+	NewString("x").Int()
+}
+
+func TestCompareScalars(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.0), 0},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewString("a"), NewString("b"), -1},
+		{Null(), NewInt(0), -1},
+		{Null(), Null(), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewBool(true), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	a := Tuple{NewInt(1), NewString("a")}
+	b := Tuple{NewInt(1), NewString("b")}
+	if CompareTuples(a, b) >= 0 {
+		t.Error("expected a < b")
+	}
+	if CompareTuples(a, a) != 0 {
+		t.Error("expected a == a")
+	}
+	short := Tuple{NewInt(1)}
+	if CompareTuples(short, a) >= 0 {
+		t.Error("shorter tuple should sort first on shared prefix")
+	}
+}
+
+func TestCompareBagsAsMultisets(t *testing.T) {
+	a := NewBag(&Bag{Tuples: []Tuple{{NewInt(1)}, {NewInt(2)}}})
+	b := NewBag(&Bag{Tuples: []Tuple{{NewInt(2)}, {NewInt(1)}}})
+	if Compare(a, b) != 0 {
+		t.Error("bags with same tuples in different order should compare equal")
+	}
+	c := NewBag(&Bag{Tuples: []Tuple{{NewInt(1)}}})
+	if Compare(c, a) >= 0 {
+		t.Error("smaller bag should sort first")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if !NewBool(true).Truthy() {
+		t.Error("true should be truthy")
+	}
+	for _, v := range []Value{NewBool(false), Null(), NewInt(1), NewString("true")} {
+		if v.Truthy() {
+			t.Errorf("%v should not be truthy", v)
+		}
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if n, ok := CoerceInt(NewString(" 42 ")); !ok || n != 42 {
+		t.Errorf("CoerceInt string = %d,%v", n, ok)
+	}
+	if _, ok := CoerceInt(NewString("x")); ok {
+		t.Error("CoerceInt should fail on non-numeric string")
+	}
+	if n, ok := CoerceInt(NewFloat(3.0)); !ok || n != 3 {
+		t.Errorf("CoerceInt float = %d,%v", n, ok)
+	}
+	if _, ok := CoerceInt(NewFloat(3.5)); ok {
+		t.Error("CoerceInt should fail on fractional float")
+	}
+	if f, ok := CoerceFloat(NewString("2.5")); !ok || f != 2.5 {
+		t.Errorf("CoerceFloat = %v,%v", f, ok)
+	}
+	if f, ok := CoerceFloat(NewInt(2)); !ok || f != 2 {
+		t.Errorf("CoerceFloat int = %v,%v", f, ok)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	orig := Tuple{NewInt(1), NewString("a")}
+	cl := orig.Clone()
+	cl[0] = NewInt(99)
+	if orig[0].Int() != 1 {
+		t.Error("clone aliases original")
+	}
+}
+
+// randomValue builds an arbitrary value of bounded depth for property tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	max := 7
+	if depth <= 0 {
+		max = 5 // scalars only
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Null()
+	case 1:
+		return NewBool(r.Intn(2) == 0)
+	case 2:
+		return NewInt(r.Int63() - (1 << 62))
+	case 3:
+		return NewFloat(r.NormFloat64() * 1e6)
+	case 4:
+		b := make([]byte, r.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return NewString(string(b))
+	case 5:
+		return NewTuple(randomTuple(r, depth-1))
+	default:
+		bag := &Bag{}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			bag.Add(randomTuple(r, depth-1))
+		}
+		return NewBag(bag)
+	}
+}
+
+func randomTuple(r *rand.Rand, depth int) Tuple {
+	t := make(Tuple, r.Intn(5))
+	for i := range t {
+		t[i] = randomValue(r, depth)
+	}
+	return t
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	// Antisymmetry: Compare(a,b) == -Compare(b,a).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r, 2), randomValue(r, 2)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// Reflexivity.
+	g := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomValue(r, 2)
+		return Compare(a, a) == 0
+	}
+	if err := quick.Check(g, cfg); err != nil {
+		t.Error(err)
+	}
+	// Transitivity on sorted triples.
+	h := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vs := []Value{randomValue(r, 2), randomValue(r, 2), randomValue(r, 2)}
+		sort.Slice(vs, func(i, j int) bool { return Compare(vs[i], vs[j]) < 0 })
+		return Compare(vs[0], vs[1]) <= 0 && Compare(vs[1], vs[2]) <= 0 && Compare(vs[0], vs[2]) <= 0
+	}
+	if err := quick.Check(h, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema(Field{Name: "user", Kind: KindString}, Field{Name: "rev", Kind: KindFloat})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.IndexOf("rev") != 1 || s.IndexOf("missing") != -1 {
+		t.Error("IndexOf wrong")
+	}
+	if got := s.String(); got != "(user:string, rev:float)" {
+		t.Errorf("String = %q", got)
+	}
+	if !reflect.DeepEqual(s.Names(), []string{"user", "rev"}) {
+		t.Error("Names wrong")
+	}
+	p, err := s.Project([]int{1})
+	if err != nil || p.Fields[0].Name != "rev" {
+		t.Errorf("Project = %v, %v", p, err)
+	}
+	if _, err := s.Project([]int{5}); err == nil {
+		t.Error("Project out of range should error")
+	}
+}
+
+func TestSchemaConcatDisambiguates(t *testing.T) {
+	a := SchemaFromNames("user", "x")
+	b := SchemaFromNames("user", "y")
+	c := a.Concat(b)
+	want := []string{"user", "x", "r::user", "y"}
+	if !reflect.DeepEqual(c.Names(), want) {
+		t.Errorf("Concat names = %v, want %v", c.Names(), want)
+	}
+}
+
+func TestSchemaCanonicalDeterministic(t *testing.T) {
+	s := NewSchema(Field{Name: "a", Kind: KindInt}, Field{Name: "b"})
+	if s.Canonical() != "(a:int,b:null)" {
+		t.Errorf("Canonical = %q", s.Canonical())
+	}
+}

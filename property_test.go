@@ -1,0 +1,120 @@
+package restore
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestPropertyReuseEqualsRecompute fuzzes the whole stack: random pipelines
+// of filters, projections, joins, groups, and distincts run as a stream on
+// one ReStore system (accumulating and reusing stored results) and
+// individually on fresh baseline systems. Every query's output must match
+// exactly. This is the system-level invariant behind the paper: rewriting
+// against the repository is semantics-preserving.
+func TestPropertyReuseEqualsRecompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is slow")
+	}
+	const (
+		seeds          = 6
+		queriesPerSeed = 8
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			shared := New() // full ReStore
+			baselineData := func() *System {
+				s := New(WithReuse(false), WithHeuristic(HeuristicOff), WithRegistration(false))
+				seedRandomTables(t, s, seed)
+				return s
+			}
+			seedRandomTables(t, shared, seed)
+
+			for q := 0; q < queriesPerSeed; q++ {
+				src, out := randomQuery(rng, q)
+				resShared, err := shared.Execute(src)
+				if err != nil {
+					t.Fatalf("shared exec:\n%s\n%v", src, err)
+				}
+				base := baselineData()
+				resBase, err := base.Execute(src)
+				if err != nil {
+					t.Fatalf("baseline exec:\n%s\n%v", src, err)
+				}
+				got, err := shared.ReadOutputTSV(resShared, out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := base.ReadOutputTSV(resBase, out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if strings.Join(got, "\n") != strings.Join(want, "\n") {
+					t.Fatalf("query %d diverged under reuse\nquery:\n%s\ngot %d rows, want %d rows",
+						q, src, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// seedRandomTables writes two deterministic tables per seed.
+func seedRandomTables(t *testing.T, s *System, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed*977 + 13))
+	var facts, dims []string
+	for i := 0; i < 400; i++ {
+		facts = append(facts, fmt.Sprintf("k%02d\t%d\t%d\tv%d",
+			rng.Intn(30), rng.Intn(100), rng.Intn(10), rng.Intn(5)))
+	}
+	for i := 0; i < 30; i++ {
+		dims = append(dims, fmt.Sprintf("k%02d\tname%d", i, i))
+	}
+	if err := s.LoadTSV("fuzz/facts", "k, a:int, b:int, c", facts, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadTSV("fuzz/dims", "k, label", dims, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomQuery builds a random but always-valid pipeline over the fuzz
+// tables.
+func randomQuery(rng *rand.Rand, idx int) (src, out string) {
+	out = fmt.Sprintf("out/fuzz%d", idx)
+	var sb strings.Builder
+	sb.WriteString("F = load 'fuzz/facts' as (k, a:int, b:int, c);\n")
+	cur := "F"
+	steps := 1 + rng.Intn(3)
+	for i := 0; i < steps; i++ {
+		next := fmt.Sprintf("S%d", i)
+		switch rng.Intn(4) {
+		case 0:
+			fmt.Fprintf(&sb, "%s = filter %s by a > %d;\n", next, cur, rng.Intn(80))
+		case 1:
+			fmt.Fprintf(&sb, "%s = filter %s by b == %d or a < %d;\n", next, cur, rng.Intn(10), rng.Intn(50))
+		case 2:
+			fmt.Fprintf(&sb, "%s = foreach %s generate k, a, b, c;\n", next, cur)
+		case 3:
+			fmt.Fprintf(&sb, "%s = distinct %s;\n", next, cur)
+		}
+		cur = next
+	}
+	switch rng.Intn(3) {
+	case 0:
+		fmt.Fprintf(&sb, "G = group %s by k;\nR = foreach G generate group, COUNT(%s), SUM(%s.a);\n", cur, cur, cur)
+		cur = "R"
+	case 1:
+		sb.WriteString("D = load 'fuzz/dims' as (k, label);\n")
+		fmt.Fprintf(&sb, "J = join D by k, %s by k;\n", cur)
+		cur = "J"
+	case 2:
+		fmt.Fprintf(&sb, "O = order %s by a desc, k;\n", cur)
+		cur = "O"
+	}
+	fmt.Fprintf(&sb, "store %s into '%s';\n", cur, out)
+	return sb.String(), out
+}

@@ -1,0 +1,477 @@
+// Package restore is a Go reproduction of ReStore (Elghandour & Aboulnaga,
+// PVLDB 5(6), 2012): a system that stores the outputs of MapReduce jobs
+// produced by a Pig-like dataflow engine and reuses them to answer future
+// queries, either as whole jobs or as materialized sub-jobs.
+//
+// The package wires together the full stack built in internal/: a Pig Latin
+// dialect front end, a logical plan builder, a MapReduce compiler, a
+// from-scratch MapReduce engine over a simulated DFS, a cluster cost model,
+// and the ReStore core (plan matcher/rewriter, sub-job enumerator, and
+// repository manager).
+//
+// Basic usage:
+//
+//	sys := restore.New()
+//	// load data into sys.FS(), then:
+//	res, err := sys.Execute(`
+//	    A = load 'page_views' as (user, timestamp, est_revenue:double);
+//	    B = foreach A generate user, est_revenue;
+//	    store B into 'out/projected';
+//	`)
+//
+// Executing related queries afterwards reuses the stored intermediate
+// results automatically; Result.Rewrites reports what was reused.
+package restore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/logical"
+	"repro/internal/mapred"
+	"repro/internal/mrcompile"
+	"repro/internal/piglatin"
+	"repro/internal/types"
+)
+
+// Heuristic re-exports the sub-job enumeration heuristics of §4.
+type Heuristic = core.Heuristic
+
+// Heuristic values.
+const (
+	// HeuristicOff disables sub-job materialization.
+	HeuristicOff = core.HeuristicOff
+	// HeuristicConservative materializes Project/Filter outputs.
+	HeuristicConservative = core.HeuristicConservative
+	// HeuristicAggressive also materializes Join/Group/CoGroup outputs
+	// (the paper's default).
+	HeuristicAggressive = core.HeuristicAggressive
+	// HeuristicAll materializes after every operator ("No Heuristic").
+	HeuristicAll = core.HeuristicAll
+)
+
+// Policy re-exports the repository management policy of §5.
+type Policy = core.Policy
+
+// System is a ReStore deployment: a DFS, a cluster model, a MapReduce
+// engine, and the shared repository that persists across queries.
+type System struct {
+	fs        *dfs.FS
+	cluster   *cluster.Config
+	engine    *mapred.Engine
+	repo      *core.Repository
+	selector  *core.Selector
+	heuristic Heuristic
+	reuse     bool
+	register  bool
+	// registerFinals additionally stores user-named query outputs (the
+	// Facebook keep-results-for-7-days mode); by default only workflow
+	// intermediates and injected sub-jobs enter the repository.
+	registerFinals bool
+
+	seq     int64
+	subPath int64
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithClusterConfig replaces the default 15-node cluster model.
+func WithClusterConfig(c *cluster.Config) Option {
+	return func(s *System) { s.cluster = c }
+}
+
+// WithHeuristic selects the sub-job enumeration heuristic (default
+// Aggressive, as in the paper's experiments).
+func WithHeuristic(h Heuristic) Option {
+	return func(s *System) { s.heuristic = h }
+}
+
+// WithReuse toggles plan matching and rewriting (default on). Disabling it
+// yields the "No Data Reuse" baseline of §7.
+func WithReuse(on bool) Option {
+	return func(s *System) { s.reuse = on }
+}
+
+// WithRegistration toggles storing executed job outputs in the repository
+// (default on).
+func WithRegistration(on bool) Option {
+	return func(s *System) { s.register = on }
+}
+
+// WithRegisterFinalOutputs additionally registers user-named outputs, not
+// just intermediates and sub-jobs.
+func WithRegisterFinalOutputs(on bool) Option {
+	return func(s *System) { s.registerFinals = on }
+}
+
+// WithPolicy sets the repository keep/evict policy (§5). The default keeps
+// every candidate, matching the paper's experimental setup.
+func WithPolicy(p Policy) Option {
+	return func(s *System) { s.selector.Policy = p }
+}
+
+// WithReducePartitions sets the real execution parallelism of the reduce
+// phase (not the simulated reduce task count).
+func WithReducePartitions(n int) Option {
+	return func(s *System) { s.engine.ReduceTasks = n }
+}
+
+// New creates a System with an empty DFS and repository.
+func New(opts ...Option) *System {
+	fs := dfs.New()
+	clus := cluster.Default()
+	s := &System{
+		fs:        fs,
+		cluster:   clus,
+		engine:    mapred.NewEngine(fs, clus),
+		repo:      core.NewRepository(),
+		heuristic: HeuristicAggressive,
+		reuse:     true,
+		register:  true,
+	}
+	s.selector = &core.Selector{Repo: s.repo, FS: fs, Cluster: clus, Policy: core.DefaultPolicy()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	// Options may replace the cluster config; keep the engine and selector
+	// pointed at the final one.
+	s.engine.Cluster = s.cluster
+	s.selector.Cluster = s.cluster
+	return s
+}
+
+// FS exposes the simulated distributed file system (for loading data sets
+// and reading results).
+func (s *System) FS() *dfs.FS { return s.fs }
+
+// Cluster exposes the cost-model configuration.
+func (s *System) Cluster() *cluster.Config { return s.cluster }
+
+// Repository exposes the ReStore repository (for inspection and tooling).
+func (s *System) Repository() *core.Repository { return s.repo }
+
+// JobReport describes one executed MapReduce job.
+type JobReport struct {
+	JobID         string
+	InputBytes    int64
+	ShuffleBytes  int64
+	OutputBytes   int64
+	InjectedBytes int64
+	SimulatedTime time.Duration
+}
+
+// Result reports one executed query.
+type Result struct {
+	// Outputs maps each requested store path to the DFS file that holds
+	// its data — the path itself, or a stored repository file when the
+	// producing job was eliminated by reuse.
+	Outputs map[string]string
+	// SimulatedTime is the Equation-1 workflow completion time on the
+	// modeled cluster.
+	SimulatedTime time.Duration
+	// Rewrites lists the reuses applied by the plan matcher.
+	Rewrites []core.RewriteInfo
+	// Jobs reports the jobs that actually executed (possibly none).
+	Jobs []JobReport
+	// InjectedBytes totals the output of ReStore-injected Store operators
+	// (the materialization overhead of §7.2).
+	InjectedBytes int64
+	// Registered counts new repository entries created by this query.
+	Registered int
+	// Evicted lists repository entries evicted after this query.
+	Evicted []string
+}
+
+// Execute parses, compiles, rewrites, and runs one query, then updates the
+// repository. It is the JobControlCompiler extension of §6.2.
+func (s *System) Execute(src string) (*Result, error) {
+	s.seq++
+	seq := s.seq
+
+	script, err := piglatin.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := logical.Build(script)
+	if err != nil {
+		return nil, err
+	}
+	requested := make([]string, 0, len(plan.Sinks()))
+	for _, st := range plan.Sinks() {
+		requested = append(requested, st.Path)
+	}
+	workflow, err := mrcompile.Compile(plan, fmt.Sprintf("restore/tmp/q%d", seq))
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 0 (§5, Rules 3-4): evict stale or invalidated entries before
+	// matching, so a modified input is never answered from old results.
+	// Evicting one entry can invalidate entries reading its file, so run to
+	// a fixpoint.
+	var evicted []string
+	for {
+		ev, err := s.selector.Evict(seq)
+		if err != nil {
+			return nil, err
+		}
+		if len(ev) == 0 {
+			break
+		}
+		evicted = append(evicted, ev...)
+	}
+
+	// Phase 1 (§3): match and rewrite against the repository.
+	aliases := make(map[string]string)
+	var rewrites []core.RewriteInfo
+	jobs := workflow.Jobs
+	if s.reuse {
+		rw := &core.Rewriter{Repo: s.repo, Seq: seq}
+		outcome, err := rw.RewriteWorkflow(workflow)
+		if err != nil {
+			return nil, err
+		}
+		jobs = outcome.Jobs
+		aliases = outcome.Aliases
+		rewrites = outcome.Rewrites
+	}
+
+	// Phase 2 (§4): enumerate sub-jobs and inject materialization points.
+	var pending []pendingCandidate
+	finalJobs := make([]*mapred.Job, 0, len(jobs))
+	for _, job := range jobs {
+		p := job.Plan.Clone()
+		injs, err := core.EnumerateSubJobs(p, s.heuristic, func() string {
+			s.subPath++
+			return fmt.Sprintf("restore/sub/s%d", s.subPath)
+		})
+		if err != nil {
+			return nil, err
+		}
+		nj, err := mapred.NewJob(job.ID, p)
+		if err != nil {
+			return nil, err
+		}
+		finalJobs = append(finalJobs, nj)
+		for _, inj := range injs {
+			pending = append(pending, pendingCandidate{jobID: job.ID, inj: inj})
+		}
+	}
+
+	// Phase 3: execute on the MapReduce engine.
+	res := &Result{Outputs: make(map[string]string), Rewrites: rewrites}
+	var wfRes *mapred.WorkflowResult
+	if len(finalJobs) > 0 {
+		wfRes, err = s.engine.RunWorkflow(&mapred.Workflow{Jobs: finalJobs})
+		if err != nil {
+			return nil, err
+		}
+		res.SimulatedTime = wfRes.SimulatedTime
+		res.InjectedBytes = wfRes.TotalInjectedBytes
+		for _, id := range wfRes.Order {
+			jr := wfRes.JobResults[id]
+			res.Jobs = append(res.Jobs, JobReport{
+				JobID:         id,
+				InputBytes:    jr.Stats.InputBytes,
+				ShuffleBytes:  jr.Stats.ShuffleBytes,
+				OutputBytes:   jr.Stats.OutputBytes,
+				InjectedBytes: jr.InjectedStoreBytes,
+				SimulatedTime: jr.Times.Total,
+			})
+		}
+	}
+
+	// Phase 4 (§5): register candidates.
+	if s.register && wfRes != nil {
+		added, err := s.registerCandidates(finalJobs, pending, wfRes, seq)
+		if err != nil {
+			return nil, err
+		}
+		res.Registered = added
+	}
+	res.Evicted = evicted
+
+	for _, p := range requested {
+		actual := p
+		if a, ok := aliases[p]; ok {
+			actual = a
+		}
+		res.Outputs[p] = actual
+	}
+	return res, nil
+}
+
+// pendingCandidate is a sub-job injection awaiting post-execution
+// registration.
+type pendingCandidate struct {
+	jobID string
+	inj   core.Injection
+}
+
+// registerCandidates turns executed outputs into repository entries: every
+// non-final primary store (workflow intermediates), every injected sub-job,
+// and — when configured — the user-named outputs.
+func (s *System) registerCandidates(jobs []*mapred.Job, pending []pendingCandidate, wfRes *mapred.WorkflowResult, seq int64) (int, error) {
+	added := 0
+	for _, job := range jobs {
+		jr := wfRes.JobResults[job.ID]
+		if jr == nil {
+			continue
+		}
+		for _, st := range job.Plan.Sinks() {
+			if st.Injected {
+				continue // handled via pending injections below
+			}
+			owns := isSystemPath(st.Path)
+			if !owns && !s.registerFinals {
+				continue
+			}
+			cand, err := core.WholeJobCandidate(job.Plan, st)
+			if err != nil {
+				return added, err
+			}
+			_, ok, err := s.selector.Consider(core.Candidate{
+				Plan:       cand,
+				OutputPath: st.Path,
+				Schema:     st.Schema,
+				InputBytes: jr.Stats.InputBytes,
+				OutputBytes: func() int64 {
+					if b, ok := jr.StoreBytes[st.Path]; ok {
+						return b
+					}
+					return 0
+				}(),
+				ExecTime: jr.Times.Total,
+				OwnsFile: owns,
+			}, seq)
+			if err != nil {
+				return added, err
+			}
+			if ok {
+				added++
+			}
+		}
+	}
+	byID := make(map[string]*mapred.Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	for _, pc := range pending {
+		jr := wfRes.JobResults[pc.jobID]
+		if jr == nil {
+			continue
+		}
+		_, ok, err := s.selector.Consider(core.Candidate{
+			Plan:        pc.inj.CandidatePlan,
+			OutputPath:  pc.inj.Path,
+			Schema:      pc.inj.CandidatePlan.Sinks()[0].Schema,
+			InputBytes:  jr.Stats.InputBytes,
+			OutputBytes: jr.StoreBytes[pc.inj.Path],
+			ExecTime:    jr.Times.Total,
+			OwnsFile:    true,
+		}, seq)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// isSystemPath reports whether the path is in ReStore's namespace (temps and
+// sub-job outputs), i.e. the repository owns the file.
+func isSystemPath(p string) bool {
+	return len(p) >= 8 && p[:8] == "restore/"
+}
+
+// SaveRepository persists the repository (plans, filenames, statistics) as
+// JSON, the §6.2 "table" of stored job outputs.
+func (s *System) SaveRepository(w io.Writer) error {
+	return s.repo.Save(w)
+}
+
+// LoadRepositoryFrom replaces the repository with one previously saved by
+// SaveRepository. The DFS must already contain the referenced output files
+// (a mismatch is caught by Rule-4 eviction on the next query).
+func (s *System) LoadRepositoryFrom(r io.Reader) error {
+	repo, err := core.LoadRepository(r)
+	if err != nil {
+		return err
+	}
+	s.repo = repo
+	s.selector.Repo = repo
+	return nil
+}
+
+// Explanation is a dry-run report of what executing a query would reuse.
+type Explanation struct {
+	// JobsBeforeRewrite and JobsAfterRewrite count the workflow's MapReduce
+	// jobs before and after matching against the repository.
+	JobsBeforeRewrite int
+	JobsAfterRewrite  int
+	// Rewrites lists the reuses the matcher would apply.
+	Rewrites []core.RewriteInfo
+	// Aliases maps requested outputs that would not execute at all to the
+	// stored files holding their data.
+	Aliases map[string]string
+}
+
+// Explain compiles and rewrites a query against the current repository
+// without executing it or changing any state.
+func (s *System) Explain(src string) (*Explanation, error) {
+	script, err := piglatin.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := logical.Build(script)
+	if err != nil {
+		return nil, err
+	}
+	workflow, err := mrcompile.Compile(plan, "restore/tmp/explain")
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{JobsBeforeRewrite: len(workflow.Jobs)}
+	rw := &core.Rewriter{Repo: s.repo, Seq: s.seq, DryRun: true}
+	outcome, err := rw.RewriteWorkflow(workflow)
+	if err != nil {
+		return nil, err
+	}
+	ex.JobsAfterRewrite = len(outcome.Jobs)
+	ex.Rewrites = outcome.Rewrites
+	ex.Aliases = outcome.Aliases
+	return ex, nil
+}
+
+// ReadOutput reads the tuples of one requested output of a Result,
+// following aliases.
+func (s *System) ReadOutput(res *Result, requested string) ([]types.Tuple, error) {
+	actual, ok := res.Outputs[requested]
+	if !ok {
+		return nil, fmt.Errorf("restore: %q is not an output of this query", requested)
+	}
+	return s.fs.ReadAll(actual)
+}
+
+// ReadOutputTSV reads an output as sorted tab-separated lines — convenient
+// for comparisons and examples.
+func (s *System) ReadOutputTSV(res *Result, requested string) ([]string, error) {
+	tuples, err := s.ReadOutput(res, requested)
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]string, len(tuples))
+	for i, t := range tuples {
+		lines[i] = types.FormatTSV(t)
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
