@@ -1,0 +1,25 @@
+# Developer/CI entry points. `make check` is the gate referenced in README.
+
+GO ?= go
+
+.PHONY: check fmt vet test race build
+
+check: fmt vet race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

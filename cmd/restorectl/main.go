@@ -1,58 +1,130 @@
-// Command restorectl inspects a ReStore repository by replaying a query
-// stream and dumping the resulting repository state: entries in match-scan
-// order, their statistics, and the effects of the §5 policies.
+// Command restorectl inspects and drives ReStore.
 //
-// Usage:
+// Local mode (default) replays the PigMix variant stream in-process and
+// dumps the resulting repository state: entries in match-scan order, their
+// statistics, and the effects of the §5 policies. The repository can be
+// persisted and restored across runs:
 //
 //	restorectl                       # replay the PigMix variant stream
 //	restorectl -policy rule1         # replay under the Rule-1 policy
 //	restorectl -policy window=3      # replay with a 3-workflow eviction window
 //	restorectl -json                 # dump entries as JSON (plans included)
+//	restorectl -save repo.json       # persist repository (+ repo.json.dfs) after the replay
+//	restorectl -load repo.json       # seed repository (+ DFS snapshot) before the replay
+//
+// Client mode talks to a running restored daemon instead:
+//
+//	restorectl -server http://127.0.0.1:7733 submit -f query.pig [-rows]
+//	restorectl -server http://127.0.0.1:7733 explain -f query.pig
+//	restorectl -server http://127.0.0.1:7733 upload -path data/x -schema 'a, b:int' -f data.tsv
+//	restorectl -server http://127.0.0.1:7733 datasets [prefix]
+//	restorectl -server http://127.0.0.1:7733 repo
+//	restorectl -server http://127.0.0.1:7733 metrics
+//	restorectl -server http://127.0.0.1:7733 checkpoint
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
-	"repro"
+	restore "repro"
 	"repro/internal/core"
 	"repro/internal/pigmix"
+	"repro/internal/server"
 )
 
 func main() {
 	var (
 		policyName = flag.String("policy", "keep-all", "repository policy: keep-all, rule1, rule2, window=N")
 		asJSON     = flag.Bool("json", false, "dump repository entries as JSON")
+		saveFile   = flag.String("save", "", "local mode: save the repository to FILE after the replay")
+		loadFile   = flag.String("load", "", "local mode: load the repository from FILE before the replay")
+		serverURL  = flag.String("server", "", "base URL of a running restored daemon (enables client mode)")
 	)
 	flag.Parse()
 
-	policy, err := parsePolicy(*policyName)
-	if err != nil {
+	if *serverURL != "" {
+		// Local-only flags would be silently ignored in client mode; a user
+		// passing them expects behavior the daemon path does not implement.
+		if *saveFile != "" || *loadFile != "" || *policyName != "keep-all" {
+			fmt.Fprintln(os.Stderr, "restorectl: -save/-load/-policy are local-replay flags and have no effect with -server (use 'checkpoint' or start restored with -state-dir)")
+			os.Exit(2)
+		}
+		if err := runClient(server.NewClient(*serverURL), flag.Args(), *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "restorectl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runLocal(*policyName, *asJSON, *saveFile, *loadFile); err != nil {
 		fmt.Fprintln(os.Stderr, "restorectl:", err)
-		os.Exit(2)
+		os.Exit(1)
+	}
+}
+
+// ---- local replay mode ----
+
+func runLocal(policyName string, asJSON bool, saveFile, loadFile string) error {
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		return err
 	}
 
 	sys := restore.New(restore.WithPolicy(policy))
 	inst := pigmix.Instance15GB()
-	if err := pigmix.Generate(sys.FS(), inst.Config); err != nil {
-		fmt.Fprintln(os.Stderr, "restorectl:", err)
-		os.Exit(1)
+
+	// A DFS snapshot saved alongside the repository already contains the
+	// PigMix tables, so import it instead of regenerating (Import replaces
+	// the whole FS — generating first would be thrown away).
+	imported := false
+	if loadFile != "" {
+		switch df, err := os.Open(dfsSidecar(loadFile)); {
+		case err == nil:
+			ierr := sys.FS().Import(df)
+			df.Close()
+			if ierr != nil {
+				return ierr
+			}
+			imported = true
+		case !os.IsNotExist(err):
+			return err
+		default:
+			fmt.Printf("note: %s missing; loaded entries will be evicted as their files are absent\n", dfsSidecar(loadFile))
+		}
+	}
+	if !imported {
+		if err := pigmix.Generate(sys.FS(), inst.Config); err != nil {
+			return err
+		}
+	}
+	if loadFile != "" {
+		// Repository after the DFS: without the stored files every loaded
+		// entry would be evicted on the first query.
+		f, err := os.Open(loadFile)
+		if err != nil {
+			return err
+		}
+		err = sys.LoadRepositoryFrom(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded repository from %s (%d entries)\n", loadFile, sys.Repository().Len())
 	}
 
 	for i, name := range pigmix.VariantNames() {
 		src, err := pigmix.Query(name, fmt.Sprintf("out/%s_%d", name, i))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "restorectl:", err)
-			os.Exit(1)
+			return err
 		}
 		res, err := sys.Execute(src)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "restorectl: %s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("ran %-5s reused=%d registered=%d evicted=%d repo=%d\n",
 			name, len(res.Rewrites), res.Registered, len(res.Evicted), sys.Repository().Len())
@@ -60,16 +132,46 @@ func main() {
 
 	fmt.Printf("\nrepository (%d entries, %d stored bytes) in §3 match-scan order:\n",
 		sys.Repository().Len(), sys.Repository().TotalStoredBytes())
-	if *asJSON {
+	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(sys.Repository().Ordered()); err != nil {
-			fmt.Fprintln(os.Stderr, "restorectl:", err)
-			os.Exit(1)
+			return err
 		}
-		return
+	} else {
+		printEntries(sys.Repository().Ordered())
 	}
-	for _, e := range sys.Repository().Ordered() {
+
+	if saveFile != "" {
+		f, err := os.Create(saveFile)
+		if err != nil {
+			return err
+		}
+		df, err := os.Create(dfsSidecar(saveFile))
+		if err != nil {
+			f.Close()
+			return err
+		}
+		err = sys.SaveState(f, df)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if cerr := df.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saved repository to %s (+ DFS snapshot %s)\n", saveFile, dfsSidecar(saveFile))
+	}
+	return nil
+}
+
+// dfsSidecar names the DFS snapshot stored next to a repository file.
+func dfsSidecar(repoFile string) string { return repoFile + ".dfs" }
+
+func printEntries(entries []*core.Entry) {
+	for _, e := range entries {
 		fmt.Printf("%-10s ops=%-2d out=%-22s in=%-8d out=%-8d used=%d last-seq=%d\n",
 			e.ID, e.Plan.Len()-1, e.OutputPath, e.InputBytes, e.OutputBytes, e.UseCount, e.LastUsedSeq)
 	}
@@ -92,4 +194,154 @@ func parsePolicy(name string) (restore.Policy, error) {
 	default:
 		return restore.Policy{}, fmt.Errorf("unknown policy %q", name)
 	}
+}
+
+// ---- client mode ----
+
+func runClient(c *server.Client, args []string, asJSON bool) error {
+	if len(args) == 0 {
+		return fmt.Errorf("client mode needs a command: submit, explain, upload, datasets, repo, metrics, checkpoint")
+	}
+	switch cmd := args[0]; cmd {
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		scriptFile := fs.String("f", "", "script FILE ('-' or empty for stdin)")
+		showRows := fs.Bool("rows", false, "print each output's rows")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		script, err := readInput(*scriptFile)
+		if err != nil {
+			return err
+		}
+		resp, err := c.Submit(script, *showRows)
+		if err != nil {
+			return err
+		}
+		res := resp.Result
+		fmt.Printf("deduped=%v reused=%d registered=%d evicted=%d jobs=%d simulated=%s\n",
+			resp.Deduped, len(res.Rewrites), res.Registered, len(res.Evicted), len(res.Jobs), res.SimulatedTime)
+		for _, rw := range res.Rewrites {
+			kind := "sub-job"
+			if rw.WholeJob {
+				kind = "whole-job"
+			}
+			fmt.Printf("  reuse %-9s job=%s entry=%s <- %s\n", kind, rw.JobID, rw.EntryID, rw.OutputPath)
+		}
+		for requested, actual := range res.Outputs {
+			fmt.Printf("  output %s -> %s\n", requested, actual)
+			if *showRows {
+				for _, line := range resp.Rows[requested] {
+					fmt.Println("    " + line)
+				}
+			}
+		}
+		return nil
+	case "explain":
+		fs := flag.NewFlagSet("explain", flag.ExitOnError)
+		scriptFile := fs.String("f", "", "script FILE ('-' or empty for stdin)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		script, err := readInput(*scriptFile)
+		if err != nil {
+			return err
+		}
+		ex, err := c.Explain(script)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("jobs %d -> %d after rewrite\n", ex.JobsBeforeRewrite, ex.JobsAfterRewrite)
+		for _, rw := range ex.Rewrites {
+			fmt.Printf("  would reuse entry=%s <- %s\n", rw.EntryID, rw.OutputPath)
+		}
+		for requested, actual := range ex.Aliases {
+			fmt.Printf("  %s would be served from %s without executing\n", requested, actual)
+		}
+		return nil
+	case "upload":
+		fs := flag.NewFlagSet("upload", flag.ExitOnError)
+		dataFile := fs.String("f", "", "TSV FILE ('-' or empty for stdin)")
+		dataPath := fs.String("path", "", "DFS path for the dataset")
+		dataSchema := fs.String("schema", "", "LOAD-AS schema declaration, e.g. 'user, views:int'")
+		partitions := fs.Int("partitions", 1, "partition count")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *dataPath == "" || *dataSchema == "" {
+			return fmt.Errorf("upload needs -path and -schema")
+		}
+		data, err := readInput(*dataFile)
+		if err != nil {
+			return err
+		}
+		var lines []string
+		for _, ln := range strings.Split(data, "\n") {
+			// CRLF files would otherwise smuggle a \r into the last field
+			// of every record.
+			ln = strings.TrimSuffix(ln, "\r")
+			if strings.TrimSpace(ln) != "" {
+				lines = append(lines, ln)
+			}
+		}
+		info, err := c.Upload(*dataPath, *dataSchema, *partitions, lines)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("uploaded %s: %d records, %d bytes, %d partitions\n", info.Path, info.Records, info.Bytes, info.Partitions)
+		return nil
+	case "datasets":
+		prefix := ""
+		if len(args) > 1 {
+			prefix = args[1]
+		}
+		ds, err := c.Datasets(prefix)
+		if err != nil {
+			return err
+		}
+		for _, d := range ds {
+			fmt.Printf("%-40s %8d bytes %8d records %d partitions\n", d.Path, d.Bytes, d.Records, d.Partitions)
+		}
+		return nil
+	case "repo":
+		repo, err := c.Repository()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repository (%d entries, %d stored bytes) in §3 match-scan order:\n",
+			len(repo.Entries), repo.TotalStoredBytes)
+		if asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(repo.Entries)
+		}
+		printEntries(repo.Entries)
+		return nil
+	case "metrics":
+		m, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	case "checkpoint":
+		if err := c.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Println("checkpointed")
+		return nil
+	default:
+		return fmt.Errorf("unknown client command %q", cmd)
+	}
+}
+
+// readInput reads the named file, stdin for "-" or empty.
+func readInput(name string) (string, error) {
+	if name == "" || name == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(name)
+	return string(b), err
 }

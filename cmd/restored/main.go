@@ -1,0 +1,136 @@
+// Command restored runs the ReStore query service: a long-lived daemon that
+// accepts Pig Latin workflows over HTTP/JSON from many concurrent clients,
+// executes them through the full ReStore stack (matching, rewriting, sub-job
+// materialization, repository management), deduplicates identical in-flight
+// queries, and keeps its repository and DFS durable across restarts.
+//
+// Usage:
+//
+//	restored                                    # serve on :7733, in-memory only
+//	restored -addr 127.0.0.1:8080               # pick the listen address
+//	restored -state-dir /var/lib/restored       # durable repository + DFS
+//	restored -save-interval 30s                 # periodic checkpoints
+//	restored -pigmix                            # preload the PigMix tables
+//	restored -heuristic conservative            # sub-job enumeration heuristic
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/query       {"script": "...", "readOutputs": true}
+//	POST /v1/explain     {"script": "..."}
+//	POST /v1/datasets    {"path": "...", "schema": "a, b:int", "lines": [...]}
+//	GET  /v1/datasets?prefix=...
+//	GET  /v1/repository
+//	GET  /v1/metrics
+//	GET  /v1/healthz
+//	POST /v1/checkpoint
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	restore "repro"
+	"repro/internal/pigmix"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7733", "listen address")
+		stateDir     = flag.String("state-dir", "", "directory for durable repository+DFS state (empty = in-memory only)")
+		saveInterval = flag.Duration("save-interval", time.Minute, "periodic checkpoint interval (requires -state-dir; 0 disables)")
+		queueDepth   = flag.Int("queue-depth", 256, "bounded execution queue; overflow returns 503")
+		heuristic    = flag.String("heuristic", "aggressive", "sub-job heuristic: off, conservative, aggressive, all")
+		preloadPig   = flag.Bool("pigmix", false, "preload the PigMix tables (15GB instance, laptop scale)")
+	)
+	flag.Parse()
+
+	h, err := parseHeuristic(*heuristic)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "restored:", err)
+		os.Exit(2)
+	}
+
+	sys := restore.New(restore.WithHeuristic(h))
+	srv, err := server.New(server.Config{
+		System:       sys,
+		StateDir:     *stateDir,
+		SaveInterval: *saveInterval,
+		QueueDepth:   *queueDepth,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "restored:", err)
+		os.Exit(1)
+	}
+
+	// Preload after New so a loaded checkpoint wins over generation: only
+	// generate when the tables are not already there. The cluster scale is
+	// not part of the checkpoint, so it must be re-derived on every start —
+	// skipping it after a restart would silently reset simulated times to
+	// laptop scale.
+	if *preloadPig {
+		inst := pigmix.Instance15GB()
+		if !sys.FS().Exists(pigmix.PathPageViews) {
+			if err := pigmix.Generate(sys.FS(), inst.Config); err != nil {
+				fmt.Fprintln(os.Stderr, "restored: pigmix:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("preloaded PigMix %s instance\n", inst.Name)
+		}
+		if err := sys.SetDataScale(pigmix.PathPageViews, inst.TargetBytes); err != nil {
+			fmt.Fprintln(os.Stderr, "restored: pigmix:", err)
+			os.Exit(1)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "restored:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("restored listening on %s (repository: %d entries)\n", ln.Addr(), sys.Repository().Len())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var srvErr error
+	select {
+	case s := <-sig:
+		fmt.Printf("restored: %v: draining and checkpointing...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "restored: shutdown:", err)
+			os.Exit(1)
+		}
+		srvErr = <-serveErr
+	case srvErr = <-serveErr:
+	}
+	if srvErr != nil && srvErr != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "restored: serve:", srvErr)
+		os.Exit(1)
+	}
+}
+
+func parseHeuristic(name string) (restore.Heuristic, error) {
+	switch name {
+	case "off":
+		return restore.HeuristicOff, nil
+	case "conservative":
+		return restore.HeuristicConservative, nil
+	case "aggressive":
+		return restore.HeuristicAggressive, nil
+	case "all":
+		return restore.HeuristicAll, nil
+	}
+	return 0, fmt.Errorf("unknown heuristic %q", name)
+}

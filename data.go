@@ -47,7 +47,10 @@ func ParseSchema(decl string) (types.Schema, error) {
 
 // LoadTSV creates a dataset in the system's DFS from tab-separated lines,
 // typed according to the schema declaration. partitions controls how many
-// map tasks scan the dataset.
+// map tasks scan the dataset. It takes the execution lock: a write landing
+// mid-query would otherwise let post-execution registration snapshot the
+// *new* input version against results computed from the old data, blinding
+// Rule-4 eviction forever.
 func (s *System) LoadTSV(path, schemaDecl string, lines []string, partitions int) error {
 	schema, err := ParseSchema(schemaDecl)
 	if err != nil {
@@ -57,6 +60,8 @@ func (s *System) LoadTSV(path, schemaDecl string, lines []string, partitions int
 	for i, line := range lines {
 		tuples[i] = types.ParseTSVTyped(line, schema)
 	}
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	return s.fs.WritePartitioned(path, schema, tuples, partitions)
 }
 
@@ -79,7 +84,8 @@ func (s *System) StatPath(path string) (Stat, error) {
 
 // SetDataScale configures the cluster clock so the dataset at path stands in
 // for targetBytes of data (see DESIGN.md: execution is real, only the
-// simulated clock extrapolates).
+// simulated clock extrapolates). Takes the execution lock so the scale
+// never changes under a running query's cost model.
 func (s *System) SetDataScale(path string, targetBytes int64) error {
 	st, err := s.fs.StatFile(path)
 	if err != nil {
@@ -88,6 +94,8 @@ func (s *System) SetDataScale(path string, targetBytes int64) error {
 	if st.Bytes == 0 {
 		return fmt.Errorf("restore: %s is empty; cannot derive scale", path)
 	}
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	s.cluster.ScaleFactor = float64(targetBytes) / float64(st.Bytes)
 	return nil
 }

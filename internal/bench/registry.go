@@ -25,6 +25,7 @@ func Experiments() []Experiment {
 		{"fig17", "Figure 17: QF filter sweep", Fig17FilterSweep},
 		{"ablation-order", "Ablation: repository ordering rules", AblationRepoOrdering},
 		{"ablation-evict", "Ablation: eviction policies", AblationEviction},
+		{"server", "restored server-mode throughput (concurrent clients)", ServerThroughput},
 	}
 }
 

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/pigmix"
+	"repro/internal/server"
+)
+
+// ServerThroughput benchmarks restored in server mode: for each client
+// count, a fresh daemon over the small PigMix instance serves the §7.1
+// variant stream submitted by N concurrent clients (every client submits
+// every query, so identical in-flight submissions pile up). The table
+// reports wall-clock throughput, single-flight dedup, and the repository
+// hit rate under traffic.
+func ServerThroughput(cfg Config) (*Table, error) {
+	table := &Table{
+		ID:      "server",
+		Title:   "restored server-mode throughput (PigMix variant stream)",
+		Columns: []string{"clients", "submitted", "executed", "deduped", "hit-rate", "wall_ms", "qps"},
+	}
+	for _, clients := range []int{1, 2, 4, 8} {
+		if err := serverRound(cfg, clients, table); err != nil {
+			return nil, err
+		}
+	}
+	table.AddNote("executed < submitted is single-flight dedup; hit-rate is the repository reuse rate over executed queries")
+	return table, nil
+}
+
+func serverRound(cfg Config, clients int, table *Table) error {
+	sys, err := newPigmixSystem(cfg.Small)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{System: sys})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+		<-serveErr
+	}()
+
+	base := "http://" + ln.Addr().String()
+	names := pigmix.VariantNames()
+	start := time.Now()
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := server.NewClient(base)
+			for _, name := range names {
+				src, err := pigmix.Query(name, "out/"+name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Submit(src, false); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return fmt.Errorf("bench: server round (%d clients): %w", clients, err)
+	}
+
+	m, err := server.NewClient(base).Metrics()
+	if err != nil {
+		return err
+	}
+	qps := float64(m.QueriesSubmitted) / wall.Seconds()
+	table.AddRow(
+		fmt.Sprintf("%d", clients),
+		fmt.Sprintf("%d", m.QueriesSubmitted),
+		fmt.Sprintf("%d", m.QueriesExecuted),
+		fmt.Sprintf("%d", m.QueriesDeduped),
+		fmt.Sprintf("%.0f%%", 100*m.Reuse.HitRate),
+		fmt.Sprintf("%d", wall.Milliseconds()),
+		fmt.Sprintf("%.1f", qps),
+	)
+	return nil
+}

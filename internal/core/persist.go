@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 )
 
 // The repository survives restarts in the paper's deployment model (§6.2
@@ -45,6 +47,13 @@ func LoadRepository(rd io.Reader) (*Repository, error) {
 			return nil, fmt.Errorf("core: load repository entry %s: %w", e.ID, err)
 		} else if !added {
 			return nil, fmt.Errorf("core: load repository: duplicate plan for entry %s", e.ID)
+		}
+		// Advance the ID counter past loaded "entry-N" IDs so entries
+		// registered after a restart never collide with persisted ones.
+		if n, ok := strings.CutPrefix(e.ID, "entry-"); ok {
+			if id, err := strconv.Atoi(n); err == nil && id > repo.nextID {
+				repo.nextID = id
+			}
 		}
 	}
 	return repo, nil

@@ -165,21 +165,24 @@ func (r *Repository) Ordered() []*Entry {
 	defer r.mu.RUnlock()
 	out := make([]*Entry, len(r.entries))
 	copy(out, r.entries)
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.matchSize != b.matchSize {
-			return a.matchSize > b.matchSize
-		}
-		ra, rb := a.ioRatio(), b.ioRatio()
-		if ra != rb {
-			return ra > rb
-		}
-		if a.ExecTime != b.ExecTime {
-			return a.ExecTime > b.ExecTime
-		}
-		return a.ID < b.ID
-	})
+	sort.SliceStable(out, func(i, j int) bool { return matchOrderLess(out[i], out[j]) })
 	return out
+}
+
+// matchOrderLess is the §3 match-scan comparator shared by Ordered and
+// OrderedSnapshot.
+func matchOrderLess(a, b *Entry) bool {
+	if a.matchSize != b.matchSize {
+		return a.matchSize > b.matchSize
+	}
+	ra, rb := a.ioRatio(), b.ioRatio()
+	if ra != rb {
+		return ra > rb
+	}
+	if a.ExecTime != b.ExecTime {
+		return a.ExecTime > b.ExecTime
+	}
+	return a.ID < b.ID
 }
 
 // All returns the entries in insertion order (for inspection tools).
@@ -188,6 +191,27 @@ func (r *Repository) All() []*Entry {
 	defer r.mu.RUnlock()
 	out := make([]*Entry, len(r.entries))
 	copy(out, r.entries)
+	return out
+}
+
+// OrderedSnapshot returns deep copies of the entries in match-scan order.
+// Unlike Ordered, the result shares no mutable state with the repository
+// (plans are immutable and stay shared), so callers may read or serialize
+// it while queries keep executing — the repository endpoint of the restored
+// daemon encodes these concurrently with MarkUsed.
+func (r *Repository) OrderedSnapshot() []*Entry {
+	r.mu.RLock()
+	out := make([]*Entry, len(r.entries))
+	for i, e := range r.entries {
+		c := *e
+		c.InputVersions = make(map[string]uint64, len(e.InputVersions))
+		for k, v := range e.InputVersions {
+			c.InputVersions[k] = v
+		}
+		out[i] = &c
+	}
+	r.mu.RUnlock()
+	sort.SliceStable(out, func(i, j int) bool { return matchOrderLess(out[i], out[j]) })
 	return out
 }
 

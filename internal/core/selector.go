@@ -153,6 +153,14 @@ func (s *Selector) Evict(nowSeq int64) ([]string, error) {
 				}
 			}
 		}
+		// An entry whose stored output vanished from the DFS can never be
+		// reused safely, whatever the policy says. This matters once
+		// repositories persist across processes: a repository loaded without
+		// its DFS snapshot must shed such entries instead of rewriting jobs
+		// to load missing files.
+		if !stale && !s.FS.Exists(e.OutputPath) {
+			stale = true
+		}
 		if !stale {
 			continue
 		}

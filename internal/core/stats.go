@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats aggregates reuse counters across the lifetime of a ReStore
+// deployment. All methods are safe for concurrent use; the counters back the
+// restored daemon's metrics endpoint (reuse hit-rate, bytes and simulated
+// time saved).
+type Stats struct {
+	queries        atomic.Int64
+	queriesReused  atomic.Int64
+	wholeJobReuses atomic.Int64
+	subJobReuses   atomic.Int64
+	jobsCompiled   atomic.Int64
+	jobsExecuted   atomic.Int64
+	registered     atomic.Int64
+	evicted        atomic.Int64
+	savedBytes     atomic.Int64
+	savedTimeNanos atomic.Int64
+	simTimeNanos   atomic.Int64
+}
+
+// QueryStats describes one executed query for aggregation.
+type QueryStats struct {
+	// WholeJobReuses and SubJobReuses count the rewrites the matcher applied.
+	WholeJobReuses int
+	SubJobReuses   int
+	// JobsCompiled is the workflow's job count before rewriting;
+	// JobsExecuted after (eliminated jobs never run).
+	JobsCompiled int
+	JobsExecuted int
+	// Registered and Evicted count repository entries added and removed.
+	Registered int
+	Evicted    int
+	// SavedBytes estimates input bytes not re-scanned thanks to reuse;
+	// SavedTime estimates the recomputation time avoided (the reused
+	// entries' recorded execution times).
+	SavedBytes int64
+	SavedTime  time.Duration
+	// SimulatedTime is the Equation-1 completion time of what did run.
+	SimulatedTime time.Duration
+}
+
+// RecordQuery folds one query's outcome into the counters.
+func (s *Stats) RecordQuery(q QueryStats) {
+	s.queries.Add(1)
+	if q.WholeJobReuses+q.SubJobReuses > 0 {
+		s.queriesReused.Add(1)
+	}
+	s.wholeJobReuses.Add(int64(q.WholeJobReuses))
+	s.subJobReuses.Add(int64(q.SubJobReuses))
+	s.jobsCompiled.Add(int64(q.JobsCompiled))
+	s.jobsExecuted.Add(int64(q.JobsExecuted))
+	s.registered.Add(int64(q.Registered))
+	s.evicted.Add(int64(q.Evicted))
+	s.savedBytes.Add(q.SavedBytes)
+	s.savedTimeNanos.Add(int64(q.SavedTime))
+	s.simTimeNanos.Add(int64(q.SimulatedTime))
+}
+
+// StatsSnapshot is a point-in-time copy of the counters plus derived rates,
+// in the JSON shape served by the daemon's metrics endpoint.
+type StatsSnapshot struct {
+	Queries        int64         `json:"queries"`
+	QueriesReused  int64         `json:"queriesReused"`
+	HitRate        float64       `json:"hitRate"`
+	WholeJobReuses int64         `json:"wholeJobReuses"`
+	SubJobReuses   int64         `json:"subJobReuses"`
+	JobsCompiled   int64         `json:"jobsCompiled"`
+	JobsExecuted   int64         `json:"jobsExecuted"`
+	JobsEliminated int64         `json:"jobsEliminated"`
+	Registered     int64         `json:"registered"`
+	Evicted        int64         `json:"evicted"`
+	SavedBytes     int64         `json:"savedBytes"`
+	SavedTime      time.Duration `json:"savedTimeNanos"`
+	SimulatedTime  time.Duration `json:"simulatedTimeNanos"`
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each counter is
+// read atomically; cross-counter skew is bounded by in-flight queries).
+func (s *Stats) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		Queries:        s.queries.Load(),
+		QueriesReused:  s.queriesReused.Load(),
+		WholeJobReuses: s.wholeJobReuses.Load(),
+		SubJobReuses:   s.subJobReuses.Load(),
+		JobsCompiled:   s.jobsCompiled.Load(),
+		JobsExecuted:   s.jobsExecuted.Load(),
+		Registered:     s.registered.Load(),
+		Evicted:        s.evicted.Load(),
+		SavedBytes:     s.savedBytes.Load(),
+		SavedTime:      time.Duration(s.savedTimeNanos.Load()),
+		SimulatedTime:  time.Duration(s.simTimeNanos.Load()),
+	}
+	snap.JobsEliminated = snap.JobsCompiled - snap.JobsExecuted
+	if snap.Queries > 0 {
+		snap.HitRate = float64(snap.QueriesReused) / float64(snap.Queries)
+	}
+	return snap
+}

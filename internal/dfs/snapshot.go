@@ -1,0 +1,103 @@
+package dfs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// The restored daemon persists the whole simulated DFS alongside the ReStore
+// repository so that a restart resumes with both the learned repository and
+// the files its entries reference — without the snapshot, Rule-4 eviction
+// would correctly drop every entry on the first query after a restart.
+
+// snapshotJSON is the persisted form. Partition data is raw encoded tuple
+// records; encoding/json base64s the byte slices.
+type snapshotJSON struct {
+	Version int        `json:"version"`
+	Clock   uint64     `json:"clock"` // the FS-wide version counter
+	Files   []fileJSON `json:"files"`
+}
+
+type fileJSON struct {
+	Path    string          `json:"path"`
+	Version uint64          `json:"fileVersion"`
+	Schema  types.Schema    `json:"schema"`
+	Parts   []partitionJSON `json:"parts"`
+}
+
+type partitionJSON struct {
+	Data    []byte `json:"data"`
+	Records int64  `json:"records"`
+}
+
+const snapshotVersion = 1
+
+// Export writes every file (data, schema, version) as JSON. Versions are
+// preserved exactly so repository entries' InputVersions stay valid across
+// an Export/Import round trip.
+func (fs *FS) Export(w io.Writer) error {
+	fs.mu.RLock()
+	doc := snapshotJSON{Version: snapshotVersion, Clock: fs.version}
+	paths := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		f := fs.files[p]
+		fj := fileJSON{Path: p, Version: f.Version, Schema: f.Schema}
+		for _, part := range f.Parts {
+			fj.Parts = append(fj.Parts, partitionJSON{Data: part.Data, Records: part.Records})
+		}
+		doc.Files = append(doc.Files, fj)
+	}
+	fs.mu.RUnlock()
+
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("dfs: export: %w", err)
+	}
+	return nil
+}
+
+// Import replaces the FS contents with a snapshot written by Export. The
+// read/write byte counters are left untouched (they describe this process's
+// lifetime, not the dataset's).
+func (fs *FS) Import(r io.Reader) error {
+	var doc snapshotJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("dfs: import: %w", err)
+	}
+	if doc.Version != snapshotVersion {
+		return fmt.Errorf("dfs: import: unsupported snapshot version %d", doc.Version)
+	}
+	files := make(map[string]*File, len(doc.Files))
+	clock := doc.Clock
+	for _, fj := range doc.Files {
+		if fj.Path == "" {
+			return fmt.Errorf("dfs: import: file with empty path")
+		}
+		if _, dup := files[fj.Path]; dup {
+			return fmt.Errorf("dfs: import: duplicate path %q", fj.Path)
+		}
+		f := &File{Path: fj.Path, Version: fj.Version, Schema: fj.Schema}
+		for _, part := range fj.Parts {
+			f.Parts = append(f.Parts, Partition{Data: part.Data, Records: part.Records})
+		}
+		if len(f.Parts) == 0 {
+			f.Parts = make([]Partition, 1)
+		}
+		if fj.Version > clock {
+			clock = fj.Version
+		}
+		files[fj.Path] = f
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files = files
+	fs.version = clock
+	return nil
+}

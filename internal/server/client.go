@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	restore "repro"
+)
+
+// Client is a small typed client for a running restored daemon, used by
+// restorectl's client mode, the server-mode benchmark, and the end-to-end
+// tests.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:7733".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) call(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit runs a query on the daemon.
+func (c *Client) Submit(script string, readOutputs bool) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.call(http.MethodPost, "/v1/query", QueryRequest{Script: script, ReadOutputs: readOutputs}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Explain dry-runs a query against the daemon's repository.
+func (c *Client) Explain(script string) (*restore.Explanation, error) {
+	var out restore.Explanation
+	if err := c.call(http.MethodPost, "/v1/explain", ExplainRequest{Script: script}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Upload creates a dataset in the daemon's DFS from TSV lines.
+func (c *Client) Upload(path, schema string, partitions int, lines []string) (*DatasetInfo, error) {
+	var out DatasetInfo
+	req := UploadRequest{Path: path, Schema: schema, Partitions: partitions, Lines: lines}
+	if err := c.call(http.MethodPost, "/v1/datasets", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Datasets lists the daemon's DFS files with the given path prefix.
+func (c *Client) Datasets(prefix string) ([]DatasetInfo, error) {
+	var out []DatasetInfo
+	path := "/v1/datasets"
+	if prefix != "" {
+		path += "?prefix=" + url.QueryEscape(prefix)
+	}
+	if err := c.call(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Repository fetches the daemon's repository in match-scan order.
+func (c *Client) Repository() (*RepositoryResponse, error) {
+	var out RepositoryResponse
+	if err := c.call(http.MethodGet, "/v1/repository", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the daemon's traffic and reuse counters.
+func (c *Client) Metrics() (*MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	if err := c.call(http.MethodGet, "/v1/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Checkpoint forces a durable-state save on the daemon.
+func (c *Client) Checkpoint() error {
+	return c.call(http.MethodPost, "/v1/checkpoint", nil, nil)
+}
+
+// Health pings the daemon.
+func (c *Client) Health() error {
+	return c.call(http.MethodGet, "/v1/healthz", nil, nil)
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// metrics holds the daemon's own traffic counters; reuse counters live in
+// core.Stats inside the System so library users get them too.
+type metrics struct {
+	start       time.Time
+	submitted   atomic.Int64
+	executed    atomic.Int64
+	deduped     atomic.Int64
+	failed      atomic.Int64
+	uploads     atomic.Int64
+	checkpoints atomic.Int64
+}
+
+// MetricsSnapshot is the JSON document served by GET /v1/metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// QueriesSubmitted counts every POST /v1/query; QueriesExecuted the
+	// flights that ran to completion (parse errors and shed load excluded);
+	// QueriesDeduped the submissions that shared an identical in-flight
+	// query's result.
+	QueriesSubmitted int64   `json:"queriesSubmitted"`
+	QueriesExecuted  int64   `json:"queriesExecuted"`
+	QueriesDeduped   int64   `json:"queriesDeduped"`
+	QueriesFailed    int64   `json:"queriesFailed"`
+	QPS              float64 `json:"qps"`
+	QueueDepth       int64   `json:"queueDepth"`
+	Uploads          int64   `json:"uploads"`
+	Checkpoints      int64   `json:"checkpoints"`
+
+	// Reuse is the System's lifetime reuse statistics (hit rate, bytes and
+	// simulated time saved).
+	Reuse core.StatsSnapshot `json:"reuse"`
+
+	RepositoryEntries     int   `json:"repositoryEntries"`
+	RepositoryStoredBytes int64 `json:"repositoryStoredBytes"`
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	up := time.Since(m.start).Seconds()
+	snap := MetricsSnapshot{
+		UptimeSeconds:    up,
+		QueriesSubmitted: m.submitted.Load(),
+		QueriesExecuted:  m.executed.Load(),
+		QueriesDeduped:   m.deduped.Load(),
+		QueriesFailed:    m.failed.Load(),
+		Uploads:          m.uploads.Load(),
+		Checkpoints:      m.checkpoints.Load(),
+	}
+	if up > 0 {
+		snap.QPS = float64(snap.QueriesSubmitted) / up
+	}
+	return snap
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	restore "repro"
+)
+
+// State files inside the daemon's state directory. Both are written on every
+// checkpoint as one consistent pair (under the System's execution lock), so
+// a restarted daemon resumes with the learned repository *and* the DFS files
+// its entries reference — otherwise Rule-4 eviction would drop every entry
+// on the first post-restart query.
+const (
+	repoStateFile = "repository.json"
+	dfsStateFile  = "dfs.json"
+)
+
+// persister checkpoints a System's durable state into a directory.
+type persister struct {
+	dir string
+	sys *restore.System
+	// mu serializes whole checkpoints: Close's direct save can otherwise
+	// overlap a queued checkpoint task when HTTP shutdown times out, and
+	// interleaved renames would pair dfs.json and repository.json from
+	// different snapshots.
+	mu sync.Mutex
+}
+
+func newPersister(dir string, sys *restore.System) (*persister, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	return &persister{dir: dir, sys: sys}, nil
+}
+
+// load restores a previous checkpoint if one exists. DFS first, repository
+// second, so loaded entries see the right file versions. Returns whether a
+// repository was loaded.
+func (p *persister) load() (bool, error) {
+	dfsPath := filepath.Join(p.dir, dfsStateFile)
+	if f, err := os.Open(dfsPath); err == nil {
+		ierr := p.sys.FS().Import(f)
+		f.Close()
+		if ierr != nil {
+			return false, fmt.Errorf("server: load %s: %w", dfsPath, ierr)
+		}
+	} else if !os.IsNotExist(err) {
+		return false, err
+	}
+
+	repoPath := filepath.Join(p.dir, repoStateFile)
+	f, err := os.Open(repoPath)
+	if os.IsNotExist(err) {
+		p.sweepOrphans()
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if err := p.sys.LoadRepositoryFrom(f); err != nil {
+		return false, fmt.Errorf("server: load %s: %w", repoPath, err)
+	}
+	p.sweepOrphans()
+	return true, nil
+}
+
+// sweepOrphans deletes restore/ files no repository entry references. A
+// crash between the checkpoint's two renames can land a newer DFS beside an
+// older repository; entries lost that way would otherwise leave their
+// stored outputs in the DFS forever, since eviction only walks entries.
+func (p *persister) sweepOrphans() {
+	refs := make(map[string]bool)
+	for _, e := range p.sys.Repository().All() {
+		refs[e.OutputPath] = true
+		for path := range e.InputVersions {
+			refs[path] = true
+		}
+	}
+	fs := p.sys.FS()
+	for _, path := range fs.List("restore/") {
+		if !refs[path] {
+			_ = fs.Delete(path)
+		}
+	}
+}
+
+// save checkpoints the repository and DFS atomically (tmp + rename per
+// file). SaveState takes the system's execution lock, so the pair is always
+// a consistent snapshot; p.mu keeps two saves' renames from interleaving.
+func (p *persister) save() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	repoTmp, err := os.CreateTemp(p.dir, repoStateFile+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(repoTmp.Name())
+	dfsTmp, err := os.CreateTemp(p.dir, dfsStateFile+".tmp*")
+	if err != nil {
+		repoTmp.Close()
+		return err
+	}
+	defer os.Remove(dfsTmp.Name())
+
+	err = p.sys.SaveState(repoTmp, dfsTmp)
+	if cerr := repoTmp.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := dfsTmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := os.Rename(dfsTmp.Name(), filepath.Join(p.dir, dfsStateFile)); err != nil {
+		return err
+	}
+	return os.Rename(repoTmp.Name(), filepath.Join(p.dir, repoStateFile))
+}

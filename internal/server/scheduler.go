@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors surfaced to HTTP handlers as 503s.
+var (
+	errShuttingDown = errors.New("server: shutting down")
+	errQueueFull    = errors.New("server: execution queue full")
+)
+
+// scheduler serializes DFS-mutating work — query execution, dataset writes,
+// checkpoints — on a single worker goroutine in FIFO order. Request
+// goroutines keep parsing, planning, matching, and serving reads
+// concurrently; only the phases that mutate the shared DFS and repository
+// funnel through here. A bounded queue turns overload into backpressure
+// (errQueueFull -> 503) instead of unbounded memory growth.
+type scheduler struct {
+	mu     sync.Mutex
+	closed bool
+	tasks  chan func()
+	quit   chan struct{}
+	done   chan struct{}
+	depth  atomic.Int64
+}
+
+func newScheduler(queueDepth int) *scheduler {
+	if queueDepth < 1 {
+		queueDepth = 256
+	}
+	s := &scheduler{
+		tasks: make(chan func(), queueDepth),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+func (s *scheduler) run() {
+	defer close(s.done)
+	for {
+		select {
+		case fn := <-s.tasks:
+			fn()
+			s.depth.Add(-1)
+		case <-s.quit:
+			// Drain tasks accepted before close flipped, then exit.
+			for {
+				select {
+				case fn := <-s.tasks:
+					fn()
+					s.depth.Add(-1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// submit enqueues fn for serialized execution. It never blocks: a full
+// queue is reported as errQueueFull so callers can shed load.
+func (s *scheduler) submit(fn func()) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShuttingDown
+	}
+	select {
+	case s.tasks <- fn:
+		s.depth.Add(1)
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// queueDepth reports the number of queued-or-running tasks.
+func (s *scheduler) queueDepth() int64 { return s.depth.Load() }
+
+// close stops accepting new work, runs everything already queued, and
+// returns once the worker has exited. Idempotent.
+func (s *scheduler) close() {
+	s.closeWithin(context.Background())
+}
+
+// closeWithin is close bounded by ctx: it reports whether the drain
+// finished. On timeout the worker keeps draining in the background (its
+// waiters would otherwise hang), but the caller stops waiting — a daemon
+// under a supervisor's kill grace period must checkpoint what it has rather
+// than block on a deep queue.
+func (s *scheduler) closeWithin(ctx context.Context) bool {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.quit)
+	}
+	select {
+	case <-s.done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,493 @@
+// Package server implements restored, the long-lived ReStore query service
+// of the paper's deployment model (§2/§6): instead of replaying a hard-coded
+// query stream from a one-shot CLI, a daemon watches a stream of incoming
+// Pig Latin workflows from many concurrent clients and reuses stored job
+// outputs across them.
+//
+// Architecture:
+//
+//   - Request goroutines parse, plan, compile (System.Prepare), and serve
+//     all read-only endpoints concurrently.
+//   - A single-worker FIFO scheduler serializes the DFS-mutating phases
+//     (eviction, rewrite, engine execution, registration, dataset uploads,
+//     checkpoints), with a bounded queue for backpressure.
+//   - A single-flight group deduplicates textually-identical in-flight
+//     queries: the first becomes the leader, the rest share its result.
+//   - A persister checkpoints the repository plus the DFS into a state
+//     directory on an interval and at shutdown, so a restarted daemon
+//     resumes with its learned repository.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	restore "repro"
+	"repro/internal/core"
+)
+
+// Config configures a Server.
+type Config struct {
+	// System is the ReStore deployment to serve. If nil a fresh one (empty
+	// DFS, empty repository) is created.
+	System *restore.System
+	// StateDir enables durable state when non-empty: the repository and DFS
+	// are loaded from it at startup and checkpointed into it.
+	StateDir string
+	// SaveInterval is the periodic checkpoint interval; <= 0 checkpoints
+	// only at shutdown (and on explicit POST /v1/checkpoint).
+	SaveInterval time.Duration
+	// QueueDepth bounds the execution queue (default 256); a full queue
+	// rejects submissions with 503.
+	QueueDepth int
+}
+
+// Server is the restored daemon: an HTTP/JSON front end over one shared
+// restore.System.
+type Server struct {
+	sys     *restore.System
+	sched   *scheduler
+	flights flightGroup
+	met     metrics
+	persist *persister
+	mux     *http.ServeMux
+
+	httpSrv   *http.Server
+	stopSave  chan struct{}
+	saveWG    sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a Server, loading a previous checkpoint when cfg.StateDir holds
+// one.
+func New(cfg Config) (*Server, error) {
+	sys := cfg.System
+	if sys == nil {
+		sys = restore.New()
+	}
+	s := &Server{
+		sys:      sys,
+		sched:    newScheduler(cfg.QueueDepth),
+		mux:      http.NewServeMux(),
+		stopSave: make(chan struct{}),
+	}
+	// Built here, not in Serve, so Close always has it to shut down even
+	// when it races a Serve running on another goroutine.
+	s.httpSrv = &http.Server{Handler: s.mux}
+	s.met.start = time.Now()
+
+	if cfg.StateDir != "" {
+		p, err := newPersister(cfg.StateDir, sys)
+		if err != nil {
+			s.sched.close()
+			return nil, err
+		}
+		if _, err := p.load(); err != nil {
+			s.sched.close()
+			return nil, err
+		}
+		s.persist = p
+		if cfg.SaveInterval > 0 {
+			s.saveWG.Add(1)
+			go s.saveLoop(cfg.SaveInterval)
+		}
+	}
+
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v1/repository", s.handleRepository)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	return s, nil
+}
+
+// System exposes the served deployment (tests and the daemon preload data
+// through it).
+func (s *Server) System() *restore.System { return s.sys }
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Close. It returns the error from
+// http.Server.Serve (http.ErrServerClosed after a clean Close).
+func (s *Server) Serve(ln net.Listener) error {
+	return s.httpSrv.Serve(ln)
+}
+
+// Close shuts the server down: stop accepting HTTP, stop the checkpoint
+// ticker, checkpoint, drain the execution queue within ctx's deadline, and
+// write a final checkpoint. The pre-drain checkpoint means a supervisor
+// kill during a long drain loses at most the queued (never-acknowledged)
+// work, not the repository state accumulated so far.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		// Shutdown on a never-served http.Server is a no-op that also makes
+		// any later Serve return ErrServerClosed immediately.
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			s.closeErr = err
+		}
+		close(s.stopSave)
+		s.saveWG.Wait()
+		if s.persist != nil {
+			// Waits only for the in-flight query (execMu), not the queue.
+			if err := s.persist.save(); err == nil {
+				s.met.checkpoints.Add(1)
+			} else if s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+		drained := s.sched.closeWithin(ctx)
+		if s.persist != nil && drained {
+			if err := s.persist.save(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			} else if err == nil {
+				s.met.checkpoints.Add(1)
+			}
+		}
+	})
+	return s.closeErr
+}
+
+func (s *Server) saveLoop(interval time.Duration) {
+	defer s.saveWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// Best effort: a failed periodic checkpoint must not kill the
+			// daemon; the next tick (or shutdown) retries.
+			_ = s.checkpointNow()
+		case <-s.stopSave:
+			return
+		}
+	}
+}
+
+// checkpointNow schedules a checkpoint behind in-flight executions and
+// waits for it.
+func (s *Server) checkpointNow() error {
+	if s.persist == nil {
+		// A client asking a stateless daemon to checkpoint is the client's
+		// mistake (400), not a server fault.
+		return badRequestError{errors.New("server: no state directory configured")}
+	}
+	ch := make(chan error, 1)
+	if err := s.sched.submit(func() { ch <- s.persist.save() }); err != nil {
+		return err
+	}
+	if err := <-ch; err != nil {
+		return err
+	}
+	s.met.checkpoints.Add(1)
+	return nil
+}
+
+// ---- wire types ----
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	Script string `json:"script"`
+	// ReadOutputs additionally returns each output's rows as sorted TSV
+	// lines.
+	ReadOutputs bool `json:"readOutputs,omitempty"`
+}
+
+// QueryResponse is the reply to POST /v1/query.
+type QueryResponse struct {
+	// Deduped reports that this submission shared an identical in-flight
+	// query's execution instead of running itself.
+	Deduped bool                `json:"deduped"`
+	Result  *restore.Result     `json:"result"`
+	Rows    map[string][]string `json:"rows,omitempty"`
+}
+
+// ExplainRequest is the body of POST /v1/explain.
+type ExplainRequest struct {
+	Script string `json:"script"`
+}
+
+// UploadRequest is the body of POST /v1/datasets: a TSV dataset typed by a
+// LOAD-AS style schema declaration.
+type UploadRequest struct {
+	Path       string   `json:"path"`
+	Schema     string   `json:"schema"`
+	Partitions int      `json:"partitions,omitempty"`
+	Lines      []string `json:"lines"`
+}
+
+// DatasetInfo describes one DFS file in GET /v1/datasets.
+type DatasetInfo struct {
+	Path       string `json:"path"`
+	Bytes      int64  `json:"bytes"`
+	Records    int64  `json:"records"`
+	Partitions int    `json:"partitions"`
+}
+
+// RepositoryResponse is the reply to GET /v1/repository: the entries in §3
+// match-scan order (reusing the core Entry JSON form).
+type RepositoryResponse struct {
+	Entries          []*core.Entry `json:"entries"`
+	TotalStoredBytes int64         `json:"totalStoredBytes"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// badRequestError marks client mistakes (unparsable script, bad schema) so
+// they map to 400 instead of 500.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+// ---- handlers ----
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequestError{fmt.Errorf("bad request body: %w", err)})
+		return
+	}
+	if req.Script == "" {
+		writeError(w, badRequestError{errors.New("empty script")})
+		return
+	}
+	// One retry: a late flight joiner can miss the leader's in-slot rows
+	// read and then find a reused stored file evicted by the time its
+	// fallback read runs; re-submitting re-executes (typically rewritten
+	// against the repository) instead of surfacing a 500 for a query that
+	// succeeded. The retry counts as a fresh submission so the metrics
+	// identity submitted = executed + deduped + failed keeps holding.
+	for attempt := 0; ; attempt++ {
+		s.met.submitted.Add(1)
+		resp, retryable, err := s.runQueryOnce(&req)
+		if err != nil {
+			if retryable && attempt == 0 {
+				continue
+			}
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+}
+
+// runQueryOnce runs one submission through single-flight and the scheduler.
+// retryable reports an error worth one resubmission: the execution
+// succeeded but its rows could not be read because a reused stored file was
+// evicted in between.
+func (s *Server) runQueryOnce(req *QueryRequest) (QueryResponse, bool, error) {
+	out, shared := s.flights.do(flightKey(req.Script), req.ReadOutputs, func(wantRows *atomic.Bool) flightOutcome {
+		p, perr := s.sys.Prepare(req.Script)
+		if perr != nil {
+			return flightOutcome{err: badRequestError{perr}}
+		}
+		ch := make(chan flightOutcome, 1)
+		if serr := s.sched.submit(func() {
+			var o flightOutcome
+			o.res, o.err = s.sys.ExecutePrepared(p)
+			if o.err == nil && wantRows.Load() {
+				// Read rows (for the leader or any joiner that asked) while
+				// still holding the execution slot: a later query's eviction
+				// could otherwise delete a stored file this result's outputs
+				// alias.
+				o.rows, o.err = readRows(s.sys, o.res)
+			}
+			ch <- o
+		}); serr != nil {
+			return flightOutcome{err: serr}
+		}
+		return <-ch
+	})
+	// Each submission lands in exactly one bucket — executed, deduped, or
+	// failed — once its final outcome is known, so the identity
+	// submitted = executed + deduped + failed holds: a joiner of a failed
+	// flight counts as failed (not deduped), and a submission whose rows
+	// read fails after a successful execution counts as failed too.
+	if out.err != nil {
+		s.met.failed.Add(1)
+		return QueryResponse{}, false, out.err
+	}
+
+	resp := QueryResponse{Deduped: shared, Result: out.res, Rows: out.rows}
+	if req.ReadOutputs && resp.Rows == nil {
+		// Rare: this caller joined the flight after the leader's in-slot
+		// rows check. Read through the scheduler so the read at least
+		// serializes with mutating work.
+		ch := make(chan flightOutcome, 1)
+		if err := s.sched.submit(func() {
+			var o flightOutcome
+			o.rows, o.err = readRows(s.sys, out.res)
+			ch <- o
+		}); err != nil {
+			s.met.failed.Add(1)
+			return QueryResponse{}, false, err
+		}
+		o := <-ch
+		if o.err != nil {
+			// The aliased stored file was evicted between execution and
+			// this read; let the caller resubmit once.
+			s.met.failed.Add(1)
+			return QueryResponse{}, true, o.err
+		}
+		resp.Rows = o.rows
+	}
+	if shared {
+		s.met.deduped.Add(1)
+	} else {
+		s.met.executed.Add(1)
+	}
+	return resp, false, nil
+}
+
+// readRows reads every output of res as sorted TSV lines.
+func readRows(sys *restore.System, res *restore.Result) (map[string][]string, error) {
+	rows := make(map[string][]string, len(res.Outputs))
+	for p := range res.Outputs {
+		lines, err := sys.ReadOutputTSV(res, p)
+		if err != nil {
+			return nil, err
+		}
+		rows[p] = lines
+	}
+	return rows, nil
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequestError{fmt.Errorf("bad request body: %w", err)})
+		return
+	}
+	ex, err := s.sys.Explain(req.Script)
+	if err != nil {
+		writeError(w, badRequestError{err})
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequestError{fmt.Errorf("bad request body: %w", err)})
+		return
+	}
+	if req.Path == "" || req.Schema == "" {
+		writeError(w, badRequestError{errors.New("path and schema are required")})
+		return
+	}
+	if strings.HasPrefix(req.Path, "restore/") {
+		// The restore/ namespace holds repository-owned stored outputs;
+		// letting a client overwrite one would silently corrupt every
+		// future query rewritten to reuse it (Rule 4 only watches inputs).
+		writeError(w, badRequestError{fmt.Errorf("path %q is in the reserved restore/ namespace", req.Path)})
+		return
+	}
+	if _, err := restore.ParseSchema(req.Schema); err != nil {
+		writeError(w, badRequestError{err})
+		return
+	}
+	parts := req.Partitions
+	if parts < 1 {
+		parts = 1
+	}
+	// Dataset writes mutate the DFS (bumping versions Rule 4 watches), so
+	// they serialize with query execution.
+	ch := make(chan error, 1)
+	if err := s.sched.submit(func() {
+		ch <- s.sys.LoadTSV(req.Path, req.Schema, req.Lines, parts)
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := <-ch; err != nil {
+		writeError(w, err)
+		return
+	}
+	s.met.uploads.Add(1)
+	st, err := s.sys.StatPath(req.Path)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DatasetInfo{Path: st.Path, Bytes: st.Bytes, Records: st.Records, Partitions: st.Partitions})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	out := []DatasetInfo{} // never null: clients iterate the array
+	for _, p := range s.sys.FS().List(prefix) {
+		st, err := s.sys.FS().StatFile(p)
+		if err != nil {
+			continue // deleted between List and Stat
+		}
+		out = append(out, DatasetInfo{Path: st.Path, Bytes: st.Bytes, Records: st.Records, Partitions: st.Partitions})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRepository(w http.ResponseWriter, r *http.Request) {
+	repo := s.sys.Repository()
+	writeJSON(w, http.StatusOK, RepositoryResponse{
+		// Snapshot, not live pointers: encoding runs concurrently with
+		// query execution mutating UseCount/LastUsedSeq.
+		Entries:          repo.OrderedSnapshot(),
+		TotalStoredBytes: repo.TotalStoredBytes(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.met.snapshot()
+	snap.QueueDepth = s.sched.queueDepth()
+	snap.Reuse = s.sys.Stats()
+	repo := s.sys.Repository()
+	snap.RepositoryEntries = repo.Len()
+	snap.RepositoryStoredBytes = repo.TotalStoredBytes()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkpointNow(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var bad badRequestError
+	switch {
+	case errors.As(err, &bad):
+		code = http.StatusBadRequest
+	case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

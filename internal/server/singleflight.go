@@ -1,0 +1,87 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	restore "repro"
+)
+
+// Single-flight deduplication: under real traffic the dominant reuse case is
+// the degenerate one — many clients submitting the *same* query at the same
+// time. Instead of executing each copy (each after the first reusing the
+// previous one's stored output), the first submission becomes the flight
+// leader and every identical in-flight submission waits for and shares its
+// result.
+
+// flightKey normalizes a script so textually-identical queries map to the
+// same flight regardless of surrounding whitespace and line endings.
+func flightKey(script string) string {
+	lines := strings.Split(strings.ReplaceAll(script, "\r\n", "\n"), "\n")
+	out := make([]string, 0, len(lines))
+	for _, ln := range lines {
+		if ln = strings.TrimSpace(ln); ln != "" {
+			out = append(out, ln)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// flightOutcome is what a flight produces: the execution result, plus each
+// output's rows when the leader read them (inside the execution slot, where
+// no concurrent eviction can delete an aliased file underneath).
+type flightOutcome struct {
+	res  *restore.Result
+	rows map[string][]string
+	err  error
+}
+
+type flightCall struct {
+	done chan struct{}
+	out  flightOutcome
+	// wantRows is set by any flight member that asked for output rows; the
+	// leader checks it inside the execution slot so joiners' rows are read
+	// before a later query's eviction can delete an aliased stored file.
+	wantRows atomic.Bool
+}
+
+// flightGroup is a minimal single-flight group over query results.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flightCall
+}
+
+// do executes fn for the first caller of key and hands every concurrent
+// caller of the same key the leader's outcome. shared reports whether this
+// caller joined an existing flight. wantRows records this caller's interest
+// in output rows on the flight (fn receives the flag to check inside the
+// execution slot). Once a flight completes its key is released, so later
+// submissions execute again (and hit the repository's stored outputs
+// instead).
+func (g *flightGroup) do(key string, wantRows bool, fn func(wantRows *atomic.Bool) flightOutcome) (out flightOutcome, shared bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flightCall)
+	}
+	if c, ok := g.flights[key]; ok {
+		if wantRows {
+			c.wantRows.Store(true)
+		}
+		g.mu.Unlock()
+		<-c.done
+		return c.out, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	c.wantRows.Store(wantRows)
+	g.flights[key] = c
+	g.mu.Unlock()
+
+	c.out = fn(&c.wantRows)
+
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.out, false
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	restore "repro"
+)
+
+func TestFlightKeyNormalizesWhitespace(t *testing.T) {
+	a := flightKey("A = load 'x';\nstore A into 'y';\n")
+	b := flightKey("  A = load 'x';  \r\n\r\n  store A into 'y';")
+	if a != b {
+		t.Fatalf("keys differ:\n%q\n%q", a, b)
+	}
+	c := flightKey("A = load 'x';\nstore A into 'z';")
+	if a == c {
+		t.Fatal("different scripts share a key")
+	}
+}
+
+func TestFlightGroupDeduplicatesConcurrentCalls(t *testing.T) {
+	var g flightGroup
+	var runs atomic.Int64
+	release := make(chan struct{})
+	want := &restore.Result{Registered: 42}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	var arrived, sharedCount atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arrived.Add(1)
+			out, shared := g.do("k", false, func(*atomic.Bool) flightOutcome {
+				runs.Add(1)
+				<-release // hold the flight open while the others join
+				return flightOutcome{res: want}
+			})
+			if out.err != nil {
+				t.Errorf("do: %v", out.err)
+			}
+			if out.res != want {
+				t.Errorf("got %+v, want shared result", out.res)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Let every caller reach do() before releasing the leader, so joins are
+	// all but guaranteed; accounting below tolerates a straggler that missed
+	// the flight and ran its own.
+	for arrived.Load() < callers {
+	}
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got >= callers {
+		t.Errorf("fn ran %d times for %d concurrent callers; no dedup", got, callers)
+	}
+	if runs.Load()+sharedCount.Load() != callers {
+		t.Errorf("runs(%d) + shared(%d) != callers(%d)", runs.Load(), sharedCount.Load(), callers)
+	}
+	if sharedCount.Load() == 0 {
+		t.Error("no caller reported shared=true")
+	}
+
+	// The key is released after the flight: a later call runs again.
+	before := runs.Load()
+	_, shared := g.do("k", false, func(*atomic.Bool) flightOutcome { runs.Add(1); return flightOutcome{res: want} })
+	if shared {
+		t.Error("post-flight call should not be shared")
+	}
+	if got := runs.Load(); got != before+1 {
+		t.Errorf("fn ran %d times after post-flight call, want %d", got, before+1)
+	}
+}
+
+func TestSchedulerSerializesAndDrains(t *testing.T) {
+	s := newScheduler(16)
+	var active, maxActive, n int64
+	var mu sync.Mutex
+	for i := 0; i < 10; i++ {
+		err := s.submit(func() {
+			mu.Lock()
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			n++
+			active--
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	s.close()
+	if maxActive != 1 {
+		t.Errorf("max concurrent tasks = %d, want 1", maxActive)
+	}
+	if n != 10 {
+		t.Errorf("ran %d tasks before close returned, want 10", n)
+	}
+	if err := s.submit(func() {}); err != errShuttingDown {
+		t.Errorf("submit after close = %v, want errShuttingDown", err)
+	}
+}
+
+func TestSchedulerQueueFull(t *testing.T) {
+	s := newScheduler(1)
+	defer s.close()
+	block := make(chan struct{})
+	defer close(block)
+	if err := s.submit(func() { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single buffer slot, then the next submit must be rejected.
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = s.submit(func() {}); err != nil {
+			break
+		}
+	}
+	if err != errQueueFull {
+		t.Fatalf("expected errQueueFull, got %v", err)
+	}
+}

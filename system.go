@@ -27,6 +27,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -60,11 +64,21 @@ type Policy = core.Policy
 
 // System is a ReStore deployment: a DFS, a cluster model, a MapReduce
 // engine, and the shared repository that persists across queries.
+//
+// Concurrency contract: every method is safe for concurrent use. Prepare
+// (parse / plan / compile) runs lock-free, so many clients can prepare
+// queries in parallel; ExecutePrepared serializes the DFS-mutating phases
+// (eviction, rewrite, engine run, registration) behind an internal mutex so
+// interleaved queries never observe a half-updated repository or DFS.
+// Explain and the read-only accessors only take the repository's and DFS's
+// own read locks.
 type System struct {
-	fs        *dfs.FS
-	cluster   *cluster.Config
-	engine    *mapred.Engine
-	repo      *core.Repository
+	fs      *dfs.FS
+	cluster *cluster.Config
+	engine  *mapred.Engine
+	// repo is an atomic pointer so lock-free readers (Explain, Repository)
+	// stay safe across a LoadRepositoryFrom swap.
+	repo      atomic.Pointer[core.Repository]
 	selector  *core.Selector
 	heuristic Heuristic
 	reuse     bool
@@ -74,8 +88,19 @@ type System struct {
 	// intermediates and injected sub-jobs enter the repository.
 	registerFinals bool
 
-	seq     int64
-	subPath int64
+	// execMu serializes the mutating execution phases; parsing, planning,
+	// and compilation happen outside it.
+	execMu sync.Mutex
+	// seq is the workflow sequence: assigned under execMu at execution
+	// start so repository statistics (CreatedSeq, LastUsedSeq) and the §5
+	// eviction window always see sequence numbers in true execution order,
+	// even when many queries prepare concurrently. prep numbers the
+	// restore/tmp/qN compile namespaces (prepare order, lock-free) and
+	// subPath the restore/sub/sN injection outputs.
+	seq     atomic.Int64
+	prep    atomic.Int64
+	subPath atomic.Int64
+	stats   core.Stats
 }
 
 // Option configures a System.
@@ -130,12 +155,12 @@ func New(opts ...Option) *System {
 		fs:        fs,
 		cluster:   clus,
 		engine:    mapred.NewEngine(fs, clus),
-		repo:      core.NewRepository(),
 		heuristic: HeuristicAggressive,
 		reuse:     true,
 		register:  true,
 	}
-	s.selector = &core.Selector{Repo: s.repo, FS: fs, Cluster: clus, Policy: core.DefaultPolicy()}
+	s.repo.Store(core.NewRepository())
+	s.selector = &core.Selector{Repo: s.repo.Load(), FS: fs, Cluster: clus, Policy: core.DefaultPolicy()}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -154,7 +179,7 @@ func (s *System) FS() *dfs.FS { return s.fs }
 func (s *System) Cluster() *cluster.Config { return s.cluster }
 
 // Repository exposes the ReStore repository (for inspection and tooling).
-func (s *System) Repository() *core.Repository { return s.repo }
+func (s *System) Repository() *core.Repository { return s.repo.Load() }
 
 // JobReport describes one executed MapReduce job.
 type JobReport struct {
@@ -188,12 +213,21 @@ type Result struct {
 	Evicted []string
 }
 
-// Execute parses, compiles, rewrites, and runs one query, then updates the
-// repository. It is the JobControlCompiler extension of §6.2.
-func (s *System) Execute(src string) (*Result, error) {
-	s.seq++
-	seq := s.seq
+// Prepared is a parsed, planned, and compiled query awaiting execution. It
+// holds no references to shared mutable state, so preparation runs without
+// any lock and a Prepared value can cross goroutines (the restored daemon
+// prepares on request goroutines and executes on its scheduler).
+type Prepared struct {
+	// Source is the original query text.
+	Source string
 
+	requested []string
+	workflow  *mapred.Workflow
+}
+
+// Prepare parses, plans, and compiles one query without executing it or
+// touching the repository. Safe to call from many goroutines at once.
+func (s *System) Prepare(src string) (*Prepared, error) {
 	script, err := piglatin.Parse(src)
 	if err != nil {
 		return nil, err
@@ -206,10 +240,35 @@ func (s *System) Execute(src string) (*Result, error) {
 	for _, st := range plan.Sinks() {
 		requested = append(requested, st.Path)
 	}
-	workflow, err := mrcompile.Compile(plan, fmt.Sprintf("restore/tmp/q%d", seq))
+	workflow, err := mrcompile.Compile(plan, fmt.Sprintf("restore/tmp/q%d", s.prep.Add(1)))
 	if err != nil {
 		return nil, err
 	}
+	return &Prepared{Source: src, requested: requested, workflow: workflow}, nil
+}
+
+// Execute parses, compiles, rewrites, and runs one query, then updates the
+// repository. It is the JobControlCompiler extension of §6.2. Safe for
+// concurrent use: preparation runs in parallel, execution serializes.
+func (s *System) Execute(src string) (*Result, error) {
+	p, err := s.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecutePrepared(p)
+}
+
+// ExecutePrepared runs a prepared query through eviction, rewrite,
+// sub-job enumeration, the MapReduce engine, and repository registration.
+// The mutating phases hold the system's execution lock, so concurrent
+// callers are serialized here.
+func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+
+	seq := s.seq.Add(1)
+	requested := p.requested
+	workflow := p.workflow
 
 	// Phase 0 (§5, Rules 3-4): evict stale or invalidated entries before
 	// matching, so a modified input is never answered from old results.
@@ -232,7 +291,7 @@ func (s *System) Execute(src string) (*Result, error) {
 	var rewrites []core.RewriteInfo
 	jobs := workflow.Jobs
 	if s.reuse {
-		rw := &core.Rewriter{Repo: s.repo, Seq: seq}
+		rw := &core.Rewriter{Repo: s.repo.Load(), Seq: seq}
 		outcome, err := rw.RewriteWorkflow(workflow)
 		if err != nil {
 			return nil, err
@@ -246,15 +305,14 @@ func (s *System) Execute(src string) (*Result, error) {
 	var pending []pendingCandidate
 	finalJobs := make([]*mapred.Job, 0, len(jobs))
 	for _, job := range jobs {
-		p := job.Plan.Clone()
-		injs, err := core.EnumerateSubJobs(p, s.heuristic, func() string {
-			s.subPath++
-			return fmt.Sprintf("restore/sub/s%d", s.subPath)
+		jp := job.Plan.Clone()
+		injs, err := core.EnumerateSubJobs(jp, s.heuristic, func() string {
+			return fmt.Sprintf("restore/sub/s%d", s.subPath.Add(1))
 		})
 		if err != nil {
 			return nil, err
 		}
-		nj, err := mapred.NewJob(job.ID, p)
+		nj, err := mapred.NewJob(job.ID, jp)
 		if err != nil {
 			return nil, err
 		}
@@ -268,6 +326,7 @@ func (s *System) Execute(src string) (*Result, error) {
 	res := &Result{Outputs: make(map[string]string), Rewrites: rewrites}
 	var wfRes *mapred.WorkflowResult
 	if len(finalJobs) > 0 {
+		var err error
 		wfRes, err = s.engine.RunWorkflow(&mapred.Workflow{Jobs: finalJobs})
 		if err != nil {
 			return nil, err
@@ -304,8 +363,36 @@ func (s *System) Execute(src string) (*Result, error) {
 		}
 		res.Outputs[p] = actual
 	}
+
+	qs := core.QueryStats{
+		JobsCompiled:  len(workflow.Jobs),
+		JobsExecuted:  len(finalJobs),
+		Registered:    res.Registered,
+		Evicted:       len(evicted),
+		SimulatedTime: res.SimulatedTime,
+	}
+	for _, ri := range rewrites {
+		if ri.WholeJob {
+			qs.WholeJobReuses++
+		} else {
+			qs.SubJobReuses++
+		}
+		// Estimate savings from the reused entry's recorded statistics: its
+		// input no longer needs scanning (beyond reading the smaller stored
+		// output) and its recorded execution time is not re-spent.
+		if e := s.repo.Load().Get(ri.EntryID); e != nil {
+			if d := e.InputBytes - e.OutputBytes; d > 0 {
+				qs.SavedBytes += d
+			}
+			qs.SavedTime += e.ExecTime
+		}
+	}
+	s.stats.RecordQuery(qs)
 	return res, nil
 }
+
+// Stats returns a snapshot of the system's lifetime reuse counters.
+func (s *System) Stats() core.StatsSnapshot { return s.stats.Snapshot() }
 
 // pendingCandidate is a sub-job injection awaiting post-execution
 // registration.
@@ -393,9 +480,24 @@ func isSystemPath(p string) bool {
 }
 
 // SaveRepository persists the repository (plans, filenames, statistics) as
-// JSON, the §6.2 "table" of stored job outputs.
+// JSON, the §6.2 "table" of stored job outputs. It takes the execution lock
+// so the snapshot never interleaves with a half-registered query.
 func (s *System) SaveRepository(w io.Writer) error {
-	return s.repo.Save(w)
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	return s.repo.Load().Save(w)
+}
+
+// SaveState persists the repository and the full DFS (data, schemas, file
+// versions) as one consistent snapshot pair, for the daemon's durable-state
+// directory.
+func (s *System) SaveState(repoW, dfsW io.Writer) error {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	if err := s.repo.Load().Save(repoW); err != nil {
+		return err
+	}
+	return s.fs.Export(dfsW)
 }
 
 // LoadRepositoryFrom replaces the repository with one previously saved by
@@ -406,9 +508,68 @@ func (s *System) LoadRepositoryFrom(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	s.repo = repo
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	s.repo.Store(repo)
 	s.selector.Repo = repo
+	s.advanceCounters(repo)
 	return nil
+}
+
+// advanceCounters pushes the workflow-sequence, compile-namespace, and
+// sub-job-path counters past everything the loaded repository and current
+// DFS have seen, so a restarted system never reuses a restore/tmp/qN or
+// restore/sub/sN namespace that a persisted entry still references.
+func (s *System) advanceCounters(repo *core.Repository) {
+	var maxSeq, maxPrep, maxSub int64
+	for _, e := range repo.All() {
+		if e.CreatedSeq > maxSeq {
+			maxSeq = e.CreatedSeq
+		}
+		if e.LastUsedSeq > maxSeq {
+			maxSeq = e.LastUsedSeq
+		}
+	}
+	for _, p := range s.fs.List("restore/") {
+		if n, ok := pathCounter(p, "restore/tmp/q"); ok && n > maxPrep {
+			maxPrep = n
+		}
+		if n, ok := pathCounter(p, "restore/sub/s"); ok && n > maxSub {
+			maxSub = n
+		}
+	}
+	advanceAtomic(&s.seq, maxSeq)
+	advanceAtomic(&s.prep, maxPrep)
+	advanceAtomic(&s.subPath, maxSub)
+}
+
+// advanceAtomic raises v to at least min. CAS loop, not load-compare-store:
+// Prepare bumps these counters lock-free, and a plain Store could roll back
+// a value another goroutine just claimed, handing two queries the same
+// namespace.
+func advanceAtomic(v *atomic.Int64, min int64) {
+	for {
+		cur := v.Load()
+		if min <= cur || v.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
+// pathCounter extracts N from prefix+"N" or prefix+"N/...".
+func pathCounter(p, prefix string) (int64, bool) {
+	rest, ok := strings.CutPrefix(p, prefix)
+	if !ok {
+		return 0, false
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Explanation is a dry-run report of what executing a query would reuse.
@@ -440,7 +601,7 @@ func (s *System) Explain(src string) (*Explanation, error) {
 		return nil, err
 	}
 	ex := &Explanation{JobsBeforeRewrite: len(workflow.Jobs)}
-	rw := &core.Rewriter{Repo: s.repo, Seq: s.seq, DryRun: true}
+	rw := &core.Rewriter{Repo: s.repo.Load(), Seq: s.seq.Load(), DryRun: true}
 	outcome, err := rw.RewriteWorkflow(workflow)
 	if err != nil {
 		return nil, err

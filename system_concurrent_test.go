@@ -1,0 +1,154 @@
+package restore_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	restore "repro"
+	"repro/internal/pigmix"
+)
+
+var tinyPigmix = pigmix.GenConfig{
+	PageViewsRows: 400,
+	Users:         60,
+	PowerUsers:    10,
+	WideRows:      80,
+	Partitions:    2,
+	Seed:          1,
+}
+
+// TestConcurrentExecute runs the PigMix variant stream from many goroutines
+// against one System (run with -race to verify the concurrency contract):
+// preparation is lock-free, execution serializes, and every query must see a
+// consistent repository and DFS.
+func TestConcurrentExecute(t *testing.T) {
+	sys := restore.New()
+	if err := pigmix.Generate(sys.FS(), tinyPigmix); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*len(pigmix.VariantNames()))
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, name := range pigmix.VariantNames() {
+				// Distinct outputs per worker so the workload overlaps in
+				// computation (shared joins and aggregates) but not in store
+				// paths — the repository, not output aliasing, must carry
+				// the reuse.
+				src, err := pigmix.Query(name, fmt.Sprintf("out/%s_w%d", name, w))
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := sys.Execute(src)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d %s: %w", w, name, err)
+					return
+				}
+				// Interleaved Explain exercises the lock-free read path.
+				if _, err := sys.Explain(src); err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Outputs) == 0 {
+					errs <- fmt.Errorf("worker %d %s: no outputs", w, name)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	stats := sys.Stats()
+	if want := int64(workers * len(pigmix.VariantNames())); stats.Queries != want {
+		t.Errorf("stats.Queries = %d, want %d", stats.Queries, want)
+	}
+	if stats.QueriesReused == 0 {
+		t.Error("no reuse across the concurrent stream")
+	}
+	if sys.Repository().Len() == 0 {
+		t.Error("repository empty after the stream")
+	}
+}
+
+// TestRepositorySaveLoadRoundTrip persists a learned repository plus DFS,
+// loads both into a fresh System ("restart"), and checks the repository
+// comes back byte-for-byte: same match-scan order, same statistics — and
+// still answers queries with reuse instead of being evicted.
+func TestRepositorySaveLoadRoundTrip(t *testing.T) {
+	sys := restore.New()
+	if err := pigmix.Generate(sys.FS(), tinyPigmix); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range pigmix.VariantNames() {
+		src, err := pigmix.Query(name, fmt.Sprintf("out/%s_%d", name, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Execute(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := sys.Repository().Ordered()
+	if len(before) == 0 {
+		t.Fatal("repository empty after the stream")
+	}
+
+	var repoBuf, dfsBuf bytes.Buffer
+	if err := sys.SaveState(&repoBuf, &dfsBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2 := restore.New()
+	if err := sys2.FS().Import(bytes.NewReader(dfsBuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.LoadRepositoryFrom(bytes.NewReader(repoBuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	after := sys2.Repository().Ordered()
+	if len(after) != len(before) {
+		t.Fatalf("entries: %d -> %d across round trip", len(before), len(after))
+	}
+	for i := range before {
+		a, b := before[i], after[i]
+		if a.ID != b.ID {
+			t.Errorf("order differs at %d: %s vs %s", i, a.ID, b.ID)
+		}
+		if a.OutputPath != b.OutputPath || a.InputBytes != b.InputBytes ||
+			a.OutputBytes != b.OutputBytes || a.ExecTime != b.ExecTime ||
+			a.UseCount != b.UseCount || a.CreatedSeq != b.CreatedSeq ||
+			a.LastUsedSeq != b.LastUsedSeq || a.OwnsFile != b.OwnsFile {
+			t.Errorf("entry %s statistics differ: %+v vs %+v", a.ID, a, b)
+		}
+	}
+
+	// The restarted system must reuse, not recompute (and not evict: the
+	// imported DFS preserves the input versions Rule 4 checks).
+	src, err := pigmix.Query("L3", "out/roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys2.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 0 {
+		t.Errorf("round trip invalidated entries: %v", res.Evicted)
+	}
+	if len(res.Rewrites) == 0 {
+		t.Error("restarted system applied no rewrites to a repeated query")
+	}
+}
