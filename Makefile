@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build
+.PHONY: check fmt vet test race race-server build
 
-check: fmt vet race
+check: fmt vet race race-server
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,8 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The concurrency battery (property/stress/drain tests of the conflict-aware
+# scheduler) runs twice under the detector: interleavings differ per run.
+race-server:
+	$(GO) test -race -count=2 ./internal/server/...

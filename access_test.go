@@ -1,0 +1,163 @@
+package restore
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPathsConflict(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"out/a", "out/a", true},
+		{"out/a", "out/a/part0", true},
+		{"out/a/part0", "out/a", true},
+		{"out/a", "out/ab", false},
+		{"out/ab", "out/a", false},
+		{"out/a", "out/b", false},
+		{"restore/tmp/q1", "restore/tmp/q10", false},
+		{"restore/tmp/q1", "restore/tmp/q1/j0", true},
+		{"a", "a/b/c/d", true},
+		{"", "", true}, // degenerate: identical empties conflict
+	}
+	for _, c := range cases {
+		if got := PathsConflict(c.a, c.b); got != c.want {
+			t.Errorf("PathsConflict(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAccessSetConflicts(t *testing.T) {
+	read := func(ps ...string) AccessSet { return AccessSet{Reads: ps} }
+	write := func(ps ...string) AccessSet { return AccessSet{Writes: ps} }
+
+	if read("in/a").ConflictsWith(read("in/a")) {
+		t.Error("read/read of the same path must not conflict")
+	}
+	if !write("out/a").ConflictsWith(write("out/a/x")) {
+		t.Error("write/write prefix overlap must conflict")
+	}
+	if !write("in/a").ConflictsWith(read("in/a")) {
+		t.Error("write/read must conflict")
+	}
+	if !read("in/a").ConflictsWith(write("in/a")) {
+		t.Error("read/write must conflict")
+	}
+	if write("out/a").ConflictsWith(read("in/a")) {
+		t.Error("disjoint sets must not conflict")
+	}
+	if !UniversalAccess().ConflictsWith(AccessSet{}) {
+		t.Error("universal must conflict with everything, even the empty set")
+	}
+	if !read("in/a").ConflictsWith(UniversalAccess()) {
+		t.Error("everything must conflict with universal")
+	}
+}
+
+// TestLeaseTableDisjointConcurrency checks that disjoint leases are held
+// simultaneously while conflicting ones exclude each other.
+func TestLeaseTableDisjointConcurrency(t *testing.T) {
+	var lt leaseTable
+
+	a := lt.acquire(AccessSet{Writes: []string{"out/a"}})
+	b := lt.acquire(AccessSet{Writes: []string{"out/b"}})
+	if lt.inflightCount() != 2 {
+		t.Fatalf("disjoint leases in flight = %d, want 2", lt.inflightCount())
+	}
+
+	// A conflicting acquire must block until both holders release.
+	gotC := make(chan *execLease)
+	go func() { gotC <- lt.acquire(AccessSet{Reads: []string{"out/a"}, Writes: []string{"out/b/x"}}) }()
+	select {
+	case <-gotC:
+		t.Fatal("conflicting lease granted while conflicts in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lt.release(a)
+	select {
+	case <-gotC:
+		t.Fatal("lease granted while write overlap still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lt.release(b)
+	c := <-gotC
+	lt.release(c)
+	if lt.inflightCount() != 0 {
+		t.Fatalf("leases left in flight: %d", lt.inflightCount())
+	}
+}
+
+// TestLeaseTableExtendReads covers the mid-run read extension the rewriter
+// uses for user-named stored outputs: it must fail while a conflicting
+// writer is in flight, succeed otherwise, and once granted make later
+// conflicting writers wait.
+func TestLeaseTableExtendReads(t *testing.T) {
+	var lt leaseTable
+	reader := lt.acquire(AccessSet{Reads: []string{"in/a"}, Writes: []string{"out/q"}})
+	writer := lt.acquire(AccessSet{Writes: []string{"out/x"}})
+
+	if lt.extendReads(reader, "out/x") {
+		t.Fatal("extension granted while a conflicting writer is in flight")
+	}
+	if lt.extendReads(reader, "out/x/part0") {
+		t.Fatal("prefix-overlapping extension granted while a conflicting writer is in flight")
+	}
+	lt.release(writer)
+	if !lt.extendReads(reader, "out/x") {
+		t.Fatal("extension refused with no conflicting writer in flight")
+	}
+
+	// A new writer on the extended path must now wait for the reader.
+	gotW := make(chan *execLease)
+	go func() { gotW <- lt.acquire(AccessSet{Writes: []string{"out/x"}}) }()
+	select {
+	case <-gotW:
+		t.Fatal("writer admitted against an extended read lease")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lt.release(reader)
+	lt.release(<-gotW)
+}
+
+// TestLeaseTableUniversalDrains checks the drain barrier: a universal
+// acquire waits for all in-flight leases, and later disjoint acquires queue
+// behind it instead of starving it.
+func TestLeaseTableUniversalDrains(t *testing.T) {
+	var lt leaseTable
+	a := lt.acquire(AccessSet{Writes: []string{"out/a"}})
+
+	var uniGranted, lateGranted atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	uniReady := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(uniReady)
+		u := lt.acquire(UniversalAccess())
+		uniGranted.Store(true)
+		if lateGranted.Load() {
+			t.Error("later disjoint lease overtook the waiting universal")
+		}
+		lt.release(u)
+	}()
+	<-uniReady
+	time.Sleep(10 * time.Millisecond) // let the universal join the wait queue
+	go func() {
+		defer wg.Done()
+		l := lt.acquire(AccessSet{Writes: []string{"out/b"}})
+		lateGranted.Store(true)
+		if !uniGranted.Load() {
+			t.Error("disjoint lease granted before the earlier universal")
+		}
+		lt.release(l)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if uniGranted.Load() {
+		t.Fatal("universal granted while a lease is in flight")
+	}
+	lt.release(a)
+	wg.Wait()
+}

@@ -7,9 +7,11 @@
 //	restore-bench -exp fig10   # run one experiment
 //	restore-bench -list        # list experiment IDs
 //	restore-bench -tiny        # use the fast test-sized configuration
+//	restore-bench -exp server -json BENCH_server.json   # record a baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +22,10 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment ID to run (default: all)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		tiny  = flag.Bool("tiny", false, "use the tiny test configuration")
+		expID    = flag.String("exp", "", "experiment ID to run (default: all)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		tiny     = flag.Bool("tiny", false, "use the tiny test configuration")
+		jsonPath = flag.String("json", "", "also write the result tables as JSON to this file")
 	)
 	flag.Parse()
 
@@ -38,6 +41,7 @@ func main() {
 		cfg = bench.TinyConfig()
 	}
 
+	var tables []*bench.Table
 	run := func(e bench.Experiment) {
 		start := time.Now()
 		table, err := e.Run(cfg)
@@ -45,6 +49,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "restore-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		tables = append(tables, table)
 		fmt.Println(table.String())
 		fmt.Printf("  (experiment wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
@@ -56,9 +61,22 @@ func main() {
 			os.Exit(1)
 		}
 		run(e)
-		return
+	} else {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
 	}
-	for _, e := range bench.Experiments() {
-		run(e)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restore-bench: json:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "restore-bench: json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -12,6 +12,7 @@
 //	restored -save-interval 30s                 # periodic checkpoints
 //	restored -pigmix                            # preload the PigMix tables
 //	restored -heuristic conservative            # sub-job enumeration heuristic
+//	restored -workers 8 -barrier-window 32      # concurrent scheduler tuning
 //
 // Endpoints (all JSON):
 //
@@ -47,6 +48,8 @@ func main() {
 		stateDir     = flag.String("state-dir", "", "directory for durable repository+DFS state (empty = in-memory only)")
 		saveInterval = flag.Duration("save-interval", time.Minute, "periodic checkpoint interval (requires -state-dir; 0 disables)")
 		queueDepth   = flag.Int("queue-depth", 256, "bounded execution queue; overflow returns 503")
+		workers      = flag.Int("workers", 0, "execution worker pool: how many path-disjoint workflows run concurrently (0 = GOMAXPROCS, 1 = serialized)")
+		barrier      = flag.Int("barrier-window", 16, "FIFO overtake window: queued work may pass a blocked head only within the first N queue positions (1 = strict FIFO)")
 		heuristic    = flag.String("heuristic", "aggressive", "sub-job heuristic: off, conservative, aggressive, all")
 		preloadPig   = flag.Bool("pigmix", false, "preload the PigMix tables (15GB instance, laptop scale)")
 	)
@@ -60,10 +63,12 @@ func main() {
 
 	sys := restore.New(restore.WithHeuristic(h))
 	srv, err := server.New(server.Config{
-		System:       sys,
-		StateDir:     *stateDir,
-		SaveInterval: *saveInterval,
-		QueueDepth:   *queueDepth,
+		System:        sys,
+		StateDir:      *stateDir,
+		SaveInterval:  *saveInterval,
+		QueueDepth:    *queueDepth,
+		Workers:       *workers,
+		BarrierWindow: *barrier,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "restored:", err)

@@ -47,10 +47,11 @@ func ParseSchema(decl string) (types.Schema, error) {
 
 // LoadTSV creates a dataset in the system's DFS from tab-separated lines,
 // typed according to the schema declaration. partitions controls how many
-// map tasks scan the dataset. It takes the execution lock: a write landing
-// mid-query would otherwise let post-execution registration snapshot the
-// *new* input version against results computed from the old data, blinding
-// Rule-4 eviction forever.
+// map tasks scan the dataset. It takes a write lease on the path: a write
+// landing mid-query on a path that query reads would otherwise let
+// post-execution registration snapshot the *new* input version against
+// results computed from the old data, blinding Rule-4 eviction forever.
+// Writes to paths no in-flight query touches proceed concurrently.
 func (s *System) LoadTSV(path, schemaDecl string, lines []string, partitions int) error {
 	schema, err := ParseSchema(schemaDecl)
 	if err != nil {
@@ -60,8 +61,8 @@ func (s *System) LoadTSV(path, schemaDecl string, lines []string, partitions int
 	for i, line := range lines {
 		tuples[i] = types.ParseTSVTyped(line, schema)
 	}
-	s.execMu.Lock()
-	defer s.execMu.Unlock()
+	lease := s.leases.acquire(AccessSet{Writes: []string{path}})
+	defer s.leases.release(lease)
 	return s.fs.WritePartitioned(path, schema, tuples, partitions)
 }
 
@@ -84,7 +85,7 @@ func (s *System) StatPath(path string) (Stat, error) {
 
 // SetDataScale configures the cluster clock so the dataset at path stands in
 // for targetBytes of data (see DESIGN.md: execution is real, only the
-// simulated clock extrapolates). Takes the execution lock so the scale
+// simulated clock extrapolates). Takes a universal lease so the scale
 // never changes under a running query's cost model.
 func (s *System) SetDataScale(path string, targetBytes int64) error {
 	st, err := s.fs.StatFile(path)
@@ -94,8 +95,8 @@ func (s *System) SetDataScale(path string, targetBytes int64) error {
 	if st.Bytes == 0 {
 		return fmt.Errorf("restore: %s is empty; cannot derive scale", path)
 	}
-	s.execMu.Lock()
-	defer s.execMu.Unlock()
+	lease := s.leases.acquire(UniversalAccess())
+	defer s.leases.release(lease)
 	s.cluster.ScaleFactor = float64(targetBytes) / float64(st.Bytes)
 	return nil
 }

@@ -1,0 +1,75 @@
+package restore_test
+
+import (
+	"testing"
+
+	restore "repro"
+)
+
+// TestOverwrittenFinalOutputIsNotReused pins the output-version eviction
+// rule: with WithRegisterFinalOutputs, a user-named store path enters the
+// repository — but user paths can be overwritten, after which the entry's
+// plan no longer describes the file. A query matching the stale entry must
+// recompute from the (new) base data, never serve the recycled file.
+func TestOverwrittenFinalOutputIsNotReused(t *testing.T) {
+	sys := restore.New(restore.WithRegisterFinalOutputs(true))
+	if err := sys.LoadTSV("in/base", "k:int, v:int", []string{"1\t10", "2\t20", "3\t30"}, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `A = load 'in/base' as (k:int, v:int);
+B = filter A by v > 15;
+store B into 'out/final';`
+
+	if _, err := sys.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	entries := sys.Repository().All()
+	foundFinal := false
+	for _, e := range entries {
+		if e.OutputPath == "out/final" {
+			foundFinal = true
+			if e.OwnsFile {
+				t.Error("user-named output registered as repository-owned")
+			}
+			if e.OutputVersion == 0 {
+				t.Error("registered entry carries no output version")
+			}
+		}
+	}
+	if !foundFinal {
+		t.Fatal("final output was not registered despite WithRegisterFinalOutputs")
+	}
+
+	// Recycle the path with unrelated data (bumps its DFS version).
+	if err := sys.LoadTSV("out/final", "x:int", []string{"999"}, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A query whose plan matches the stale entry must not be answered from
+	// the recycled file: the entry is evicted and the query recomputes.
+	res, err := sys.Execute(`A = load 'in/base' as (k:int, v:int);
+B = filter A by v > 15;
+store B into 'out/final2';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ri := range res.Rewrites {
+		if ri.OutputPath == "out/final" {
+			t.Fatalf("query reused overwritten output %q: %+v", ri.OutputPath, ri)
+		}
+	}
+	rows, err := sys.ReadOutputTSV(res, "out/final2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"2\t20", "3\t30"}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v, want %v", rows, want)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", rows, want)
+		}
+	}
+}

@@ -95,7 +95,17 @@ func pairwiseTraversal(input *physical.Plan, inOp *physical.Operator, repo *phys
 // FindBestMatch scans the repository in §3 order and returns the first (and
 // therefore best) entry contained in the input plan.
 func FindBestMatch(input *physical.Plan, repo *Repository) (*MatchResult, bool) {
+	return FindBestMatchExcluding(input, repo, nil)
+}
+
+// FindBestMatchExcluding is FindBestMatch with a skip set of entry IDs the
+// caller has ruled out for this workflow (e.g. a user-named stored output a
+// concurrent workflow is currently writing).
+func FindBestMatchExcluding(input *physical.Plan, repo *Repository, skip map[string]bool) (*MatchResult, bool) {
 	for _, e := range repo.Ordered() {
+		if skip[e.ID] {
+			continue
+		}
 		if m, ok := Match(input, e); ok {
 			return m, true
 		}

@@ -44,6 +44,14 @@ type Entry struct {
 	// output was stored; eviction Rule 4 compares them against the current
 	// versions.
 	InputVersions map[string]uint64 `json:"inputVersions"`
+	// OutputVersion snapshots the stored output file's own DFS version.
+	// Repository-owned files are never rewritten, but user-named outputs
+	// (WithRegisterFinalOutputs) can be overwritten by a later query or
+	// upload; eviction drops the entry when the version moved, so a match
+	// never serves another plan's data from a recycled path. 0 means
+	// unknown (entries persisted before this field existed) and skips the
+	// check.
+	OutputVersion uint64 `json:"outputVersion,omitempty"`
 
 	// OwnsFile marks outputs whose files the repository manages (temps and
 	// injected sub-job outputs). Evicting such an entry also deletes the
@@ -54,6 +62,11 @@ type Entry struct {
 	terminal int
 	// planOps caches len(Plan.Ops()) minus the Store for ordering.
 	matchSize int
+	// pins counts in-flight executions reusing this entry; guarded by the
+	// repository mutex. A pinned entry (and its stored output file) must
+	// not be evicted — a concurrent workflow's engine run is about to load
+	// the file.
+	pins int
 }
 
 // ioRatio is the input/output size ratio used as ordering metric 2a (§3):
@@ -125,10 +138,16 @@ func (r *Repository) Add(e *Entry) (*Entry, bool, error) {
 	return e, true, nil
 }
 
-// Remove evicts an entry by ID, returning it (or nil if absent).
+// Remove evicts an entry by ID, returning it (or nil if absent). Exactly
+// one of any set of concurrent Remove(id) calls receives the entry, so the
+// winner alone may delete the entry's owned file.
 func (r *Repository) Remove(id string) *Entry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.removeLocked(id)
+}
+
+func (r *Repository) removeLocked(id string) *Entry {
 	for i, e := range r.entries {
 		if e.ID == id {
 			r.entries = append(r.entries[:i], r.entries[i+1:]...)
@@ -137,6 +156,64 @@ func (r *Repository) Remove(id string) *Entry {
 		}
 	}
 	return nil
+}
+
+// RemoveIfIdle evicts the entry only when no in-flight execution has it
+// pinned AND it has not been reused since the caller judged it stale
+// (lastUsedSeq is the LastUsedSeq the caller observed; a mismatch means a
+// concurrent rewrite refreshed the entry between the staleness check and
+// this removal, so the Rule-3 verdict no longer holds). It returns the
+// entry when removed, or nil when the entry is absent, pinned, or
+// refreshed. Eviction uses this instead of Remove so it can never delete a
+// stored output another concurrent workflow was rewritten to load, nor
+// drop an entry that just proved its worth.
+func (r *Repository) RemoveIfIdle(id string, lastUsedSeq int64) *Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if e.ID == id {
+			if e.pins > 0 || e.LastUsedSeq != lastUsedSeq {
+				return nil
+			}
+			return r.removeLocked(id)
+		}
+	}
+	return nil
+}
+
+// Pin marks the entry as in use by an in-flight execution, preventing its
+// eviction (and its owned file's deletion) until Unpin. It reports whether
+// the entry was still present — a false return means the entry was evicted
+// concurrently and the caller must rescan instead of reusing it.
+func (r *Repository) Pin(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if e.ID == id {
+			e.pins++
+			return true
+		}
+	}
+	return false
+}
+
+// Unpin releases pins taken by Pin. IDs of entries removed in the meantime
+// (impossible for eviction, which skips pinned entries, but Remove is
+// unconditional) are ignored.
+func (r *Repository) Unpin(ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		for _, e := range r.entries {
+			if e.ID == id && e.pins > 0 {
+				e.pins--
+				break
+			}
+		}
+	}
 }
 
 // Get returns the entry with the given ID, or nil.
@@ -194,13 +271,14 @@ func (r *Repository) All() []*Entry {
 	return out
 }
 
-// OrderedSnapshot returns deep copies of the entries in match-scan order.
-// Unlike Ordered, the result shares no mutable state with the repository
-// (plans are immutable and stay shared), so callers may read or serialize
-// it while queries keep executing — the repository endpoint of the restored
-// daemon encodes these concurrently with MarkUsed.
-func (r *Repository) OrderedSnapshot() []*Entry {
+// Snapshot returns deep copies of the entries in insertion order. The
+// result shares no mutable state with the repository (plans are immutable
+// and stay shared), so callers may read it while queries keep executing —
+// eviction iterates these on every execution's hot path, where the
+// match-scan sort of OrderedSnapshot would be wasted work.
+func (r *Repository) Snapshot() []*Entry {
 	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*Entry, len(r.entries))
 	for i, e := range r.entries {
 		c := *e
@@ -210,7 +288,14 @@ func (r *Repository) OrderedSnapshot() []*Entry {
 		}
 		out[i] = &c
 	}
-	r.mu.RUnlock()
+	return out
+}
+
+// OrderedSnapshot returns deep copies of the entries in match-scan order
+// (Snapshot plus the §3 sort) — the repository endpoint of the restored
+// daemon serializes these concurrently with MarkUsed.
+func (r *Repository) OrderedSnapshot() []*Entry {
+	out := r.Snapshot()
 	sort.SliceStable(out, func(i, j int) bool { return matchOrderLess(out[i], out[j]) })
 	return out
 }

@@ -20,6 +20,13 @@ type Rewriter struct {
 	// DryRun suppresses usage-statistics updates (for Explain-style
 	// inspection that must not perturb eviction decisions).
 	DryRun bool
+	// Guard, when set, is consulted before each reuse is applied: a false
+	// return skips the entry for the rest of this workflow. The System uses
+	// it to refuse user-named stored outputs (OwnsFile=false) that a
+	// concurrent path-disjoint workflow is currently writing — repository-
+	// owned files are immutable and pin-protected, but user paths can be
+	// overwritten by a writer the declared access sets could not predict.
+	Guard func(*Entry) bool
 }
 
 // RewriteInfo describes one applied reuse.
@@ -38,6 +45,11 @@ type Outcome struct {
 	// use this to locate user-visible outputs that were never written.
 	Aliases  map[string]string
 	Rewrites []RewriteInfo
+	// Pinned lists the repository pins this rewrite took (one per applied
+	// reuse, duplicates allowed). The caller must Unpin them once the
+	// rewritten workflow has finished executing; until then the pinned
+	// entries and their stored outputs are safe from concurrent eviction.
+	Pinned []string
 }
 
 // RewriteWorkflow rewrites every job against the repository and drops jobs
@@ -48,6 +60,9 @@ func (rw *Rewriter) RewriteWorkflow(w *mapred.Workflow) (*Outcome, error) {
 		return nil, err
 	}
 	out := &Outcome{Aliases: make(map[string]string)}
+	// Entries the Guard refused; skipped for the whole workflow so the
+	// match scan cannot return them again and spin.
+	var skip map[string]bool
 	for _, job := range order {
 		plan := job.Plan.Clone()
 
@@ -61,9 +76,26 @@ func (rw *Rewriter) RewriteWorkflow(w *mapred.Workflow) (*Outcome, error) {
 		// Repeated scans: after each rewrite, scan the repository again for
 		// further matches against the rewritten job (§3).
 		for {
-			m, ok := FindBestMatch(plan, rw.Repo)
+			m, ok := FindBestMatchExcluding(plan, rw.Repo, skip)
 			if !ok {
 				break
+			}
+			if !rw.DryRun {
+				if rw.Guard != nil && !rw.Guard(m.Entry) {
+					if skip == nil {
+						skip = make(map[string]bool)
+					}
+					skip[m.Entry.ID] = true
+					continue
+				}
+				// Pin before touching the plan: a concurrent execution's
+				// eviction may have removed the entry since the match scan's
+				// snapshot. A failed pin means the entry (and possibly its
+				// file) is gone — rescan instead of reusing it.
+				if !rw.Repo.Pin(m.Entry.ID) {
+					continue
+				}
+				out.Pinned = append(out.Pinned, m.Entry.ID)
 			}
 			whole := rewriteMatch(plan, m)
 			if !rw.DryRun {
@@ -91,6 +123,7 @@ func (rw *Rewriter) RewriteWorkflow(w *mapred.Workflow) (*Outcome, error) {
 		}
 		newJob, err := mapred.NewJob(job.ID, plan)
 		if err != nil {
+			rw.Repo.Unpin(out.Pinned)
 			return nil, fmt.Errorf("core: rewritten job %s invalid: %w", job.ID, err)
 		}
 		out.Jobs = append(out.Jobs, newJob)

@@ -82,6 +82,11 @@ func (s *Selector) Consider(c Candidate, seq int64) (*Entry, bool, error) {
 		}
 		versions[load.Path] = v
 	}
+	outV, err := s.FS.Version(c.OutputPath)
+	if err != nil {
+		// The freshly written output vanished already; nothing to store.
+		return nil, false, s.discard(c)
+	}
 	entry := &Entry{
 		Plan:          c.Plan,
 		OutputPath:    c.OutputPath,
@@ -92,6 +97,7 @@ func (s *Selector) Consider(c Candidate, seq int64) (*Entry, bool, error) {
 		CreatedSeq:    seq,
 		LastUsedSeq:   seq,
 		InputVersions: versions,
+		OutputVersion: outV,
 		OwnsFile:      c.OwnsFile,
 	}
 	prev, added, err := s.Repo.Add(entry)
@@ -130,10 +136,15 @@ func (s *Selector) readBackTime(bytes int64) time.Duration {
 
 // Evict applies Rules 3 and 4 at the given sequence, removing stale or
 // invalidated entries (and their repository-owned files). It returns the
-// IDs of the evicted entries.
+// IDs of the evicted entries. Safe for concurrent use: entries pinned by
+// an in-flight execution are skipped (RemoveIfIdle), and when several
+// executions race to evict the same entry exactly one wins the removal and
+// deletes the file.
 func (s *Selector) Evict(nowSeq int64) ([]string, error) {
 	var evicted []string
-	for _, e := range s.Repo.All() {
+	// Deep-copied snapshot, not All(): staleness reads LastUsedSeq, which a
+	// concurrent execution's MarkUsed mutates under the repository lock.
+	for _, e := range s.Repo.Snapshot() {
 		stale := false
 		if w := s.Policy.EvictionWindow; w > 0 {
 			last := e.LastUsedSeq
@@ -152,6 +163,16 @@ func (s *Selector) Evict(nowSeq int64) ([]string, error) {
 					break
 				}
 			}
+			// The stored output itself may have been recycled: user-named
+			// paths (OwnsFile=false) can be overwritten by a later query or
+			// upload, after which the entry's plan no longer describes the
+			// file's contents. 0 = persisted before output versions existed.
+			if !stale && e.OutputVersion != 0 {
+				cur, err := s.FS.Version(e.OutputPath)
+				if err != nil || cur != e.OutputVersion {
+					stale = true
+				}
+			}
 		}
 		// An entry whose stored output vanished from the DFS can never be
 		// reused safely, whatever the policy says. This matters once
@@ -164,13 +185,19 @@ func (s *Selector) Evict(nowSeq int64) ([]string, error) {
 		if !stale {
 			continue
 		}
-		s.Repo.Remove(e.ID)
-		if e.OwnsFile && s.FS.Exists(e.OutputPath) {
-			if err := s.FS.Delete(e.OutputPath); err != nil {
-				return evicted, fmt.Errorf("core: evict %s: %w", e.ID, err)
+		removed := s.Repo.RemoveIfIdle(e.ID, e.LastUsedSeq)
+		if removed == nil {
+			// Pinned by an in-flight reuse, refreshed by a concurrent
+			// rewrite since our staleness snapshot, or a concurrent evictor
+			// won the race; either way this entry is not ours to delete.
+			continue
+		}
+		if removed.OwnsFile && s.FS.Exists(removed.OutputPath) {
+			if err := s.FS.Delete(removed.OutputPath); err != nil {
+				return evicted, fmt.Errorf("core: evict %s: %w", removed.ID, err)
 			}
 		}
-		evicted = append(evicted, e.ID)
+		evicted = append(evicted, removed.ID)
 	}
 	return evicted, nil
 }

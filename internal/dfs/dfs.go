@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -69,6 +70,14 @@ type Stat struct {
 
 // FS is the simulated distributed file system. All methods are safe for
 // concurrent use.
+//
+// Partition data is copy-on-write: tasks buffer locally and CommitPartition
+// installs the whole byte slice at once; committed slices are never mutated
+// in place afterwards. That discipline is what lets readers (OpenPartition)
+// and the snapshot Export share slices under the read lock while concurrent
+// writers to *other* paths keep committing — a snapshot never observes a
+// half-written partition, only a partition that is entirely present or
+// entirely absent.
 type FS struct {
 	mu          sync.RWMutex
 	files       map[string]*File
@@ -76,9 +85,11 @@ type FS struct {
 	blockSize   int64
 	replication int
 
-	// Counters accumulate across the lifetime of the FS.
-	bytesWritten int64 // logical bytes written
-	bytesRead    int64 // logical bytes read
+	// Counters accumulate across the lifetime of the FS; atomics so the
+	// read path (OpenPartition) needs only the read lock and concurrent
+	// map tasks of parallel workflows never serialize on fs.mu.
+	bytesWritten atomic.Int64 // logical bytes written
+	bytesRead    atomic.Int64 // logical bytes read
 }
 
 // New creates an empty FS with default block size and replication.
@@ -182,7 +193,7 @@ func (fs *FS) CommitPartition(path string, idx int, data []byte, records int64) 
 		return fmt.Errorf("dfs: commit to %s: partition %d out of range [0,%d)", path, idx, len(f.Parts))
 	}
 	f.Parts[idx] = Partition{Data: data, Records: records}
-	fs.bytesWritten += int64(len(data))
+	fs.bytesWritten.Add(int64(len(data)))
 	return nil
 }
 
@@ -238,10 +249,12 @@ func (fs *FS) Partitions(path string) (int, error) {
 }
 
 // OpenPartition returns a record reader over one partition and charges the
-// read counters.
+// read counters. Read lock only: committed partition data is immutable
+// (copy-on-write), so concurrent map tasks of parallel workflows read
+// without serializing.
 func (fs *FS) OpenPartition(path string, idx int) (*types.Reader, int64, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	f, ok := fs.files[path]
 	if !ok {
 		return nil, 0, fmt.Errorf("dfs: open %s: %w", path, ErrNotExist)
@@ -250,7 +263,7 @@ func (fs *FS) OpenPartition(path string, idx int) (*types.Reader, int64, error) 
 		return nil, 0, fmt.Errorf("dfs: open %s: partition %d out of range [0,%d)", path, idx, len(f.Parts))
 	}
 	data := f.Parts[idx].Data
-	fs.bytesRead += int64(len(data))
+	fs.bytesRead.Add(int64(len(data)))
 	return types.NewReader(&sliceReader{data: data}), int64(len(data)), nil
 }
 
@@ -335,9 +348,7 @@ func (fs *FS) WritePartitioned(path string, schema types.Schema, tuples []types.
 
 // Counters returns cumulative logical bytes written and read.
 func (fs *FS) Counters() (written, read int64) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.bytesWritten, fs.bytesRead
+	return fs.bytesWritten.Load(), fs.bytesRead.Load()
 }
 
 // TotalBytes sums the logical bytes of the files at the given paths,

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dfs"
@@ -26,6 +27,14 @@ type Engine struct {
 	// DisableCombiner turns off map-side combining of algebraic aggregates
 	// (used by tests to verify the combined and uncombined paths agree).
 	DisableCombiner bool
+	// LatencyScale emulates driving a remote cluster: after each job the
+	// engine sleeps LatencyScale * the job's simulated time, so wall clock
+	// reflects cluster occupancy instead of just local CPU. 0 disables.
+	// In the paper's deployment the daemon is an orchestrator — Hadoop
+	// jobs take minutes on the cluster while the client CPU idles — and
+	// this knob is what lets benchmarks reproduce that regime: a FIFO
+	// scheduler serializes the waits, a concurrent one overlaps them.
+	LatencyScale float64
 }
 
 // NewEngine returns an engine with default execution parallelism.
@@ -141,6 +150,9 @@ func (e *Engine) RunJob(job *Job) (*JobResult, error) {
 		}
 	}
 	res.Times = e.Cluster.Simulate(res.Stats)
+	if e.LatencyScale > 0 {
+		time.Sleep(time.Duration(float64(res.Times.Total) * e.LatencyScale))
+	}
 	return res, nil
 }
 

@@ -1,0 +1,69 @@
+package server
+
+import (
+	restore "repro"
+)
+
+// Conflict-aware admission for the execution scheduler. Each queued task
+// carries the restore.AccessSet it declared (prefix-scoped read and write
+// path sets, see restore.PathsConflict); this file decides which queued
+// tasks may dispatch given what is already in flight.
+//
+// The rules:
+//
+//   - A task conflicts with another when either is universal or their path
+//     sets overlap read/write, write/read, or write/write (prefix-aware:
+//     "out/a" overlaps "out/a/part0"). Read/read sharing is free.
+//   - Admission is FIFO-fair: the queue head dispatches as soon as nothing
+//     in flight conflicts with it. A later entry may overtake a blocked
+//     head only when it conflicts with neither the in-flight set nor any
+//     entry queued ahead of it — overtaking never reorders two conflicting
+//     tasks, so clients observe their own submissions' effects in order.
+//   - Overtaking is limited to a barrier window: only the first window
+//     queue positions are considered, bounding how far a burst of disjoint
+//     traffic can push past a blocked head (and keeping the scan cheap).
+//   - A universal task (checkpoint, shutdown drain) conflicts with
+//     everything: it waits for all in-flight work, and nothing behind it
+//     can overtake it — submitting one is a drain barrier.
+
+// conflictsAny reports whether a conflicts with any of the given sets.
+func conflictsAny(a restore.AccessSet, others []restore.AccessSet) bool {
+	for _, o := range others {
+		if a.ConflictsWith(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// nextDispatchable returns the queue index of the first task that may
+// dispatch under the rules above, or -1 when nothing is eligible. queue is
+// FIFO order; inflight the access sets currently executing; window the
+// barrier window (positions considered; values < 1 mean strict FIFO, head
+// only).
+func nextDispatchable(queue []*task, inflight []restore.AccessSet, window int) int {
+	if window < 1 {
+		window = 1
+	}
+	limit := len(queue)
+	if limit > window {
+		limit = window
+	}
+	for i := 0; i < limit; i++ {
+		t := queue[i]
+		if conflictsAny(t.access, inflight) {
+			continue
+		}
+		blocked := false
+		for _, ahead := range queue[:i] {
+			if t.access.ConflictsWith(ahead.access) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			return i
+		}
+	}
+	return -1
+}

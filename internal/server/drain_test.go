@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	restore "repro"
+)
+
+// Drain-barrier battery: before this PR, checkpoints were only consistent
+// because a single global worker meant nothing else could be mid-execution
+// when a save ran. With path-disjoint concurrency that guarantee has to be
+// explicit — SaveState takes a universal lease that drains in-flight
+// executions — and these tests would catch a torn snapshot if it ever
+// regressed.
+
+// TestCheckpointDrainBarrier hammers SaveState while disjoint queries
+// execute concurrently, and verifies every captured snapshot pair is
+// consistent: any user output present in the DFS snapshot is complete (an
+// engine mid-run would leave a created-but-uncommitted file with missing
+// partitions), and every repository entry's stored output made it into the
+// same snapshot.
+func TestCheckpointDrainBarrier(t *testing.T) {
+	sys := restore.New()
+	const rows = 120
+	lines := make([]string, rows)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("%d\t%d", i%10, i)
+	}
+	if err := sys.LoadTSV("in/drain", "k:int, v:int", lines, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writers: every query keeps all rows (v > -1), so each out/ file is
+	// either absent from a snapshot or holds exactly `rows` records —
+	// anything in between is a torn capture.
+	const writers = 6
+	const perWriter = 4
+	var wg sync.WaitGroup
+	execErrs := make(chan error, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < perWriter; r++ {
+				src := fmt.Sprintf(`A = load 'in/drain' as (k:int, v:int);
+B = filter A by v > -1;
+store B into 'out/d%d/r%d';`, w, r)
+				if _, err := sys.Execute(src); err != nil {
+					execErrs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// Checkpointer: capture snapshot pairs while the writers run.
+	const snapshots = 8
+	type pair struct{ repo, dfs []byte }
+	pairs := make([]pair, 0, snapshots)
+	for i := 0; i < snapshots; i++ {
+		var repoBuf, dfsBuf bytes.Buffer
+		if err := sys.SaveState(&repoBuf, &dfsBuf); err != nil {
+			t.Fatal(err)
+		}
+		pairs = append(pairs, pair{repo: repoBuf.Bytes(), dfs: dfsBuf.Bytes()})
+	}
+	wg.Wait()
+	close(execErrs)
+	for err := range execErrs {
+		t.Fatal(err)
+	}
+
+	for i, p := range pairs {
+		restored := restore.New()
+		if err := restored.FS().Import(bytes.NewReader(p.dfs)); err != nil {
+			t.Fatalf("snapshot %d: import DFS: %v", i, err)
+		}
+		if err := restored.LoadRepositoryFrom(bytes.NewReader(p.repo)); err != nil {
+			t.Fatalf("snapshot %d: load repository: %v", i, err)
+		}
+		// Every user output present in this snapshot must be complete.
+		for _, path := range restored.FS().List("out/") {
+			st, err := restored.FS().StatFile(path)
+			if err != nil {
+				t.Fatalf("snapshot %d: stat %s: %v", i, path, err)
+			}
+			if st.Records != rows {
+				t.Errorf("snapshot %d: torn DFS capture: %s holds %d of %d records",
+					i, path, st.Records, rows)
+			}
+		}
+		// Every repository entry's stored file must be in the same
+		// snapshot (a repo-newer-than-DFS pair would evict everything on
+		// the first post-restart query).
+		for _, e := range restored.Repository().OrderedSnapshot() {
+			if !restored.FS().Exists(e.OutputPath) {
+				t.Errorf("snapshot %d: entry %s references %s, absent from the paired DFS snapshot",
+					i, e.ID, e.OutputPath)
+			}
+		}
+	}
+}
+
+// TestDaemonCheckpointDrainsWorkerPool checks the scheduler half of the
+// barrier: a checkpoint submitted while the worker pool is saturated with
+// in-flight executions must drain them first, and the state directory it
+// writes must load into a daemon whose repository answers queries.
+func TestDaemonCheckpointDrainsWorkerPool(t *testing.T) {
+	stateDir := t.TempDir()
+	sys := restore.New()
+	seedStressData(t, sys)
+	base, stop := startDaemon(t, Config{System: sys, StateDir: stateDir, Workers: 4})
+
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients+1)
+	for cl := 0; cl < clients; cl++ {
+		cl := cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewClient(base)
+			for r := 0; r < 3; r++ {
+				src := fmt.Sprintf(`A = load 'in/s%d' as (k:int, v:int);
+B = group A by k;
+C = foreach B generate group, SUM(A.v);
+store C into 'out/ck%d/r%d';`, cl%3, cl, r)
+				if _, err := c.Submit(src, false); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	// Fire checkpoints into the middle of the storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := NewClient(base)
+		for i := 0; i < 4; i++ {
+			if err := c.Checkpoint(); err != nil {
+				errs <- fmt.Errorf("mid-run checkpoint: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stop()
+
+	// The files on disk must form a loadable, self-consistent pair.
+	for _, f := range []string{repoStateFile, dfsStateFile} {
+		if _, err := os.Stat(filepath.Join(stateDir, f)); err != nil {
+			t.Fatalf("checkpoint never wrote %s: %v", f, err)
+		}
+	}
+	base2, stop2 := startDaemon(t, Config{StateDir: stateDir})
+	defer stop2()
+	c2 := NewClient(base2)
+	repo, err := c2.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.Entries) == 0 {
+		t.Fatal("restarted daemon has an empty repository")
+	}
+	// A repeated query must be answered from the persisted repository
+	// without evictions (evictions would mean the pair captured
+	// inconsistent input versions).
+	resp, err := c2.Submit(`A = load 'in/s0' as (k:int, v:int);
+B = group A by k;
+C = foreach B generate group, SUM(A.v);
+store C into 'out/after-restart';`, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Result.Rewrites) == 0 {
+		t.Error("restarted daemon applied no rewrites to a repeated query")
+	}
+	if len(resp.Result.Evicted) != 0 {
+		t.Errorf("restart evicted entries %v — checkpoint pair was inconsistent", resp.Result.Evicted)
+	}
+}

@@ -51,6 +51,122 @@ func startDaemon(t *testing.T, cfg Config) (string, func()) {
 	return "http://" + ln.Addr().String(), stop
 }
 
+// TestEndToEndMixedConflictTrafficWithMidRunCheckpoint extends the daemon
+// acceptance coverage to the concurrent scheduler: clients drive a mix of
+// write-disjoint and write-conflicting (same store path, different
+// predicates) workflows at a worker pool, a checkpoint fires mid-run, the
+// daemon restarts from the state directory, and the reuse hit-rate must
+// survive: repeated queries are still rewritten against the persisted
+// repository.
+func TestEndToEndMixedConflictTrafficWithMidRunCheckpoint(t *testing.T) {
+	stateDir := t.TempDir()
+	sys := restore.New()
+	if err := pigmix.Generate(sys.FS(), tinyPigmix); err != nil {
+		t.Fatal(err)
+	}
+	base, stop := startDaemon(t, Config{
+		System:        sys,
+		StateDir:      stateDir,
+		Workers:       4,
+		BarrierWindow: 8,
+	})
+
+	const clients = 6
+	const rounds = 3
+	// Precomputed on the test goroutine (pigmix.Query can error; t.Fatal is
+	// not legal from workers).
+	queries := make([][]string, clients)
+	for cl := 0; cl < clients; cl++ {
+		queries[cl] = make([]string, rounds)
+		for r := 0; r < rounds; r++ {
+			var src string
+			var err error
+			if cl%2 == 0 {
+				// Disjoint lane: per-client output namespace.
+				src, err = pigmix.Query("L2", fmt.Sprintf("out/mixed/cl%d/r%d", cl, r))
+			} else {
+				// Conflicting lane: every odd client stores to the same path
+				// with a different variant, forcing write-write
+				// serialization.
+				name := pigmix.VariantNames()[r%len(pigmix.VariantNames())]
+				src, err = pigmix.Query(name, "out/mixed/contended")
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries[cl][r] = src
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients+1)
+	for cl := 0; cl < clients; cl++ {
+		cl := cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewClient(base)
+			for r := 0; r < rounds; r++ {
+				if _, err := c.Submit(queries[cl][r], false); err != nil {
+					errs <- fmt.Errorf("client %d round %d: %w", cl, r, err)
+					return
+				}
+			}
+		}()
+	}
+	// A checkpoint lands in the middle of the mixed traffic (the drain
+	// barrier makes it a consistent pair regardless of what is in flight).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := NewClient(base).Checkpoint(); err != nil {
+			errs <- fmt.Errorf("mid-run checkpoint: %w", err)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	c := NewClient(base)
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QueriesFailed != 0 {
+		t.Errorf("%d queries failed in the mixed workload", m.QueriesFailed)
+	}
+	if m.Reuse.QueriesReused == 0 {
+		t.Error("no repository reuse across the mixed workload")
+	}
+	stop()
+
+	// Restart from disk with an empty System: the learned repository must
+	// come back and keep producing hits.
+	base2, stop2 := startDaemon(t, Config{StateDir: stateDir, Workers: 4})
+	defer stop2()
+	c2 := NewClient(base2)
+	for r := 0; r < rounds; r++ {
+		resp, err := c2.Submit(queries[0][r], false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Result.Rewrites) == 0 {
+			t.Errorf("restarted daemon applied no rewrites to repeated round %d", r)
+		}
+		if len(resp.Result.Evicted) != 0 {
+			t.Errorf("restart evicted %v", resp.Result.Evicted)
+		}
+	}
+	m2, err := c2.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Reuse.HitRate < 1 {
+		t.Errorf("post-restart hit rate = %.2f, want 1.00 (every repeat rewritten)", m2.Reuse.HitRate)
+	}
+}
+
 // TestEndToEndConcurrentClientsWithRestart is the acceptance test for the
 // restored daemon: 8 concurrent clients drive overlapping PigMix variant
 // queries against a loopback daemon, identical in-flight queries

@@ -32,8 +32,12 @@ type MetricsSnapshot struct {
 	QueriesFailed    int64   `json:"queriesFailed"`
 	QPS              float64 `json:"qps"`
 	QueueDepth       int64   `json:"queueDepth"`
-	Uploads          int64   `json:"uploads"`
-	Checkpoints      int64   `json:"checkpoints"`
+	// Executing counts tasks running on the worker pool right now; Workers
+	// is the pool size (how many path-disjoint workflows may run at once).
+	Executing   int64 `json:"executing"`
+	Workers     int64 `json:"workers"`
+	Uploads     int64 `json:"uploads"`
+	Checkpoints int64 `json:"checkpoints"`
 
 	// Reuse is the System's lifetime reuse statistics (hit rate, bytes and
 	// simulated time saved).

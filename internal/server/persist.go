@@ -10,10 +10,15 @@ import (
 )
 
 // State files inside the daemon's state directory. Both are written on every
-// checkpoint as one consistent pair (under the System's execution lock), so
-// a restarted daemon resumes with the learned repository *and* the DFS files
-// its entries reference — otherwise Rule-4 eviction would drop every entry
-// on the first post-restart query.
+// checkpoint as one consistent pair: System.SaveState takes a universal
+// (write-set-universal) lease, the drain barrier that waits for every
+// in-flight execution and blocks new admissions while both files are
+// captured. A restarted daemon therefore resumes with the learned
+// repository *and* the complete DFS files its entries reference — no torn
+// half-committed outputs, no entry whose stored file missed the snapshot —
+// otherwise Rule-4 eviction would drop entries on the first post-restart
+// query. (Checkpoints submitted through the scheduler additionally run as
+// universal tasks, draining the worker pool first; see checkpointNow.)
 const (
 	repoStateFile = "repository.json"
 	dfsStateFile  = "dfs.json"
@@ -90,8 +95,10 @@ func (p *persister) sweepOrphans() {
 }
 
 // save checkpoints the repository and DFS atomically (tmp + rename per
-// file). SaveState takes the system's execution lock, so the pair is always
-// a consistent snapshot; p.mu keeps two saves' renames from interleaving.
+// file). SaveState takes the system's universal lease (the drain barrier),
+// so the pair is always a consistent snapshot even while path-disjoint
+// executions run concurrently; p.mu keeps two saves' renames from
+// interleaving.
 func (p *persister) save() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	restore "repro"
 )
 
 // Errors surfaced to HTTP handlers as 503s.
@@ -13,95 +15,147 @@ var (
 	errQueueFull    = errors.New("server: execution queue full")
 )
 
-// scheduler serializes DFS-mutating work — query execution, dataset writes,
-// checkpoints — on a single worker goroutine in FIFO order. Request
-// goroutines keep parsing, planning, matching, and serving reads
-// concurrently; only the phases that mutate the shared DFS and repository
-// funnel through here. A bounded queue turns overload into backpressure
-// (errQueueFull -> 503) instead of unbounded memory growth.
-type scheduler struct {
-	mu     sync.Mutex
-	closed bool
-	tasks  chan func()
-	quit   chan struct{}
-	done   chan struct{}
-	depth  atomic.Int64
+// task is one unit of DFS-mutating work awaiting dispatch.
+type task struct {
+	access restore.AccessSet
+	fn     func()
 }
 
-func newScheduler(queueDepth int) *scheduler {
+// scheduler dispatches DFS-mutating work — query execution, dataset
+// writes, checkpoints — onto a bounded worker pool, admitting concurrently
+// only tasks whose declared read/write path sets are mutually disjoint
+// (see conflict.go). Request goroutines keep parsing, planning, matching,
+// and serving reads outside it; only mutating phases funnel through here.
+//
+// Admission is FIFO-fair with a bounded overtake window: a blocked head
+// (conflicting with in-flight work) lets later path-disjoint tasks pass,
+// but never more than barrier-window positions deep, and never a task that
+// conflicts with anything queued ahead of it. A bounded queue turns
+// overload into backpressure (errQueueFull -> 503) instead of unbounded
+// memory growth. With workers=1 and window=1 the scheduler degrades to the
+// old single-worker FIFO.
+type scheduler struct {
+	mu       sync.Mutex
+	closed   bool
+	queue    []*task
+	inflight map[*task]struct{}
+	running  int
+
+	workers  int
+	window   int
+	maxQueue int
+
+	depth   atomic.Int64 // queued + running (metrics)
+	done    chan struct{}
+	doneSet bool
+}
+
+func newScheduler(queueDepth, workers, window int) *scheduler {
 	if queueDepth < 1 {
 		queueDepth = 256
 	}
-	s := &scheduler{
-		tasks: make(chan func(), queueDepth),
-		quit:  make(chan struct{}),
-		done:  make(chan struct{}),
+	if workers < 1 {
+		workers = 1
 	}
-	go s.run()
-	return s
-}
-
-func (s *scheduler) run() {
-	defer close(s.done)
-	for {
-		select {
-		case fn := <-s.tasks:
-			fn()
-			s.depth.Add(-1)
-		case <-s.quit:
-			// Drain tasks accepted before close flipped, then exit.
-			for {
-				select {
-				case fn := <-s.tasks:
-					fn()
-					s.depth.Add(-1)
-				default:
-					return
-				}
-			}
-		}
+	if window < 1 {
+		window = 16
+	}
+	return &scheduler{
+		inflight: make(map[*task]struct{}),
+		workers:  workers,
+		window:   window,
+		maxQueue: queueDepth,
+		done:     make(chan struct{}),
 	}
 }
 
-// submit enqueues fn for serialized execution. It never blocks: a full
-// queue is reported as errQueueFull so callers can shed load.
-func (s *scheduler) submit(fn func()) error {
+// submit enqueues fn for execution under the given access set. It never
+// blocks: a full queue is reported as errQueueFull so callers can shed
+// load.
+func (s *scheduler) submit(access restore.AccessSet, fn func()) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errShuttingDown
 	}
-	select {
-	case s.tasks <- fn:
-		s.depth.Add(1)
-		return nil
-	default:
+	// Bound the *queued* backlog only (as PR-1's channel did): running
+	// tasks occupy worker slots, not queue capacity.
+	if len(s.queue) >= s.maxQueue {
 		return errQueueFull
+	}
+	s.queue = append(s.queue, &task{access: access, fn: fn})
+	s.depth.Add(1)
+	s.dispatchLocked()
+	return nil
+}
+
+// dispatchLocked starts every currently-eligible task on its own worker
+// slot. Called with mu held, on submit and on task completion.
+func (s *scheduler) dispatchLocked() {
+	sets := make([]restore.AccessSet, 0, len(s.inflight)+1)
+	for t := range s.inflight {
+		sets = append(sets, t.access)
+	}
+	for s.running < s.workers {
+		i := nextDispatchable(s.queue, sets, s.window)
+		if i < 0 {
+			break
+		}
+		t := s.queue[i]
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		s.inflight[t] = struct{}{}
+		sets = append(sets, t.access)
+		s.running++
+		go s.runTask(t)
+	}
+	s.maybeFinishLocked()
+}
+
+func (s *scheduler) runTask(t *task) {
+	t.fn()
+	s.mu.Lock()
+	delete(s.inflight, t)
+	s.running--
+	s.depth.Add(-1)
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// maybeFinishLocked closes done once the scheduler is closed and fully
+// drained.
+func (s *scheduler) maybeFinishLocked() {
+	if s.closed && !s.doneSet && len(s.queue) == 0 && s.running == 0 {
+		s.doneSet = true
+		close(s.done)
 	}
 }
 
 // queueDepth reports the number of queued-or-running tasks.
 func (s *scheduler) queueDepth() int64 { return s.depth.Load() }
 
+// executing reports the number of tasks running right now.
+func (s *scheduler) executing() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.running)
+}
+
 // close stops accepting new work, runs everything already queued, and
-// returns once the worker has exited. Idempotent.
+// returns once the workers have drained. Idempotent.
 func (s *scheduler) close() {
 	s.closeWithin(context.Background())
 }
 
 // closeWithin is close bounded by ctx: it reports whether the drain
-// finished. On timeout the worker keeps draining in the background (its
+// finished. On timeout the workers keep draining in the background (their
 // waiters would otherwise hang), but the caller stops waiting — a daemon
-// under a supervisor's kill grace period must checkpoint what it has rather
-// than block on a deep queue.
+// under a supervisor's kill grace period must checkpoint what it has
+// rather than block on a deep queue.
 func (s *scheduler) closeWithin(ctx context.Context) bool {
 	s.mu.Lock()
-	already := s.closed
 	s.closed = true
+	s.maybeFinishLocked()
 	s.mu.Unlock()
-	if !already {
-		close(s.quit)
-	}
 	select {
 	case <-s.done:
 		return true

@@ -8,9 +8,13 @@
 //
 //   - Request goroutines parse, plan, compile (System.Prepare), and serve
 //     all read-only endpoints concurrently.
-//   - A single-worker FIFO scheduler serializes the DFS-mutating phases
+//   - A conflict-aware scheduler dispatches the DFS-mutating phases
 //     (eviction, rewrite, engine execution, registration, dataset uploads,
-//     checkpoints), with a bounded queue for backpressure.
+//     checkpoints) onto a worker pool: tasks whose declared read/write
+//     path sets are mutually disjoint execute in parallel, conflicting
+//     tasks wait FIFO (with a bounded overtake window for fairness), and
+//     checkpoints are write-set-universal tasks that drain everything. A
+//     bounded queue provides backpressure.
 //   - A single-flight group deduplicates textually-identical in-flight
 //     queries: the first becomes the leader, the rest share its result.
 //   - A persister checkpoints the repository plus the DFS into a state
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,6 +53,14 @@ type Config struct {
 	// QueueDepth bounds the execution queue (default 256); a full queue
 	// rejects submissions with 503.
 	QueueDepth int
+	// Workers is the execution worker-pool size: how many path-disjoint
+	// workflows may execute concurrently (default GOMAXPROCS). 1 restores
+	// strictly serialized execution.
+	Workers int
+	// BarrierWindow bounds FIFO overtaking: a queued task may only be
+	// dispatched ahead of a blocked task if it sits within the first
+	// BarrierWindow queue positions (default 16; 1 = strict FIFO).
+	BarrierWindow int
 }
 
 // Server is the restored daemon: an HTTP/JSON front end over one shared
@@ -74,9 +87,13 @@ func New(cfg Config) (*Server, error) {
 	if sys == nil {
 		sys = restore.New()
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	s := &Server{
 		sys:      sys,
-		sched:    newScheduler(cfg.QueueDepth),
+		sched:    newScheduler(cfg.QueueDepth, workers, cfg.BarrierWindow),
 		mux:      http.NewServeMux(),
 		stopSave: make(chan struct{}),
 	}
@@ -141,7 +158,9 @@ func (s *Server) Close(ctx context.Context) error {
 		close(s.stopSave)
 		s.saveWG.Wait()
 		if s.persist != nil {
-			// Waits only for the in-flight query (execMu), not the queue.
+			// The pre-drain save's universal lease waits for every in-flight
+			// execution (up to `workers` of them) and holds off new
+			// admissions, but not the scheduler's queued backlog.
 			if err := s.persist.save(); err == nil {
 				s.met.checkpoints.Add(1)
 			} else if s.closeErr == nil {
@@ -176,8 +195,12 @@ func (s *Server) saveLoop(interval time.Duration) {
 	}
 }
 
-// checkpointNow schedules a checkpoint behind in-flight executions and
-// waits for it.
+// checkpointNow schedules a checkpoint as a write-set-universal task and
+// waits for it: the scheduler lets every in-flight execution finish, keeps
+// everything queued behind it parked, and only then runs the save — the
+// drain barrier that keeps the repository+DFS snapshot pair consistent.
+// (System.SaveState takes a universal lease too, so even saves that bypass
+// the scheduler — shutdown's pre-drain checkpoint — drain in-flight work.)
 func (s *Server) checkpointNow() error {
 	if s.persist == nil {
 		// A client asking a stateless daemon to checkpoint is the client's
@@ -185,7 +208,7 @@ func (s *Server) checkpointNow() error {
 		return badRequestError{errors.New("server: no state directory configured")}
 	}
 	ch := make(chan error, 1)
-	if err := s.sched.submit(func() { ch <- s.persist.save() }); err != nil {
+	if err := s.sched.submit(restore.UniversalAccess(), func() { ch <- s.persist.save() }); err != nil {
 		return err
 	}
 	if err := <-ch; err != nil {
@@ -298,15 +321,18 @@ func (s *Server) runQueryOnce(req *QueryRequest) (QueryResponse, bool, error) {
 			return flightOutcome{err: badRequestError{perr}}
 		}
 		ch := make(chan flightOutcome, 1)
-		if serr := s.sched.submit(func() {
+		if serr := s.sched.submit(p.Access(), func() {
 			var o flightOutcome
 			o.res, o.err = s.sys.ExecutePrepared(p)
 			if o.err == nil && wantRows.Load() {
 				// Read rows (for the leader or any joiner that asked) while
-				// still holding the execution slot: a later query's eviction
-				// could otherwise delete a stored file this result's outputs
-				// alias.
+				// still inside the execution slot. The slot's access set
+				// keeps conflicting work out, but a *disjoint* concurrent
+				// query's eviction can still delete a stored file these
+				// outputs alias (the execution's pins were released when
+				// ExecutePrepared returned) — mark that case retryable.
 				o.rows, o.err = readRows(s.sys, o.res)
+				o.rowsFailed = o.err != nil
 			}
 			ch <- o
 		}); serr != nil {
@@ -321,16 +347,24 @@ func (s *Server) runQueryOnce(req *QueryRequest) (QueryResponse, bool, error) {
 	// read fails after a successful execution counts as failed too.
 	if out.err != nil {
 		s.met.failed.Add(1)
-		return QueryResponse{}, false, out.err
+		// rowsFailed: the execution itself succeeded but the post-execution
+		// rows read lost a race with a disjoint query's eviction; one
+		// resubmission re-executes (typically rewritten) instead of 500ing.
+		return QueryResponse{}, out.rowsFailed, out.err
 	}
 
 	resp := QueryResponse{Deduped: shared, Result: out.res, Rows: out.rows}
 	if req.ReadOutputs && resp.Rows == nil {
 		// Rare: this caller joined the flight after the leader's in-slot
-		// rows check. Read through the scheduler so the read at least
-		// serializes with mutating work.
+		// rows check. Read through the scheduler under a read-only access
+		// set on the actual output files, so the read serializes with
+		// writers of those paths but rides alongside disjoint work.
+		reads := make([]string, 0, len(out.res.Outputs))
+		for _, actual := range out.res.Outputs {
+			reads = append(reads, actual)
+		}
 		ch := make(chan flightOutcome, 1)
-		if err := s.sched.submit(func() {
+		if err := s.sched.submit(restore.AccessSet{Reads: reads}, func() {
 			var o flightOutcome
 			o.rows, o.err = readRows(s.sys, out.res)
 			ch <- o
@@ -408,9 +442,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		parts = 1
 	}
 	// Dataset writes mutate the DFS (bumping versions Rule 4 watches), so
-	// they serialize with query execution.
+	// they serialize with queries touching the path — and only those:
+	// the write access set covers just the uploaded path, so uploads ride
+	// alongside disjoint query execution.
 	ch := make(chan error, 1)
-	if err := s.sched.submit(func() {
+	if err := s.sched.submit(restore.AccessSet{Writes: []string{req.Path}}, func() {
 		ch <- s.sys.LoadTSV(req.Path, req.Schema, req.Lines, parts)
 	}); err != nil {
 		writeError(w, err)
@@ -455,6 +491,8 @@ func (s *Server) handleRepository(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.met.snapshot()
 	snap.QueueDepth = s.sched.queueDepth()
+	snap.Executing = s.sched.executing()
+	snap.Workers = int64(s.sched.workers)
 	snap.Reuse = s.sys.Stats()
 	repo := s.sys.Repository()
 	snap.RepositoryEntries = repo.Len()

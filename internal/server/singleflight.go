@@ -35,6 +35,10 @@ type flightOutcome struct {
 	res  *restore.Result
 	rows map[string][]string
 	err  error
+	// rowsFailed marks an err that arose reading rows *after* a successful
+	// execution (a reused stored file evicted in between) — worth one
+	// resubmission, unlike an execution failure.
+	rowsFailed bool
 }
 
 type flightCall struct {

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	restore "repro"
+)
+
+// Race/stress battery: hammer the concurrent execution path from many
+// goroutines with a deliberately nasty mix — disjoint writes, identical
+// scripts (single-flight at the daemon, write-write leases at the System),
+// and prefix-overlapping store namespaces — and assert the global
+// invariants that pin the conflict semantics down. Run under -race (the
+// Makefile `check` target does).
+
+// TestStressSystemMixedConflicts drives System.ExecutePrepared directly:
+// no daemon-side scheduler, so the System's own lease table is the only
+// thing between N goroutines and a torn DFS.
+func TestStressSystemMixedConflicts(t *testing.T) {
+	sys := restore.New()
+	seedStressData(t, sys)
+
+	const workers = 8
+	const rounds = 5
+	type outcome struct {
+		seq int64
+		err error
+	}
+	outcomes := make(chan outcome, workers*rounds)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var src string
+				switch r % 3 {
+				case 0:
+					// Disjoint: per-worker output namespace.
+					src = fmt.Sprintf(`A = load 'in/s0' as (k:int, v:int);
+B = filter A by v > %d;
+store B into 'out/w%d/r%d';`, (w*rounds+r)%7, w, r)
+				case 1:
+					// Identical across workers: write-write conflict on the
+					// same store path, must serialize and stay consistent.
+					src = `A = load 'in/s1' as (k:int, v:int);
+B = group A by k;
+C = foreach B generate group, COUNT(A);
+store C into 'out/shared';`
+				default:
+					// Prefix-overlapping: out/p vs out/p/<w> — the
+					// conflict detector must treat these as overlapping.
+					if w%2 == 0 {
+						src = fmt.Sprintf(`A = load 'in/s2' as (k:int, v:int);
+B = filter A by v > 5;
+store B into 'out/p/w%d';`, w)
+					} else {
+						src = `A = load 'in/s2' as (k:int, v:int);
+B = filter A by v > 5;
+store B into 'out/p';`
+					}
+				}
+				p, err := sys.Prepare(src)
+				if err != nil {
+					outcomes <- outcome{err: err}
+					continue
+				}
+				res, err := sys.ExecutePrepared(p)
+				if err != nil {
+					outcomes <- outcome{err: err}
+					continue
+				}
+				outcomes <- outcome{seq: res.Seq}
+			}
+		}()
+	}
+	wg.Wait()
+	close(outcomes)
+
+	total := workers * rounds
+	seqs := make(map[int64]bool)
+	var maxSeq int64
+	n := 0
+	for o := range outcomes {
+		if o.err != nil {
+			t.Fatalf("execution failed under stress: %v", o.err)
+		}
+		if o.seq <= 0 {
+			t.Fatalf("result carries no sequence number: %d", o.seq)
+		}
+		if seqs[o.seq] {
+			t.Fatalf("duplicate sequence number %d — two executions admitted as one", o.seq)
+		}
+		seqs[o.seq] = true
+		if o.seq > maxSeq {
+			maxSeq = o.seq
+		}
+		n++
+	}
+	if n != total {
+		t.Fatalf("got %d results, want %d", n, total)
+	}
+	// Seq is assigned once per execution from a shared counter: with no
+	// other traffic, the set must be exactly 1..total (monotone, no gaps,
+	// nothing lost).
+	if maxSeq != int64(total) {
+		t.Errorf("max seq = %d, want %d (gaps mean admissions were lost)", maxSeq, total)
+	}
+
+	// Stats counters must account for every execution exactly once.
+	stats := sys.Stats()
+	if stats.Queries != int64(total) {
+		t.Errorf("stats.Queries = %d, want %d", stats.Queries, total)
+	}
+	if stats.QueriesReused == 0 {
+		t.Error("no reuse under the stress mix — repository not shared across workers")
+	}
+
+	// No lost repository entries: every entry's stored output must still
+	// exist in the DFS (an entry whose file vanished would poison every
+	// future rewrite), and the repository must not be empty.
+	repo := sys.Repository()
+	if repo.Len() == 0 {
+		t.Fatal("repository empty after the stress mix")
+	}
+	for _, e := range repo.OrderedSnapshot() {
+		if !sys.FS().Exists(e.OutputPath) {
+			t.Errorf("repository entry %s lost its stored output %s", e.ID, e.OutputPath)
+		}
+	}
+}
+
+// TestStressDaemonMixedTraffic drives the same mix through the HTTP
+// daemon, adding single-flight dedup, uploads riding alongside queries,
+// and the metrics identity submitted = executed + deduped + failed.
+func TestStressDaemonMixedTraffic(t *testing.T) {
+	sys := restore.New()
+	seedStressData(t, sys)
+	base, stop := startDaemon(t, Config{System: sys, Workers: 4, BarrierWindow: 8})
+	defer stop()
+
+	const clients = 8
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*rounds*2)
+	for cl := 0; cl < clients; cl++ {
+		cl := cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewClient(base)
+			for r := 0; r < rounds; r++ {
+				var src string
+				if r%2 == 0 {
+					// Identical across clients: the single-flight layer
+					// collapses the pile-up.
+					src = fmt.Sprintf(`A = load 'in/s0' as (k:int, v:int);
+B = group A by k;
+C = foreach B generate group, COUNT(A);
+store C into 'out/dedup/r%d';`, r)
+				} else {
+					src = fmt.Sprintf(`A = load 'in/s1' as (k:int, v:int);
+B = filter A by v > %d;
+store B into 'out/cl%d/r%d';`, r, cl, r)
+				}
+				if _, err := c.Submit(src, true); err != nil {
+					errs <- fmt.Errorf("client %d round %d: %w", cl, r, err)
+					return
+				}
+				// Concurrent uploads to fresh paths must ride alongside
+				// query execution without invalidating anything.
+				if _, err := c.Upload(fmt.Sprintf("in/up%d_%d", cl, r), "k:int, v:int",
+					1, []string{"1\t2", "3\t4"}); err != nil {
+					errs <- fmt.Errorf("client %d upload %d: %w", cl, r, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	m, err := NewClient(base).Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QueriesSubmitted != int64(clients*rounds) {
+		t.Errorf("submitted = %d, want %d", m.QueriesSubmitted, clients*rounds)
+	}
+	if m.QueriesSubmitted != m.QueriesExecuted+m.QueriesDeduped+m.QueriesFailed {
+		t.Errorf("metrics identity broken: submitted=%d executed=%d deduped=%d failed=%d",
+			m.QueriesSubmitted, m.QueriesExecuted, m.QueriesDeduped, m.QueriesFailed)
+	}
+	if m.QueriesFailed != 0 {
+		t.Errorf("%d queries failed under stress", m.QueriesFailed)
+	}
+	if m.Uploads != int64(clients*rounds) {
+		t.Errorf("uploads = %d, want %d", m.Uploads, clients*rounds)
+	}
+	if m.Workers != 4 {
+		t.Errorf("workers = %d, want 4", m.Workers)
+	}
+	// System-level accounting agrees with the daemon's.
+	if m.Reuse.Queries != m.QueriesExecuted {
+		t.Errorf("system executed %d queries, daemon says %d", m.Reuse.Queries, m.QueriesExecuted)
+	}
+	for _, e := range sys.Repository().OrderedSnapshot() {
+		if !sys.FS().Exists(e.OutputPath) {
+			t.Errorf("repository entry %s lost its stored output %s", e.ID, e.OutputPath)
+		}
+	}
+}
+
+// seedStressData loads the three deterministic datasets the stress queries
+// read.
+func seedStressData(t *testing.T, sys *restore.System) {
+	t.Helper()
+	for d := 0; d < 3; d++ {
+		lines := make([]string, 200)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("%d\t%d", (i*7+d)%13, (i*11+d)%17)
+		}
+		if err := sys.LoadTSV(fmt.Sprintf("in/s%d", d), "k:int, v:int", lines, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

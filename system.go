@@ -29,7 +29,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,11 +66,18 @@ type Policy = core.Policy
 //
 // Concurrency contract: every method is safe for concurrent use. Prepare
 // (parse / plan / compile) runs lock-free, so many clients can prepare
-// queries in parallel; ExecutePrepared serializes the DFS-mutating phases
-// (eviction, rewrite, engine run, registration) behind an internal mutex so
-// interleaved queries never observe a half-updated repository or DFS.
-// Explain and the read-only accessors only take the repository's and DFS's
-// own read locks.
+// queries in parallel. ExecutePrepared admits executions through a
+// path-lease table keyed by each Prepared query's declared read and write
+// sets (Prepared.Access): path-disjoint workflows execute fully in
+// parallel, while workflows whose write sets overlap another's reads or
+// writes wait their turn in FIFO order. Stored outputs a rewrite decides
+// to reuse are pinned in the repository for the duration of the execution,
+// so a concurrent workflow's eviction can never delete a file mid-reuse.
+// SaveState, SaveRepository, LoadRepositoryFrom, and SetDataScale take a
+// universal (write-set-universal) lease: they drain every in-flight
+// execution and block new admissions, which is what makes a checkpoint a
+// consistent repository+DFS pair. Explain and the read-only accessors only
+// take the repository's and DFS's own read locks.
 type System struct {
 	fs      *dfs.FS
 	cluster *cluster.Config
@@ -88,13 +94,16 @@ type System struct {
 	// intermediates and injected sub-jobs enter the repository.
 	registerFinals bool
 
-	// execMu serializes the mutating execution phases; parsing, planning,
-	// and compilation happen outside it.
-	execMu sync.Mutex
-	// seq is the workflow sequence: assigned under execMu at execution
-	// start so repository statistics (CreatedSeq, LastUsedSeq) and the §5
-	// eviction window always see sequence numbers in true execution order,
-	// even when many queries prepare concurrently. prep numbers the
+	// leases admits mutating operations by declared read/write path sets;
+	// parsing, planning, and compilation happen outside it. Disjoint
+	// executions hold leases concurrently; universal operations
+	// (checkpoints, repository swaps) drain them.
+	leases leaseTable
+	// seq is the workflow sequence: assigned right after admission (lease
+	// grant) so repository statistics (CreatedSeq, LastUsedSeq) and the §5
+	// eviction window see sequence numbers ordered along every conflict
+	// chain (disjoint concurrent queries may interleave theirs), even when
+	// many queries prepare concurrently. prep numbers the
 	// restore/tmp/qN compile namespaces (prepare order, lock-free) and
 	// subPath the restore/sub/sN injection outputs.
 	seq     atomic.Int64
@@ -130,7 +139,10 @@ func WithRegistration(on bool) Option {
 }
 
 // WithRegisterFinalOutputs additionally registers user-named outputs, not
-// just intermediates and sub-jobs.
+// just intermediates and sub-jobs. Reusing such an entry reads a path other
+// queries may overwrite, so the rewriter extends the running query's lease
+// with that path (skipping the reuse if a conflicting writer is in flight),
+// and eviction invalidates the entry once the file's version moves.
 func WithRegisterFinalOutputs(on bool) Option {
 	return func(s *System) { s.registerFinals = on }
 }
@@ -145,6 +157,16 @@ func WithPolicy(p Policy) Option {
 // phase (not the simulated reduce task count).
 func WithReducePartitions(n int) Option {
 	return func(s *System) { s.engine.ReduceTasks = n }
+}
+
+// WithJobLatency emulates a remote cluster: each executed job additionally
+// waits scale * its simulated time in real wall clock. In the paper's
+// deployment the daemon orchestrates minutes-long Hadoop jobs; with this
+// set, benchmarks reproduce that regime — concurrent path-disjoint
+// execution overlaps the cluster waits a FIFO scheduler would serialize.
+// 0 (the default) disables the emulation.
+func WithJobLatency(scale float64) Option {
+	return func(s *System) { s.engine.LatencyScale = scale }
 }
 
 // New creates a System with an empty DFS and repository.
@@ -193,6 +215,12 @@ type JobReport struct {
 
 // Result reports one executed query.
 type Result struct {
+	// Seq is the workflow sequence number assigned when the query was
+	// admitted for execution. Sequence numbers are unique, and two
+	// conflicting queries (which execute one after the other) always see
+	// them in execution order; concurrently admitted disjoint queries may
+	// draw theirs in either order.
+	Seq int64
 	// Outputs maps each requested store path to the DFS file that holds
 	// its data — the path itself, or a stored repository file when the
 	// producing job was eliminated by reuse.
@@ -223,7 +251,18 @@ type Prepared struct {
 
 	requested []string
 	workflow  *mapred.Workflow
+	access    AccessSet
 }
+
+// Access returns the query's declared read and write path sets: reads are
+// the workflow's external inputs (loads not produced by the workflow
+// itself), writes are the requested store paths plus the query's private
+// restore/tmp/qN compile namespace. Paths the execution mints at run time
+// (restore/sub/sN injection outputs) are globally unique across concurrent
+// executions and need no declaration; stored outputs a rewrite reuses are
+// protected by repository pinning rather than declaration. The daemon's
+// scheduler and the System's internal lease table both key on this set.
+func (p *Prepared) Access() AccessSet { return p.access }
 
 // Prepare parses, plans, and compiles one query without executing it or
 // touching the repository. Safe to call from many goroutines at once.
@@ -240,11 +279,40 @@ func (s *System) Prepare(src string) (*Prepared, error) {
 	for _, st := range plan.Sinks() {
 		requested = append(requested, st.Path)
 	}
-	workflow, err := mrcompile.Compile(plan, fmt.Sprintf("restore/tmp/q%d", s.prep.Add(1)))
+	tmpBase := fmt.Sprintf("restore/tmp/q%d", s.prep.Add(1))
+	workflow, err := mrcompile.Compile(plan, tmpBase)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{Source: src, requested: requested, workflow: workflow}, nil
+	return &Prepared{
+		Source:    src,
+		requested: requested,
+		workflow:  workflow,
+		access:    workflowAccess(workflow, requested, tmpBase),
+	}, nil
+}
+
+// workflowAccess derives a compiled workflow's declared path sets: reads
+// are every loaded path not produced by one of its own jobs; writes are the
+// user-requested store paths plus the whole private tmp namespace (which
+// prefix-covers the inter-job temporaries).
+func workflowAccess(w *mapred.Workflow, requested []string, tmpBase string) AccessSet {
+	produced := make(map[string]bool)
+	for _, j := range w.Jobs {
+		for _, out := range j.OutputPaths() {
+			produced[out] = true
+		}
+	}
+	a := AccessSet{Writes: append([]string{tmpBase}, requested...)}
+	for _, j := range w.Jobs {
+		for _, in := range j.InputPaths() {
+			if !produced[in] {
+				a.Reads = append(a.Reads, in)
+			}
+		}
+	}
+	a.normalize()
+	return a
 }
 
 // Execute parses, compiles, rewrites, and runs one query, then updates the
@@ -260,11 +328,13 @@ func (s *System) Execute(src string) (*Result, error) {
 
 // ExecutePrepared runs a prepared query through eviction, rewrite,
 // sub-job enumeration, the MapReduce engine, and repository registration.
-// The mutating phases hold the system's execution lock, so concurrent
-// callers are serialized here.
+// The mutating phases hold a path lease on the query's declared read/write
+// sets: path-disjoint callers run fully in parallel, conflicting callers
+// are admitted FIFO. Stored outputs the rewrite reuses are pinned until the
+// execution finishes, so no concurrent eviction can delete them mid-run.
 func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
-	s.execMu.Lock()
-	defer s.execMu.Unlock()
+	lease := s.leases.acquire(p.access)
+	defer s.leases.release(lease)
 
 	seq := s.seq.Add(1)
 	requested := p.requested
@@ -286,16 +356,33 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 		evicted = append(evicted, ev...)
 	}
 
-	// Phase 1 (§3): match and rewrite against the repository.
+	// Phase 1 (§3): match and rewrite against the repository. The rewriter
+	// pins every reused entry; hold the pins until this execution is done
+	// (rows in res.Outputs may alias pinned stored files) so a concurrent
+	// disjoint execution's eviction cannot delete them underneath us.
 	aliases := make(map[string]string)
 	var rewrites []core.RewriteInfo
 	jobs := workflow.Jobs
 	if s.reuse {
-		rw := &core.Rewriter{Repo: s.repo.Load(), Seq: seq}
+		repo := s.repo.Load()
+		rw := &core.Rewriter{Repo: repo, Seq: seq, Guard: func(e *core.Entry) bool {
+			if e.OwnsFile {
+				// Repository-owned files live in minted-once namespaces:
+				// nothing ever rewrites them, and the pin (below) blocks
+				// eviction. Safe without touching the lease.
+				return true
+			}
+			// A user-named stored output can be overwritten by a concurrent
+			// path-disjoint workflow that declared it as a write. Extend
+			// this execution's lease with the read; if a conflicting writer
+			// is already in flight, skip the reuse instead of racing it.
+			return s.leases.extendReads(lease, e.OutputPath)
+		}}
 		outcome, err := rw.RewriteWorkflow(workflow)
 		if err != nil {
 			return nil, err
 		}
+		defer repo.Unpin(outcome.Pinned)
 		jobs = outcome.Jobs
 		aliases = outcome.Aliases
 		rewrites = outcome.Rewrites
@@ -323,7 +410,7 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 	}
 
 	// Phase 3: execute on the MapReduce engine.
-	res := &Result{Outputs: make(map[string]string), Rewrites: rewrites}
+	res := &Result{Seq: seq, Outputs: make(map[string]string), Rewrites: rewrites}
 	var wfRes *mapred.WorkflowResult
 	if len(finalJobs) > 0 {
 		var err error
@@ -480,20 +567,24 @@ func isSystemPath(p string) bool {
 }
 
 // SaveRepository persists the repository (plans, filenames, statistics) as
-// JSON, the §6.2 "table" of stored job outputs. It takes the execution lock
+// JSON, the §6.2 "table" of stored job outputs. It takes a universal lease
 // so the snapshot never interleaves with a half-registered query.
 func (s *System) SaveRepository(w io.Writer) error {
-	s.execMu.Lock()
-	defer s.execMu.Unlock()
+	lease := s.leases.acquire(UniversalAccess())
+	defer s.leases.release(lease)
 	return s.repo.Load().Save(w)
 }
 
 // SaveState persists the repository and the full DFS (data, schemas, file
 // versions) as one consistent snapshot pair, for the daemon's durable-state
-// directory.
+// directory. It takes a universal lease — the drain barrier: every
+// in-flight execution completes first and no new one is admitted until
+// both writers are done, so the pair can never capture a torn DFS (a file
+// created but not yet committed) or a repository entry whose output file
+// missed the snapshot.
 func (s *System) SaveState(repoW, dfsW io.Writer) error {
-	s.execMu.Lock()
-	defer s.execMu.Unlock()
+	lease := s.leases.acquire(UniversalAccess())
+	defer s.leases.release(lease)
 	if err := s.repo.Load().Save(repoW); err != nil {
 		return err
 	}
@@ -508,8 +599,8 @@ func (s *System) LoadRepositoryFrom(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	s.execMu.Lock()
-	defer s.execMu.Unlock()
+	lease := s.leases.acquire(UniversalAccess())
+	defer s.leases.release(lease)
 	s.repo.Store(repo)
 	s.selector.Repo = repo
 	s.advanceCounters(repo)
