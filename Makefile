@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race race-server build
+.PHONY: check fmt vet test race race-server docs-check build
 
-check: fmt vet race race-server
+check: fmt vet docs-check race race-server
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The concurrency battery (property/stress/drain tests of the conflict-aware
-# scheduler) runs twice under the detector: interleavings differ per run.
+# The concurrency and crash-recovery battery (property/stress/drain tests of
+# the conflict-aware scheduler, plus the WAL torn-tail/replay tests) runs
+# twice under the detector: interleavings differ per run.
 race-server:
-	$(GO) test -race -count=2 ./internal/server/...
+	$(GO) test -race -count=2 ./internal/server/... ./internal/persist/...
+
+# Fails when an exported identifier in the documented packages
+# (internal/server, internal/dfs, internal/core, root access.go) lacks a doc
+# comment; those comments are the ground truth docs/ARCHITECTURE.md points at.
+docs-check:
+	sh scripts/docs_check.sh

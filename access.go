@@ -14,6 +14,26 @@ import (
 // Every declared path covers its whole subtree: a write lease on
 // "restore/tmp/q7" conflicts with any read or write under
 // "restore/tmp/q7/...". Reads share; writes exclude.
+//
+// What the lease table guarantees:
+//
+//   - Mutual exclusion by declaration: while a lease is held, no other
+//     lease whose set conflicts with it (write/write, write/read,
+//     read/write, or either universal) is in flight. Operations touching
+//     only disjoint paths are never serialized against each other.
+//   - FIFO fairness without starvation: a waiter is admitted once its set
+//     is disjoint from every in-flight lease AND every earlier waiter, so
+//     later disjoint arrivals may pass a blocked waiter but a conflicting
+//     one never can — a universal waiter (checkpoint/compaction) cannot be
+//     starved by a stream of small leases behind it.
+//   - A universal lease is a full drain barrier: when granted, nothing
+//     else is in flight, and nothing is admitted until it is released.
+//     System.Quiesce/SaveState/AdoptRepository rely on this to observe (or
+//     swap) globally consistent state.
+//   - Mid-run read extension (extendReads) never introduces a conflict:
+//     it is refused if any other in-flight lease writes an overlapping
+//     path, in which case the caller must skip the optimisation (the
+//     rewriter then simply re-executes instead of reusing).
 
 // AccessSet declares the DFS paths an operation may read and write. Paths
 // are prefix-scoped: a set containing "out/a" also covers "out/a/part0".

@@ -7,7 +7,7 @@
 //	restore-bench -exp fig10   # run one experiment
 //	restore-bench -list        # list experiment IDs
 //	restore-bench -tiny        # use the fast test-sized configuration
-//	restore-bench -exp server -json BENCH_server.json   # record a baseline
+//	restore-bench -exp server,server-ckpt -json BENCH_server.json   # record a baseline
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "", "experiment ID to run (default: all)")
+		expID    = flag.String("exp", "", "experiment ID(s) to run, comma-separated (default: all)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		tiny     = flag.Bool("tiny", false, "use the tiny test configuration")
 		jsonPath = flag.String("json", "", "also write the result tables as JSON to this file")
@@ -55,12 +56,14 @@ func main() {
 	}
 
 	if *expID != "" {
-		e, err := bench.Lookup(*expID)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "restore-bench:", err)
-			os.Exit(1)
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "restore-bench:", err)
+				os.Exit(1)
+			}
+			run(e)
 		}
-		run(e)
 	} else {
 		for _, e := range bench.Experiments() {
 			run(e)

@@ -8,8 +8,9 @@
 //
 //	restored                                    # serve on :7733, in-memory only
 //	restored -addr 127.0.0.1:8080               # pick the listen address
-//	restored -state-dir /var/lib/restored       # durable repository + DFS
-//	restored -save-interval 30s                 # periodic checkpoints
+//	restored -state-dir /var/lib/restored       # durable repository + DFS (WAL)
+//	restored -wal-sync 20ms                     # fsync cadence (0 = every record)
+//	restored -compact-every 10m                 # snapshot + log-truncation cadence
 //	restored -pigmix                            # preload the PigMix tables
 //	restored -heuristic conservative            # sub-job enumeration heuristic
 //	restored -workers 8 -barrier-window 32      # concurrent scheduler tuning
@@ -46,7 +47,9 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":7733", "listen address")
 		stateDir     = flag.String("state-dir", "", "directory for durable repository+DFS state (empty = in-memory only)")
-		saveInterval = flag.Duration("save-interval", time.Minute, "periodic checkpoint interval (requires -state-dir; 0 disables)")
+		walSync      = flag.Duration("wal-sync", server.DefaultWALSync, "WAL fsync cadence — the crash-loss window for acknowledged work (0 = fsync every record; requires -state-dir)")
+		compactEvery = flag.Duration("compact-every", 5*time.Minute, "WAL compaction interval: snapshot + log truncation under a drain barrier (requires -state-dir; 0 compacts only at shutdown)")
+		saveInterval = flag.Duration("save-interval", 0, "deprecated alias for -compact-every (overrides it when set)")
 		queueDepth   = flag.Int("queue-depth", 256, "bounded execution queue; overflow returns 503")
 		workers      = flag.Int("workers", 0, "execution worker pool: how many path-disjoint workflows run concurrently (0 = GOMAXPROCS, 1 = serialized)")
 		barrier      = flag.Int("barrier-window", 16, "FIFO overtake window: queued work may pass a blocked head only within the first N queue positions (1 = strict FIFO)")
@@ -61,14 +64,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	// flag 0 means "fsync every record"; Config expresses that as the
+	// negative SyncEveryRecord sentinel (Config 0 selects the default).
+	cfgWALSync := *walSync
+	if cfgWALSync == 0 {
+		cfgWALSync = server.SyncEveryRecord
+	}
+	cfgCompact := *compactEvery
+	if *saveInterval > 0 {
+		cfgCompact = *saveInterval
+	}
+
 	sys := restore.New(restore.WithHeuristic(h))
 	srv, err := server.New(server.Config{
-		System:        sys,
-		StateDir:      *stateDir,
-		SaveInterval:  *saveInterval,
-		QueueDepth:    *queueDepth,
-		Workers:       *workers,
-		BarrierWindow: *barrier,
+		System:          sys,
+		StateDir:        *stateDir,
+		WALSyncInterval: cfgWALSync,
+		CompactInterval: cfgCompact,
+		QueueDepth:      *queueDepth,
+		Workers:         *workers,
+		BarrierWindow:   *barrier,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "restored:", err)

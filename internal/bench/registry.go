@@ -26,6 +26,7 @@ func Experiments() []Experiment {
 		{"ablation-order", "Ablation: repository ordering rules", AblationRepoOrdering},
 		{"ablation-evict", "Ablation: eviction policies", AblationEviction},
 		{"server", "restored server-mode throughput (concurrent clients)", ServerThroughput},
+		{"server-ckpt", "checkpoint cost per interval: WAL vs full snapshot", ServerCheckpointCost},
 	}
 }
 

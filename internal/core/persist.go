@@ -4,8 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // The repository survives restarts in the paper's deployment model (§6.2
@@ -50,10 +48,8 @@ func LoadRepository(rd io.Reader) (*Repository, error) {
 		}
 		// Advance the ID counter past loaded "entry-N" IDs so entries
 		// registered after a restart never collide with persisted ones.
-		if n, ok := strings.CutPrefix(e.ID, "entry-"); ok {
-			if id, err := strconv.Atoi(n); err == nil && id > repo.nextID {
-				repo.nextID = id
-			}
+		if n, ok := entryIDCounter(e.ID); ok && n > repo.nextID {
+			repo.nextID = n
 		}
 	}
 	return repo, nil

@@ -11,6 +11,18 @@
 //     so their outputs are materialized during execution;
 //   - the enumerated sub-job selector (§5), which applies keep/evict rules
 //     based on post-execution statistics.
+//
+// Concurrency and durability invariants:
+//
+//   - All Repository methods are safe for concurrent use. Entries pinned by
+//     an in-flight execution (Pin) are never evicted — RemoveIfIdle refuses
+//     both pinned entries and entries whose LastUsedSeq moved since the
+//     caller's staleness check — so a stored output a rewrite reuses cannot
+//     be deleted mid-run.
+//   - Every committed mutation (Add, Remove/RemoveIfIdle, MarkUsed) is
+//     forwarded to an attached Journal in commit order; a snapshot (Save)
+//     plus the journaled suffix (Apply) reconstructs the repository exactly
+//     after a crash. Pins are process-local and never persisted.
 package core
 
 import (
@@ -102,6 +114,9 @@ type Repository struct {
 	entries []*Entry
 	byCanon map[string]*Entry // dedup on plan canonical form
 	nextID  int
+	// journal, when attached, receives every committed mutation in commit
+	// order (see journal.go) — the repository half of the write-ahead log.
+	journal Journal
 }
 
 // NewRepository returns an empty repository.
@@ -135,6 +150,7 @@ func (r *Repository) Add(e *Entry) (*Entry, bool, error) {
 	}
 	r.entries = append(r.entries, e)
 	r.byCanon[canon] = e
+	r.journalLocked(Mutation{Op: MutAdd, Entry: e.clone()})
 	return e, true, nil
 }
 
@@ -152,6 +168,7 @@ func (r *Repository) removeLocked(id string) *Entry {
 		if e.ID == id {
 			r.entries = append(r.entries[:i], r.entries[i+1:]...)
 			delete(r.byCanon, e.Plan.Canonical())
+			r.journalLocked(Mutation{Op: MutRemove, ID: id})
 			return e
 		}
 	}
@@ -271,6 +288,18 @@ func (r *Repository) All() []*Entry {
 	return out
 }
 
+// clone returns a deep copy of the entry sharing only the immutable Plan.
+// Runtime-only state (pins) is zeroed.
+func (e *Entry) clone() *Entry {
+	c := *e
+	c.InputVersions = make(map[string]uint64, len(e.InputVersions))
+	for k, v := range e.InputVersions {
+		c.InputVersions[k] = v
+	}
+	c.pins = 0
+	return &c
+}
+
 // Snapshot returns deep copies of the entries in insertion order. The
 // result shares no mutable state with the repository (plans are immutable
 // and stay shared), so callers may read it while queries keep executing —
@@ -281,12 +310,7 @@ func (r *Repository) Snapshot() []*Entry {
 	defer r.mu.RUnlock()
 	out := make([]*Entry, len(r.entries))
 	for i, e := range r.entries {
-		c := *e
-		c.InputVersions = make(map[string]uint64, len(e.InputVersions))
-		for k, v := range e.InputVersions {
-			c.InputVersions[k] = v
-		}
-		out[i] = &c
+		out[i] = e.clone()
 	}
 	return out
 }
@@ -310,6 +334,7 @@ func (r *Repository) MarkUsed(id string, seq int64) {
 			if seq > e.LastUsedSeq {
 				e.LastUsedSeq = seq
 			}
+			r.journalLocked(Mutation{Op: MutUse, ID: id, UseCount: e.UseCount, LastUsedSeq: e.LastUsedSeq})
 			return
 		}
 	}

@@ -4,6 +4,19 @@
 // version number per file so that ReStore's repository can detect when a
 // stored job output has been invalidated by changes to its inputs
 // (eviction Rule 4 in the paper, §5).
+//
+// Invariants the rest of the system relies on:
+//
+//   - Committed partition data is copy-on-write and never mutated in place,
+//     so readers and snapshots may share the slices under the read lock.
+//   - File versions only ever advance: Create assigns a fresh FS-clock value
+//     and Delete bumps the clock, so a path recreated after deletion never
+//     reuses a version Rule-4 comparisons have already seen.
+//   - Every mutation is journaled (SetJournal) in its commit order, under
+//     the same write lock that applied it, as an absolute-state Mutation
+//     record; replaying a snapshot plus the journaled suffix (Apply)
+//     reconstructs the FS exactly. DirtyPaths/TakeDirty track which files
+//     changed since the last snapshot.
 package dfs
 
 import (
@@ -90,6 +103,13 @@ type FS struct {
 	// map tasks of parallel workflows never serialize on fs.mu.
 	bytesWritten atomic.Int64 // logical bytes written
 	bytesRead    atomic.Int64 // logical bytes read
+
+	// journal, dirty, and mutations implement incremental persistence (see
+	// journal.go): every committed mutation is forwarded to the journal and
+	// marks its path dirty until the next snapshot claims it.
+	journal   Journal
+	dirty     map[string]struct{}
+	mutations atomic.Uint64
 }
 
 // New creates an empty FS with default block size and replication.
@@ -153,6 +173,7 @@ func (fs *FS) Create(path string, partitions int) (uint64, error) {
 	defer fs.mu.Unlock()
 	fs.version++
 	fs.files[path] = &File{Path: path, Parts: make([]Partition, partitions), Version: fs.version}
+	fs.noteLocked(Mutation{Op: MutCreate, Path: path, Version: fs.version, Partitions: partitions})
 	return fs.version, nil
 }
 
@@ -165,6 +186,7 @@ func (fs *FS) SetSchema(path string, schema types.Schema) error {
 		return fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
 	}
 	f.Schema = schema
+	fs.noteLocked(Mutation{Op: MutSchema, Path: path, Schema: schema})
 	return nil
 }
 
@@ -194,6 +216,7 @@ func (fs *FS) CommitPartition(path string, idx int, data []byte, records int64) 
 	}
 	f.Parts[idx] = Partition{Data: data, Records: records}
 	fs.bytesWritten.Add(int64(len(data)))
+	fs.noteLocked(Mutation{Op: MutCommit, Path: path, Part: idx, Data: data, Records: records})
 	return nil
 }
 
@@ -207,6 +230,7 @@ func (fs *FS) Delete(path string) error {
 	}
 	delete(fs.files, path)
 	fs.version++
+	fs.noteLocked(Mutation{Op: MutDelete, Path: path, Version: fs.version})
 	return nil
 }
 

@@ -1,0 +1,181 @@
+package dfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// This file is the FS half of the incremental-persistence subsystem: instead
+// of re-exporting the whole filesystem on every checkpoint (Export), the FS
+// emits one append-only Mutation record per committed change and tracks
+// which files are dirty since the last snapshot. A write-ahead log
+// (internal/persist) appends the records durably while queries execute;
+// replaying them over the last snapshot (Apply) reconstructs the FS exactly.
+
+// MutationOp enumerates the journaled FS mutations.
+type MutationOp string
+
+// Mutation operations. Every mutating FS method maps to exactly one op.
+const (
+	// MutCreate records Create: a file (re)created with empty partitions.
+	MutCreate MutationOp = "create"
+	// MutCommit records CommitPartition: one partition's bytes installed.
+	MutCommit MutationOp = "commit"
+	// MutSchema records SetSchema.
+	MutSchema MutationOp = "schema"
+	// MutDelete records Delete.
+	MutDelete MutationOp = "delete"
+)
+
+// Mutation is one committed FS change, journaled in apply order. Records
+// carry absolute resulting state (the assigned file version, the full
+// partition bytes) rather than deltas, so replaying any suffix of the log —
+// even records already reflected in a newer snapshot — converges to the
+// state at the end of the log. That idempotence is what makes the
+// compactor's snapshot-then-truncate sequence crash-safe at every
+// intermediate point (see internal/server/persist.go).
+type Mutation struct {
+	Op   MutationOp `json:"op"`
+	Path string     `json:"path"`
+	// Version is the file version assigned by Create, or the FS clock after
+	// a Delete (deletes bump the clock so recreations get fresh versions).
+	Version uint64 `json:"version,omitempty"`
+	// Partitions is the partition count of a created file.
+	Partitions int `json:"partitions,omitempty"`
+	// Part, Data, and Records describe a committed partition. Data aliases
+	// the committed copy-on-write slice and must not be modified.
+	Part    int    `json:"part,omitempty"`
+	Data    []byte `json:"data,omitempty"`
+	Records int64  `json:"records,omitempty"`
+	// Schema is the layout attached by SetSchema.
+	Schema types.Schema `json:"schema,omitempty"`
+}
+
+// Journal receives every committed FS mutation, in commit order. Record is
+// called synchronously while the FS write lock is held, so the order of
+// Record calls is exactly the order the mutations took effect; implementations
+// must be fast (buffer in memory) and must not call back into the FS.
+type Journal interface {
+	Record(m Mutation)
+}
+
+// SetJournal attaches (or with nil detaches) the mutation journal. Attach it
+// only when the FS is quiescent (daemon startup, after recovery): mutations
+// committed before the attach are not replayed to the journal.
+func (fs *FS) SetJournal(j Journal) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.journal = j
+}
+
+// noteLocked records one committed mutation: it marks the file dirty, bumps
+// the mutation counter, and forwards the record to the attached journal.
+// Called with fs.mu held by every mutating method.
+func (fs *FS) noteLocked(m Mutation) {
+	if fs.dirty == nil {
+		fs.dirty = make(map[string]struct{})
+	}
+	fs.dirty[m.Path] = struct{}{}
+	fs.mutations.Add(1)
+	if fs.journal != nil {
+		fs.journal.Record(m)
+	}
+}
+
+// DirtyPaths returns the sorted paths mutated since the last TakeDirty (or
+// since the FS was created/imported). A path stays dirty even if later
+// deleted — the deletion itself is a pending change the next snapshot must
+// capture.
+func (fs *FS) DirtyPaths() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]string, 0, len(fs.dirty))
+	for p := range fs.dirty {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TakeDirty returns the dirty paths and resets the tracking — the compactor
+// calls it when a snapshot has captured everything, so DirtyPaths afterwards
+// reports only post-snapshot churn.
+func (fs *FS) TakeDirty() []string {
+	fs.mu.Lock()
+	dirty := fs.dirty
+	fs.dirty = nil
+	fs.mu.Unlock()
+	out := make([]string, 0, len(dirty))
+	for p := range dirty {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MutationCount returns the number of mutations committed over the FS's
+// lifetime (monotonic; snapshot Import does not reset it).
+func (fs *FS) MutationCount() uint64 { return fs.mutations.Load() }
+
+// DirtyCount reports how many files are dirty (O(1); metrics poll this on
+// every scrape, where materializing DirtyPaths would be wasted work).
+func (fs *FS) DirtyCount() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.dirty)
+}
+
+// Apply replays one journaled mutation, without re-journaling it. It is the
+// recovery-time inverse of the Journal hook: applying a log's records in
+// order over the snapshot they extend reconstructs the FS exactly. Apply is
+// deliberately tolerant of records already reflected in the state (a crash
+// between the compactor's snapshot rename and its log truncation makes the
+// log a superset of the snapshot): creates overwrite, deletes of missing
+// files are no-ops, and version fields only ever advance the FS clock.
+func (fs *FS) Apply(m Mutation) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	switch m.Op {
+	case MutCreate:
+		parts := m.Partitions
+		if parts < 1 {
+			parts = 1
+		}
+		fs.files[m.Path] = &File{Path: m.Path, Parts: make([]Partition, parts), Version: m.Version}
+		if m.Version > fs.version {
+			fs.version = m.Version
+		}
+	case MutCommit:
+		f, ok := fs.files[m.Path]
+		if !ok {
+			return fmt.Errorf("dfs: apply commit to %s: %w", m.Path, ErrNotExist)
+		}
+		if m.Part < 0 || m.Part >= len(f.Parts) {
+			return fmt.Errorf("dfs: apply commit to %s: partition %d out of range [0,%d)", m.Path, m.Part, len(f.Parts))
+		}
+		f.Parts[m.Part] = Partition{Data: m.Data, Records: m.Records}
+	case MutSchema:
+		f, ok := fs.files[m.Path]
+		if !ok {
+			return fmt.Errorf("dfs: apply schema to %s: %w", m.Path, ErrNotExist)
+		}
+		f.Schema = m.Schema
+	case MutDelete:
+		delete(fs.files, m.Path)
+		if m.Version > fs.version {
+			fs.version = m.Version
+		}
+	default:
+		return fmt.Errorf("dfs: apply: unknown mutation op %q", m.Op)
+	}
+	// Replayed state is not yet covered by any snapshot (the log still holds
+	// it), so it counts as dirty until the next compaction.
+	if fs.dirty == nil {
+		fs.dirty = make(map[string]struct{})
+	}
+	fs.dirty[m.Path] = struct{}{}
+	fs.mutations.Add(1)
+	return nil
+}

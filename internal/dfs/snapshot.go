@@ -65,7 +65,10 @@ func (fs *FS) Export(w io.Writer) error {
 
 // Import replaces the FS contents with a snapshot written by Export. The
 // read/write byte counters are left untouched (they describe this process's
-// lifetime, not the dataset's).
+// lifetime, not the dataset's). Import is a recovery-time wholesale replace,
+// not a journaled mutation: call it before attaching a Journal — it resets
+// the dirty-path tracking to an all-clean baseline (the snapshot is, by
+// definition, already persisted).
 func (fs *FS) Import(r io.Reader) error {
 	var doc snapshotJSON
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
@@ -99,5 +102,6 @@ func (fs *FS) Import(r io.Reader) error {
 	defer fs.mu.Unlock()
 	fs.files = files
 	fs.version = clock
+	fs.dirty = nil
 	return nil
 }

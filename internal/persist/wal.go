@@ -1,0 +1,112 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Writer appends framed records to one WAL segment. Safe for concurrent
+// use. Two durability modes:
+//
+//   - batched (syncEach=false): Append buffers in memory and returns
+//     immediately; Flush writes the buffer and fsyncs. The daemon flushes
+//     on its -wal-sync interval, so a crash loses at most that window.
+//   - per-record (syncEach=true): every Append writes and fsyncs before
+//     returning. Nothing acknowledged is ever lost, at the cost of an
+//     fsync inside each mutation.
+//
+// Errors are sticky: after a failed write or sync every later Append/Flush
+// returns the same error, so a full disk surfaces instead of silently
+// dropping records.
+type Writer struct {
+	mu       sync.Mutex
+	f        *os.File
+	buf      []byte
+	syncEach bool
+	err      error
+}
+
+// OpenWriter opens (creating or appending to) the segment at path. The
+// containing directory is fsynced so a freshly created segment's entry is
+// durable before any record in it claims to be.
+func OpenWriter(path string, syncEach bool) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, syncEach: syncEach}, nil
+}
+
+// Append frames and appends one record, returning the framed size. In
+// per-record mode the record is durable when Append returns; in batched
+// mode it is durable after the next Flush.
+func (w *Writer) Append(rec Record) (int, error) {
+	frame, err := encode(rec)
+	if err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.syncEach {
+		if _, err := w.f.Write(frame); err != nil {
+			w.err = fmt.Errorf("persist: wal write: %w", err)
+			return 0, w.err
+		}
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("persist: wal sync: %w", err)
+			return 0, w.err
+		}
+	} else {
+		w.buf = append(w.buf, frame...)
+	}
+	return len(frame), nil
+}
+
+// Flush writes any buffered records and fsyncs the segment.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) > 0 {
+		if _, err := w.f.Write(w.buf); err != nil {
+			w.err = fmt.Errorf("persist: wal write: %w", err)
+			return w.err
+		}
+		w.buf = w.buf[:0]
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("persist: wal sync: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Close flushes and closes the segment. The Writer is unusable afterwards.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ferr := w.flushLocked()
+	cerr := w.f.Close()
+	if w.err == nil {
+		w.err = fmt.Errorf("persist: wal closed")
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -34,10 +34,17 @@ type MetricsSnapshot struct {
 	QueueDepth       int64   `json:"queueDepth"`
 	// Executing counts tasks running on the worker pool right now; Workers
 	// is the pool size (how many path-disjoint workflows may run at once).
-	Executing   int64 `json:"executing"`
-	Workers     int64 `json:"workers"`
-	Uploads     int64 `json:"uploads"`
+	Executing int64 `json:"executing"`
+	Workers   int64 `json:"workers"`
+	Uploads   int64 `json:"uploads"`
+	// Checkpoints counts completed compactions (periodic, manual, and
+	// shutdown); routine WAL flushes are not checkpoints and are reported
+	// under WAL instead.
 	Checkpoints int64 `json:"checkpoints"`
+
+	// WAL describes the write-ahead-log persistence subsystem; nil when
+	// the daemon runs without a state directory.
+	WAL *WALStats `json:"wal,omitempty"`
 
 	// Reuse is the System's lifetime reuse statistics (hit rate, bytes and
 	// simulated time saved).

@@ -5,80 +5,341 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	restore "repro"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/persist"
 )
 
-// State files inside the daemon's state directory. Both are written on every
-// checkpoint as one consistent pair: System.SaveState takes a universal
-// (write-set-universal) lease, the drain barrier that waits for every
-// in-flight execution and blocks new admissions while both files are
-// captured. A restarted daemon therefore resumes with the learned
-// repository *and* the complete DFS files its entries reference — no torn
-// half-committed outputs, no entry whose stored file missed the snapshot —
-// otherwise Rule-4 eviction would drop entries on the first post-restart
-// query. (Checkpoints submitted through the scheduler additionally run as
-// universal tasks, draining the worker pool first; see checkpointNow.)
+// Durable state layout inside the daemon's state directory:
+//
+//	repository.json, dfs.json   snapshot pair, rewritten only by compaction
+//	wal-NNNNNN.log              append-only mutation log segments
+//
+// Routine durability is the write-ahead log: every committed DFS and
+// repository mutation is journaled (see dfs.Journal / core.Journal) into
+// the current segment while queries execute, and fsynced on the -wal-sync
+// cadence — no drain barrier, no rewrite of unchanged data. Only
+// compaction (periodic, -compact-every; manual, POST /v1/checkpoint; and
+// shutdown) quiesces the system: under System.Quiesce it sweeps orphaned
+// restore/ files, rotates the log onto a fresh segment, writes the
+// snapshot pair (tmp + rename per file), and finally deletes the
+// pre-rotation segments.
+//
+// Crash safety does not rely on a manifest. Mutation records carry
+// absolute resulting state, so recovery — load whatever snapshot pair is
+// on disk, then replay every segment in ascending order — converges to
+// the state at the end of the log no matter where a compaction crashed:
+//
+//   - before the snapshot renames: old pair + all segments replay to the
+//     rotation point;
+//   - between the two renames: the newer dfs.json already contains some
+//     replayed records; re-applying them is idempotent (creates overwrite,
+//     deletes of missing files are no-ops, repository adds deduplicate on
+//     the plan's canonical form, use-counters are absolute);
+//   - after the renames but before segment deletion: same argument, both
+//     files newer;
+//   - mid-append anywhere: the torn final record fails its length+CRC
+//     frame and is truncated off the tail.
+//
+// Segments are deleted only after both renames succeed, so every record
+// the on-disk pair lacks is always still on disk. A crash between a WAL
+// fsync and the next loses at most that window's acknowledged-in-memory
+// mutations; the HTTP layer acknowledges queries only after execution, so
+// clients see at-most-a-window staleness, never corruption. A workflow in
+// flight at the crash may leave a prefix of its mutations in the log
+// (exactly as a crashed Hadoop job leaves partial task output); recovery's
+// orphan sweep reclaims its unregistered restore/ files, and re-submitting
+// the query overwrites its partial user outputs.
 const (
 	repoStateFile = "repository.json"
 	dfsStateFile  = "dfs.json"
 )
 
-// persister checkpoints a System's durable state into a directory.
+// persister owns a System's durable state: the write-ahead log on the
+// routine path and snapshot+truncate compaction on the rare one.
 type persister struct {
-	dir string
-	sys *restore.System
-	// mu serializes whole checkpoints: Close's direct save can otherwise
-	// overlap a queued checkpoint task when HTTP shutdown times out, and
-	// interleaved renames would pair dfs.json and repository.json from
-	// different snapshots.
-	mu sync.Mutex
+	dir      string
+	sys      *restore.System
+	syncEach bool // fsync every record instead of batching
+
+	// walMu guards the current-segment pointer: appenders and flushers
+	// hold it shared, compaction's rotation holds it exclusive.
+	walMu sync.RWMutex
+	wal   *persist.Writer
+	seg   uint64
+
+	// compactMu serializes compactions (periodic, manual, shutdown): two
+	// interleaved rotations would orphan a segment's records.
+	compactMu sync.Mutex
+
+	// dirty reports mutations since the last compaction; a clean system
+	// skips the snapshot entirely.
+	dirty atomic.Bool
+
+	walRecords   atomic.Int64
+	walBytes     atomic.Int64
+	appendErrs   atomic.Int64
+	compactions  atomic.Int64
+	compactBytes atomic.Int64
+	swept        atomic.Int64
+
+	recoveredRecords int
+	recoveredTorn    bool
 }
 
-func newPersister(dir string, sys *restore.System) (*persister, error) {
+// newPersister opens (or initializes) the state directory, recovers the
+// System from snapshot + log, sweeps orphans, and attaches the mutation
+// journals so every later change is WAL-logged.
+func newPersister(dir string, sys *restore.System, syncEach bool) (*persister, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: state dir: %w", err)
 	}
-	return &persister{dir: dir, sys: sys}, nil
+	p := &persister{dir: dir, sys: sys, syncEach: syncEach}
+	if err := p.recover(); err != nil {
+		return nil, err
+	}
+	// Journals attach only after recovery: replayed records must not be
+	// re-journaled, and the sweep below should be. From here on every
+	// committed mutation lands in the current segment.
+	sys.FS().SetJournal(fsJournal{p})
+	sys.Repository().SetJournal(repoJournal{p})
+	p.swept.Add(int64(p.sweepOrphans()))
+	return p, nil
 }
 
-// load restores a previous checkpoint if one exists. DFS first, repository
-// second, so loaded entries see the right file versions. Returns whether a
-// repository was loaded.
-func (p *persister) load() (bool, error) {
-	dfsPath := filepath.Join(p.dir, dfsStateFile)
-	if f, err := os.Open(dfsPath); err == nil {
-		ierr := p.sys.FS().Import(f)
+// recover loads the snapshot pair (if any), replays every WAL segment in
+// order, installs the result, and opens the newest segment for appending.
+func (p *persister) recover() error {
+	fs := p.sys.FS()
+	if f, err := os.Open(filepath.Join(p.dir, dfsStateFile)); err == nil {
+		ierr := fs.Import(f)
 		f.Close()
 		if ierr != nil {
-			return false, fmt.Errorf("server: load %s: %w", dfsPath, ierr)
+			return fmt.Errorf("server: load %s: %w", dfsStateFile, ierr)
 		}
 	} else if !os.IsNotExist(err) {
-		return false, err
+		return err
 	}
 
-	repoPath := filepath.Join(p.dir, repoStateFile)
-	f, err := os.Open(repoPath)
-	if os.IsNotExist(err) {
-		p.sweepOrphans()
-		return false, nil
+	// The repository replays out-of-place and is only adopted once the log
+	// has been applied; a pre-populated Config.System repository is kept
+	// when no snapshot exists (fresh state dir over a warm system).
+	repo := p.sys.Repository()
+	if f, err := os.Open(filepath.Join(p.dir, repoStateFile)); err == nil {
+		loaded, lerr := core.LoadRepository(f)
+		f.Close()
+		if lerr != nil {
+			return fmt.Errorf("server: load %s: %w", repoStateFile, lerr)
+		}
+		repo = loaded
+	} else if !os.IsNotExist(err) {
+		return err
 	}
+
+	segs, err := persist.Segments(p.dir)
 	if err != nil {
-		return false, err
+		return err
 	}
-	defer f.Close()
-	if err := p.sys.LoadRepositoryFrom(f); err != nil {
-		return false, fmt.Errorf("server: load %s: %w", repoPath, err)
+	for i, seg := range segs {
+		// Only the segment being appended at the crash can tear, so only
+		// the final one gets its tail repaired (truncated); a tear anywhere
+		// earlier is real corruption — fail without modifying the file, so
+		// the evidence (and the fatal error) survives restarts instead of
+		// the next boot silently applying the later segments over a hole.
+		final := i == len(segs)-1
+		n, torn, rerr := persist.ReplayFile(seg.Path, func(rec persist.Record) error {
+			switch {
+			case rec.DFS != nil:
+				return fs.Apply(*rec.DFS)
+			case rec.Repo != nil:
+				return repo.Apply(*rec.Repo)
+			}
+			return nil // empty record: tolerated for forward compatibility
+		}, final)
+		if rerr != nil {
+			return fmt.Errorf("server: replay %s: %w", seg.Path, rerr)
+		}
+		p.recoveredRecords += n
+		if torn {
+			if !final {
+				return fmt.Errorf("server: replay %s: torn record in a non-final segment", seg.Path)
+			}
+			p.recoveredTorn = true
+		}
 	}
-	p.sweepOrphans()
-	return true, nil
+
+	// Install the replayed repository and advance seq/namespace counters
+	// past everything the log mentioned.
+	p.sys.AdoptRepository(repo)
+
+	// Append to the newest (tail-truncated) segment, or start the first.
+	p.seg = 1
+	if len(segs) > 0 {
+		p.seg = segs[len(segs)-1].N
+	}
+	w, err := persist.OpenWriter(persist.SegmentPath(p.dir, p.seg), p.syncEach)
+	if err != nil {
+		return err
+	}
+	p.wal = w
+	// Force one compaction after restart: whatever the log holds (or a
+	// missing snapshot) is folded into a fresh pair on the first interval.
+	p.dirty.Store(true)
+	return nil
 }
 
-// sweepOrphans deletes restore/ files no repository entry references. A
-// crash between the checkpoint's two renames can land a newer DFS beside an
-// older repository; entries lost that way would otherwise leave their
-// stored outputs in the DFS forever, since eviction only walks entries.
-func (p *persister) sweepOrphans() {
+// fsJournal and repoJournal forward committed mutations into the WAL. They
+// are called synchronously under the FS/repository write lock, so record
+// order in the log is exactly commit order across both structures.
+type fsJournal struct{ p *persister }
+
+func (j fsJournal) Record(m dfs.Mutation) { j.p.append(persist.Record{DFS: &m}) }
+
+type repoJournal struct{ p *persister }
+
+func (j repoJournal) Record(m core.Mutation) { j.p.append(persist.Record{Repo: &m}) }
+
+// append logs one record to the current segment. Journal hooks cannot
+// return errors; a failed append (disk full, closed writer during a
+// shutdown race) is counted and resurfaces as the writer's sticky error on
+// the next flush or compaction.
+func (p *persister) append(rec persist.Record) {
+	p.walMu.RLock()
+	n, err := p.wal.Append(rec)
+	p.walMu.RUnlock()
+	if err != nil {
+		p.appendErrs.Add(1)
+		// The mutation now exists only in memory: the system is dirtier
+		// than ever, and the next compaction's snapshot is the only thing
+		// that can make it durable — it must not be skipped as a no-op.
+		p.dirty.Store(true)
+		return
+	}
+	p.walRecords.Add(1)
+	p.walBytes.Add(int64(n))
+	p.dirty.Store(true)
+}
+
+// flush makes every record appended so far durable. This is the routine
+// checkpoint: no lease, no drain, cost proportional to the mutations since
+// the last flush.
+func (p *persister) flush() error {
+	p.walMu.RLock()
+	defer p.walMu.RUnlock()
+	return p.wal.Flush()
+}
+
+// compact is the rare, heavyweight checkpoint: under the system's
+// universal lease it sweeps orphaned restore/ files, rotates the WAL onto
+// a fresh segment, writes the snapshot pair, and deletes the pre-rotation
+// segments. It reports whether a compaction actually ran — a clean system
+// (no mutations since the last one) skips entirely.
+func (p *persister) compact() (bool, error) {
+	p.compactMu.Lock()
+	defer p.compactMu.Unlock()
+	if !p.dirty.Load() {
+		return false, nil
+	}
+	err := p.sys.Quiesce(func() error {
+		// Sweep first so the snapshot is garbage-free; the deletions are
+		// journaled into the outgoing segment, which the snapshot covers.
+		p.swept.Add(int64(p.sweepOrphans()))
+
+		p.walMu.Lock()
+		old := p.wal
+		next, err := persist.OpenWriter(persist.SegmentPath(p.dir, p.seg+1), p.syncEach)
+		if err != nil {
+			p.walMu.Unlock()
+			return err
+		}
+		p.wal = next
+		p.seg++
+		p.walMu.Unlock()
+		// A Close failure means the outgoing segment is missing records (a
+		// sticky write error dropped them on disk, though they are all in
+		// the quiesced in-memory state). The snapshot below supersedes the
+		// damaged segment entirely, so press on — aborting here would keep
+		// the hole on disk; the error is surfaced after the state is safe.
+		closeErr := old.Close()
+
+		written, err := p.writeSnapshot()
+		if err != nil {
+			return err
+		}
+		// Only now are the pre-rotation segments redundant: the renamed
+		// pair covers every record they held.
+		if _, err := persist.RemoveSegmentsBelow(p.dir, p.seg); err != nil {
+			return err
+		}
+		p.sys.FS().TakeDirty()
+		p.dirty.Store(false)
+		p.compactions.Add(1)
+		p.compactBytes.Add(written)
+		if closeErr != nil {
+			return fmt.Errorf("server: compact: close wal (state healed by snapshot): %w", closeErr)
+		}
+		return nil
+	})
+	return true, err
+}
+
+// writeSnapshot writes the repository+DFS pair via tmp files and renames
+// (dfs first, repository second — recovery tolerates the torn middle, see
+// the package comment). Returns the bytes written. Caller must hold the
+// universal lease.
+func (p *persister) writeSnapshot() (int64, error) {
+	repoTmp, err := os.CreateTemp(p.dir, repoStateFile+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(repoTmp.Name())
+	dfsTmp, err := os.CreateTemp(p.dir, dfsStateFile+".tmp*")
+	if err != nil {
+		repoTmp.Close()
+		return 0, err
+	}
+	defer os.Remove(dfsTmp.Name())
+
+	err = p.sys.Repository().Save(repoTmp)
+	if err == nil {
+		err = p.sys.FS().Export(dfsTmp)
+	}
+	var written int64
+	for _, f := range []*os.File{repoTmp, dfsTmp} {
+		if st, serr := f.Stat(); serr == nil {
+			written += st.Size()
+		}
+		if serr := f.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return 0, fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := os.Rename(dfsTmp.Name(), filepath.Join(p.dir, dfsStateFile)); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(repoTmp.Name(), filepath.Join(p.dir, repoStateFile)); err != nil {
+		return 0, err
+	}
+	// The renames must be durable before the caller may delete the
+	// segments they supersede — directory metadata does not order itself.
+	return written, persist.SyncDir(p.dir)
+}
+
+// sweepOrphans deletes restore/ files no repository entry references:
+// temps and sub-job outputs of failed or registration-disabled workflows,
+// and (at recovery) files stranded by a crash mid-workflow. Runs at
+// startup and during every compaction (under the universal lease, so no
+// in-flight execution can be using an unreferenced file). Returns the
+// number of files deleted.
+func (p *persister) sweepOrphans() int {
 	refs := make(map[string]bool)
 	for _, e := range p.sys.Repository().All() {
 		refs[e.OutputPath] = true
@@ -87,45 +348,67 @@ func (p *persister) sweepOrphans() {
 		}
 	}
 	fs := p.sys.FS()
+	swept := 0
 	for _, path := range fs.List("restore/") {
 		if !refs[path] {
-			_ = fs.Delete(path)
+			if fs.Delete(path) == nil {
+				swept++
+			}
 		}
 	}
+	return swept
 }
 
-// save checkpoints the repository and DFS atomically (tmp + rename per
-// file). SaveState takes the system's universal lease (the drain barrier),
-// so the pair is always a consistent snapshot even while path-disjoint
-// executions run concurrently; p.mu keeps two saves' renames from
-// interleaving.
-func (p *persister) save() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	repoTmp, err := os.CreateTemp(p.dir, repoStateFile+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(repoTmp.Name())
-	dfsTmp, err := os.CreateTemp(p.dir, dfsStateFile+".tmp*")
-	if err != nil {
-		repoTmp.Close()
-		return err
-	}
-	defer os.Remove(dfsTmp.Name())
+// close flushes and closes the current segment. Appends from workers still
+// draining in the background after a timed-out shutdown hit the writer's
+// sticky error and are dropped — exactly the never-acknowledged work a
+// supervisor kill would have lost anyway.
+func (p *persister) close() error {
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
+	return p.wal.Close()
+}
 
-	err = p.sys.SaveState(repoTmp, dfsTmp)
-	if cerr := repoTmp.Close(); err == nil {
-		err = cerr
+// WALStats describes the persistence subsystem in GET /v1/metrics.
+type WALStats struct {
+	// Segment is the current WAL segment number; Records/Bytes count
+	// appends since daemon start (across rotations).
+	Segment uint64 `json:"segment"`
+	Records int64  `json:"records"`
+	Bytes   int64  `json:"bytes"`
+	// AppendErrors counts records dropped by a failed append (sticky
+	// writer errors surface on the next flush/compaction too).
+	AppendErrors int64 `json:"appendErrors"`
+	// Compactions/CompactBytes count snapshot+truncate cycles and the
+	// snapshot bytes they wrote; TempFilesSwept the orphaned restore/
+	// files reclaimed by the recovery and compaction sweeps.
+	Compactions    int64 `json:"compactions"`
+	CompactBytes   int64 `json:"compactBytes"`
+	TempFilesSwept int64 `json:"tempFilesSwept"`
+	// DirtyFiles is how many DFS files changed since the last compaction
+	// (what the next snapshot must newly capture).
+	DirtyFiles int `json:"dirtyFiles"`
+	// RecoveredRecords/RecoveredTorn describe the startup replay: how many
+	// log records were applied over the snapshot, and whether a torn final
+	// record was truncated.
+	RecoveredRecords int  `json:"recoveredRecords"`
+	RecoveredTorn    bool `json:"recoveredTorn"`
+}
+
+func (p *persister) stats() *WALStats {
+	p.walMu.RLock()
+	seg := p.seg
+	p.walMu.RUnlock()
+	return &WALStats{
+		Segment:          seg,
+		Records:          p.walRecords.Load(),
+		Bytes:            p.walBytes.Load(),
+		AppendErrors:     p.appendErrs.Load(),
+		Compactions:      p.compactions.Load(),
+		CompactBytes:     p.compactBytes.Load(),
+		TempFilesSwept:   p.swept.Load(),
+		DirtyFiles:       p.sys.FS().DirtyCount(),
+		RecoveredRecords: p.recoveredRecords,
+		RecoveredTorn:    p.recoveredTorn,
 	}
-	if cerr := dfsTmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("server: checkpoint: %w", err)
-	}
-	if err := os.Rename(dfsTmp.Name(), filepath.Join(p.dir, dfsStateFile)); err != nil {
-		return err
-	}
-	return os.Rename(repoTmp.Name(), filepath.Join(p.dir, repoStateFile))
 }

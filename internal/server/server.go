@@ -17,9 +17,22 @@
 //     bounded queue provides backpressure.
 //   - A single-flight group deduplicates textually-identical in-flight
 //     queries: the first becomes the leader, the rest share its result.
-//   - A persister checkpoints the repository plus the DFS into a state
-//     directory on an interval and at shutdown, so a restarted daemon
-//     resumes with its learned repository.
+//   - A persister write-ahead-logs every repository and DFS mutation into
+//     a state directory while queries execute (fsync-batched, no drain),
+//     and periodically compacts the log into a snapshot pair under the
+//     system's universal lease. A restarted daemon loads the snapshot,
+//     replays the log (truncating a torn final record), sweeps orphaned
+//     restore/ files, and resumes with its learned repository.
+//
+// Invariants:
+//
+//   - Two tasks whose declared access sets conflict never execute
+//     concurrently, and a blocked task is never overtaken by a conflicting
+//     or out-of-window one (see conflict.go).
+//   - Everything the daemon has acknowledged to a client is either in the
+//     WAL within one -wal-sync window or already in the snapshot pair;
+//     recovery converges to the exact state at the end of the log no
+//     matter where the process died (see persist.go).
 package server
 
 import (
@@ -39,17 +52,36 @@ import (
 	"repro/internal/core"
 )
 
+// SyncEveryRecord, as Config.WALSyncInterval, makes every mutation fsync
+// its WAL record before returning: nothing acknowledged is ever lost, at
+// the cost of an fsync per mutation.
+const SyncEveryRecord time.Duration = -1
+
+// DefaultWALSync is the WAL fsync cadence when Config.WALSyncInterval is
+// zero: the crash-loss window for acknowledged work.
+const DefaultWALSync = 100 * time.Millisecond
+
 // Config configures a Server.
 type Config struct {
 	// System is the ReStore deployment to serve. If nil a fresh one (empty
 	// DFS, empty repository) is created.
 	System *restore.System
 	// StateDir enables durable state when non-empty: the repository and DFS
-	// are loaded from it at startup and checkpointed into it.
+	// are recovered from it at startup (snapshot + WAL replay) and every
+	// later mutation is write-ahead-logged into it.
 	StateDir string
-	// SaveInterval is the periodic checkpoint interval; <= 0 checkpoints
-	// only at shutdown (and on explicit POST /v1/checkpoint).
+	// SaveInterval is the legacy name for CompactInterval and is used only
+	// when CompactInterval is zero. <= 0 compacts only at shutdown (and on
+	// explicit POST /v1/checkpoint).
 	SaveInterval time.Duration
+	// WALSyncInterval is how often buffered WAL records are fsynced (the
+	// crash-loss window). 0 selects the default (100ms);
+	// SyncEveryRecord (-1) fsyncs inside every mutation.
+	WALSyncInterval time.Duration
+	// CompactInterval is how often the WAL is compacted into a fresh
+	// snapshot pair (a universal drain). 0 falls back to SaveInterval.
+	// Compaction is skipped when nothing changed since the last one.
+	CompactInterval time.Duration
 	// QueueDepth bounds the execution queue (default 256); a full queue
 	// rejects submissions with 503.
 	QueueDepth int
@@ -78,6 +110,10 @@ type Server struct {
 	saveWG    sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
+	// compacting lets the periodic compaction run off the persistLoop
+	// goroutine (it blocks on a full drain) without piling up: at most one
+	// timer-driven compaction is in flight.
+	compacting atomic.Bool
 }
 
 // New builds a Server, loading a previous checkpoint when cfg.StateDir holds
@@ -103,19 +139,23 @@ func New(cfg Config) (*Server, error) {
 	s.met.start = time.Now()
 
 	if cfg.StateDir != "" {
-		p, err := newPersister(cfg.StateDir, sys)
+		p, err := newPersister(cfg.StateDir, sys, cfg.WALSyncInterval < 0)
 		if err != nil {
 			s.sched.close()
 			return nil, err
 		}
-		if _, err := p.load(); err != nil {
-			s.sched.close()
-			return nil, err
-		}
 		s.persist = p
-		if cfg.SaveInterval > 0 {
+		walSync := cfg.WALSyncInterval
+		if walSync == 0 {
+			walSync = DefaultWALSync
+		}
+		compactEvery := cfg.CompactInterval
+		if compactEvery == 0 {
+			compactEvery = cfg.SaveInterval
+		}
+		if walSync > 0 || compactEvery > 0 {
 			s.saveWG.Add(1)
-			go s.saveLoop(cfg.SaveInterval)
+			go s.persistLoop(walSync, compactEvery)
 		}
 	}
 
@@ -143,11 +183,13 @@ func (s *Server) Serve(ln net.Listener) error {
 	return s.httpSrv.Serve(ln)
 }
 
-// Close shuts the server down: stop accepting HTTP, stop the checkpoint
-// ticker, checkpoint, drain the execution queue within ctx's deadline, and
-// write a final checkpoint. The pre-drain checkpoint means a supervisor
-// kill during a long drain loses at most the queued (never-acknowledged)
-// work, not the repository state accumulated so far.
+// Close shuts the server down: stop accepting HTTP, stop the persistence
+// tickers, flush the WAL (the no-stall durability point — everything
+// acknowledged so far is now on disk), drain the execution queue within
+// ctx's deadline, compact into a clean snapshot pair, and close the log.
+// A supervisor kill during a long drain loses at most the queued
+// (never-acknowledged) work: the pre-drain flush already persisted the
+// rest, and a half-drained WAL replays on the next start.
 func (s *Server) Close(ctx context.Context) error {
 	s.closeOnce.Do(func() {
 		// Shutdown on a never-served http.Server is a no-op that also makes
@@ -158,63 +200,105 @@ func (s *Server) Close(ctx context.Context) error {
 		close(s.stopSave)
 		s.saveWG.Wait()
 		if s.persist != nil {
-			// The pre-drain save's universal lease waits for every in-flight
-			// execution (up to `workers` of them) and holds off new
-			// admissions, but not the scheduler's queued backlog.
-			if err := s.persist.save(); err == nil {
-				s.met.checkpoints.Add(1)
-			} else if s.closeErr == nil {
+			if err := s.persist.flush(); err != nil && s.closeErr == nil {
 				s.closeErr = err
 			}
 		}
 		drained := s.sched.closeWithin(ctx)
-		if s.persist != nil && drained {
-			if err := s.persist.save(); err != nil && s.closeErr == nil {
+		if s.persist != nil {
+			if drained {
+				if did, err := s.persist.compact(); err != nil && s.closeErr == nil {
+					s.closeErr = err
+				} else if did && err == nil {
+					s.met.checkpoints.Add(1)
+				}
+			} else {
+				// Workers are still draining in the background; capture what
+				// they committed so far and let the WAL carry the rest.
+				_ = s.persist.flush()
+			}
+			if err := s.persist.close(); err != nil && s.closeErr == nil {
 				s.closeErr = err
-			} else if err == nil {
-				s.met.checkpoints.Add(1)
 			}
 		}
 	})
 	return s.closeErr
 }
 
-func (s *Server) saveLoop(interval time.Duration) {
+// persistLoop drives the two persistence cadences: frequent WAL fsyncs
+// (cheap, no lease — the routine checkpoint) and rare compactions (drain
+// barrier). Either ticker may be disabled (nil channel blocks forever).
+func (s *Server) persistLoop(walSync, compactEvery time.Duration) {
 	defer s.saveWG.Done()
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	var flushC, compactC <-chan time.Time
+	if walSync > 0 {
+		t := time.NewTicker(walSync)
+		defer t.Stop()
+		flushC = t.C
+	}
+	if compactEvery > 0 {
+		t := time.NewTicker(compactEvery)
+		defer t.Stop()
+		compactC = t.C
+	}
 	for {
 		select {
-		case <-t.C:
-			// Best effort: a failed periodic checkpoint must not kill the
-			// daemon; the next tick (or shutdown) retries.
-			_ = s.checkpointNow()
+		case <-flushC:
+			// Best effort: a sticky WAL error resurfaces at compaction and
+			// shutdown; the daemon keeps serving from memory.
+			_ = s.persist.flush()
+		case <-compactC:
+			// Off-loop: compaction blocks on a universal drain, which can
+			// far outlast the WAL-sync interval — flush ticks must keep
+			// firing through it or the advertised crash-loss window
+			// silently stretches to the drain time. One at a time; a tick
+			// landing mid-compaction is dropped (the next one retries).
+			if s.compacting.CompareAndSwap(false, true) {
+				go func() {
+					defer s.compacting.Store(false)
+					_ = s.checkpointNow()
+				}()
+			}
 		case <-s.stopSave:
 			return
 		}
 	}
 }
 
-// checkpointNow schedules a checkpoint as a write-set-universal task and
+// checkpointNow schedules a compaction as a write-set-universal task and
 // waits for it: the scheduler lets every in-flight execution finish, keeps
-// everything queued behind it parked, and only then runs the save — the
-// drain barrier that keeps the repository+DFS snapshot pair consistent.
-// (System.SaveState takes a universal lease too, so even saves that bypass
-// the scheduler — shutdown's pre-drain checkpoint — drain in-flight work.)
+// everything queued behind it parked, and only then snapshots and
+// truncates the WAL — the drain barrier that keeps the repository+DFS
+// snapshot pair consistent. (persister.compact quiesces the System too, so
+// even compactions that bypass the scheduler — shutdown's — drain
+// in-flight work.) Routine durability does NOT come through here: WAL
+// flushes happen on their own cadence without any lease.
 func (s *Server) checkpointNow() error {
 	if s.persist == nil {
 		// A client asking a stateless daemon to checkpoint is the client's
 		// mistake (400), not a server fault.
 		return badRequestError{errors.New("server: no state directory configured")}
 	}
-	ch := make(chan error, 1)
-	if err := s.sched.submit(restore.UniversalAccess(), func() { ch <- s.persist.save() }); err != nil {
+	type outcome struct {
+		did bool
+		err error
+	}
+	ch := make(chan outcome, 1)
+	if err := s.sched.submit(restore.UniversalAccess(), func() {
+		did, err := s.persist.compact()
+		ch <- outcome{did, err}
+	}); err != nil {
 		return err
 	}
-	if err := <-ch; err != nil {
-		return err
+	o := <-ch
+	if o.err != nil {
+		return o.err
 	}
-	s.met.checkpoints.Add(1)
+	if o.did {
+		// Skipped no-op compactions (clean system) are not checkpoints;
+		// this counter stays in step with WALStats.Compactions.
+		s.met.checkpoints.Add(1)
+	}
 	return nil
 }
 
@@ -493,6 +577,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.QueueDepth = s.sched.queueDepth()
 	snap.Executing = s.sched.executing()
 	snap.Workers = int64(s.sched.workers)
+	if s.persist != nil {
+		snap.WAL = s.persist.stats()
+	}
 	snap.Reuse = s.sys.Stats()
 	repo := s.sys.Repository()
 	snap.RepositoryEntries = repo.Len()

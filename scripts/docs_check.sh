@@ -1,0 +1,60 @@
+#!/bin/sh
+# docs_check.sh — golint-style doc-comment gate for the documented packages.
+#
+# Fails if any exported top-level declaration (func, method, type, and
+# single-line const/var) in the packages below lacks a doc comment on the
+# line directly above it. Grouped const/var blocks are exempt (their
+# members are documented at the block or field level by convention).
+#
+# Run via `make docs-check` (part of `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FILES=$(find internal/server internal/dfs internal/core -name '*.go' ! -name '*_test.go'; echo access.go)
+
+status=0
+for f in $FILES; do
+	if ! awk '
+		{ lines[NR] = $0 }
+		END {
+			bad = 0
+			for (i = 1; i <= NR; i++) {
+				line = lines[i]
+				flag = 0
+				if (line ~ /^func [A-Z]/ \
+					|| line ~ /^type [A-Z]/ \
+					|| line ~ /^const [A-Z]/ \
+					|| line ~ /^var [A-Z]/) {
+					flag = 1
+				} else if (line ~ /^func \([^)]*\) [A-Z]/) {
+					# Methods: only exported receiver types need docs
+					# (unexported adapters satisfying interfaces are exempt,
+					# matching golint).
+					recv = line
+					sub(/^func \(/, "", recv)
+					sub(/\).*/, "", recv)
+					n = split(recv, parts, " ")
+					typ = parts[n]
+					sub(/^\*/, "", typ)
+					if (typ ~ /^[A-Z]/) flag = 1
+				}
+				if (flag) {
+					prev = (i > 1) ? lines[i-1] : ""
+					if (prev !~ /^\/\//) {
+						printf "%s:%d: exported declaration lacks a doc comment: %s\n", FILENAME, i, line
+						bad = 1
+					}
+				}
+			}
+			exit bad
+		}
+	' "$f"; then
+		status=1
+	fi
+done
+
+if [ "$status" -ne 0 ]; then
+	echo "docs-check: add doc comments to the declarations above (see docs/ARCHITECTURE.md for the package contracts they should state)" >&2
+fi
+exit $status

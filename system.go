@@ -575,20 +575,31 @@ func (s *System) SaveRepository(w io.Writer) error {
 	return s.repo.Load().Save(w)
 }
 
-// SaveState persists the repository and the full DFS (data, schemas, file
-// versions) as one consistent snapshot pair, for the daemon's durable-state
-// directory. It takes a universal lease — the drain barrier: every
-// in-flight execution completes first and no new one is admitted until
-// both writers are done, so the pair can never capture a torn DFS (a file
-// created but not yet committed) or a repository entry whose output file
-// missed the snapshot.
-func (s *System) SaveState(repoW, dfsW io.Writer) error {
+// Quiesce runs fn under a universal (write-set-universal) lease — the drain
+// barrier: every in-flight execution completes first and no new mutating
+// operation is admitted until fn returns. The persistence layer uses it for
+// compaction (snapshot + WAL truncation), where the snapshot pair, the log
+// rotation, and the orphan sweep must all observe the same quiescent state.
+// fn must not call Execute/ExecutePrepared or any other lease-taking method
+// on the same System — that would self-deadlock.
+func (s *System) Quiesce(fn func() error) error {
 	lease := s.leases.acquire(UniversalAccess())
 	defer s.leases.release(lease)
-	if err := s.repo.Load().Save(repoW); err != nil {
-		return err
-	}
-	return s.fs.Export(dfsW)
+	return fn()
+}
+
+// SaveState persists the repository and the full DFS (data, schemas, file
+// versions) as one consistent snapshot pair, for the daemon's durable-state
+// directory. It runs under Quiesce, so the pair can never capture a torn
+// DFS (a file created but not yet committed) or a repository entry whose
+// output file missed the snapshot.
+func (s *System) SaveState(repoW, dfsW io.Writer) error {
+	return s.Quiesce(func() error {
+		if err := s.repo.Load().Save(repoW); err != nil {
+			return err
+		}
+		return s.fs.Export(dfsW)
+	})
 }
 
 // LoadRepositoryFrom replaces the repository with one previously saved by
@@ -599,12 +610,23 @@ func (s *System) LoadRepositoryFrom(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	s.AdoptRepository(repo)
+	return nil
+}
+
+// AdoptRepository installs repo as the system's repository under a
+// universal lease and advances the workflow/namespace counters past
+// everything the repository and current DFS reference. The recovery path
+// uses it after replaying the write-ahead log into a loaded repository;
+// passing the system's current repository is allowed and just re-advances
+// the counters. Any journal attached to the previous repository is NOT
+// carried over — re-attach with Repository().SetJournal afterwards.
+func (s *System) AdoptRepository(repo *core.Repository) {
 	lease := s.leases.acquire(UniversalAccess())
 	defer s.leases.release(lease)
 	s.repo.Store(repo)
 	s.selector.Repo = repo
 	s.advanceCounters(repo)
-	return nil
 }
 
 // advanceCounters pushes the workflow-sequence, compile-namespace, and
