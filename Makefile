@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race race-server docs-check build
+.PHONY: check fmt vet test race race-server docs-check build bench-match bench-match-smoke
 
-check: fmt vet docs-check race race-server
+check: fmt vet docs-check race race-server bench-match-smoke
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,20 @@ race:
 
 # The concurrency and crash-recovery battery (property/stress/drain tests of
 # the conflict-aware scheduler, plus the WAL torn-tail/replay tests) runs
-# twice under the detector: interleavings differ per run.
+# twice under the detector: interleavings differ per run. internal/core
+# rides along for the indexed-vs-naive match equivalence property test.
 race-server:
-	$(GO) test -race -count=2 ./internal/server/... ./internal/persist/...
+	$(GO) test -race -count=2 ./internal/server/... ./internal/persist/... ./internal/core/...
+
+# Matcher microbenchmarks: indexed vs naive best-match scan across
+# repository sizes, plus the mapping-map allocation profile.
+bench-match:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkFindBestMatch|BenchmarkMatchMappingAllocs' -benchmem
+
+# One-iteration smoke of the same benchmarks so the indexed match path is
+# exercised (and kept compiling) by every `make check` run.
+bench-match-smoke:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkFindBestMatch|BenchmarkMatchMappingAllocs' -benchtime 1x
 
 # Fails when an exported identifier in the documented packages
 # (internal/server, internal/dfs, internal/core, root access.go) lacks a doc

@@ -165,6 +165,41 @@ func TestFig17MonotoneTrends(t *testing.T) {
 	}
 }
 
+// TestMatchScalingShape pins the server-match headline: the indexed scan's
+// full-repository (miss) probe counts stay flat while the naive path's grow
+// linearly, and the indexed path is faster at every size. Wall-clock ratios
+// are left to the recorded baseline (CI machines are noisy); probe counts
+// are deterministic.
+func TestMatchScalingShape(t *testing.T) {
+	table, err := MatchScaling(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows alternate indexed/naive per size.
+	if len(table.Rows)%2 != 0 || len(table.Rows) < 4 {
+		t.Fatalf("unexpected row count %d", len(table.Rows))
+	}
+	var idxProbes, naiProbes []float64
+	for i := 0; i < len(table.Rows); i += 2 {
+		ip, np := cell(t, table, i, "probes_miss"), cell(t, table, i+1, "probes_miss")
+		if ip >= np {
+			t.Errorf("row %d: indexed probes %.0f >= naive %.0f", i, ip, np)
+		}
+		if iu, nu := cell(t, table, i, "miss_us"), cell(t, table, i+1, "miss_us"); iu >= nu {
+			t.Errorf("row %d: indexed miss lookup %.1fus not faster than naive %.1fus", i, iu, nu)
+		}
+		idxProbes = append(idxProbes, ip)
+		naiProbes = append(naiProbes, np)
+	}
+	last := len(naiProbes) - 1
+	if naiProbes[last] < 2*naiProbes[0] {
+		t.Errorf("naive probes did not grow with repository size: %v", naiProbes)
+	}
+	if idxProbes[last] > 2*idxProbes[0]+8 {
+		t.Errorf("indexed probes grew with repository size: %v", idxProbes)
+	}
+}
+
 func TestLookup(t *testing.T) {
 	if _, err := Lookup("fig9"); err != nil {
 		t.Error(err)

@@ -19,6 +19,9 @@ type Config struct {
 	// paper-scale size it represents (40 GB).
 	SynthRows        int
 	SynthTargetBytes int64
+	// MatchRepoSizes are the repository populations the server-match
+	// experiment sweeps (indexed vs naive match-scan cost).
+	MatchRepoSizes []int
 }
 
 // DefaultConfig returns the full-size (laptop-scale) configuration.
@@ -28,6 +31,7 @@ func DefaultConfig() Config {
 		Large:            pigmix.Instance150GB(),
 		SynthRows:        40_000,
 		SynthTargetBytes: 40 << 30,
+		MatchRepoSizes:   []int{50, 200, 800},
 	}
 }
 
@@ -48,6 +52,7 @@ func TinyConfig() Config {
 		Large:            large,
 		SynthRows:        4_000,
 		SynthTargetBytes: 40 << 30,
+		MatchRepoSizes:   []int{20, 60},
 	}
 }
 

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logical"
+	"repro/internal/mrcompile"
+	"repro/internal/physical"
+	"repro/internal/piglatin"
+)
+
+// MatchScaling measures the matcher's per-query probe cost as the
+// repository grows — the server's hottest read path under sustained traffic
+// (every submission runs FindBestMatch in the rewriter's repeated-scan
+// loop, against a repository the paper expects to hold hundreds of sub-job
+// entries). For each repository size it times the indexed scan
+// (fingerprint-probe + collision verification) against the retained naive
+// reference scan, on two inputs:
+//
+//   - "hit": a query containing one stored plan — the scan stops at the
+//     matching entry;
+//   - "miss": a query matching nothing — both paths must rule out every
+//     entry, the worst case the index exists for.
+//
+// probes_* count pairwise-traversal attempts per lookup: sublinear
+// (~constant) for the indexed path, linear in repository size for the
+// naive one.
+func MatchScaling(cfg Config) (*Table, error) {
+	table := &Table{
+		ID:      "server-match",
+		Title:   "match-scan cost vs repository size: fingerprint index vs naive scan",
+		Columns: []string{"entries", "mode", "hit_us", "miss_us", "probes_hit", "probes_miss"},
+	}
+	sizes := cfg.MatchRepoSizes
+	if len(sizes) == 0 {
+		sizes = []int{50, 200, 800}
+	}
+	type speedup struct {
+		n    int
+		x    float64
+		pIdx int64
+		pNai int64
+	}
+	var speedups []speedup
+	for _, n := range sizes {
+		repo, err := matchBenchRepo(n)
+		if err != nil {
+			return nil, err
+		}
+		// The hit input contains the chain of the last-added entry (distinct
+		// constants make it the only match); the miss input's constant is
+		// outside every entry's range.
+		hit, err := matchBenchInput(n - 1)
+		if err != nil {
+			return nil, err
+		}
+		miss, err := matchBenchInput(-7)
+		if err != nil {
+			return nil, err
+		}
+		rounds := 400_000 / (n + 100) // keep wall time flat-ish across sizes
+		if rounds < 20 {
+			rounds = 20
+		}
+		var row [2]struct {
+			hitUS, missUS         float64
+			probesHit, probesMiss int64
+		}
+		for mode := 0; mode < 2; mode++ {
+			find := core.FindBestMatchProbed
+			if mode == 1 {
+				find = core.FindBestMatchNaive
+			}
+			var stHit, stMiss core.MatchStats
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				if _, ok := find(hit, repo, nil, &stHit); !ok {
+					return nil, fmt.Errorf("bench: server-match: hit input missed at %d entries", n)
+				}
+			}
+			hitUS := float64(time.Since(start).Microseconds()) / float64(rounds)
+			start = time.Now()
+			for i := 0; i < rounds; i++ {
+				if _, ok := find(miss, repo, nil, &stMiss); ok {
+					return nil, fmt.Errorf("bench: server-match: miss input matched at %d entries", n)
+				}
+			}
+			missUS := float64(time.Since(start).Microseconds()) / float64(rounds)
+			row[mode].hitUS, row[mode].missUS = hitUS, missUS
+			row[mode].probesHit = stHit.Probes / int64(rounds)
+			row[mode].probesMiss = stMiss.Probes / int64(rounds)
+			name := "indexed"
+			if mode == 1 {
+				name = "naive"
+			}
+			table.AddRow(
+				fmt.Sprintf("%d", n),
+				name,
+				fmt.Sprintf("%.1f", hitUS),
+				fmt.Sprintf("%.1f", missUS),
+				fmt.Sprintf("%d", row[mode].probesHit),
+				fmt.Sprintf("%d", row[mode].probesMiss),
+			)
+		}
+		if row[0].missUS > 0 {
+			speedups = append(speedups, speedup{n, row[1].missUS / row[0].missUS, row[0].probesMiss, row[1].probesMiss})
+		}
+	}
+	for _, s := range speedups {
+		table.AddNote("%d entries: indexed %.1fx faster than naive on the full-scan (miss) path; probes/lookup %d vs %d",
+			s.n, s.x, s.pIdx, s.pNai)
+	}
+	table.AddNote("indexed probe counts stay ~flat as the repository grows (fingerprint-probe surfaces only hash-equal candidates); naive probes grow linearly")
+	return table, nil
+}
+
+// matchBenchScript is the per-entry chain; constant i keeps every entry's
+// plan (and terminal fingerprint) distinct.
+func matchBenchScript(i int, out string) string {
+	return fmt.Sprintf(`A = load 'pv' as (user, ts:int, rev:int);
+B = filter A by ts > %d;
+C = foreach B generate user, rev;
+D = group C by user;
+E = foreach D generate group, COUNT(C), SUM(C.rev);
+store E into '%s';`, i+1000, out)
+}
+
+// matchBenchRepo builds a repository of n distinct stored chains.
+func matchBenchRepo(n int) (*core.Repository, error) {
+	repo := core.NewRepository()
+	for i := 0; i < n; i++ {
+		plan, err := matchBenchPlan(matchBenchScript(i, fmt.Sprintf("restore/m%d", i)), fmt.Sprintf("tmp/m%d", i))
+		if err != nil {
+			return nil, err
+		}
+		store := plan.Sinks()[0]
+		cand, err := core.WholeJobCandidate(plan, store)
+		if err != nil {
+			return nil, err
+		}
+		_, added, err := repo.Add(&core.Entry{
+			Plan:       cand,
+			OutputPath: store.Path,
+			Schema:     store.Schema,
+			InputBytes: 1000, OutputBytes: 100,
+			ExecTime: time.Minute,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !added {
+			return nil, fmt.Errorf("bench: server-match: entry %d deduplicated unexpectedly", i)
+		}
+	}
+	return repo, nil
+}
+
+// matchBenchInput compiles the probe query for constant i (i < 0 lands
+// outside every stored constant: a guaranteed miss).
+func matchBenchInput(i int) (*physical.Plan, error) {
+	return matchBenchPlan(matchBenchScript(i, "out/probe"), "tmp/probe")
+}
+
+// matchBenchPlan parses and compiles a single-job script to its plan.
+func matchBenchPlan(src, tmp string) (*physical.Plan, error) {
+	script, err := piglatin.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := logical.Build(script)
+	if err != nil {
+		return nil, err
+	}
+	w, err := mrcompile.Compile(lp, tmp)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.Jobs) != 1 {
+		return nil, fmt.Errorf("bench: server-match: script compiled to %d jobs, want 1", len(w.Jobs))
+	}
+	return w.Jobs[0].Plan, nil
+}

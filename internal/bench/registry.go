@@ -27,6 +27,7 @@ func Experiments() []Experiment {
 		{"ablation-evict", "Ablation: eviction policies", AblationEviction},
 		{"server", "restored server-mode throughput (concurrent clients)", ServerThroughput},
 		{"server-ckpt", "checkpoint cost per interval: WAL vs full snapshot", ServerCheckpointCost},
+		{"server-match", "match-scan cost vs repository size: index vs naive", MatchScaling},
 	}
 }
 

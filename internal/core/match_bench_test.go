@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Matcher microbenchmarks (run via `make bench-match`): the indexed vs
+// naive best-match scan across repository sizes, and the per-candidate
+// allocation profile of Match's reused mapping map.
+
+func benchSizes() []int { return []int{50, 200, 800} }
+
+func BenchmarkFindBestMatchIndexed(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			repo := distinctChainRepo(b, n)
+			input := compileJobs(b, `A = load 'pv' as (user, ts:int, rev:int);
+B = filter A by ts > 7;
+C = foreach B generate user, rev;
+store C into 'out/miss';`, "tmp/bm")[0].Plan
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := FindBestMatchProbed(input, repo, nil, nil); ok {
+					b.Fatal("miss input matched")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFindBestMatchNaive(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			repo := distinctChainRepo(b, n)
+			input := compileJobs(b, `A = load 'pv' as (user, ts:int, rev:int);
+B = filter A by ts > 7;
+C = foreach B generate user, rev;
+store C into 'out/miss';`, "tmp/bn")[0].Plan
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := FindBestMatchNaive(input, repo, nil, nil); ok {
+					b.Fatal("miss input matched")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatchMappingAllocs pins the mapping-map churn fix: one Match call
+// scans every input operator as a candidate, and the reused (cleared)
+// mapping map keeps allocations flat in the candidate count instead of one
+// map per operator. Input and entry share a long signature-equal prefix
+// (only the bottom filter constant differs), so traversals run deep before
+// failing.
+func BenchmarkMatchMappingAllocs(b *testing.B) {
+	mk := func(c int, tmp string) string {
+		return fmt.Sprintf(`A = load 'pv' as (user, ts:int, rev:int);
+B = filter A by ts > %d;
+C = foreach B generate user, rev;
+D = group C by user;
+E = foreach D generate group, COUNT(C), SUM(C.rev);
+store E into '%s';`, c, tmp)
+	}
+	entry := entryFromJob(b, compileJobs(b, mk(9999, "restore/alloc"), "tmp/alloc")[0], "alloc-entry")
+	input := compileJobs(b, mk(7, "out/alloc"), "tmp/alloc-in")[0].Plan
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Match(input, entry); ok {
+			b.Fatal("different filter constants should not match")
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"maps"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/physical"
+)
+
+// Randomized equivalence battery: the indexed match path
+// (FindBestMatchProbed) must return the *same entry and mapping* as the
+// retained naive reference scan (FindBestMatchNaive) on every input — across
+// plan corpora that include DAGs with shared operators (shared filter
+// prefixes feeding self-joins) and injected OpSplit tees. Runs under make
+// check's `-race -count=2` gate.
+
+// corpusScript generates one random script from a small pool of tables,
+// shapes, and constants; the small pools make repo/input plan collisions
+// (and hence matches) common.
+func corpusScript(r *rand.Rand, out string) string {
+	c1 := 1 + r.Intn(4)
+	c2 := 1 + r.Intn(4)
+	switch r.Intn(5) {
+	case 0: // projection chain
+		return fmt.Sprintf(`A = load 'pv' as (user, ts:int, rev:int);
+B = filter A by ts > %d;
+C = foreach B generate user, rev;
+store C into '%s';`, c1, out)
+	case 1: // group-aggregate
+		return fmt.Sprintf(`A = load 'pv' as (user, ts:int, rev:int);
+B = filter A by ts > %d;
+C = group B by user;
+D = foreach C generate group, COUNT(B), SUM(B.rev);
+store D into '%s';`, c1, out)
+	case 2: // shared-prefix self-join: A is a DAG-shared operator
+		return fmt.Sprintf(`A = load 'pv' as (user, ts:int, rev:int);
+B = filter A by ts > %d;
+C = filter A by rev > %d;
+D = join B by user, C by user;
+store D into '%s';`, c1, c2, out)
+	case 3: // two-table join
+		return fmt.Sprintf(`A = load 'pv' as (user, ts:int, rev:int);
+B = foreach A generate user, rev;
+U = load 'users' as (name, city, age:int);
+V = filter U by age > %d;
+C = join V by name, B by user;
+store C into '%s';`, c1, out)
+	default: // distinct/order tail
+		return fmt.Sprintf(`A = load 'clicks' as (user, n:int);
+B = filter A by n > %d;
+C = distinct B;
+store C into '%s';`, c1, out)
+	}
+}
+
+// corpusRepo populates a repository from n random scripts with randomized
+// (deterministic) statistics so the §3 ordering varies.
+func corpusRepo(t testing.TB, r *rand.Rand, n int) *Repository {
+	repo := NewRepository()
+	for i := 0; i < n; i++ {
+		src := corpusScript(r, fmt.Sprintf("restore/c%d", i))
+		jobs := compileJobs(t, src, fmt.Sprintf("tmp/c%d", i))
+		e := entryFromJob(t, jobs[0], fmt.Sprintf("e%d", i))
+		e.InputBytes = int64(1000 + r.Intn(5000))
+		e.OutputBytes = int64(1 + r.Intn(2000))
+		e.ExecTime = time.Duration(r.Intn(900)) * time.Second
+		if _, _, err := repo.Add(e); err != nil {
+			t.Fatalf("add %s: %v", e.ID, err)
+		}
+	}
+	return repo
+}
+
+// assertSameMatch runs both scan paths and fails on any divergence.
+func assertSameMatch(t *testing.T, input *physical.Plan, repo *Repository, skip map[string]bool) (hit bool) {
+	t.Helper()
+	var stI, stN MatchStats
+	mi, oki := FindBestMatchProbed(input, repo, skip, &stI)
+	mn, okn := FindBestMatchNaive(input, repo, skip, &stN)
+	if oki != okn {
+		t.Fatalf("indexed ok=%v, naive ok=%v\ninput:\n%s", oki, okn, input)
+	}
+	if !oki {
+		return false
+	}
+	if mi.Entry.ID != mn.Entry.ID {
+		t.Fatalf("indexed entry %s, naive entry %s", mi.Entry.ID, mn.Entry.ID)
+	}
+	if mi.Terminal.ID != mn.Terminal.ID {
+		t.Fatalf("entry %s: indexed terminal #%d, naive terminal #%d", mi.Entry.ID, mi.Terminal.ID, mn.Terminal.ID)
+	}
+	if !maps.Equal(mi.Mapping, mn.Mapping) {
+		t.Fatalf("entry %s: mappings differ:\nindexed: %v\nnaive:   %v", mi.Entry.ID, mi.Mapping, mn.Mapping)
+	}
+	if stI.Probes > stN.Probes {
+		t.Fatalf("indexed path probed more than naive (%d > %d)", stI.Probes, stN.Probes)
+	}
+	return true
+}
+
+func TestPropertyIndexedMatchEqualsNaive(t *testing.T) {
+	hits := 0
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		repo := corpusRepo(t, r, 4+r.Intn(20))
+		for q := 0; q < 8; q++ {
+			src := corpusScript(r, fmt.Sprintf("out/s%d-q%d", seed, q))
+			jobs := compileJobs(t, src, fmt.Sprintf("tmp/s%d-q%d", seed, q))
+			for _, job := range jobs {
+				plan := job.Plan.Clone()
+				if assertSameMatch(t, plan, repo, nil) {
+					hits++
+				}
+
+				// Same plan with injected Split+Store tees: the input-side
+				// skip rule and the fingerprint's fold must agree.
+				injected := job.Plan.Clone()
+				ni := 0
+				if _, err := EnumerateSubJobs(injected, HeuristicAggressive, func() string {
+					ni++
+					return fmt.Sprintf("restore/inj-s%d-q%d-%d", seed, q, ni)
+				}); err != nil {
+					t.Fatalf("inject: %v", err)
+				}
+				if assertSameMatch(t, injected, repo, nil) {
+					hits++
+				}
+
+				// With the best entry skipped, both paths must agree on the
+				// second-best too (exercises the skip-set path).
+				if m, ok := FindBestMatch(plan, repo); ok {
+					assertSameMatch(t, plan, repo, map[string]bool{m.Entry.ID: true})
+				}
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("corpus produced no matches at all; the equivalence property was vacuous")
+	}
+}
+
+// distinctChainRepo populates a repository with n guaranteed-distinct
+// filter-chain entries (constant i per entry, so nothing deduplicates).
+func distinctChainRepo(t testing.TB, n int) *Repository {
+	repo := NewRepository()
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf(`A = load 'pv' as (user, ts:int, rev:int);
+B = filter A by ts > %d;
+C = foreach B generate user, rev;
+store C into 'restore/d%d';`, i+1000, i)
+		jobs := compileJobs(t, src, fmt.Sprintf("tmp/d%d", i))
+		e := entryFromJob(t, jobs[0], fmt.Sprintf("d%d", i))
+		if _, added, err := repo.Add(e); err != nil || !added {
+			t.Fatalf("add d%d: added=%v err=%v", i, added, err)
+		}
+	}
+	return repo
+}
+
+// TestPropertyProbesSublinear pins the perf shape the index exists for: as
+// the repository grows with unmatchable entries, naive probe counts grow
+// linearly while indexed probes stay flat. The input misses every entry, so
+// neither path can stop early.
+func TestPropertyProbesSublinear(t *testing.T) {
+	input := compileJobs(t, `A = load 'pv' as (user, ts:int, rev:int);
+B = filter A by ts > 7;
+C = foreach B generate user, rev;
+store C into 'out/miss';`, "tmp/miss")[0].Plan
+	probesAt := func(n int) (indexed, naive int64) {
+		repo := distinctChainRepo(t, n)
+		var stI, stN MatchStats
+		if _, ok := FindBestMatchProbed(input, repo, nil, &stI); ok {
+			t.Fatal("miss input matched")
+		}
+		if _, ok := FindBestMatchNaive(input, repo, nil, &stN); ok {
+			t.Fatal("miss input matched naively")
+		}
+		return stI.Probes, stN.Probes
+	}
+	i1, n1 := probesAt(8)
+	i2, n2 := probesAt(64)
+	if n2 < n1*4 {
+		t.Errorf("naive probes did not grow ~linearly: %d at 8 entries, %d at 64", n1, n2)
+	}
+	if i2 > i1*2+8 {
+		t.Errorf("indexed probes grew with repository size: %d at 8 entries, %d at 64", i1, i2)
+	}
+}
+
+// TestSubsumesNilTerminal is the regression test for the nil-terminal crash:
+// a corrupt/unfinished entry (terminal never indexed) must be handled, not
+// panic inside pairwiseTraversal.
+func TestSubsumesNilTerminal(t *testing.T) {
+	q1 := compileJobs(t, q1Src, "tmp/q1")
+	good := entryFromJob(t, q1[0], "good")
+	corrupt := &Entry{ID: "corrupt", Plan: physical.NewPlan(), OutputPath: "nowhere"}
+	if Subsumes(good, corrupt) {
+		t.Error("nothing subsumes a corrupt entry")
+	}
+	if Subsumes(corrupt, good) {
+		t.Error("a corrupt entry subsumes nothing")
+	}
+	if _, ok := Match(q1[0].Plan, corrupt); ok {
+		t.Error("corrupt entry matched")
+	}
+}

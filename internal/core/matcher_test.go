@@ -12,7 +12,7 @@ import (
 )
 
 // compileJobs parses and compiles a script into its workflow jobs.
-func compileJobs(t *testing.T, src, tmp string) []*mapred.Job {
+func compileJobs(t testing.TB, src, tmp string) []*mapred.Job {
 	t.Helper()
 	script, err := piglatin.Parse(src)
 	if err != nil {
@@ -50,7 +50,7 @@ store E into 'out/q2';
 `
 
 // entryFromJob builds a repository entry for a job's primary output.
-func entryFromJob(t *testing.T, job *mapred.Job, id string) *Entry {
+func entryFromJob(t testing.TB, job *mapred.Job, id string) *Entry {
 	t.Helper()
 	stores := job.Plan.Sinks()
 	if len(stores) != 1 {

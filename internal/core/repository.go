@@ -74,6 +74,17 @@ type Entry struct {
 	terminal int
 	// planOps caches len(Plan.Ops()) minus the Store for ordering.
 	matchSize int
+	// ix is the plan's signature/fingerprint index, computed once at finish
+	// (plans are immutable once stored) and shared read-only thereafter.
+	ix *physical.PlanIndex
+	// termFP is the terminal operator's subtree fingerprint — the key this
+	// entry is filed under in the repository's inverted match index.
+	termFP physical.Fingerprint
+	// indexable is false for plans containing Split operators, whose
+	// traversal-side transparency the terminal fingerprint cannot summarize;
+	// such entries (never produced by the enumerator, which splices Splits
+	// out of candidate plans) are probed exhaustively instead.
+	indexable bool
 	// pins counts in-flight executions reusing this entry; guarded by the
 	// repository mutex. A pinned entry (and its stored output file) must
 	// not be evicted — a concurrent workflow's engine run is about to load
@@ -104,7 +115,30 @@ func (e *Entry) finish() error {
 	if term := e.Plan.Op(e.terminal); term != nil && term.Kind == physical.OpLoad {
 		return fmt.Errorf("core: entry %s: trivial Load->Store plan is not storable", e.ID)
 	}
-	return e.Plan.Validate()
+	if err := e.Plan.Validate(); err != nil {
+		return err
+	}
+	e.ix = physical.IndexPlan(e.Plan)
+	e.termFP = e.ix.Fingerprint(e.terminal)
+	e.indexable = true
+	for _, o := range e.Plan.Ops() {
+		if o.Kind == physical.OpSplit {
+			e.indexable = false
+			break
+		}
+	}
+	return nil
+}
+
+// index returns the entry plan's memoized signature/fingerprint index,
+// building one on the fly for hand-assembled entries that never went
+// through finish (the fresh index is not retained: entries shared across
+// goroutines only ever expose the immutable index finish built).
+func (e *Entry) index() *physical.PlanIndex {
+	if e.ix != nil {
+		return e.ix
+	}
+	return physical.IndexPlan(e.Plan)
 }
 
 // Repository holds the stored job outputs. All methods are safe for
@@ -113,7 +147,22 @@ type Repository struct {
 	mu      sync.RWMutex
 	entries []*Entry
 	byCanon map[string]*Entry // dedup on plan canonical form
-	nextID  int
+	// ordered maintains the §3 match-scan order incrementally (ordered
+	// insert on Add, removal on Remove) — Ordered() is a copy, never a
+	// re-sort. Sound because every matchOrderLess key (matchSize, byte
+	// ratio, ExecTime, ID) is immutable after Add; MarkUsed only touches
+	// usage counters.
+	ordered []*Entry
+	// byFP is the inverted match index: entry-terminal subtree fingerprint
+	// -> entries filed under it. Maintained under mu by Add/Remove (and so
+	// rebuilt for free by AdoptRepository/journal replay, which go through
+	// Add). FindBestMatchProbed probes it with the input plan's fingerprint
+	// set instead of scanning every entry.
+	byFP map[physical.Fingerprint][]*Entry
+	// unindexed lists entries excluded from byFP (Split-bearing plans);
+	// every probe also verifies these, preserving exact §3 semantics.
+	unindexed []*Entry
+	nextID    int
 	// journal, when attached, receives every committed mutation in commit
 	// order (see journal.go) — the repository half of the write-ahead log.
 	journal Journal
@@ -121,7 +170,10 @@ type Repository struct {
 
 // NewRepository returns an empty repository.
 func NewRepository() *Repository {
-	return &Repository{byCanon: make(map[string]*Entry)}
+	return &Repository{
+		byCanon: make(map[string]*Entry),
+		byFP:    make(map[physical.Fingerprint][]*Entry),
+	}
 }
 
 // Len returns the number of entries.
@@ -150,8 +202,29 @@ func (r *Repository) Add(e *Entry) (*Entry, bool, error) {
 	}
 	r.entries = append(r.entries, e)
 	r.byCanon[canon] = e
+	// Ordered insert keeps r.ordered in §3 match order without a per-lookup
+	// sort; insertion after equal keys mirrors the stable sort it replaces.
+	i := sort.Search(len(r.ordered), func(i int) bool { return matchOrderLess(e, r.ordered[i]) })
+	r.ordered = append(r.ordered, nil)
+	copy(r.ordered[i+1:], r.ordered[i:])
+	r.ordered[i] = e
+	if e.indexable {
+		r.byFP[e.termFP] = append(r.byFP[e.termFP], e)
+	} else {
+		r.unindexed = append(r.unindexed, e)
+	}
 	r.journalLocked(Mutation{Op: MutAdd, Entry: e.clone()})
 	return e, true, nil
+}
+
+// dropFromSlice removes the first pointer-identical occurrence of e.
+func dropFromSlice(s []*Entry, e *Entry) []*Entry {
+	for i, x := range s {
+		if x == e {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
 }
 
 // Remove evicts an entry by ID, returning it (or nil if absent). Exactly
@@ -168,6 +241,16 @@ func (r *Repository) removeLocked(id string) *Entry {
 		if e.ID == id {
 			r.entries = append(r.entries[:i], r.entries[i+1:]...)
 			delete(r.byCanon, e.Plan.Canonical())
+			r.ordered = dropFromSlice(r.ordered, e)
+			if e.indexable {
+				if b := dropFromSlice(r.byFP[e.termFP], e); len(b) > 0 {
+					r.byFP[e.termFP] = b
+				} else {
+					delete(r.byFP, e.termFP)
+				}
+			} else {
+				r.unindexed = dropFromSlice(r.unindexed, e)
+			}
 			r.journalLocked(Mutation{Op: MutRemove, ID: id})
 			return e
 		}
@@ -254,13 +337,33 @@ func (r *Repository) Get(id string) *Entry {
 //     precedes its subsumer; identical plans are deduplicated at Add.
 //  2. Ties order by descending input/output ratio, then descending
 //     execution time — both favor entries whose reuse saves more.
+//
+// The order is maintained incrementally on Add/Remove (all comparator keys
+// are immutable after Add), so this is a copy, not a per-call sort.
 func (r *Repository) Ordered() []*Entry {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]*Entry, len(r.entries))
-	copy(out, r.entries)
-	sort.SliceStable(out, func(i, j int) bool { return matchOrderLess(out[i], out[j]) })
+	out := make([]*Entry, len(r.ordered))
+	copy(out, r.ordered)
 	return out
+}
+
+// probeCandidates returns the entries a fingerprint probe must verify for an
+// input plan with the given index: entries whose terminal fingerprint
+// appears among the input's per-operator fingerprints (indexHits), plus
+// every unindexable entry (fallback) — in §3 match-scan order, so verifying
+// them first-match-wins reproduces the naive best-first scan exactly.
+func (r *Repository) probeCandidates(inIx *physical.PlanIndex) (cands []*Entry, indexHits, fallback int64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, fp := range inIx.Fingerprints() {
+		cands = append(cands, r.byFP[fp]...)
+	}
+	indexHits = int64(len(cands))
+	fallback = int64(len(r.unindexed))
+	cands = append(cands, r.unindexed...)
+	sort.Slice(cands, func(i, j int) bool { return matchOrderLess(cands[i], cands[j]) })
+	return cands, indexHits, fallback
 }
 
 // matchOrderLess is the §3 match-scan comparator shared by Ordered and
@@ -315,12 +418,16 @@ func (r *Repository) Snapshot() []*Entry {
 	return out
 }
 
-// OrderedSnapshot returns deep copies of the entries in match-scan order
-// (Snapshot plus the §3 sort) — the repository endpoint of the restored
-// daemon serializes these concurrently with MarkUsed.
+// OrderedSnapshot returns deep copies of the entries in match-scan order —
+// the repository endpoint of the restored daemon serializes these
+// concurrently with MarkUsed.
 func (r *Repository) OrderedSnapshot() []*Entry {
-	out := r.Snapshot()
-	sort.SliceStable(out, func(i, j int) bool { return matchOrderLess(out[i], out[j]) })
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, len(r.ordered))
+	for i, e := range r.ordered {
+		out[i] = e.clone()
+	}
 	return out
 }
 

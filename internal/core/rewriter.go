@@ -50,6 +50,10 @@ type Outcome struct {
 	// rewritten workflow has finished executing; until then the pinned
 	// entries and their stored outputs are safe from concurrent eviction.
 	Pinned []string
+	// Match accumulates the matcher probe work across every scan of this
+	// workflow's repeated-scan loops (observability, folded into
+	// core.Stats by the System).
+	Match MatchStats
 }
 
 // RewriteWorkflow rewrites every job against the repository and drops jobs
@@ -76,7 +80,7 @@ func (rw *Rewriter) RewriteWorkflow(w *mapred.Workflow) (*Outcome, error) {
 		// Repeated scans: after each rewrite, scan the repository again for
 		// further matches against the rewritten job (§3).
 		for {
-			m, ok := FindBestMatchExcluding(plan, rw.Repo, skip)
+			m, ok := FindBestMatchProbed(plan, rw.Repo, skip, &out.Match)
 			if !ok {
 				break
 			}

@@ -21,6 +21,13 @@ type Stats struct {
 	savedBytes     atomic.Int64
 	savedTimeNanos atomic.Int64
 	simTimeNanos   atomic.Int64
+
+	// Match-path observability: cumulative pairwise-traversal probes,
+	// fingerprint-index hits, and unindexable fallback scans (see
+	// MatchStats in matcher.go).
+	matchProbes        atomic.Int64
+	matchIndexHits     atomic.Int64
+	matchFallbackScans atomic.Int64
 }
 
 // QueryStats describes one executed query for aggregation.
@@ -42,6 +49,8 @@ type QueryStats struct {
 	SavedTime  time.Duration
 	// SimulatedTime is the Equation-1 completion time of what did run.
 	SimulatedTime time.Duration
+	// Match counts the matcher probe work this query's rewrite scans did.
+	Match MatchStats
 }
 
 // RecordQuery folds one query's outcome into the counters.
@@ -59,6 +68,9 @@ func (s *Stats) RecordQuery(q QueryStats) {
 	s.savedBytes.Add(q.SavedBytes)
 	s.savedTimeNanos.Add(int64(q.SavedTime))
 	s.simTimeNanos.Add(int64(q.SimulatedTime))
+	s.matchProbes.Add(q.Match.Probes)
+	s.matchIndexHits.Add(q.Match.IndexHits)
+	s.matchFallbackScans.Add(q.Match.FallbackScans)
 }
 
 // StatsSnapshot is a point-in-time copy of the counters plus derived rates,
@@ -77,6 +89,10 @@ type StatsSnapshot struct {
 	SavedBytes     int64         `json:"savedBytes"`
 	SavedTime      time.Duration `json:"savedTimeNanos"`
 	SimulatedTime  time.Duration `json:"simulatedTimeNanos"`
+	// Match is the cumulative matcher probe work: served by /v1/metrics
+	// (under "reuse", next to "wal") so index effectiveness is observable
+	// under live traffic.
+	Match MatchStats `json:"match"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each counter is
@@ -94,6 +110,11 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		SavedBytes:     s.savedBytes.Load(),
 		SavedTime:      time.Duration(s.savedTimeNanos.Load()),
 		SimulatedTime:  time.Duration(s.simTimeNanos.Load()),
+		Match: MatchStats{
+			Probes:        s.matchProbes.Load(),
+			IndexHits:     s.matchIndexHits.Load(),
+			FallbackScans: s.matchFallbackScans.Load(),
+		},
 	}
 	snap.JobsEliminated = snap.JobsCompiled - snap.JobsExecuted
 	if snap.Queries > 0 {

@@ -1,0 +1,157 @@
+package physical
+
+import (
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Fingerprint is a Merkle-style hash of an operator's upstream cone: its
+// Signature() combined with the fingerprints of its inputs in argument
+// order. Two operators with equal fingerprints compute (up to hash
+// collision) the same function over the same sources, so the repository can
+// index stored plans by their terminal fingerprint and the matcher can
+// restrict the §3 pairwise traversal to hash-equal candidates. Equality is a
+// *necessary* condition for a traversal match, never a sufficient one —
+// collisions are resolved by running the exact traversal as verification.
+type Fingerprint uint64
+
+// PlanIndex memoizes per-operator Signature() strings and subtree
+// Fingerprints for one plan. Signatures and fingerprints are pure functions
+// of the plan, so an index is computed once — at plan freeze time: when an
+// entry enters the repository, or per match scan for an input plan — and
+// never re-derived during traversal.
+//
+// The index is built eagerly and is immutable afterwards, so one PlanIndex
+// may be shared by any number of concurrent readers (repository entries keep
+// theirs for the lifetime of the entry). It does NOT observe later plan
+// mutations; re-index after rewriting a plan.
+type PlanIndex struct {
+	plan *Plan
+	sigs map[int]string
+	fps  map[int]Fingerprint
+	// byFP groups operator IDs by fingerprint, each group ascending by ID —
+	// the candidate list order the matcher's ID-ascending scan requires.
+	byFP map[Fingerprint][]int
+}
+
+// fpMissing feeds the hash for a dangling input reference, keeping the index
+// total (and distinct from any real subtree) on corrupt plans.
+const fpMissing Fingerprint = 0x9e3779b97f4a7c15
+
+// IndexPlan computes the signature and fingerprint index of a plan. The
+// fingerprint of an operator hashes its memoized signature plus the
+// fingerprints of its inputs in argument order, with OpSplit transparency
+// folded in: an input reached through Split tees contributes the fingerprint
+// of the first non-Split producer, mirroring exactly the skip rule of the
+// matcher's pairwise traversal (a Split is a tee; it does not change data).
+// A Split operator itself still carries its own fingerprint over its folded
+// input, so a Split can only pair with a stored plan whose terminal is a
+// Split — again matching the traversal, which never skips the root
+// candidate.
+func IndexPlan(p *Plan) *PlanIndex {
+	n := p.Len()
+	ix := &PlanIndex{
+		plan: p,
+		sigs: make(map[int]string, n),
+		fps:  make(map[int]Fingerprint, n),
+		byFP: make(map[Fingerprint][]int, n),
+	}
+	// Ops() iterates ascending by ID, so byFP groups come out ascending.
+	for _, o := range p.Ops() {
+		fp := ix.fingerprint(o.ID)
+		ix.byFP[fp] = append(ix.byFP[fp], o.ID)
+	}
+	return ix
+}
+
+// Signature returns the operator's memoized Signature(). Every operator in
+// the plan is cached at IndexPlan time; the map is never written afterwards,
+// keeping concurrent reads safe. Unknown IDs derive (uncached) or return "".
+func (ix *PlanIndex) Signature(id int) string {
+	if s, ok := ix.sigs[id]; ok {
+		return s
+	}
+	if o := ix.plan.Op(id); o != nil {
+		return o.Signature()
+	}
+	return ""
+}
+
+// signature memoizes one operator's Signature() during index construction.
+func (ix *PlanIndex) signature(id int) string {
+	if s, ok := ix.sigs[id]; ok {
+		return s
+	}
+	o := ix.plan.Op(id)
+	if o == nil {
+		return ""
+	}
+	s := o.Signature()
+	ix.sigs[id] = s
+	return s
+}
+
+// Fingerprint returns the operator's subtree fingerprint. IDs not in the
+// plan return fpMissing.
+func (ix *PlanIndex) Fingerprint(id int) Fingerprint {
+	if fp, ok := ix.fps[id]; ok {
+		return fp
+	}
+	return fpMissing
+}
+
+// OpsWithFingerprint returns the IDs of the operators whose subtree
+// fingerprint equals fp, ascending. The returned slice is owned by the
+// index; callers must not modify it.
+func (ix *PlanIndex) OpsWithFingerprint(fp Fingerprint) []int {
+	return ix.byFP[fp]
+}
+
+// Fingerprints returns the distinct subtree fingerprints present in the
+// plan, sorted (deterministic iteration for probing and tests).
+func (ix *PlanIndex) Fingerprints() []Fingerprint {
+	out := make([]Fingerprint, 0, len(ix.byFP))
+	for fp := range ix.byFP {
+		out = append(out, fp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// fingerprint computes (and memoizes) one operator's subtree fingerprint.
+// Plans are validated DAGs; a cycle in a corrupt plan is broken by the
+// in-progress sentinel rather than recursing forever.
+func (ix *PlanIndex) fingerprint(id int) Fingerprint {
+	if fp, ok := ix.fps[id]; ok {
+		return fp
+	}
+	o := ix.plan.Op(id)
+	if o == nil {
+		return fpMissing
+	}
+	ix.fps[id] = fpMissing // in-progress sentinel; overwritten below
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, ix.signature(id))
+	h.Write([]byte{0}) // unambiguous signature/input boundary
+	var buf [8]byte
+	for _, in := range o.Inputs {
+		sub := fpMissing
+		// Fold Split transparency: descend to the first non-Split producer,
+		// as pairwiseTraversal does before comparing.
+		p := ix.plan.Op(in)
+		for p != nil && p.Kind == OpSplit && len(p.Inputs) == 1 {
+			p = ix.plan.Op(p.Inputs[0])
+		}
+		if p != nil {
+			sub = ix.fingerprint(p.ID)
+		}
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(sub >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	fp := Fingerprint(h.Sum64())
+	ix.fps[id] = fp
+	return fp
+}

@@ -1,0 +1,126 @@
+package physical
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// chainPlan builds Load -> Filter-ish chain using parameterless ops (Distinct
+// stages) so tests need no expression values: Load(path) -> Distinct x n ->
+// Store(out).
+func chainPlan(path string, n int, out string) *Plan {
+	p := NewPlan()
+	cur := p.Add(&Operator{Kind: OpLoad, Path: path, Schema: types.Schema{Fields: []types.Field{{Name: "k", Kind: types.KindInt}}}})
+	for i := 0; i < n; i++ {
+		cur = p.Add(&Operator{Kind: OpDistinct, Inputs: []int{cur.ID}})
+	}
+	p.Add(&Operator{Kind: OpStore, Path: out, Inputs: []int{cur.ID}})
+	return p
+}
+
+func terminalOf(p *Plan) *Operator {
+	return p.Op(p.Sinks()[0].Inputs[0])
+}
+
+func TestFingerprintDeterministicAcrossPlans(t *testing.T) {
+	a := chainPlan("in/x", 2, "out/a")
+	b := chainPlan("in/x", 2, "out/b") // different store path: irrelevant upstream
+	fa := IndexPlan(a).Fingerprint(terminalOf(a).ID)
+	fb := IndexPlan(b).Fingerprint(terminalOf(b).ID)
+	if fa != fb {
+		t.Errorf("identical cones fingerprint differently: %x vs %x", fa, fb)
+	}
+	c := chainPlan("in/OTHER", 2, "out/c")
+	if fc := IndexPlan(c).Fingerprint(terminalOf(c).ID); fc == fa {
+		t.Error("different source path collided")
+	}
+	d := chainPlan("in/x", 3, "out/d")
+	if fd := IndexPlan(d).Fingerprint(terminalOf(d).ID); fd == fa {
+		t.Error("different depth collided")
+	}
+}
+
+func TestFingerprintFoldsSplitTees(t *testing.T) {
+	// Load -> Distinct -> Store  vs  Load -> Distinct -> Split -> Store:
+	// the Split is a transparent tee, so the Store's *input cone* fingerprint
+	// (seen through the splice) must be unchanged for consumers above it.
+	plain := chainPlan("in/x", 1, "out/p")
+	teed := NewPlan()
+	l := teed.Add(&Operator{Kind: OpLoad, Path: "in/x", Schema: types.Schema{Fields: []types.Field{{Name: "k", Kind: types.KindInt}}}})
+	d := teed.Add(&Operator{Kind: OpDistinct, Inputs: []int{l.ID}})
+	sp := teed.Add(&Operator{Kind: OpSplit, Inputs: []int{d.ID}})
+	st := teed.Add(&Operator{Kind: OpStore, Path: "out/t", Inputs: []int{sp.ID}})
+
+	ixPlain := IndexPlan(plain)
+	ixTeed := IndexPlan(teed)
+	if ixPlain.Fingerprint(plain.Sinks()[0].ID) != ixTeed.Fingerprint(st.ID) {
+		t.Error("Store above a Split tee fingerprints differently from Store above the producer")
+	}
+	// The Split itself is not erased: it has its own fingerprint (a Split can
+	// only be the image of a stored Split terminal, which the traversal also
+	// never skips at the root).
+	if ixTeed.Fingerprint(sp.ID) == ixTeed.Fingerprint(d.ID) {
+		t.Error("Split operator shares its producer's fingerprint; only consumers should fold it")
+	}
+}
+
+func TestFingerprintArgumentOrderMatters(t *testing.T) {
+	mk := func(p1, p2 string) (Fingerprint, *Plan) {
+		p := NewPlan()
+		a := p.Add(&Operator{Kind: OpLoad, Path: p1, Schema: types.Schema{}})
+		b := p.Add(&Operator{Kind: OpLoad, Path: p2, Schema: types.Schema{}})
+		u := p.Add(&Operator{Kind: OpUnion, Inputs: []int{a.ID, b.ID}})
+		p.Add(&Operator{Kind: OpStore, Path: "out", Inputs: []int{u.ID}})
+		return IndexPlan(p).Fingerprint(u.ID), p
+	}
+	ab, _ := mk("in/a", "in/b")
+	ba, _ := mk("in/b", "in/a")
+	if ab == ba {
+		t.Error("input argument order ignored by fingerprint")
+	}
+}
+
+func TestIndexMemoizesSignatures(t *testing.T) {
+	p := chainPlan("in/x", 3, "out/a")
+	ix := IndexPlan(p)
+	for _, o := range p.Ops() {
+		if got, want := ix.Signature(o.ID), o.Signature(); got != want {
+			t.Errorf("op %d: memoized signature %q != derived %q", o.ID, got, want)
+		}
+	}
+	if ix.Signature(9999) != "" {
+		t.Error("unknown id should have empty signature")
+	}
+	if ix.Fingerprint(9999) != fpMissing {
+		t.Error("unknown id should fingerprint as missing")
+	}
+}
+
+func TestOpsWithFingerprintAscendingAndComplete(t *testing.T) {
+	// Two identical chains in one plan: their ops pair up under shared
+	// fingerprints, listed ascending by ID.
+	p := NewPlan()
+	for i := 0; i < 2; i++ {
+		l := p.Add(&Operator{Kind: OpLoad, Path: "in/x", Schema: types.Schema{}})
+		d := p.Add(&Operator{Kind: OpDistinct, Inputs: []int{l.ID}})
+		p.Add(&Operator{Kind: OpStore, Path: "out", Inputs: []int{d.ID}})
+	}
+	ix := IndexPlan(p)
+	total := 0
+	for _, fp := range ix.Fingerprints() {
+		ids := ix.OpsWithFingerprint(fp)
+		total += len(ids)
+		if len(ids) != 2 {
+			t.Errorf("fingerprint %x groups %d ops, want 2 (duplicated chain)", fp, len(ids))
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i-1] >= ids[i] {
+				t.Errorf("group for %x not ascending: %v", fp, ids)
+			}
+		}
+	}
+	if total != p.Len() {
+		t.Errorf("groups cover %d ops, plan has %d", total, p.Len())
+	}
+}

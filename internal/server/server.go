@@ -15,8 +15,11 @@
 //     tasks wait FIFO (with a bounded overtake window for fairness), and
 //     checkpoints are write-set-universal tasks that drain everything. A
 //     bounded queue provides backpressure.
-//   - A single-flight group deduplicates textually-identical in-flight
-//     queries: the first becomes the leader, the rest share its result.
+//   - A single-flight group deduplicates semantically identical in-flight
+//     queries — keyed on the prepared workflow's canonical plan fingerprint
+//     (restore.Prepared.FlightKey), so scripts differing only in whitespace
+//     or variable names still share one execution: the first becomes the
+//     leader, the rest share its result.
 //   - A persister write-ahead-logs every repository and DFS mutation into
 //     a state directory while queries execute (fsync-batched, no drain),
 //     and periodically compacts the log into a snapshot pair under the
@@ -398,12 +401,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // retryable reports an error worth one resubmission: the execution
 // succeeded but its rows could not be read because a reused stored file was
 // evicted in between.
+//
+// Every submission prepares (parse/plan/compile — lock-free) to derive its
+// canonical flight key, so semantically identical scripts dedup onto one
+// flight; only the flight leader's Prepared executes, joiners discard
+// theirs.
 func (s *Server) runQueryOnce(req *QueryRequest) (QueryResponse, bool, error) {
-	out, shared := s.flights.do(flightKey(req.Script), req.ReadOutputs, func(wantRows *atomic.Bool) flightOutcome {
-		p, perr := s.sys.Prepare(req.Script)
-		if perr != nil {
-			return flightOutcome{err: badRequestError{perr}}
-		}
+	p, perr := s.sys.Prepare(req.Script)
+	if perr != nil {
+		s.met.failed.Add(1)
+		return QueryResponse{}, false, badRequestError{perr}
+	}
+	out, shared := s.flights.do(p.FlightKey(), req.ReadOutputs, func(wantRows *atomic.Bool) flightOutcome {
 		ch := make(chan flightOutcome, 1)
 		if serr := s.sched.submit(p.Access(), func() {
 			var o flightOutcome

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -14,19 +13,12 @@ import (
 // previous one's stored output), the first submission becomes the flight
 // leader and every identical in-flight submission waits for and shares its
 // result.
-
-// flightKey normalizes a script so textually-identical queries map to the
-// same flight regardless of surrounding whitespace and line endings.
-func flightKey(script string) string {
-	lines := strings.Split(strings.ReplaceAll(script, "\r\n", "\n"), "\n")
-	out := make([]string, 0, len(lines))
-	for _, ln := range lines {
-		if ln = strings.TrimSpace(ln); ln != "" {
-			out = append(out, ln)
-		}
-	}
-	return strings.Join(out, "\n")
-}
+//
+// Flights are keyed on restore.Prepared.FlightKey — the canonical
+// fingerprint of the prepared workflow's plans — not on the script text, so
+// submissions that differ only in whitespace, variable names, or statement
+// formatting still share one flight (they compile to identical canonical
+// plans writing the same outputs).
 
 // flightOutcome is what a flight produces: the execution result, plus each
 // output's rows when the leader read them (inside the execution slot, where

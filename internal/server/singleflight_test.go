@@ -1,22 +1,54 @@
 package server
 
 import (
+	"context"
+	"fmt"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	restore "repro"
 )
 
-func TestFlightKeyNormalizesWhitespace(t *testing.T) {
-	a := flightKey("A = load 'x';\nstore A into 'y';\n")
-	b := flightKey("  A = load 'x';  \r\n\r\n  store A into 'y';")
-	if a != b {
-		t.Fatalf("keys differ:\n%q\n%q", a, b)
+// TestFlightKeySemanticEquivalence pins the canonical-fingerprint key: only
+// semantic identity (same plans, same outputs) decides flight sharing, not
+// script text.
+func TestFlightKeySemanticEquivalence(t *testing.T) {
+	sys := restore.New()
+	key := func(src string) string {
+		t.Helper()
+		p, err := sys.Prepare(src)
+		if err != nil {
+			t.Fatalf("prepare %q: %v", src, err)
+		}
+		return p.FlightKey()
 	}
-	c := flightKey("A = load 'x';\nstore A into 'z';")
-	if a == c {
-		t.Fatal("different scripts share a key")
+	a := key("A = load 'x' as (k:int, v:int);\nB = filter A by v > 3;\nstore B into 'out/y';\n")
+	// Same computation: different whitespace, line endings, and aliases.
+	b := key("  alpha = load 'x' as (kk:int, vv:int);  \r\n\r\n  beta = filter alpha by vv > 3;   store beta into 'out/y';")
+	if a != b {
+		t.Fatalf("semantically identical scripts got different keys:\n%q\n%q", a, b)
+	}
+	// Different store path: must not share (the results land elsewhere).
+	if c := key("A = load 'x' as (k:int, v:int);\nB = filter A by v > 3;\nstore B into 'out/z';"); a == c {
+		t.Fatal("queries writing different outputs share a key")
+	}
+	// Different predicate constant: different plan, different key.
+	if d := key("A = load 'x' as (k:int, v:int);\nB = filter A by v > 4;\nstore B into 'out/y';"); a == d {
+		t.Fatal("different computations share a key")
+	}
+	// Re-preparing the same script must reproduce the key even though each
+	// preparation mints a fresh restore/tmp/qN namespace.
+	if e := key("A = load 'x' as (k:int, v:int);\nB = filter A by v > 3;\nstore B into 'out/y';\n"); a != e {
+		t.Fatalf("same script re-prepared got a different key:\n%q\n%q", a, e)
+	}
+	// A multi-job workflow (group forces a job cut with an inter-job temp)
+	// must also key stably across preparations.
+	multi := "A = load 'x' as (k:int, v:int);\nB = group A by k;\nC = foreach B generate group, COUNT(A);\nD = order C by $1;\nstore D into 'out/m';\n"
+	if key(multi) != key(multi) {
+		t.Fatal("multi-job script keys unstable across preparations")
 	}
 }
 
@@ -76,6 +108,80 @@ func TestFlightGroupDeduplicatesConcurrentCalls(t *testing.T) {
 	}
 	if got := runs.Load(); got != before+1 {
 		t.Errorf("fn ran %d times after post-flight call, want %d", got, before+1)
+	}
+}
+
+// TestSemanticSingleFlightSharesExecution proves the acceptance shape: two
+// scripts differing only in variable names and whitespace share one flight —
+// one execution, two results. The first submission's execution is slowed by
+// cluster-latency emulation; the second is sent only once the first is
+// observed executing, so it deterministically joins the open flight.
+func TestSemanticSingleFlightSharesExecution(t *testing.T) {
+	sys := restore.New(restore.WithJobLatency(5e-3))
+	lines := make([]string, 200)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("u%d\t%d", i%20, i%50)
+	}
+	if err := sys.LoadTSV("in/sf", "user, n:int", lines, 2); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{System: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		if err := srv.Close(context.Background()); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	c := NewClient(hs.URL)
+
+	scriptA := "A = load 'in/sf' as (user, n:int);\nB = filter A by n > 5;\nC = group B by user;\nD = foreach C generate group, COUNT(B);\nstore D into 'out/sf';\n"
+	// Same computation, same output — different aliases, spacing, and line
+	// structure.
+	scriptB := "  alpha = load 'in/sf' as (u, cnt:int);  \r\n beta = filter alpha by cnt > 5;\r\n\r\n  gamma = group beta by u;   delta = foreach gamma generate group, COUNT(beta);  store delta into 'out/sf';"
+
+	type outcome struct {
+		resp *QueryResponse
+		err  error
+	}
+	chA := make(chan outcome, 1)
+	go func() {
+		resp, err := c.Submit(scriptA, true)
+		chA <- outcome{resp, err}
+	}()
+	// Wait until A's execution occupies a worker (its flight is open for the
+	// whole execution), then submit the semantically identical B.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.sched.executing() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first query never started executing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	respB, errB := c.Submit(scriptB, true)
+	outA := <-chA
+	if outA.err != nil || errB != nil {
+		t.Fatalf("submit errors: A=%v B=%v", outA.err, errB)
+	}
+	if outA.resp.Deduped {
+		t.Error("flight leader reported deduped")
+	}
+	if !respB.Deduped {
+		t.Error("semantically identical concurrent script did not share the flight")
+	}
+	if la, lb := outA.resp.Rows["out/sf"], respB.Rows["out/sf"]; len(la) == 0 || fmt.Sprint(la) != fmt.Sprint(lb) {
+		t.Errorf("shared flight returned different rows:\nA: %v\nB: %v", la, lb)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QueriesExecuted != 1 || m.QueriesDeduped != 1 {
+		t.Errorf("executed=%d deduped=%d, want 1 execution shared by 2 submissions",
+			m.QueriesExecuted, m.QueriesDeduped)
 	}
 }
 

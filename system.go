@@ -24,6 +24,8 @@
 package restore
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"sort"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/logical"
 	"repro/internal/mapred"
 	"repro/internal/mrcompile"
+	"repro/internal/physical"
 	"repro/internal/piglatin"
 	"repro/internal/types"
 )
@@ -252,6 +255,66 @@ type Prepared struct {
 	requested []string
 	workflow  *mapred.Workflow
 	access    AccessSet
+	flightKey string
+}
+
+// FlightKey returns a canonical fingerprint of what the prepared query
+// computes: a hash over the sorted requested output paths and each compiled
+// job's canonical plan form, with the preparation-private restore/tmp/qN
+// namespace normalized away. Two queries whose scripts differ only in
+// whitespace, variable names, or statement formatting prepare to identical
+// canonical plans and therefore share a key — the restored daemon's
+// single-flight group dedups on this, so semantically identical concurrent
+// submissions share one execution.
+func (p *Prepared) FlightKey() string { return p.flightKey }
+
+// canonicalFlightKey derives FlightKey from a compiled workflow. Canonical
+// plan forms are alias-free and operator-ID-free (physical.Plan.Canonical);
+// Load paths inside the per-preparation tmp namespace are rewritten to a
+// fixed placeholder so every preparation of the same script agrees, and
+// Store paths (excluded from operator signatures on purpose — the matcher
+// must ignore them) are appended explicitly: queries writing different
+// outputs must not share a flight.
+func canonicalFlightKey(w *mapred.Workflow, requested []string, tmpBase string) string {
+	h := sha256.New()
+	req := append([]string(nil), requested...)
+	sort.Strings(req)
+	for _, p := range req {
+		_, _ = io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	for _, job := range w.Jobs {
+		_, _ = io.WriteString(h, canonicalPlanKey(job.Plan, tmpBase))
+		h.Write([]byte{1})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalPlanKey renders one job's plan canonically with tmp paths
+// normalized and store destinations appended.
+func canonicalPlanKey(p *physical.Plan, tmpBase string) string {
+	norm := p.Clone()
+	var stores []string
+	for _, o := range norm.Ops() {
+		if o.Path == "" {
+			continue
+		}
+		o.Path = normalizeTmpPath(o.Path, tmpBase)
+		if o.Kind == physical.OpStore {
+			stores = append(stores, o.Path)
+		}
+	}
+	sort.Strings(stores)
+	return norm.Canonical() + "\nstores:" + strings.Join(stores, ",")
+}
+
+// normalizeTmpPath replaces the preparation-private tmp namespace prefix
+// with a fixed placeholder; all other paths pass through.
+func normalizeTmpPath(p, tmpBase string) string {
+	if rest, ok := strings.CutPrefix(p, tmpBase); ok && (rest == "" || rest[0] == '/') {
+		return "restore/tmp/q#" + rest
+	}
+	return p
 }
 
 // Access returns the query's declared read and write path sets: reads are
@@ -289,6 +352,7 @@ func (s *System) Prepare(src string) (*Prepared, error) {
 		requested: requested,
 		workflow:  workflow,
 		access:    workflowAccess(workflow, requested, tmpBase),
+		flightKey: canonicalFlightKey(workflow, requested, tmpBase),
 	}, nil
 }
 
@@ -362,6 +426,7 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 	// disjoint execution's eviction cannot delete them underneath us.
 	aliases := make(map[string]string)
 	var rewrites []core.RewriteInfo
+	var matchStats core.MatchStats
 	jobs := workflow.Jobs
 	if s.reuse {
 		repo := s.repo.Load()
@@ -386,6 +451,7 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 		jobs = outcome.Jobs
 		aliases = outcome.Aliases
 		rewrites = outcome.Rewrites
+		matchStats = outcome.Match
 	}
 
 	// Phase 2 (§4): enumerate sub-jobs and inject materialization points.
@@ -457,6 +523,7 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 		Registered:    res.Registered,
 		Evicted:       len(evicted),
 		SimulatedTime: res.SimulatedTime,
+		Match:         matchStats,
 	}
 	for _, ri := range rewrites {
 		if ri.WholeJob {
