@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race race-server docs-check build bench-match bench-match-smoke
+.PHONY: check fmt vet test race race-server docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke
 
-check: fmt vet docs-check race race-server bench-match-smoke
+check: fmt vet docs-check race race-server bench-match-smoke bench-gc-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ bench-match:
 # exercised (and kept compiling) by every `make check` run.
 bench-match-smoke:
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkFindBestMatch|BenchmarkMatchMappingAllocs' -benchtime 1x
+
+# Eviction microbenchmarks: one input mutation's Rule-4 invalidation cost
+# through the input-path index vs the naive full sweep, across repository
+# sizes.
+bench-gc:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkEvict' -benchmem
+
+# One-iteration smoke of the eviction benchmarks for every `make check`.
+bench-gc-smoke:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkEvict' -benchtime 1x
 
 # Fails when an exported identifier in the documented packages
 # (internal/server, internal/dfs, internal/core, root access.go) lacks a doc

@@ -14,6 +14,10 @@
 //	restored -pigmix                            # preload the PigMix tables
 //	restored -heuristic conservative            # sub-job enumeration heuristic
 //	restored -workers 8 -barrier-window 32      # concurrent scheduler tuning
+//	restored -keep-policy size-reduction,time-saving   # §5 rules 1+2
+//	restored -eviction-window 100               # §5 rule 3 (workflows)
+//	restored -repo-budget-bytes 1073741824      # LRU size budget (1 GiB)
+//	restored -output-retention 500 -gc-every 30s  # retire stale out/ files
 //
 // Endpoints (all JSON):
 //
@@ -35,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,10 +60,20 @@ func main() {
 		barrier      = flag.Int("barrier-window", 16, "FIFO overtake window: queued work may pass a blocked head only within the first N queue positions (1 = strict FIFO)")
 		heuristic    = flag.String("heuristic", "aggressive", "sub-job heuristic: off, conservative, aggressive, all")
 		preloadPig   = flag.Bool("pigmix", false, "preload the PigMix tables (15GB instance, laptop scale)")
+		keepPolicy   = flag.String("keep-policy", "all", "§5 keep rules: 'all', or a comma list of 'size-reduction' (rule 1) and 'time-saving' (rule 2)")
+		evictWindow  = flag.Int64("eviction-window", 0, "§5 rule 3: evict repository entries not reused within N workflows (0 = off)")
+		repoBudget   = flag.Int64("repo-budget-bytes", 0, "repository size budget: evict least-recently-used entries until stored bytes fit (0 = unbounded)")
+		outRetention = flag.Int64("output-retention", 0, "retire user-named out/... files not re-requested within N workflows and referenced by no repository entry (0 = keep forever)")
+		gcEvery      = flag.Duration("gc-every", time.Minute, "background growth-management pass cadence: full eviction sweep, size budget, output retention (0 = per-query eviction only)")
 	)
 	flag.Parse()
 
 	h, err := parseHeuristic(*heuristic)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "restored:", err)
+		os.Exit(2)
+	}
+	policy, err := parsePolicy(*keepPolicy, *evictWindow, *repoBudget, *outRetention)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "restored:", err)
 		os.Exit(2)
@@ -75,7 +90,7 @@ func main() {
 		cfgCompact = *saveInterval
 	}
 
-	sys := restore.New(restore.WithHeuristic(h))
+	sys := restore.New(restore.WithHeuristic(h), restore.WithPolicy(policy))
 	srv, err := server.New(server.Config{
 		System:          sys,
 		StateDir:        *stateDir,
@@ -84,6 +99,7 @@ func main() {
 		QueueDepth:      *queueDepth,
 		Workers:         *workers,
 		BarrierWindow:   *barrier,
+		GCInterval:      *gcEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "restored:", err)
@@ -139,6 +155,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "restored: serve:", srvErr)
 		os.Exit(1)
 	}
+}
+
+// parsePolicy assembles the §5 repository policy from the daemon flags.
+// Rule 4 (input-version invalidation) is always on — the daemon must never
+// serve stale results; the keep rules, window, budget, and retention are
+// opt-in.
+func parsePolicy(keep string, window, budget, retention int64) (restore.Policy, error) {
+	p := restore.Policy{
+		CheckInputVersions: true,
+		EvictionWindow:     window,
+		RepoBudgetBytes:    budget,
+		OutputRetention:    retention,
+	}
+	switch keep {
+	case "", "all":
+		p.KeepAll = true
+		return p, nil
+	}
+	for _, rule := range strings.Split(keep, ",") {
+		switch strings.TrimSpace(rule) {
+		case "size-reduction":
+			p.RequireSizeReduction = true
+		case "time-saving":
+			p.RequireTimeSaving = true
+		default:
+			return p, fmt.Errorf("unknown keep rule %q (want 'all', 'size-reduction', or 'time-saving')", rule)
+		}
+	}
+	return p, nil
 }
 
 func parseHeuristic(name string) (restore.Heuristic, error) {

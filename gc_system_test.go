@@ -1,0 +1,177 @@
+package restore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// faultDFS wraps the system's DFS for the selector, failing deletes of
+// matching paths — the fault-injected delete of the eviction regression
+// tests.
+type faultDFS struct {
+	sys  *System
+	fail func(path string) bool
+}
+
+func (f *faultDFS) Version(path string) (uint64, error) { return f.sys.fs.Version(path) }
+func (f *faultDFS) Exists(path string) bool             { return f.sys.fs.Exists(path) }
+func (f *faultDFS) Delete(path string) error {
+	if f.fail != nil && f.fail(path) {
+		return fmt.Errorf("injected delete fault for %s", path)
+	}
+	return f.sys.fs.Delete(path)
+}
+
+// TestDeleteFailureDoesNotFailQuery is the system-level regression for the
+// eviction-path bug: a DFS delete failure during phase-0 eviction must not
+// fail the (unrelated) triggering query, must surface as a metrics counter,
+// and must never leak the file permanently once the fault clears.
+func TestDeleteFailureDoesNotFailQuery(t *testing.T) {
+	sys := New()
+	seedPaperData(t, sys, 200)
+	q := `A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user, est_revenue;
+C = group B by user;
+D = foreach C generate group, SUM(B.est_revenue);
+store D into 'out/gross';`
+	if _, err := sys.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Repository().Len() == 0 {
+		t.Fatal("first query registered nothing; test premise broken")
+	}
+
+	// Every stored file's delete now fails, and every entry is stale.
+	fault := &faultDFS{sys: sys, fail: func(p string) bool { return strings.HasPrefix(p, "restore/") }}
+	sys.selector.FS = fault
+	if err := sys.fs.WriteTuples("page_views", types.Schema{}, []types.Tuple{{types.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := sys.Execute(`A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate user;
+store B into 'out/users_only';`)
+	if err != nil {
+		t.Fatalf("delete failure failed the unrelated query: %v", err)
+	}
+	if len(res.Evicted) == 0 {
+		t.Fatal("stale entries were not evicted")
+	}
+	snap := sys.Stats()
+	if snap.Evict.DeleteErrors == 0 {
+		t.Error("delete failures not surfaced in the metrics counters")
+	}
+	leaked := sys.fs.List("restore/")
+	var orphans []string
+	for _, p := range leaked {
+		if !sys.Repository().ReferencesPath(p) {
+			orphans = append(orphans, p)
+		}
+	}
+	if len(orphans) == 0 {
+		t.Fatal("expected orphaned files awaiting retry while the fault holds")
+	}
+
+	// Fault clears: the next query's phase-0 retries the deferred deletes
+	// and the leak heals without any external sweep.
+	sys.selector.FS = sys.fs
+	if _, err := sys.Execute(`A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = foreach A generate est_revenue;
+store B into 'out/rev_only';`); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range orphans {
+		if sys.fs.Exists(p) && !sys.Repository().ReferencesPath(p) {
+			t.Errorf("transient delete failure permanently leaked %s", p)
+		}
+	}
+	if snap := sys.Stats(); snap.Evict.RequeueRetired == 0 {
+		t.Error("requeued deletes were never retired")
+	}
+}
+
+// TestCollectGarbageRetiresOldOutputs drives the keep-results-for-N mode at
+// the library level: an out/ file not re-requested within the window is
+// retired by CollectGarbage, while recent outputs survive.
+func TestCollectGarbageRetiresOldOutputs(t *testing.T) {
+	sys := New(WithPolicy(Policy{KeepAll: true, CheckInputVersions: true, OutputRetention: 2}))
+	seedPaperData(t, sys, 100)
+	run := func(out string) {
+		t.Helper()
+		q := fmt.Sprintf(`A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = filter A by est_revenue > %d.0;
+store B into '%s';`, len(out), out)
+		if _, err := sys.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run("out/old") // seq 1
+	for i := 0; i < 4; i++ {
+		run(fmt.Sprintf("out/fresh%d", i)) // seq 2..5
+	}
+	if !sys.fs.Exists("out/old") {
+		t.Fatal("premise: out/old missing before GC")
+	}
+	rep := sys.CollectGarbage()
+	found := false
+	for _, p := range rep.Retired {
+		if p == "out/old" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("retention did not retire out/old: %v", rep.Retired)
+	}
+	if sys.fs.Exists("out/old") {
+		t.Error("retired output still on the DFS")
+	}
+	if !sys.fs.Exists("out/fresh3") {
+		t.Error("retention deleted a fresh output")
+	}
+	if snap := sys.Stats(); snap.Evict.OutputsRetired == 0 {
+		t.Error("retirement missing from stats")
+	}
+}
+
+// TestIndexedEvictionScansStayFlat pins the per-query Rule-4 bound at the
+// system level: after the initial full sweep, a query following a single
+// input mutation scans only the entries touching the mutated paths, not the
+// whole repository.
+func TestIndexedEvictionScansStayFlat(t *testing.T) {
+	sys := New()
+	seedPaperData(t, sys, 100)
+	// Populate the repository with several distinct queries.
+	for i := 0; i < 6; i++ {
+		q := fmt.Sprintf(`A = load 'page_views' as (user, timestamp, est_revenue:double, page_info, page_links);
+B = filter A by est_revenue > %d.0;
+C = group B by user;
+D = foreach C generate group, COUNT(B);
+store D into 'out/flat%d';`, i, i)
+		if _, err := sys.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := sys.Repository().Len()
+	if entries < 6 {
+		t.Fatalf("premise: repository too small (%d)", entries)
+	}
+
+	// A query over an untouched dataset: its phase-0 consumes only the
+	// previous query's own writes — far fewer than the repository.
+	if err := sys.LoadTSV("in/flatprobe", "k:int, v:int", []string{"1\t2", "3\t4"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Stats().Evict
+	if _, err := sys.Execute(`A = load 'in/flatprobe' as (k:int, v:int);
+B = filter A by v > 1;
+store B into 'out/flatprobe';`); err != nil {
+		t.Fatal(err)
+	}
+	delta := sys.Stats().Evict.Scans - before.Scans
+	if delta >= int64(entries) {
+		t.Errorf("indexed phase-0 scanned %d entries with %d stored — not index-driven", delta, entries)
+	}
+}

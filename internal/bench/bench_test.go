@@ -200,6 +200,40 @@ func TestMatchScalingShape(t *testing.T) {
 	}
 }
 
+// TestGCScalingShape pins the server-gc headline: per-mutation eviction
+// scans and probes stay ~flat for the input-path-indexed pass while the
+// naive sweep's grow linearly with repository size. Wall-clock ratios are
+// left to the recorded baseline; the counters are deterministic.
+func TestGCScalingShape(t *testing.T) {
+	table, err := GCScaling(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows alternate indexed/naive per size.
+	if len(table.Rows)%2 != 0 || len(table.Rows) < 4 {
+		t.Fatalf("unexpected row count %d", len(table.Rows))
+	}
+	var idxScans, naiScans []float64
+	for i := 0; i < len(table.Rows); i += 2 {
+		is, ns := cell(t, table, i, "scans_rd"), cell(t, table, i+1, "scans_rd")
+		if is >= ns {
+			t.Errorf("row %d: indexed scans %.0f >= naive %.0f", i, is, ns)
+		}
+		if ip, np := cell(t, table, i, "probes_rd"), cell(t, table, i+1, "probes_rd"); ip >= np {
+			t.Errorf("row %d: indexed probes %.0f >= naive %.0f", i, ip, np)
+		}
+		idxScans = append(idxScans, is)
+		naiScans = append(naiScans, ns)
+	}
+	last := len(naiScans) - 1
+	if naiScans[last] < 2*naiScans[0] {
+		t.Errorf("naive scans did not grow with repository size: %v", naiScans)
+	}
+	if idxScans[last] > 2*idxScans[0]+4 {
+		t.Errorf("indexed scans grew with repository size: %v", idxScans)
+	}
+}
+
 func TestLookup(t *testing.T) {
 	if _, err := Lookup("fig9"); err != nil {
 		t.Error(err)

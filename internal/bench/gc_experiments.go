@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/types"
+)
+
+// GCScaling measures eviction's per-query Rule-4 cost as the repository
+// grows — the other half of the scan problem the PR-4 match index solved.
+// Every query's phase 0 must decide which stored entries a recent DFS
+// mutation invalidated; the old implementation re-scanned every entry and
+// probed every input version per query (O(entries x inputs)), while the
+// input-path index touches only the entries reading a mutated path.
+//
+// Each round mutates ONE input file, runs one eviction pass (which must
+// evict exactly the one reader), and re-registers the evicted entry so the
+// repository holds n entries at every round. scans/round and probes/round
+// stay ~flat for the indexed pass and grow linearly with n for the naive
+// sweep — repository size stops taxing the query hot path.
+func GCScaling(cfg Config) (*Table, error) {
+	table := &Table{
+		ID:      "server-gc",
+		Title:   "eviction Rule-4 cost per mutation: input-path index vs naive sweep",
+		Columns: []string{"entries", "mode", "scans_rd", "probes_rd", "us_rd"},
+	}
+	sizes := cfg.MatchRepoSizes
+	if len(sizes) == 0 {
+		sizes = []int{50, 200, 800}
+	}
+	type point struct {
+		n                  int
+		scansIdx, scansNai int64
+		x                  float64
+	}
+	var points []point
+	for _, n := range sizes {
+		rounds := 40_000 / (n + 50) // keep wall time flat-ish across sizes
+		if rounds < 10 {
+			rounds = 10
+		}
+		var perMode [2]struct {
+			scans, probes int64
+			us            float64
+		}
+		for mode := 0; mode < 2; mode++ {
+			sel, fs, err := gcBenchSelector(n)
+			if err != nil {
+				return nil, err
+			}
+			fs.TakeEvictionDirty() // construction churn: start the feed clean
+			var st core.EvictStats
+			var elapsed time.Duration
+			seq := int64(2)
+			for r := 0; r < rounds; r++ {
+				i := r % n
+				if err := gcBenchMutateInput(fs, i); err != nil {
+					return nil, err
+				}
+				var ev []string
+				if mode == 0 {
+					dirty := fs.TakeEvictionDirty()
+					start := time.Now()
+					ev, err = sel.EvictPaths(seq, dirty, &st)
+					elapsed += time.Since(start)
+				} else {
+					start := time.Now()
+					ev, err = sel.Evict(seq, &st)
+					elapsed += time.Since(start)
+				}
+				if err != nil {
+					return nil, err
+				}
+				if len(ev) != 1 {
+					return nil, fmt.Errorf("bench: server-gc: round %d evicted %v, want exactly the mutated reader", r, ev)
+				}
+				if err := gcBenchAddEntry(sel, fs, i, seq); err != nil {
+					return nil, err
+				}
+				seq++
+			}
+			perMode[mode].scans = st.Scans / int64(rounds)
+			perMode[mode].probes = st.Probes / int64(rounds)
+			perMode[mode].us = float64(elapsed.Microseconds()) / float64(rounds)
+			name := "indexed"
+			if mode == 1 {
+				name = "naive"
+			}
+			table.AddRow(
+				fmt.Sprintf("%d", n),
+				name,
+				fmt.Sprintf("%d", perMode[mode].scans),
+				fmt.Sprintf("%d", perMode[mode].probes),
+				fmt.Sprintf("%.1f", perMode[mode].us),
+			)
+		}
+		p := point{n: n, scansIdx: perMode[0].scans, scansNai: perMode[1].scans}
+		if perMode[0].us > 0 {
+			p.x = perMode[1].us / perMode[0].us
+		}
+		points = append(points, p)
+	}
+	for _, p := range points {
+		table.AddNote("%d entries: indexed pass %.1fx faster per mutation; scans/round %d vs %d",
+			p.n, p.x, p.scansIdx, p.scansNai)
+	}
+	table.AddNote("indexed scans/probes stay ~flat as the repository grows (only entries reading the mutated path are checked); naive scans every entry and probes every input per round")
+	return table, nil
+}
+
+// gcBenchSelector builds a selector over n entries, each reading its own
+// input in/iN and owning restore/gN.
+func gcBenchSelector(n int) (*core.Selector, *dfs.FS, error) {
+	fs := dfs.New()
+	sel := &core.Selector{Repo: core.NewRepository(), FS: fs, Cluster: cluster.Default(), Policy: core.DefaultPolicy()}
+	for i := 0; i < n; i++ {
+		if err := gcBenchAddEntry(sel, fs, i, 1); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sel, fs, nil
+}
+
+// gcBenchAddEntry (re)writes entry i's input and output files and registers
+// the entry at seq.
+func gcBenchAddEntry(sel *core.Selector, fs *dfs.FS, i int, seq int64) error {
+	in := fmt.Sprintf("in/i%d", i)
+	out := fmt.Sprintf("restore/g%d", i)
+	if !fs.Exists(in) {
+		if err := fs.WriteTuples(in, types.Schema{}, []types.Tuple{{types.NewInt(int64(i))}}); err != nil {
+			return err
+		}
+	}
+	if err := fs.WriteTuples(out, types.Schema{}, []types.Tuple{{types.NewInt(int64(i))}}); err != nil {
+		return err
+	}
+	plan, err := matchBenchPlan(fmt.Sprintf(`A = load '%s' as (k:int, v:int);
+B = filter A by v > %d;
+store B into '%s';`, in, i+1000, out), fmt.Sprintf("tmp/g%d", i))
+	if err != nil {
+		return err
+	}
+	cand, err := core.WholeJobCandidate(plan, plan.Sinks()[0])
+	if err != nil {
+		return err
+	}
+	_, added, err := sel.Consider(core.Candidate{
+		Plan:       cand,
+		OutputPath: out,
+		Schema:     types.SchemaFromNames("k", "v"),
+		InputBytes: 1000, OutputBytes: 100,
+		ExecTime: time.Minute,
+		OwnsFile: true,
+	}, seq)
+	if err != nil {
+		return err
+	}
+	if !added {
+		return fmt.Errorf("bench: server-gc: entry %d deduplicated unexpectedly", i)
+	}
+	return nil
+}
+
+// gcBenchMutateInput rewrites entry i's input, invalidating its reader
+// under Rule 4.
+func gcBenchMutateInput(fs *dfs.FS, i int) error {
+	return fs.WriteTuples(fmt.Sprintf("in/i%d", i), types.Schema{}, []types.Tuple{{types.NewInt(int64(-i - 1))}})
+}

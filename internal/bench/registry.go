@@ -28,6 +28,7 @@ func Experiments() []Experiment {
 		{"server", "restored server-mode throughput (concurrent clients)", ServerThroughput},
 		{"server-ckpt", "checkpoint cost per interval: WAL vs full snapshot", ServerCheckpointCost},
 		{"server-match", "match-scan cost vs repository size: index vs naive", MatchScaling},
+		{"server-gc", "eviction Rule-4 cost per mutation: index vs naive sweep", GCScaling},
 	}
 }
 

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Eviction microbenchmarks (run via `make bench-gc`): one input mutation's
+// Rule-4 invalidation cost through the input-path index vs the naive full
+// sweep, across repository sizes. Each iteration mutates one input, evicts
+// its single stale reader, and re-registers it so the repository size holds
+// steady.
+
+func benchEvictRound(b *testing.B, n int, indexed bool) {
+	s, fs := gcSelector(b, n, DefaultPolicy())
+	fs.TakeEvictionDirty()
+	seq := int64(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for r := 0; r < b.N; r++ {
+		i := r % n
+		b.StopTimer()
+		mutateInput(b, fs, i)
+		b.StartTimer()
+		var ev []string
+		var err error
+		if indexed {
+			ev, err = s.EvictPaths(seq, fs.TakeEvictionDirty(), nil)
+		} else {
+			ev, err = s.Evict(seq, nil)
+		}
+		if err != nil || len(ev) != 1 {
+			b.Fatalf("evicted %v err %v", ev, err)
+		}
+		b.StopTimer()
+		gcAddEntry(b, s, fs, i)
+		seq++
+		b.StartTimer()
+	}
+}
+
+func BenchmarkEvictIndexed(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) { benchEvictRound(b, n, true) })
+	}
+}
+
+func BenchmarkEvictNaive(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) { benchEvictRound(b, n, false) })
+	}
+}

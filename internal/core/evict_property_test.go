@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/types"
+)
+
+// Seeded property tests holding the index-driven eviction path equivalent
+// to the naive full sweep (the retained reference/oracle), and pinning the
+// budget policy's no-pinned-evictions invariant. They run under the
+// `make check` -race -count=2 gate alongside the match-path equivalence
+// test.
+
+// gcTwin is one side of the equivalence harness: a selector over its own
+// FS, fed an identical entry set and mutation stream as its twin.
+type gcTwin struct {
+	sel *Selector
+	fs  *dfs.FS
+}
+
+func newGCTwin(t *testing.T, n int, policy Policy) *gcTwin {
+	t.Helper()
+	fs := dfs.New()
+	sel := &Selector{Repo: NewRepository(), FS: fs, Cluster: cluster.Default(), Policy: policy}
+	for i := 0; i < n; i++ {
+		gcAddEntry(t, sel, fs, i)
+	}
+	// Chain entries reading stored outputs, so cascades have something to
+	// propagate through.
+	for i := 0; i < n/4; i++ {
+		src := fmt.Sprintf(`A = load 'restore/g%d' as (k:int, v:int);
+B = filter A by v > %d;
+store B into 'restore/c%d';`, i, i, i)
+		if err := fs.WriteTuples(fmt.Sprintf("restore/c%d", i), types.Schema{}, []types.Tuple{{types.NewInt(int64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+		jobs := compileJobs(t, src, fmt.Sprintf("tmp/c%d", i))
+		cand, err := WholeJobCandidate(jobs[0].Plan, jobs[0].Plan.Sinks()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, added, err := sel.Consider(Candidate{
+			Plan: cand, OutputPath: fmt.Sprintf("restore/c%d", i),
+			Schema:     types.SchemaFromNames("k", "v"),
+			InputBytes: 1000, OutputBytes: 50, OwnsFile: true,
+		}, 1); err != nil || !added {
+			t.Fatalf("chain %d: %v %v", i, added, err)
+		}
+	}
+	return &gcTwin{sel: sel, fs: fs}
+}
+
+// survivorIDs returns the sorted surviving entry IDs.
+func (tw *gcTwin) survivorIDs() []string {
+	var out []string
+	for _, e := range tw.sel.Repo.All() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPropertyIndexedSweepEquivalentToNaive applies an identical random
+// mutation stream to two twins and, after every round, evicts one through
+// the naive full-sweep fixpoint and the other through the mutation-feed-
+// indexed passes. Survivor sets, stored-file sets, and usage counters must
+// agree at every round, under keep-all and window policies alike.
+func TestPropertyIndexedSweepEquivalentToNaive(t *testing.T) {
+	policies := []struct {
+		name string
+		p    Policy
+	}{
+		{"keep-all-rule4", DefaultPolicy()},
+		{"window-3", Policy{KeepAll: true, CheckInputVersions: true, EvictionWindow: 3}},
+	}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol.name, func(t *testing.T) {
+			const entries = 24
+			rng := rand.New(rand.NewSource(0xec1c7))
+			naive := newGCTwin(t, entries, pol.p)
+			indexed := newGCTwin(t, entries, pol.p)
+			indexed.fs.TakeEvictionDirty() // construction churn: start the feed clean
+
+			seq := int64(1)
+			for round := 0; round < 12; round++ {
+				// Identical mutation batch on both twins: mutate or delete a
+				// few random inputs (some rounds mutate nothing, exercising
+				// the no-op fast path).
+				for k := rng.Intn(3); k > 0; k-- {
+					i := rng.Intn(entries)
+					path := fmt.Sprintf("in/i%d", i)
+					if rng.Intn(4) == 0 && naive.fs.Exists(path) {
+						if err := naive.fs.Delete(path); err != nil {
+							t.Fatal(err)
+						}
+						if err := indexed.fs.Delete(path); err != nil {
+							t.Fatal(err)
+						}
+						continue
+					}
+					mutateInput(t, naive.fs, i)
+					mutateInput(t, indexed.fs, i)
+				}
+				// Refresh a random surviving entry on both sides so the
+				// window policy sees divergent-recency traffic.
+				if all := naive.sel.Repo.All(); len(all) > 0 {
+					pick := all[rng.Intn(len(all))].ID
+					naive.sel.Repo.MarkUsed(pick, seq)
+					indexed.sel.Repo.MarkUsed(pick, seq)
+				}
+				seq += int64(rng.Intn(3))
+
+				// Naive oracle: full sweep to a fixpoint.
+				for {
+					ev, err := naive.sel.Evict(seq, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(ev) == 0 {
+						break
+					}
+				}
+				// Indexed path: feed batch + window pass + cascade rounds.
+				var stI EvictStats
+				if _, err := indexed.sel.EvictPaths(seq, indexed.fs.TakeEvictionDirty(), &stI); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := indexed.sel.EvictWindowBudget(seq, &stI); err != nil {
+					t.Fatal(err)
+				}
+				for {
+					dirty := indexed.fs.TakeEvictionDirty()
+					if len(dirty) == 0 {
+						break
+					}
+					ev, err := indexed.sel.EvictPaths(seq, dirty, &stI)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(ev) == 0 {
+						break
+					}
+				}
+
+				ns, is := naive.survivorIDs(), indexed.survivorIDs()
+				if fmt.Sprint(ns) != fmt.Sprint(is) {
+					t.Fatalf("round %d (seq %d): survivors diverged\n naive:   %v\n indexed: %v", round, seq, ns, is)
+				}
+				for _, id := range ns {
+					nf := naive.sel.Repo.Get(id).OutputPath
+					if naive.fs.Exists(nf) != indexed.fs.Exists(nf) {
+						t.Fatalf("round %d: file %s existence diverged", round, nf)
+					}
+				}
+			}
+			if len(naive.survivorIDs()) == entries {
+				t.Fatal("mutation stream never evicted anything; property vacuous")
+			}
+		})
+	}
+}
+
+// TestPropertyBudgetNeverEvictsPinned pins the budget-policy safety
+// invariant: entries pinned by in-flight executions survive any budget
+// pressure, and the pass still reclaims every unpinned entry it needs (or
+// everything unpinned, when the pinned set alone exceeds the budget).
+func TestPropertyBudgetNeverEvictsPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xb4d6e7))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(10)
+		budget := int64(100 * (1 + rng.Intn(n)))
+		s, _ := gcSelector(t, n, Policy{KeepAll: true, CheckInputVersions: true, RepoBudgetBytes: budget})
+		pinned := make(map[string]bool)
+		for _, e := range s.Repo.All() {
+			s.Repo.MarkUsed(e.ID, int64(1+rng.Intn(5)))
+			if rng.Intn(3) == 0 {
+				if !s.Repo.Pin(e.ID) {
+					t.Fatal("pin failed")
+				}
+				pinned[e.ID] = true
+			}
+		}
+		if _, err := s.EvictWindowBudget(10, nil); err != nil {
+			t.Fatal(err)
+		}
+		var pinnedBytes int64
+		survivors := make(map[string]bool)
+		for _, e := range s.Repo.All() {
+			survivors[e.ID] = true
+			if pinned[e.ID] {
+				pinnedBytes += e.OutputBytes
+			}
+		}
+		for id := range pinned {
+			if !survivors[id] {
+				t.Fatalf("trial %d: pinned entry %s evicted under budget pressure", trial, id)
+			}
+		}
+		// Everything over budget that could go must have gone: survivors
+		// fit, unless the pinned set alone is over budget — then no
+		// unpinned entry may remain.
+		total := s.Repo.TotalStoredBytes()
+		if total > budget && total != pinnedBytes {
+			t.Fatalf("trial %d: over budget (%d > %d) with unpinned entries still stored", trial, total, budget)
+		}
+	}
+}

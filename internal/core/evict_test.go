@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/types"
+)
+
+// faultFS wraps the real DFS and fails Delete for paths matching fail(),
+// modeling a flaky DFS namenode during eviction.
+type faultFS struct {
+	*dfs.FS
+	fail func(path string) bool
+}
+
+func (f *faultFS) Delete(path string) error {
+	if f.fail != nil && f.fail(path) {
+		return fmt.Errorf("injected delete fault for %s", path)
+	}
+	return f.FS.Delete(path)
+}
+
+// gcSelector builds a selector over n owned entries, each loading its own
+// input in/i<i> and storing restore/g<i>, with input versions snapshotted
+// through Consider exactly as the system does.
+func gcSelector(t testing.TB, n int, policy Policy) (*Selector, *dfs.FS) {
+	t.Helper()
+	fs := dfs.New()
+	s := &Selector{Repo: NewRepository(), FS: fs, Cluster: cluster.Default(), Policy: policy}
+	for i := 0; i < n; i++ {
+		gcAddEntry(t, s, fs, i)
+	}
+	return s, fs
+}
+
+// gcAddEntry writes entry i's input and output files and registers it.
+func gcAddEntry(t testing.TB, s *Selector, fs *dfs.FS, i int) {
+	t.Helper()
+	in := fmt.Sprintf("in/i%d", i)
+	out := fmt.Sprintf("restore/g%d", i)
+	if !fs.Exists(in) {
+		if err := fs.WriteTuples(in, types.Schema{}, []types.Tuple{{types.NewInt(int64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.WriteTuples(out, types.Schema{}, []types.Tuple{{types.NewInt(int64(i))}}); err != nil {
+		t.Fatal(err)
+	}
+	src := fmt.Sprintf(`A = load '%s' as (k:int, v:int);
+B = filter A by v > %d;
+store B into '%s';`, in, i+1000, out)
+	jobs := compileJobs(t, src, fmt.Sprintf("tmp/g%d", i))
+	cand, err := WholeJobCandidate(jobs[0].Plan, jobs[0].Plan.Sinks()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, added, err := s.Consider(Candidate{
+		Plan:       cand,
+		OutputPath: out,
+		Schema:     types.SchemaFromNames("k", "v"),
+		InputBytes: 1000, OutputBytes: 100,
+		ExecTime: time.Minute,
+		OwnsFile: true,
+	}, 1); err != nil || !added {
+		t.Fatalf("consider entry %d: added=%v err=%v", i, added, err)
+	}
+}
+
+// mutateInput rewrites entry i's input file, invalidating it under Rule 4.
+func mutateInput(t testing.TB, fs *dfs.FS, i int) {
+	t.Helper()
+	if err := fs.WriteTuples(fmt.Sprintf("in/i%d", i), types.Schema{}, []types.Tuple{{types.NewInt(int64(-i - 1))}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvictContinuesPastDeleteFailure is the regression test for the
+// abort-on-first-delete-failure bug: a mid-sweep delete failure must not
+// stop the sweep, must aggregate into the returned error, and must leave
+// the failed file queued for a later retry instead of orphaned forever.
+func TestEvictContinuesPastDeleteFailure(t *testing.T) {
+	s, fs := gcSelector(t, 3, DefaultPolicy())
+	ff := &faultFS{FS: fs, fail: func(p string) bool { return p == "restore/g0" }}
+	s.FS = ff
+
+	// Invalidate every entry; g0's delete will fail, g1/g2 must still go.
+	for i := 0; i < 3; i++ {
+		mutateInput(t, fs, i)
+	}
+	var st EvictStats
+	ev, err := s.Evict(2, &st)
+	if len(ev) != 3 {
+		t.Fatalf("sweep aborted early: evicted %v", ev)
+	}
+	if err == nil || !strings.Contains(err.Error(), "injected delete fault") {
+		t.Fatalf("delete failure not aggregated: %v", err)
+	}
+	if st.DeleteErrors != 1 {
+		t.Errorf("DeleteErrors = %d, want 1", st.DeleteErrors)
+	}
+	if s.Repo.Len() != 0 {
+		t.Errorf("stale entries survived: %d", s.Repo.Len())
+	}
+	if fs.Exists("restore/g1") || fs.Exists("restore/g2") {
+		t.Error("successfully evicted entries' files survived")
+	}
+	// The failed file is still on the DFS, outside the repository — queued.
+	if !fs.Exists("restore/g0") {
+		t.Fatal("failed delete removed the file anyway?")
+	}
+	if got := s.DeferredDeletes(); len(got) != 1 || got[0] != "restore/g0" {
+		t.Fatalf("deferred queue = %v, want [restore/g0]", got)
+	}
+
+	// Transient fault clears: the next pass retires the leaked file.
+	ff.fail = nil
+	if _, err := s.Evict(3, &st); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("restore/g0") {
+		t.Error("requeued delete never retired the file: permanent leak")
+	}
+	if len(s.DeferredDeletes()) != 0 {
+		t.Error("deferred queue not drained after successful retry")
+	}
+	if st.RequeueRetired != 1 {
+		t.Errorf("RequeueRetired = %d, want 1", st.RequeueRetired)
+	}
+}
+
+// TestEvictPathsRetiresDeferredWhenOrphanSweptExternally models the
+// compaction orphan sweep beating the retry to the file: the queue entry is
+// dropped without another delete.
+func TestEvictPathsRetiresDeferredWhenOrphanSweptExternally(t *testing.T) {
+	s, fs := gcSelector(t, 1, DefaultPolicy())
+	ff := &faultFS{FS: fs, fail: func(p string) bool { return p == "restore/g0" }}
+	s.FS = ff
+	mutateInput(t, fs, 0)
+	if ev, _ := s.Evict(2, nil); len(ev) != 1 {
+		t.Fatalf("evicted %v", ev)
+	}
+	// "Orphan sweep" deletes the unreferenced file directly on the DFS.
+	if err := fs.Delete("restore/g0"); err != nil {
+		t.Fatal(err)
+	}
+	var st EvictStats
+	if _, err := s.EvictPaths(3, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.DeferredDeletes()) != 0 {
+		t.Error("deferred queue kept a path the orphan sweep already retired")
+	}
+	if st.RequeueRetired != 1 {
+		t.Errorf("RequeueRetired = %d, want 1", st.RequeueRetired)
+	}
+}
+
+// TestEvictPathsScansOnlyTouchedEntries pins the index-driven scan bound:
+// a mutation batch touches only the entries reading those paths, and the
+// cascade after an eviction examines only readers of the deleted output —
+// the short-circuit the old full-snapshot fixpoint lacked.
+func TestEvictPathsScansOnlyTouchedEntries(t *testing.T) {
+	s, fs := gcSelector(t, 8, DefaultPolicy())
+
+	// A chain entry reading entry 0's stored output: evicting g0 must
+	// cascade to it, and only to it.
+	if err := fs.WriteTuples("restore/chain", types.Schema{}, []types.Tuple{{types.NewInt(99)}}); err != nil {
+		t.Fatal(err)
+	}
+	chainSrc := `A = load 'restore/g0' as (k:int, v:int);
+B = filter A by v > 5;
+store B into 'restore/chain';`
+	jobs := compileJobs(t, chainSrc, "tmp/chain")
+	cand, err := WholeJobCandidate(jobs[0].Plan, jobs[0].Plan.Sinks()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, added, err := s.Consider(Candidate{
+		Plan: cand, OutputPath: "restore/chain", Schema: types.SchemaFromNames("k", "v"),
+		InputBytes: 1000, OutputBytes: 10, ExecTime: time.Minute, OwnsFile: true,
+	}, 1); err != nil || !added {
+		t.Fatalf("chain entry: %v %v", added, err)
+	}
+
+	mutateInput(t, fs, 0)
+	var st EvictStats
+	ev, err := s.EvictPaths(2, []string{"in/i0"}, &st)
+	if err != nil || len(ev) != 1 {
+		t.Fatalf("pass 1: evicted %v err %v", ev, err)
+	}
+	if st.Scans != 1 {
+		t.Errorf("pass 1 scanned %d entries, want 1 (only the in/i0 reader)", st.Scans)
+	}
+
+	// Cascade: g0's deletion invalidates the chain entry; the pass over
+	// {restore/g0} must scan exactly the one reader.
+	st = EvictStats{}
+	ev, err = s.EvictPaths(3, []string{"restore/g0"}, &st)
+	if err != nil || len(ev) != 1 {
+		t.Fatalf("pass 2: evicted %v err %v", ev, err)
+	}
+	if st.Scans != 1 {
+		t.Errorf("cascade scanned %d entries, want 1", st.Scans)
+	}
+
+	// No reader of the chain output: the fixpoint short-circuits at zero
+	// scans instead of re-walking the 7 surviving entries.
+	st = EvictStats{}
+	ev, err = s.EvictPaths(4, []string{"restore/chain"}, &st)
+	if err != nil || len(ev) != 0 {
+		t.Fatalf("pass 3: evicted %v err %v", ev, err)
+	}
+	if st.Scans != 0 {
+		t.Errorf("terminal pass scanned %d entries, want 0", st.Scans)
+	}
+	if s.Repo.Len() != 7 {
+		t.Errorf("survivors = %d, want 7", s.Repo.Len())
+	}
+}
+
+// TestRecheckCatchesPinSkippedStaleEntry: an entry judged stale while
+// pinned must be re-examined after the pin drops, even though its mutation
+// batch was already consumed.
+func TestRecheckCatchesPinSkippedStaleEntry(t *testing.T) {
+	s, fs := gcSelector(t, 1, DefaultPolicy())
+	id := s.Repo.All()[0].ID
+	mutateInput(t, fs, 0)
+	if !s.Repo.Pin(id) {
+		t.Fatal("pin failed")
+	}
+	if ev, _ := s.EvictPaths(2, []string{"in/i0"}, nil); len(ev) != 0 {
+		t.Fatalf("evicted a pinned entry: %v", ev)
+	}
+	s.Repo.Unpin([]string{id})
+	// The batch is gone; only the recheck queue can catch it now.
+	ev, _ := s.EvictPaths(3, nil, nil)
+	if len(ev) != 1 || ev[0] != id {
+		t.Fatalf("recheck missed the stale entry: %v", ev)
+	}
+}
+
+// TestWindowBudgetEvictsLRUUntilUnderBudget checks the size-budget policy:
+// least-recently-used-by-sequence entries go first, and eviction stops as
+// soon as the repository fits.
+func TestWindowBudgetEvictsLRUUntilUnderBudget(t *testing.T) {
+	s, _ := gcSelector(t, 5, Policy{KeepAll: true, CheckInputVersions: true, RepoBudgetBytes: 250})
+	// Touch entries 0 and 1 recently; 2,3,4 stay at their creation seq.
+	for i, e := range s.Repo.All() {
+		if i < 2 {
+			s.Repo.MarkUsed(e.ID, 10)
+		}
+	}
+	// 5 entries x 100 bytes = 500 > 250: evict LRU until <= 250.
+	ev, err := s.EvictWindowBudget(11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 3 {
+		t.Fatalf("evicted %v, want the 3 least-recently-used", ev)
+	}
+	for _, e := range s.Repo.All() {
+		if e.LastUsedSeq != 10 {
+			t.Errorf("recently-used entry evicted instead: %s", e.ID)
+		}
+	}
+	if total := s.Repo.TotalStoredBytes(); total > 250 {
+		t.Errorf("still over budget: %d", total)
+	}
+}
+
+// TestBudgetIgnoresUserNamedEntries: evicting an OwnsFile=false entry
+// reclaims no storage, so the budget must neither count its bytes nor
+// spend evictions on it.
+func TestBudgetIgnoresUserNamedEntries(t *testing.T) {
+	s, fs := gcSelector(t, 2, Policy{KeepAll: true, CheckInputVersions: true, RepoBudgetBytes: 250})
+	// A large user-named entry, least recently used of all.
+	if err := fs.WriteTuples("out/user", types.Schema{}, []types.Tuple{{types.NewInt(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	src := `A = load 'in/i0' as (k:int, v:int);
+B = filter A by v > 90000;
+store B into 'out/user';`
+	jobs := compileJobs(t, src, "tmp/user")
+	cand, err := WholeJobCandidate(jobs[0].Plan, jobs[0].Plan.Sinks()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, added, err := s.Consider(Candidate{
+		Plan: cand, OutputPath: "out/user", Schema: types.SchemaFromNames("k", "v"),
+		InputBytes: 1000, OutputBytes: 10000, ExecTime: time.Minute, OwnsFile: false,
+	}, 0); err != nil || !added {
+		t.Fatalf("user entry: %v %v", added, err)
+	}
+	// Owned bytes = 2 x 100 <= 250: nothing to evict, despite the user
+	// entry's 10000 bytes dwarfing the budget.
+	if ev, err := s.EvictWindowBudget(1, nil); err != nil || len(ev) != 0 {
+		t.Fatalf("budget evicted %v (err %v) with owned bytes under budget", ev, err)
+	}
+	// Tighten the budget: only owned entries may go; the user entry (the
+	// LRU of all three) survives.
+	s.Policy.RepoBudgetBytes = 150
+	ev, err := s.EvictWindowBudget(2, nil)
+	if err != nil || len(ev) != 1 {
+		t.Fatalf("budget evicted %v err %v, want one owned entry", ev, err)
+	}
+	if s.Repo.Get("entry-3") == nil {
+		t.Error("budget evicted the user-named entry")
+	}
+	if !fs.Exists("out/user") {
+		t.Error("user file deleted")
+	}
+}
+
+// TestRetentionLifecycle drives a tracked user output through the §5
+// keep-results-for-N mode: kept inside the window, kept while referenced,
+// retired after, and left alone (tracking dropped) when overwritten by an
+// untracked writer.
+func TestRetentionLifecycle(t *testing.T) {
+	s, fs := gcSelector(t, 0, Policy{KeepAll: true, CheckInputVersions: true, OutputRetention: 3})
+	write := func(path string, v int64) uint64 {
+		t.Helper()
+		if err := fs.WriteTuples(path, types.Schema{}, []types.Tuple{{types.NewInt(v)}}); err != nil {
+			t.Fatal(err)
+		}
+		ver, err := fs.Version(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ver
+	}
+
+	v := write("out/a", 1)
+	s.Repo.NoteOutput("out/a", 1, v)
+
+	// Inside the window: no candidates.
+	if c := RetentionCandidates(s.Repo, s.Policy, 3); len(c) != 0 {
+		t.Fatalf("retired inside the window: %v", c)
+	}
+	// Expired: candidate, and RetireOutputs deletes it.
+	cands := RetentionCandidates(s.Repo, s.Policy, 5)
+	if len(cands) != 1 || cands[0] != "out/a" {
+		t.Fatalf("candidates = %v", cands)
+	}
+	var st EvictStats
+	retired, err := s.RetireOutputs(5, cands, &st)
+	if err != nil || len(retired) != 1 {
+		t.Fatalf("retired %v err %v", retired, err)
+	}
+	if fs.Exists("out/a") {
+		t.Error("retired output still on the DFS")
+	}
+	if len(s.Repo.TrackedOutputs()) != 0 {
+		t.Error("retired output still tracked")
+	}
+	if st.OutputsRetired != 1 {
+		t.Errorf("OutputsRetired = %d", st.OutputsRetired)
+	}
+
+	// An overwritten (version-moved) output is user data now: tracking is
+	// dropped, the file survives.
+	v = write("out/b", 1)
+	s.Repo.NoteOutput("out/b", 1, v)
+	write("out/b", 2) // upload-style overwrite the tracker never saw
+	cands = RetentionCandidates(s.Repo, s.Policy, 10)
+	if _, err := s.RetireOutputs(10, cands, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("out/b") {
+		t.Error("retention deleted an overwritten (user-owned) file")
+	}
+	if len(s.Repo.TrackedOutputs()) != 0 {
+		t.Error("overwritten output still tracked")
+	}
+}

@@ -28,6 +28,12 @@ const (
 	// MutUse records MarkUsed, with the resulting absolute counters (not
 	// the increment), so replaying a record twice cannot double-count.
 	MutUse MutationOp = "use"
+	// MutNoteOutput records NoteOutput: a user-named query output entered
+	// (or refreshed in) the retention table, with its absolute sequence and
+	// file version — replaying twice converges.
+	MutNoteOutput MutationOp = "note-output"
+	// MutForgetOutput records ForgetOutput retiring a tracked output.
+	MutForgetOutput MutationOp = "forget-output"
 )
 
 // Mutation is one committed repository change, journaled in commit order.
@@ -45,6 +51,11 @@ type Mutation struct {
 	// UseCount and LastUsedSeq are the absolute post-MarkUsed values.
 	UseCount    int64 `json:"useCount,omitempty"`
 	LastUsedSeq int64 `json:"lastUsedSeq,omitempty"`
+	// Path, Seq, and Version carry the retention-table state for
+	// MutNoteOutput (all three) and MutForgetOutput (Path only).
+	Path    string `json:"path,omitempty"`
+	Seq     int64  `json:"seq,omitempty"`
+	Version uint64 `json:"version,omitempty"`
 }
 
 // Journal receives every committed repository mutation, in commit order.
@@ -107,6 +118,10 @@ func (r *Repository) Apply(m Mutation) error {
 			}
 		}
 		r.mu.Unlock()
+	case MutNoteOutput:
+		r.NoteOutput(m.Path, m.Seq, m.Version)
+	case MutForgetOutput:
+		r.ForgetOutput(m.Path)
 	default:
 		return fmt.Errorf("core: apply: unknown mutation op %q", m.Op)
 	}

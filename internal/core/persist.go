@@ -14,13 +14,17 @@ import (
 type repositoryJSON struct {
 	Version int      `json:"version"`
 	Entries []*Entry `json:"entries"`
+	// Outputs is the §5 retention table (user-named query outputs and the
+	// sequence that last produced them). Absent in pre-retention snapshots,
+	// which load with an empty table.
+	Outputs []OutputRecord `json:"outputs,omitempty"`
 }
 
 const persistVersion = 1
 
 // Save writes the repository as JSON.
 func (r *Repository) Save(w io.Writer) error {
-	doc := repositoryJSON{Version: persistVersion, Entries: r.All()}
+	doc := repositoryJSON{Version: persistVersion, Entries: r.All(), Outputs: r.TrackedOutputs()}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -51,6 +55,9 @@ func LoadRepository(rd io.Reader) (*Repository, error) {
 		if n, ok := entryIDCounter(e.ID); ok && n > repo.nextID {
 			repo.nextID = n
 		}
+	}
+	for _, rec := range doc.Outputs {
+		repo.NoteOutput(rec.Path, rec.Seq, rec.Version)
 	}
 	return repo, nil
 }

@@ -162,7 +162,19 @@ type Repository struct {
 	// unindexed lists entries excluded from byFP (Split-bearing plans);
 	// every probe also verifies these, preserving exact §3 semantics.
 	unindexed []*Entry
-	nextID    int
+	// byPath is the inverted invalidation index: DFS path -> entries whose
+	// input set or stored output touches it (exact-path keys; DFS paths are
+	// flat). Eviction Rule-4 checks driven by the DFS mutation feed probe it
+	// so their work scales with the mutated paths, not the repository size.
+	// Maintained under mu by Add/Remove alongside byFP.
+	byPath map[string][]*Entry
+	// outputs tracks user-named query outputs for the §5 keep-results-for-N
+	// retention mode: path -> the workflow sequence and file version that
+	// last produced (or re-requested) it. Journaled (MutNoteOutput /
+	// MutForgetOutput) and persisted with the repository, so retention
+	// decisions survive crashes.
+	outputs map[string]OutputRecord
+	nextID  int
 	// journal, when attached, receives every committed mutation in commit
 	// order (see journal.go) — the repository half of the write-ahead log.
 	journal Journal
@@ -173,7 +185,24 @@ func NewRepository() *Repository {
 	return &Repository{
 		byCanon: make(map[string]*Entry),
 		byFP:    make(map[physical.Fingerprint][]*Entry),
+		byPath:  make(map[string][]*Entry),
+		outputs: make(map[string]OutputRecord),
 	}
+}
+
+// touchedPaths returns the DFS paths the entry is filed under in byPath:
+// every input path plus the stored output itself (the output key is what
+// lets a deleted or overwritten stored file invalidate its entry, and a
+// deleted entry's file invalidate entries reading it).
+func (e *Entry) touchedPaths() []string {
+	out := make([]string, 0, len(e.InputVersions)+1)
+	for p := range e.InputVersions {
+		out = append(out, p)
+	}
+	if _, ok := e.InputVersions[e.OutputPath]; !ok {
+		out = append(out, e.OutputPath)
+	}
+	return out
 }
 
 // Len returns the number of entries.
@@ -213,6 +242,9 @@ func (r *Repository) Add(e *Entry) (*Entry, bool, error) {
 	} else {
 		r.unindexed = append(r.unindexed, e)
 	}
+	for _, p := range e.touchedPaths() {
+		r.byPath[p] = append(r.byPath[p], e)
+	}
 	r.journalLocked(Mutation{Op: MutAdd, Entry: e.clone()})
 	return e, true, nil
 }
@@ -250,6 +282,13 @@ func (r *Repository) removeLocked(id string) *Entry {
 				}
 			} else {
 				r.unindexed = dropFromSlice(r.unindexed, e)
+			}
+			for _, p := range e.touchedPaths() {
+				if b := dropFromSlice(r.byPath[p], e); len(b) > 0 {
+					r.byPath[p] = b
+				} else {
+					delete(r.byPath, p)
+				}
 			}
 			r.journalLocked(Mutation{Op: MutRemove, ID: id})
 			return e
@@ -428,6 +467,137 @@ func (r *Repository) OrderedSnapshot() []*Entry {
 	for i, e := range r.ordered {
 		out[i] = e.clone()
 	}
+	return out
+}
+
+// EntriesTouching returns deep copies of the entries whose input set or
+// stored output touches any of the given DFS paths, deduplicated. This is
+// the indexed Rule-4 candidate set for a batch of mutated paths: its size
+// scales with the mutations, not the repository.
+func (r *Repository) EntriesTouching(paths []string) []*Entry {
+	if len(paths) == 0 {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Entry
+	seen := make(map[string]bool)
+	for _, p := range paths {
+		for _, e := range r.byPath[p] {
+			if seen[e.ID] {
+				continue
+			}
+			seen[e.ID] = true
+			out = append(out, e.clone())
+		}
+	}
+	return out
+}
+
+// CloneOf returns a deep copy of the entry with the given ID, or nil.
+func (r *Repository) CloneOf(id string) *Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		if e.ID == id {
+			return e.clone()
+		}
+	}
+	return nil
+}
+
+// ReferencesPath reports whether any live entry reads the path as an input
+// or stores its output there. Retention and deferred-delete retries use it
+// to refuse deleting a file the repository still depends on.
+func (r *Repository) ReferencesPath(path string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byPath[path]) > 0
+}
+
+// EntryUsage is the lightweight per-entry metadata the Rule-3 window and
+// size-budget passes scan: no plan, no version map, so a pass over the whole
+// repository touches only a few words per entry and never probes the DFS.
+type EntryUsage struct {
+	ID          string
+	OutputPath  string
+	OutputBytes int64
+	OwnsFile    bool
+	CreatedSeq  int64
+	LastUsedSeq int64
+}
+
+// Touch is the recency key the window and budget policies order by: the
+// last sequence at which the entry was created or reused.
+func (u EntryUsage) Touch() int64 {
+	if u.LastUsedSeq > u.CreatedSeq {
+		return u.LastUsedSeq
+	}
+	return u.CreatedSeq
+}
+
+// UsageSnapshot returns the usage metadata of every entry, in insertion
+// order.
+func (r *Repository) UsageSnapshot() []EntryUsage {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]EntryUsage, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = EntryUsage{
+			ID:          e.ID,
+			OutputPath:  e.OutputPath,
+			OutputBytes: e.OutputBytes,
+			OwnsFile:    e.OwnsFile,
+			CreatedSeq:  e.CreatedSeq,
+			LastUsedSeq: e.LastUsedSeq,
+		}
+	}
+	return out
+}
+
+// OutputRecord tracks one user-named query output for the §5
+// keep-results-for-N retention mode.
+type OutputRecord struct {
+	Path string `json:"path"`
+	// Seq is the workflow sequence that last wrote or re-requested the path.
+	Seq int64 `json:"seq"`
+	// Version is the file's DFS version at that point; a mismatch at
+	// retirement time means the path was overwritten by something the
+	// tracker never saw (an upload), so retention must leave it alone.
+	Version uint64 `json:"version"`
+}
+
+// NoteOutput records (or refreshes) a user-named query output for
+// retention. Journaled, so a recovered repository remembers how old every
+// tracked output is.
+func (r *Repository) NoteOutput(path string, seq int64, version uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.outputs[path] = OutputRecord{Path: path, Seq: seq, Version: version}
+	r.journalLocked(Mutation{Op: MutNoteOutput, Path: path, Seq: seq, Version: version})
+}
+
+// ForgetOutput drops a tracked output (it was retired, overwritten, or
+// vanished). Forgetting an untracked path is a no-op and is not journaled.
+func (r *Repository) ForgetOutput(path string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.outputs[path]; !ok {
+		return
+	}
+	delete(r.outputs, path)
+	r.journalLocked(Mutation{Op: MutForgetOutput, Path: path})
+}
+
+// TrackedOutputs returns the retention table sorted by path.
+func (r *Repository) TrackedOutputs() []OutputRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]OutputRecord, 0, len(r.outputs))
+	for _, rec := range r.outputs {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out
 }
 

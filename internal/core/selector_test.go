@@ -120,16 +120,16 @@ func TestEvictionRule3Window(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Within the window: survives.
-	if ev, err := s.Evict(4); err != nil || len(ev) != 0 {
+	if ev, err := s.Evict(4, nil); err != nil || len(ev) != 0 {
 		t.Errorf("early eviction: %v %v", ev, err)
 	}
 	// Reuse at seq 6 extends the lease.
 	s.Repo.MarkUsed(s.Repo.All()[0].ID, 6)
-	if ev, err := s.Evict(10); err != nil || len(ev) != 0 {
+	if ev, err := s.Evict(10, nil); err != nil || len(ev) != 0 {
 		t.Errorf("evicted despite recent use: %v %v", ev, err)
 	}
 	// Far beyond the window: evicted, file deleted.
-	ev, err := s.Evict(20)
+	ev, err := s.Evict(20, nil)
 	if err != nil || len(ev) != 1 {
 		t.Fatalf("eviction failed: %v %v", ev, err)
 	}
@@ -144,14 +144,14 @@ func TestEvictionRule4InputModified(t *testing.T) {
 	if _, _, err := s.Consider(c, 1); err != nil {
 		t.Fatal(err)
 	}
-	if ev, err := s.Evict(2); err != nil || len(ev) != 0 {
+	if ev, err := s.Evict(2, nil); err != nil || len(ev) != 0 {
 		t.Errorf("spurious eviction: %v %v", ev, err)
 	}
 	// Rewrite the base input: the stored result is stale.
 	if err := fs.WriteTuples("page_views", types.Schema{}, []types.Tuple{{types.NewInt(2)}}); err != nil {
 		t.Fatal(err)
 	}
-	ev, err := s.Evict(3)
+	ev, err := s.Evict(3, nil)
 	if err != nil || len(ev) != 1 {
 		t.Fatalf("rule 4 eviction failed: %v %v", ev, err)
 	}
@@ -169,7 +169,7 @@ func TestEvictionRule4InputDeleted(t *testing.T) {
 	if err := fs.Delete("page_views"); err != nil {
 		t.Fatal(err)
 	}
-	ev, err := s.Evict(2)
+	ev, err := s.Evict(2, nil)
 	if err != nil || len(ev) != 1 {
 		t.Fatalf("rule 4 (deleted input) failed: %v %v", ev, err)
 	}
@@ -182,7 +182,7 @@ func TestUserOutputNotDeletedOnEvict(t *testing.T) {
 	if _, _, err := s.Consider(c, 1); err != nil {
 		t.Fatal(err)
 	}
-	ev, err := s.Evict(10)
+	ev, err := s.Evict(10, nil)
 	if err != nil || len(ev) != 1 {
 		t.Fatalf("eviction: %v %v", ev, err)
 	}

@@ -28,6 +28,16 @@ type Stats struct {
 	matchProbes        atomic.Int64
 	matchIndexHits     atomic.Int64
 	matchFallbackScans atomic.Int64
+
+	// rejected counts candidates the §5 keep rules (or a vanished input)
+	// kept out of the repository.
+	rejected atomic.Int64
+	// Eviction-path observability (see EvictStats in selector.go).
+	evictScans          atomic.Int64
+	evictProbes         atomic.Int64
+	evictDeleteErrors   atomic.Int64
+	evictRequeueRetired atomic.Int64
+	outputsRetired      atomic.Int64
 }
 
 // QueryStats describes one executed query for aggregation.
@@ -39,9 +49,13 @@ type QueryStats struct {
 	// JobsExecuted after (eliminated jobs never run).
 	JobsCompiled int
 	JobsExecuted int
-	// Registered and Evicted count repository entries added and removed.
+	// Registered counts repository entries added; Rejected the candidates
+	// the §5 keep rules turned away.
 	Registered int
-	Evicted    int
+	Rejected   int
+	// Evict counts the eviction-path work this query's phase-0 passes did
+	// (entries evicted, staleness scans/probes, delete failures).
+	Evict EvictStats
 	// SavedBytes estimates input bytes not re-scanned thanks to reuse;
 	// SavedTime estimates the recomputation time avoided (the reused
 	// entries' recorded execution times).
@@ -64,13 +78,26 @@ func (s *Stats) RecordQuery(q QueryStats) {
 	s.jobsCompiled.Add(int64(q.JobsCompiled))
 	s.jobsExecuted.Add(int64(q.JobsExecuted))
 	s.registered.Add(int64(q.Registered))
-	s.evicted.Add(int64(q.Evicted))
+	s.rejected.Add(int64(q.Rejected))
+	s.RecordEviction(q.Evict)
 	s.savedBytes.Add(q.SavedBytes)
 	s.savedTimeNanos.Add(int64(q.SavedTime))
 	s.simTimeNanos.Add(int64(q.SimulatedTime))
 	s.matchProbes.Add(q.Match.Probes)
 	s.matchIndexHits.Add(q.Match.IndexHits)
 	s.matchFallbackScans.Add(q.Match.FallbackScans)
+}
+
+// RecordEviction folds one eviction pass's work into the counters — used by
+// RecordQuery for the per-query passes and directly by the background GC
+// loop, whose sweeps run outside any query.
+func (s *Stats) RecordEviction(e EvictStats) {
+	s.evicted.Add(e.Evicted)
+	s.evictScans.Add(e.Scans)
+	s.evictProbes.Add(e.Probes)
+	s.evictDeleteErrors.Add(e.DeleteErrors)
+	s.evictRequeueRetired.Add(e.RequeueRetired)
+	s.outputsRetired.Add(e.OutputsRetired)
 }
 
 // StatsSnapshot is a point-in-time copy of the counters plus derived rates,
@@ -85,6 +112,7 @@ type StatsSnapshot struct {
 	JobsExecuted   int64         `json:"jobsExecuted"`
 	JobsEliminated int64         `json:"jobsEliminated"`
 	Registered     int64         `json:"registered"`
+	Rejected       int64         `json:"candidatesRejected"`
 	Evicted        int64         `json:"evicted"`
 	SavedBytes     int64         `json:"savedBytes"`
 	SavedTime      time.Duration `json:"savedTimeNanos"`
@@ -93,6 +121,11 @@ type StatsSnapshot struct {
 	// (under "reuse", next to "wal") so index effectiveness is observable
 	// under live traffic.
 	Match MatchStats `json:"match"`
+	// Evict is the cumulative eviction-path work (staleness scans and
+	// probes, delete failures and their retirements, retention): served
+	// under "reuse" so the indexed path's flat per-query cost — and any
+	// delete trouble — is observable under live traffic.
+	Evict EvictStats `json:"evict"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each counter is
@@ -106,6 +139,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		JobsCompiled:   s.jobsCompiled.Load(),
 		JobsExecuted:   s.jobsExecuted.Load(),
 		Registered:     s.registered.Load(),
+		Rejected:       s.rejected.Load(),
 		Evicted:        s.evicted.Load(),
 		SavedBytes:     s.savedBytes.Load(),
 		SavedTime:      time.Duration(s.savedTimeNanos.Load()),
@@ -114,6 +148,14 @@ func (s *Stats) Snapshot() StatsSnapshot {
 			Probes:        s.matchProbes.Load(),
 			IndexHits:     s.matchIndexHits.Load(),
 			FallbackScans: s.matchFallbackScans.Load(),
+		},
+		Evict: EvictStats{
+			Scans:          s.evictScans.Load(),
+			Probes:         s.evictProbes.Load(),
+			Evicted:        s.evicted.Load(),
+			DeleteErrors:   s.evictDeleteErrors.Load(),
+			RequeueRetired: s.evictRequeueRetired.Load(),
+			OutputsRetired: s.outputsRetired.Load(),
 		},
 	}
 	snap.JobsEliminated = snap.JobsCompiled - snap.JobsExecuted

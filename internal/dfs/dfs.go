@@ -106,10 +106,14 @@ type FS struct {
 
 	// journal, dirty, and mutations implement incremental persistence (see
 	// journal.go): every committed mutation is forwarded to the journal and
-	// marks its path dirty until the next snapshot claims it.
-	journal   Journal
-	dirty     map[string]struct{}
-	mutations atomic.Uint64
+	// marks its path dirty until the next snapshot claims it. evictDirty is
+	// the second, independent consumer of the same dirty marks: the mutation
+	// feed eviction Rule-4 checks drain (TakeEvictionDirty), so invalidation
+	// work scales with what changed, not with repository size.
+	journal    Journal
+	dirty      map[string]struct{}
+	evictDirty map[string]struct{}
+	mutations  atomic.Uint64
 }
 
 // New creates an empty FS with default block size and replication.

@@ -70,18 +70,29 @@ func (fs *FS) SetJournal(j Journal) {
 	fs.journal = j
 }
 
-// noteLocked records one committed mutation: it marks the file dirty, bumps
-// the mutation counter, and forwards the record to the attached journal.
-// Called with fs.mu held by every mutating method.
+// noteLocked records one committed mutation: it marks the file dirty (for
+// both the snapshot and eviction consumers), bumps the mutation counter, and
+// forwards the record to the attached journal. Called with fs.mu held by
+// every mutating method.
 func (fs *FS) noteLocked(m Mutation) {
 	if fs.dirty == nil {
 		fs.dirty = make(map[string]struct{})
 	}
 	fs.dirty[m.Path] = struct{}{}
+	fs.markEvictDirtyLocked(m.Path)
 	fs.mutations.Add(1)
 	if fs.journal != nil {
 		fs.journal.Record(m)
 	}
+}
+
+// markEvictDirtyLocked adds the path to the eviction mutation feed. Called
+// with fs.mu held.
+func (fs *FS) markEvictDirtyLocked(path string) {
+	if fs.evictDirty == nil {
+		fs.evictDirty = make(map[string]struct{})
+	}
+	fs.evictDirty[path] = struct{}{}
 }
 
 // DirtyPaths returns the sorted paths mutated since the last TakeDirty (or
@@ -109,6 +120,26 @@ func (fs *FS) TakeDirty() []string {
 	fs.mu.Unlock()
 	out := make([]string, 0, len(dirty))
 	for p := range dirty {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TakeEvictionDirty returns the sorted paths mutated since the last
+// TakeEvictionDirty and resets the feed. This is the eviction subsystem's
+// mutation feed: consumers run Rule-4 staleness checks only on repository
+// entries touching the returned paths, so per-query invalidation work scales
+// with what changed rather than with repository size. The feed is
+// independent of the snapshot consumer (DirtyPaths/TakeDirty); any one
+// taker owns a returned batch exclusively.
+func (fs *FS) TakeEvictionDirty() []string {
+	fs.mu.Lock()
+	taken := fs.evictDirty
+	fs.evictDirty = nil
+	fs.mu.Unlock()
+	out := make([]string, 0, len(taken))
+	for p := range taken {
 		out = append(out, p)
 	}
 	sort.Strings(out)
@@ -171,11 +202,13 @@ func (fs *FS) Apply(m Mutation) error {
 		return fmt.Errorf("dfs: apply: unknown mutation op %q", m.Op)
 	}
 	// Replayed state is not yet covered by any snapshot (the log still holds
-	// it), so it counts as dirty until the next compaction.
+	// it), so it counts as dirty until the next compaction — and feeds the
+	// eviction consumer, which rechecks entries touching replayed paths.
 	if fs.dirty == nil {
 		fs.dirty = make(map[string]struct{})
 	}
 	fs.dirty[m.Path] = struct{}{}
+	fs.markEvictDirtyLocked(m.Path)
 	fs.mutations.Add(1)
 	return nil
 }

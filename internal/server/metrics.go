@@ -17,6 +17,9 @@ type metrics struct {
 	failed      atomic.Int64
 	uploads     atomic.Int64
 	checkpoints atomic.Int64
+	gcRuns      atomic.Int64
+	gcEvicted   atomic.Int64
+	gcRetired   atomic.Int64
 }
 
 // MetricsSnapshot is the JSON document served by GET /v1/metrics.
@@ -41,6 +44,12 @@ type MetricsSnapshot struct {
 	// shutdown); routine WAL flushes are not checkpoints and are reported
 	// under WAL instead.
 	Checkpoints int64 `json:"checkpoints"`
+	// GCRuns counts background growth-management passes; GCEvicted and
+	// GCOutputsRetired what they reclaimed (repository entries, user-named
+	// outputs). Per-query eviction work is reported under reuse.evict.
+	GCRuns           int64 `json:"gcRuns"`
+	GCEvicted        int64 `json:"gcEvicted"`
+	GCOutputsRetired int64 `json:"gcOutputsRetired"`
 
 	// WAL describes the write-ahead-log persistence subsystem; nil when
 	// the daemon runs without a state directory.
@@ -64,6 +73,9 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		QueriesFailed:    m.failed.Load(),
 		Uploads:          m.uploads.Load(),
 		Checkpoints:      m.checkpoints.Load(),
+		GCRuns:           m.gcRuns.Load(),
+		GCEvicted:        m.gcEvicted.Load(),
+		GCOutputsRetired: m.gcRetired.Load(),
 	}
 	if up > 0 {
 		snap.QPS = float64(snap.QueriesSubmitted) / up

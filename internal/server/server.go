@@ -96,6 +96,14 @@ type Config struct {
 	// dispatched ahead of a blocked task if it sits within the first
 	// BarrierWindow queue positions (default 16; 1 = strict FIFO).
 	BarrierWindow int
+	// GCInterval is the cadence of the background growth-management pass
+	// (System.CollectGarbage: the reference full eviction sweep, Rule-3
+	// window and size-budget enforcement, and user-output retention). It
+	// runs off the request path under the System's lease table — write
+	// leases on retention candidates only, so disjoint queries keep
+	// executing. 0 disables the loop; per-query index-driven eviction
+	// still runs.
+	GCInterval time.Duration
 }
 
 // Server is the restored daemon: an HTTP/JSON front end over one shared
@@ -160,6 +168,11 @@ func New(cfg Config) (*Server, error) {
 			s.saveWG.Add(1)
 			go s.persistLoop(walSync, compactEvery)
 		}
+	}
+
+	if cfg.GCInterval > 0 {
+		s.saveWG.Add(1)
+		go s.gcLoop(cfg.GCInterval)
 	}
 
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -262,6 +275,29 @@ func (s *Server) persistLoop(walSync, compactEvery time.Duration) {
 					_ = s.checkpointNow()
 				}()
 			}
+		case <-s.stopSave:
+			return
+		}
+	}
+}
+
+// gcLoop drives the background growth-management cadence: each tick runs
+// one System.CollectGarbage pass (full sweep, window/budget, retention) and
+// folds the outcome into the GC metrics. One pass at a time on this
+// goroutine — a pass stalled on a retention lease simply absorbs the
+// coalesced ticks behind it. Delete failures surface through the reuse
+// eviction counters, never as loop failures.
+func (s *Server) gcLoop(every time.Duration) {
+	defer s.saveWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			rep := s.sys.CollectGarbage()
+			s.met.gcRuns.Add(1)
+			s.met.gcEvicted.Add(int64(len(rep.Evicted)))
+			s.met.gcRetired.Add(int64(len(rep.Retired)))
 		case <-s.stopSave:
 			return
 		}

@@ -113,6 +113,16 @@ type System struct {
 	prep    atomic.Int64
 	subPath atomic.Int64
 	stats   core.Stats
+
+	// fullSweep requests one naive full-repository eviction sweep before
+	// the next query. Set at construction and by AdoptRepository: an
+	// adopted repository may reference files mutated or missing in ways the
+	// DFS mutation feed never saw (a repository loaded without its DFS
+	// snapshot), so the first query after a swap re-validates everything.
+	// Afterwards Rule-4 work is index-driven: each query checks only the
+	// entries touching the paths mutated since the previous check
+	// (dfs.TakeEvictionDirty -> Selector.EvictPaths).
+	fullSweep atomic.Bool
 }
 
 // Option configures a System.
@@ -186,6 +196,7 @@ func New(opts ...Option) *System {
 	}
 	s.repo.Store(core.NewRepository())
 	s.selector = &core.Selector{Repo: s.repo.Load(), FS: fs, Cluster: clus, Policy: core.DefaultPolicy()}
+	s.fullSweep.Store(true)
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -404,21 +415,16 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 	requested := p.requested
 	workflow := p.workflow
 
-	// Phase 0 (§5, Rules 3-4): evict stale or invalidated entries before
-	// matching, so a modified input is never answered from old results.
-	// Evicting one entry can invalidate entries reading its file, so run to
-	// a fixpoint.
-	var evicted []string
-	for {
-		ev, err := s.selector.Evict(seq)
-		if err != nil {
-			return nil, err
-		}
-		if len(ev) == 0 {
-			break
-		}
-		evicted = append(evicted, ev...)
-	}
+	// Phase 0 (§5): evict stale or invalidated entries before matching.
+	// Index-driven: Rule-4 checks touch only entries reading a path the DFS
+	// mutation feed reports changed (plus one full sweep after a repository
+	// swap), and the Rule-3 window / size budget scan in-memory usage
+	// metadata only — per-query eviction work scales with what changed, not
+	// with repository size. Owned-file delete failures are counted and the
+	// files re-queued (see Selector.removeEntry); they never fail this
+	// unrelated query.
+	var est core.EvictStats
+	evicted := s.evictPhase(seq, &est)
 
 	// Phase 1 (§3): match and rewrite against the repository. The rewriter
 	// pins every reused entry; hold the pins until this execution is done
@@ -431,6 +437,19 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 	if s.reuse {
 		repo := s.repo.Load()
 		rw := &core.Rewriter{Repo: repo, Seq: seq, Guard: func(e *core.Entry) bool {
+			// Pin-time freshness: with eviction demoted to the mutation feed
+			// and the GC loop, this check (not a pre-match sweep) is what
+			// guarantees a modified input is never answered from old
+			// results — a concurrent query may have consumed the feed batch
+			// that would have evicted this entry, leaving it present but
+			// stale. The entry's inputs are covered by this execution's
+			// lease (they are loads of the matched plan region), so
+			// freshness established here holds through the run.
+			if !core.EntryFresh(s.fs, e, s.selector.Policy.CheckInputVersions, &est) {
+				// Queue the stale entry so the next indexed pass evicts it.
+				s.selector.NoteStale(e.ID)
+				return false
+			}
 			if e.OwnsFile {
 				// Repository-owned files live in minted-once namespaces:
 				// nothing ever rewrites them, and the pin (below) blocks
@@ -500,12 +519,14 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 	}
 
 	// Phase 4 (§5): register candidates.
+	rejected := 0
 	if s.register && wfRes != nil {
-		added, err := s.registerCandidates(finalJobs, pending, wfRes, seq)
+		added, rej, err := s.registerCandidates(finalJobs, pending, wfRes, seq)
 		if err != nil {
 			return nil, err
 		}
 		res.Registered = added
+		rejected = rej
 	}
 	res.Evicted = evicted
 
@@ -515,13 +536,26 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 			actual = a
 		}
 		res.Outputs[p] = actual
+		// Track user-named outputs for the §5 keep-results-for-N retention
+		// mode: remember the sequence that last produced (or, via an alias,
+		// re-requested) the path, and its file version, so retention never
+		// retires a file a client recently asked for — and never one an
+		// upload has since overwritten. Only under a retention policy:
+		// with retention off nothing would ever consume or prune the
+		// table, and it (plus its WAL records) would grow forever.
+		if s.selector.Policy.OutputRetention > 0 && !isSystemPath(p) {
+			if v, verr := s.fs.Version(p); verr == nil {
+				s.repo.Load().NoteOutput(p, seq, v)
+			}
+		}
 	}
 
 	qs := core.QueryStats{
 		JobsCompiled:  len(workflow.Jobs),
 		JobsExecuted:  len(finalJobs),
 		Registered:    res.Registered,
-		Evicted:       len(evicted),
+		Rejected:      rejected,
+		Evict:         est,
 		SimulatedTime: res.SimulatedTime,
 		Match:         matchStats,
 	}
@@ -548,6 +582,105 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 // Stats returns a snapshot of the system's lifetime reuse counters.
 func (s *System) Stats() core.StatsSnapshot { return s.stats.Snapshot() }
 
+// Seq returns the current workflow sequence number (the clock the §5
+// eviction window and retention policies measure in).
+func (s *System) Seq() int64 { return s.seq.Load() }
+
+// evictPhase is phase 0 of every execution: one Rule-4 pass (the naive full
+// sweep when a repository swap demands it, the mutation-feed-indexed pass
+// otherwise), one Rule-3-window/size-budget pass when the policy asks for
+// either, then the cascade fixpoint — an evicted entry's deleted file marks
+// the feed, so each extra round touches only the entries reading the paths
+// the previous round deleted and the loop stops as soon as nothing relevant
+// was evicted (no full re-scans). Delete failures are counted in st, never
+// returned: they must not fail the triggering query.
+func (s *System) evictPhase(seq int64, st *core.EvictStats) []string {
+	var evicted []string
+	if s.fullSweep.CompareAndSwap(true, false) {
+		// The sweep re-validates every entry; the pending feed batch is
+		// subsumed by it.
+		s.fs.TakeEvictionDirty()
+		ev, _ := s.selector.Evict(seq, st)
+		evicted = append(evicted, ev...)
+	} else if dirty := s.fs.TakeEvictionDirty(); len(dirty) > 0 || s.selector.PendingWork() {
+		ev, _ := s.selector.EvictPaths(seq, dirty, st)
+		evicted = append(evicted, ev...)
+	}
+	pol := s.selector.Policy
+	if pol.EvictionWindow > 0 || pol.RepoBudgetBytes > 0 {
+		ev, _ := s.selector.EvictWindowBudget(seq, st)
+		evicted = append(evicted, ev...)
+	}
+	for last := evicted; len(last) > 0; {
+		dirty := s.fs.TakeEvictionDirty()
+		if len(dirty) == 0 {
+			break
+		}
+		ev, _ := s.selector.EvictPaths(seq, dirty, st)
+		evicted = append(evicted, ev...)
+		last = ev
+	}
+	return evicted
+}
+
+// GCReport summarizes one CollectGarbage pass.
+type GCReport struct {
+	// Evicted lists the repository entries the pass removed (Rules 3/4,
+	// size budget, and cascades).
+	Evicted []string
+	// Retired lists the user-named outputs the retention policy deleted.
+	Retired []string
+	// Stats counts the pass's staleness scans, DFS probes, and delete
+	// failures.
+	Stats core.EvictStats
+}
+
+// CollectGarbage runs one repository growth-management pass: the full
+// (reference) eviction sweep, the Rule-3 window and size-budget passes, the
+// cascade fixpoint, and — when the policy enables it — user-output
+// retention. The restored daemon's GC loop calls it on a cadence so the
+// per-query path stays index-driven; library users running long query
+// streams with a retention policy call it themselves.
+//
+// Leasing: eviction needs no lease (pinned entries are never removed), but
+// retiring a user-named out/... file must not race an in-flight query
+// reading it, so the pass takes a write lease on exactly the retention
+// candidates — disjoint queries keep executing throughout. Delete failures
+// are counted in the report's Stats, not returned.
+func (s *System) CollectGarbage() GCReport {
+	nowSeq := s.seq.Load()
+	// Candidates are computed from the atomically-loaded repository
+	// pointer — no lease is held yet, and reading s.selector.Repo here
+	// would race a concurrent AdoptRepository swap. RetireOutputs
+	// re-validates every candidate under the lease, so a set computed
+	// against a repository that is swapped out before the lease grant is
+	// harmless (the stale paths simply fail re-validation).
+	cands := core.RetentionCandidates(s.repo.Load(), s.selector.Policy, nowSeq)
+	lease := s.leases.acquire(AccessSet{Writes: cands})
+	defer s.leases.release(lease)
+
+	var rep GCReport
+	st := &rep.Stats
+	s.fullSweep.Store(false) // the sweep below covers the pending request
+	s.fs.TakeEvictionDirty()
+	ev, _ := s.selector.Evict(nowSeq, st)
+	rep.Evicted = append(rep.Evicted, ev...)
+	wb, _ := s.selector.EvictWindowBudget(nowSeq, st)
+	rep.Evicted = append(rep.Evicted, wb...)
+	for last := rep.Evicted; len(last) > 0; {
+		dirty := s.fs.TakeEvictionDirty()
+		if len(dirty) == 0 {
+			break
+		}
+		ev, _ := s.selector.EvictPaths(nowSeq, dirty, st)
+		rep.Evicted = append(rep.Evicted, ev...)
+		last = ev
+	}
+	rep.Retired, _ = s.selector.RetireOutputs(nowSeq, cands, st)
+	s.stats.RecordEviction(*st)
+	return rep
+}
+
 // pendingCandidate is a sub-job injection awaiting post-execution
 // registration.
 type pendingCandidate struct {
@@ -557,9 +690,20 @@ type pendingCandidate struct {
 
 // registerCandidates turns executed outputs into repository entries: every
 // non-final primary store (workflow intermediates), every injected sub-job,
-// and — when configured — the user-named outputs.
-func (s *System) registerCandidates(jobs []*mapred.Job, pending []pendingCandidate, wfRes *mapred.WorkflowResult, seq int64) (int, error) {
-	added := 0
+// and — when configured — the user-named outputs. It returns how many
+// candidates entered the repository and how many the §5 keep rules (or a
+// vanished input) rejected; duplicates of already-stored plans count as
+// neither.
+func (s *System) registerCandidates(jobs []*mapred.Job, pending []pendingCandidate, wfRes *mapred.WorkflowResult, seq int64) (int, int, error) {
+	added, rejected := 0, 0
+	note := func(e *core.Entry, ok bool) {
+		switch {
+		case ok:
+			added++
+		case e == nil:
+			rejected++
+		}
+	}
 	for _, job := range jobs {
 		jr := wfRes.JobResults[job.ID]
 		if jr == nil {
@@ -575,9 +719,9 @@ func (s *System) registerCandidates(jobs []*mapred.Job, pending []pendingCandida
 			}
 			cand, err := core.WholeJobCandidate(job.Plan, st)
 			if err != nil {
-				return added, err
+				return added, rejected, err
 			}
-			_, ok, err := s.selector.Consider(core.Candidate{
+			entry, ok, err := s.selector.Consider(core.Candidate{
 				Plan:       cand,
 				OutputPath: st.Path,
 				Schema:     st.Schema,
@@ -592,11 +736,9 @@ func (s *System) registerCandidates(jobs []*mapred.Job, pending []pendingCandida
 				OwnsFile: owns,
 			}, seq)
 			if err != nil {
-				return added, err
+				return added, rejected, err
 			}
-			if ok {
-				added++
-			}
+			note(entry, ok)
 		}
 	}
 	byID := make(map[string]*mapred.Job, len(jobs))
@@ -608,7 +750,7 @@ func (s *System) registerCandidates(jobs []*mapred.Job, pending []pendingCandida
 		if jr == nil {
 			continue
 		}
-		_, ok, err := s.selector.Consider(core.Candidate{
+		entry, ok, err := s.selector.Consider(core.Candidate{
 			Plan:        pc.inj.CandidatePlan,
 			OutputPath:  pc.inj.Path,
 			Schema:      pc.inj.CandidatePlan.Sinks()[0].Schema,
@@ -618,13 +760,11 @@ func (s *System) registerCandidates(jobs []*mapred.Job, pending []pendingCandida
 			OwnsFile:    true,
 		}, seq)
 		if err != nil {
-			return added, err
+			return added, rejected, err
 		}
-		if ok {
-			added++
-		}
+		note(entry, ok)
 	}
-	return added, nil
+	return added, rejected, nil
 }
 
 // isSystemPath reports whether the path is in ReStore's namespace (temps and
@@ -694,6 +834,9 @@ func (s *System) AdoptRepository(repo *core.Repository) {
 	s.repo.Store(repo)
 	s.selector.Repo = repo
 	s.advanceCounters(repo)
+	// The adopted repository may reference files the mutation feed never
+	// saw change (or that are simply missing); re-validate everything once.
+	s.fullSweep.Store(true)
 }
 
 // advanceCounters pushes the workflow-sequence, compile-namespace, and
