@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race race-server docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke
+.PHONY: check fmt vet test race race-server docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke bench-obs bench-obs-smoke
 
-check: fmt vet docs-check race race-server bench-match-smoke bench-gc-smoke
+check: fmt vet docs-check race race-server bench-match-smoke bench-gc-smoke bench-obs-smoke
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,16 @@ bench-gc:
 # One-iteration smoke of the eviction benchmarks for every `make check`.
 bench-gc-smoke:
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkEvict' -benchtime 1x
+
+# Telemetry microbenchmarks: histogram/trace/rate-window record costs, plus
+# the full serving path instrumented vs obs.Disabled. The representative
+# (cluster-latency) comparison is the server-obs experiment in restore-bench.
+bench-obs:
+	$(GO) test ./internal/obs ./internal/server -run '^$$' -bench 'BenchmarkHistogramObserve|BenchmarkRegistry|BenchmarkTracePerQuery|BenchmarkRateWindowMark|BenchmarkServerSubmit' -benchmem
+
+# One-iteration smoke of the telemetry benchmarks for every `make check`.
+bench-obs-smoke:
+	$(GO) test ./internal/obs ./internal/server -run '^$$' -bench 'BenchmarkHistogramObserve|BenchmarkRegistry|BenchmarkTracePerQuery|BenchmarkRateWindowMark|BenchmarkServerSubmit' -benchtime 1x
 
 # Fails when an exported identifier in the documented packages
 # (internal/server, internal/dfs, internal/core, root access.go) lacks a doc

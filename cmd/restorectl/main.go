@@ -14,12 +14,13 @@
 //
 // Client mode talks to a running restored daemon instead:
 //
-//	restorectl -server http://127.0.0.1:7733 submit -f query.pig [-rows]
+//	restorectl -server http://127.0.0.1:7733 submit -f query.pig [-rows] [-trace]
 //	restorectl -server http://127.0.0.1:7733 explain -f query.pig
 //	restorectl -server http://127.0.0.1:7733 upload -path data/x -schema 'a, b:int' -f data.tsv
 //	restorectl -server http://127.0.0.1:7733 datasets [prefix]
 //	restorectl -server http://127.0.0.1:7733 repo
-//	restorectl -server http://127.0.0.1:7733 metrics
+//	restorectl -server http://127.0.0.1:7733 metrics [-watch 2s]
+//	restorectl -server http://127.0.0.1:7733 slow
 //	restorectl -server http://127.0.0.1:7733 checkpoint
 package main
 
@@ -31,6 +32,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	restore "repro"
 	"repro/internal/core"
@@ -200,13 +202,14 @@ func parsePolicy(name string) (restore.Policy, error) {
 
 func runClient(c *server.Client, args []string, asJSON bool) error {
 	if len(args) == 0 {
-		return fmt.Errorf("client mode needs a command: submit, explain, upload, datasets, repo, metrics, checkpoint")
+		return fmt.Errorf("client mode needs a command: submit, explain, upload, datasets, repo, metrics, slow, checkpoint")
 	}
 	switch cmd := args[0]; cmd {
 	case "submit":
 		fs := flag.NewFlagSet("submit", flag.ExitOnError)
 		scriptFile := fs.String("f", "", "script FILE ('-' or empty for stdin)")
 		showRows := fs.Bool("rows", false, "print each output's rows")
+		showTrace := fs.Bool("trace", false, "print the submission's stage breakdown")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
@@ -214,7 +217,12 @@ func runClient(c *server.Client, args []string, asJSON bool) error {
 		if err != nil {
 			return err
 		}
-		resp, err := c.Submit(script, *showRows)
+		var resp *server.QueryResponse
+		if *showTrace {
+			resp, err = c.SubmitTraced(script, *showRows)
+		} else {
+			resp, err = c.Submit(script, *showRows)
+		}
 		if err != nil {
 			return err
 		}
@@ -235,6 +243,9 @@ func runClient(c *server.Client, args []string, asJSON bool) error {
 					fmt.Println("    " + line)
 				}
 			}
+		}
+		if *showTrace && resp.Trace != nil {
+			fmt.Printf("  trace: %s\n", resp.Trace)
 		}
 		return nil
 	case "explain":
@@ -318,6 +329,14 @@ func runClient(c *server.Client, args []string, asJSON bool) error {
 		printEntries(repo.Entries)
 		return nil
 	case "metrics":
+		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+		watch := fs.Duration("watch", 0, "redraw a one-line live view every INTERVAL (e.g. 2s); 0 prints the JSON document once")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *watch > 0 {
+			return watchMetrics(c, *watch)
+		}
 		m, err := c.Metrics()
 		if err != nil {
 			return err
@@ -325,6 +344,29 @@ func runClient(c *server.Client, args []string, asJSON bool) error {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(m)
+	case "slow":
+		slow, err := c.Slow()
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(slow)
+		}
+		for _, q := range slow {
+			status := "ok"
+			if q.Error != "" {
+				status = "ERR " + q.Error
+			}
+			script := strings.ReplaceAll(q.Script, "\n", " ")
+			if len(script) > 60 {
+				script = script[:60] + "…"
+			}
+			fmt.Printf("%-12s %s  %s\n  %s\n", formatDur(q.Trace.TotalNanos), q.When.Format("15:04:05"), status, script)
+			fmt.Printf("  %s\n", q.Trace)
+		}
+		return nil
 	case "checkpoint":
 		if err := c.Checkpoint(); err != nil {
 			return err
@@ -334,6 +376,39 @@ func runClient(c *server.Client, args []string, asJSON bool) error {
 	default:
 		return fmt.Errorf("unknown client command %q", cmd)
 	}
+}
+
+// watchMetrics polls /v1/metrics on the interval and renders one compact
+// status line per tick — the "is it healthy right now" view: current qps,
+// reuse hit rate, queue depth, worker occupancy, and the latency quantiles.
+// Runs until interrupted or the daemon stops answering.
+func watchMetrics(c *server.Client, every time.Duration) error {
+	fmt.Printf("%-8s %-8s %-8s %-7s %-6s %-10s %-10s %-8s\n",
+		"qps1m", "hit", "queue", "exec", "fail", "p50", "p99", "entries")
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		m, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		p50, p99 := "-", "-"
+		if m.Latency != nil {
+			p50 = fmt.Sprintf("%.1fms", m.Latency.P50Millis)
+			p99 = fmt.Sprintf("%.1fms", m.Latency.P99Millis)
+		}
+		fmt.Printf("%-8.1f %-8s %-8d %d/%-5d %-6d %-10s %-10s %-8d\n",
+			m.QPS1m,
+			fmt.Sprintf("%.0f%%", 100*m.Reuse.HitRate),
+			m.QueueDepth, m.Executing, m.Workers,
+			m.QueriesFailed, p50, p99, m.RepositoryEntries)
+		<-t.C
+	}
+}
+
+// formatDur renders nanoseconds compactly for the slow listing.
+func formatDur(nanos int64) string {
+	return time.Duration(nanos).Round(10 * time.Microsecond).String()
 }
 
 // readInput reads the named file, stdin for "-" or empty.

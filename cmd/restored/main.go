@@ -18,25 +18,31 @@
 //	restored -eviction-window 100               # §5 rule 3 (workflows)
 //	restored -repo-budget-bytes 1073741824      # LRU size budget (1 GiB)
 //	restored -output-retention 500 -gc-every 30s  # retire stale out/ files
+//	restored -log-level debug -log-format json  # structured ops logging
+//	restored -debug-addr 127.0.0.1:6060         # net/http/pprof sidecar
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
-//	POST /v1/query       {"script": "...", "readOutputs": true}
+//	POST /v1/query       {"script": "...", "readOutputs": true}   (?trace=1 adds a stage breakdown)
 //	POST /v1/explain     {"script": "..."}
 //	POST /v1/datasets    {"path": "...", "schema": "a, b:int", "lines": [...]}
 //	GET  /v1/datasets?prefix=...
 //	GET  /v1/repository
 //	GET  /v1/metrics
+//	GET  /v1/debug/slow
 //	GET  /v1/healthz
 //	POST /v1/checkpoint
+//	GET  /metrics        (Prometheus text exposition)
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers on the default mux, served only at -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -65,8 +71,19 @@ func main() {
 		repoBudget   = flag.Int64("repo-budget-bytes", 0, "repository size budget: evict least-recently-used entries until stored bytes fit (0 = unbounded)")
 		outRetention = flag.Int64("output-retention", 0, "retire user-named out/... files not re-requested within N workflows and referenced by no repository entry (0 = keep forever)")
 		gcEvery      = flag.Duration("gc-every", time.Minute, "background growth-management pass cadence: full eviction sweep, size budget, output retention (0 = per-query eviction only)")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		debugAddr    = flag.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty = off)")
+		slowRing     = flag.Int("slow-ring", 64, "how many slowest query completions /v1/debug/slow retains")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "restored:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	h, err := parseHeuristic(*heuristic)
 	if err != nil {
@@ -100,6 +117,8 @@ func main() {
 		Workers:         *workers,
 		BarrierWindow:   *barrier,
 		GCInterval:      *gcEvery,
+		SlowRingSize:    *slowRing,
+		Logger:          logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "restored:", err)
@@ -118,7 +137,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "restored: pigmix:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("preloaded PigMix %s instance\n", inst.Name)
+			logger.Info("preloaded PigMix instance", "instance", inst.Name)
 		}
 		if err := sys.SetDataScale(pigmix.PathPageViews, inst.TargetBytes); err != nil {
 			fmt.Fprintln(os.Stderr, "restored: pigmix:", err)
@@ -126,12 +145,25 @@ func main() {
 		}
 	}
 
+	if *debugAddr != "" {
+		// The blank net/http/pprof import registers its handlers on
+		// http.DefaultServeMux, which nothing else in the daemon serves —
+		// so profiling stays off the query port and can bind to a loopback
+		// or otherwise firewalled address.
+		go func() {
+			logger.Info("debug server listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("debug server failed", "error", err.Error())
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "restored:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("restored listening on %s (repository: %d entries)\n", ln.Addr(), sys.Repository().Len())
+	logger.Info("restored listening", "addr", ln.Addr().String(), "repositoryEntries", sys.Repository().Len())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -141,7 +173,7 @@ func main() {
 	var srvErr error
 	select {
 	case s := <-sig:
-		fmt.Printf("restored: %v: draining and checkpointing...\n", s)
+		logger.Info("draining and checkpointing", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Close(ctx); err != nil {
@@ -155,6 +187,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "restored: serve:", srvErr)
 		os.Exit(1)
 	}
+}
+
+// buildLogger assembles the daemon's structured logger from the -log-level
+// and -log-format flags. Logs go to stderr (stdout stays clean for tooling).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
 }
 
 // parsePolicy assembles the §5 repository policy from the daemon flags.

@@ -22,6 +22,11 @@ type Config struct {
 	// MatchRepoSizes are the repository populations the server-match
 	// experiment sweeps (indexed vs naive match-scan cost).
 	MatchRepoSizes []int
+	// ObsPairs is how many back-to-back instrumented-vs-disabled round
+	// pairs the server-obs experiment medians over. The measured cost is
+	// microseconds against milliseconds of scheduling jitter, so the
+	// recorded baseline needs many pairs; tests need few.
+	ObsPairs int
 }
 
 // DefaultConfig returns the full-size (laptop-scale) configuration.
@@ -32,6 +37,7 @@ func DefaultConfig() Config {
 		SynthRows:        40_000,
 		SynthTargetBytes: 40 << 30,
 		MatchRepoSizes:   []int{50, 200, 800},
+		ObsPairs:         12,
 	}
 }
 
@@ -53,6 +59,7 @@ func TinyConfig() Config {
 		SynthRows:        4_000,
 		SynthTargetBytes: 40 << 30,
 		MatchRepoSizes:   []int{20, 60},
+		ObsPairs:         2,
 	}
 }
 

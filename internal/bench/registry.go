@@ -29,6 +29,7 @@ func Experiments() []Experiment {
 		{"server-ckpt", "checkpoint cost per interval: WAL vs full snapshot", ServerCheckpointCost},
 		{"server-match", "match-scan cost vs repository size: index vs naive", MatchScaling},
 		{"server-gc", "eviction Rule-4 cost per mutation: index vs naive sweep", GCScaling},
+		{"server-obs", "telemetry overhead: instrumented vs obs.Disabled", ServerObsOverhead},
 	}
 }
 

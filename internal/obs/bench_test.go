@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve prices one sample on the lock-free histogram —
+// the cost every instrumented stage pays per query.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+			d += 137 * time.Microsecond
+		}
+	})
+}
+
+// BenchmarkRegistryObserveStage prices a live registry's stage record.
+func BenchmarkRegistryObserveStage(b *testing.B) {
+	r := NewRegistry()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.ObserveStage(StageExecute, 42*time.Microsecond)
+		}
+	})
+}
+
+// BenchmarkRegistryDisabled prices the same record against obs.Disabled —
+// the single branch library users pay with telemetry off.
+func BenchmarkRegistryDisabled(b *testing.B) {
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			Disabled.ObserveStage(StageExecute, 42*time.Microsecond)
+		}
+	})
+}
+
+// BenchmarkTracePerQuery prices one query's worth of tracing: allocate the
+// trace, record a full pipeline of spans, snapshot it.
+func BenchmarkTracePerQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewTrace(time.Now())
+		start := time.Now()
+		for st := Stage(0); st < NumStages; st++ {
+			tr.ObserveSince(st, start)
+		}
+		if tr.Snapshot() == nil {
+			b.Fatal("nil snapshot")
+		}
+	}
+}
+
+// BenchmarkRateWindowMark prices the sliding-window counter's per-query mark.
+func BenchmarkRateWindowMark(b *testing.B) {
+	w := NewRateWindow(time.Now())
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			w.Mark(time.Now())
+		}
+	})
+}

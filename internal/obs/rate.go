@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// rateSlots is the sliding window length in seconds.
+const rateSlots = 60
+
+// RateWindow estimates a current event rate over the trailing 60 seconds —
+// the "qps right now" a dashboard wants, as opposed to a lifetime
+// events/uptime average that stops moving after the first traffic burst.
+//
+// Implementation: one slot per wall-clock second, each packing
+// (unix-second << 20 | count) into a single atomic word so Mark is
+// lock-free. A slot is only trusted at read time if its recorded second is
+// within the window, so stale slots from minutes ago never leak into the
+// rate. Counts saturate at ~1M events per second per slot, far above
+// anything one daemon serves.
+type RateWindow struct {
+	start time.Time
+	slots [rateSlots]atomic.Uint64
+}
+
+// countBits is the per-slot event-count width.
+const countBits = 20
+
+// NewRateWindow returns a window anchored at now (rates during the first
+// minute divide by elapsed time, not the full window).
+func NewRateWindow(now time.Time) *RateWindow {
+	return &RateWindow{start: now}
+}
+
+// Mark records one event at time now.
+func (w *RateWindow) Mark(now time.Time) {
+	if w == nil {
+		return
+	}
+	sec := uint64(now.Unix())
+	slot := &w.slots[sec%rateSlots]
+	for {
+		old := slot.Load()
+		var next uint64
+		if old>>countBits == sec {
+			if old&(1<<countBits-1) == 1<<countBits-1 {
+				return // saturated
+			}
+			next = old + 1
+		} else {
+			// A different (older) second owns the slot; reclaim it.
+			next = sec<<countBits | 1
+		}
+		if slot.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Rate returns events per second over the window ending at now. The
+// current (partial) second is excluded — including it would bias every
+// read low — and the divisor is the full window, or the elapsed uptime
+// when the window has not filled yet.
+func (w *RateWindow) Rate(now time.Time) float64 {
+	if w == nil {
+		return 0
+	}
+	sec := uint64(now.Unix())
+	var total uint64
+	for i := range w.slots {
+		v := w.slots[i].Load()
+		s := v >> countBits
+		if s < sec && sec-s <= rateSlots {
+			total += v & (1<<countBits - 1)
+		}
+	}
+	window := now.Sub(w.start).Seconds()
+	if window > rateSlots {
+		window = rateSlots
+	}
+	if window < 1 {
+		window = 1
+	}
+	return float64(total) / window
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowQuery is one retained query completion: enough to answer "what was
+// slow and where did its time go" without external tracing infrastructure.
+type SlowQuery struct {
+	// Script is the submitted query text, truncated to a bounded excerpt.
+	Script string `json:"script"`
+	// FlightKey is the prepared query's canonical plan fingerprint (empty
+	// when preparation itself failed).
+	FlightKey string `json:"flightKey,omitempty"`
+	// When is the submission's arrival time.
+	When time.Time `json:"when"`
+	// Deduped reports a submission served by joining another's flight.
+	Deduped bool `json:"deduped"`
+	// Error carries the failure message for failed submissions.
+	Error string `json:"error,omitempty"`
+	// Trace is the submission's stage breakdown.
+	Trace *TraceSnapshot `json:"trace"`
+}
+
+// scriptExcerptLen bounds retained script text so the ring's memory stays
+// fixed no matter what clients submit.
+const scriptExcerptLen = 400
+
+// SlowRing retains the slowest query completions seen so far, up to a fixed
+// capacity: an Add cheaper than the fastest query (one mutex acquisition,
+// no allocation on the common not-slow-enough path) and a Snapshot sorted
+// slowest-first for /v1/debug/slow. Unlike a recency ring, a burst of fast
+// queries can never wash out the interesting outliers; the trade-off is
+// that a one-off startup spike sticks until something slower displaces it.
+type SlowRing struct {
+	mu      sync.Mutex
+	cap     int
+	entries []SlowQuery
+	minIdx  int // index of the fastest retained entry (eviction candidate)
+}
+
+// NewSlowRing returns a ring retaining the n slowest completions (n < 1
+// selects 64).
+func NewSlowRing(n int) *SlowRing {
+	if n < 1 {
+		n = 64
+	}
+	return &SlowRing{cap: n}
+}
+
+// Add offers one completion to the ring; it is retained if the ring has
+// room or the completion is slower than the current fastest retained entry.
+func (r *SlowRing) Add(q SlowQuery) {
+	if r == nil || q.Trace == nil {
+		return
+	}
+	if len(q.Script) > scriptExcerptLen {
+		q.Script = q.Script[:scriptExcerptLen] + "…"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) < r.cap {
+		r.entries = append(r.entries, q)
+		r.reindexLocked()
+		return
+	}
+	if q.Trace.TotalNanos <= r.entries[r.minIdx].Trace.TotalNanos {
+		return
+	}
+	r.entries[r.minIdx] = q
+	r.reindexLocked()
+}
+
+// reindexLocked recomputes the eviction candidate. O(cap), but cap is small
+// (tens) and Add already paid a mutex; keeping a heap would only matter at
+// capacities this ring is not meant for.
+func (r *SlowRing) reindexLocked() {
+	min := 0
+	for i := 1; i < len(r.entries); i++ {
+		if r.entries[i].Trace.TotalNanos < r.entries[min].Trace.TotalNanos {
+			min = i
+		}
+	}
+	r.minIdx = min
+}
+
+// Snapshot returns the retained completions, slowest first.
+func (r *SlowRing) Snapshot() []SlowQuery {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]SlowQuery(nil), r.entries...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Trace.TotalNanos > out[j].Trace.TotalNanos
+	})
+	return out
+}

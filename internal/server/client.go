@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	restore "repro"
+	"repro/internal/obs"
 )
 
 // Client is a small typed client for a running restored daemon, used by
@@ -77,6 +78,16 @@ func (c *Client) Submit(script string, readOutputs bool) (*QueryResponse, error)
 	return &out, nil
 }
 
+// SubmitTraced runs a query with ?trace=1: the response carries the
+// submission's stage breakdown.
+func (c *Client) SubmitTraced(script string, readOutputs bool) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.call(http.MethodPost, "/v1/query?trace=1", QueryRequest{Script: script, ReadOutputs: readOutputs}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Explain dry-runs a query against the daemon's repository.
 func (c *Client) Explain(script string) (*restore.Explanation, error) {
 	var out restore.Explanation
@@ -125,6 +136,15 @@ func (c *Client) Metrics() (*MetricsSnapshot, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Slow fetches the daemon's retained slowest completions, slowest first.
+func (c *Client) Slow() ([]obs.SlowQuery, error) {
+	var out []obs.SlowQuery
+	if err := c.call(http.MethodGet, "/v1/debug/slow", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Checkpoint forces a durable-state save on the daemon.

@@ -6,10 +6,12 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	restore "repro"
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/obs"
 	"repro/internal/persist"
 )
 
@@ -64,6 +66,12 @@ type persister struct {
 	dir      string
 	sys      *restore.System
 	syncEach bool // fsync every record instead of batching
+
+	// obs times WAL appends and fsyncs. The server installs it after
+	// construction on purpose: recovery replay and the startup orphan sweep
+	// are not live append traffic and must not skew the histograms. nil is
+	// a no-op sink.
+	obs *obs.Registry
 
 	// walMu guards the current-segment pointer: appenders and flushers
 	// hold it shared, compaction's rotation holds it exclusive.
@@ -207,9 +215,11 @@ func (j repoJournal) Record(m core.Mutation) { j.p.append(persist.Record{Repo: &
 // shutdown race) is counted and resurfaces as the writer's sticky error on
 // the next flush or compaction.
 func (p *persister) append(rec persist.Record) {
+	t := time.Now()
 	p.walMu.RLock()
 	n, err := p.wal.Append(rec)
 	p.walMu.RUnlock()
+	p.obs.ObserveWALAppend(time.Since(t))
 	if err != nil {
 		p.appendErrs.Add(1)
 		// The mutation now exists only in memory: the system is dirtier
@@ -227,9 +237,12 @@ func (p *persister) append(rec persist.Record) {
 // checkpoint: no lease, no drain, cost proportional to the mutations since
 // the last flush.
 func (p *persister) flush() error {
+	t := time.Now()
 	p.walMu.RLock()
 	defer p.walMu.RUnlock()
-	return p.wal.Flush()
+	err := p.wal.Flush()
+	p.obs.ObserveWALFsync(time.Since(t))
+	return err
 }
 
 // compact is the rare, heavyweight checkpoint: under the system's

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestPrometheusExpositionGolden pins the full shape of GET /metrics — every
+// family name, label set, HELP string, and TYPE — against a golden file.
+// Values vary run to run (latencies, uptime), so series lines are normalized
+// down to their name{labels} part; the # HELP/# TYPE lines are kept
+// verbatim. Renaming a metric, dropping one, or changing its labels fails
+// here first, which is exactly the compatibility surface scrape configs and
+// dashboards depend on.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	srv, err := New(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		if err := srv.Close(context.Background()); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	c := NewClient(hs.URL)
+	uploadPages(t, c)
+	if _, err := c.Submit(projectQuery, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("not pig latin", false); err == nil {
+		t.Fatal("expected parse error")
+	}
+
+	resp, err := hs.Client().Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeExposition(t, string(body))
+
+	goldenPath := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition shape drifted from %s (rerun with -update if intentional):\n%s",
+			goldenPath, firstDiff(got, string(want)))
+	}
+}
+
+// normalizeExposition strips the varying values: comment lines pass through
+// verbatim, series lines are cut down to their name{labels} part, and
+// duplicate consecutive series shapes collapse (cumulative histogram buckets
+// all share a shape modulo the le label, which is kept).
+func normalizeExposition(t *testing.T, body string) string {
+	t.Helper()
+	var out strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			out.WriteString(line)
+			out.WriteByte('\n')
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed series line %q", line)
+		}
+		out.WriteString(line[:i])
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// firstDiff renders the first differing line of two exposition dumps.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("length differs: got %d lines, want %d", len(g), len(w))
+}
+
+// TestPrometheusHistogramCumulative checks the bucket math on live output:
+// buckets are cumulative, the +Inf bucket equals _count, and the recorded
+// query samples show up.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	srv, c := newTestServer(t)
+	uploadPages(t, c)
+	if _, err := c.Submit(projectQuery, false); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	srv.Handler().ServeHTTP(rec, req)
+	body := rec.Body.String()
+
+	var infCount, count int64
+	var prev int64 = -1
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "restore_query_duration_seconds_bucket{") {
+			var v int64
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			if v < prev {
+				t.Fatalf("bucket counts not cumulative at %q (prev %d)", line, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				infCount = v
+			}
+		}
+		if strings.HasPrefix(line, "restore_query_duration_seconds_count ") {
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &count); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if count < 1 {
+		t.Fatalf("query histogram count = %d, want >= 1", count)
+	}
+	if infCount != count {
+		t.Errorf("+Inf bucket = %d, _count = %d; must be equal", infCount, count)
+	}
+}

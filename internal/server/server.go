@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -53,6 +54,7 @@ import (
 
 	restore "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // SyncEveryRecord, as Config.WALSyncInterval, makes every mutation fsync
@@ -96,6 +98,19 @@ type Config struct {
 	// dispatched ahead of a blocked task if it sits within the first
 	// BarrierWindow queue positions (default 16; 1 = strict FIFO).
 	BarrierWindow int
+	// Obs is the telemetry registry the daemon (and its System) records
+	// latency histograms and gauges into. nil installs a fresh active
+	// registry — or adopts one already set on the System via
+	// restore.WithObserver; obs.Disabled switches recording off entirely
+	// (the server-obs benchmark pins its cost).
+	Obs *obs.Registry
+	// SlowRingSize bounds how many slowest completions GET /v1/debug/slow
+	// retains (default 64).
+	SlowRingSize int
+	// Logger receives structured operational logs: one completion line per
+	// query with its stage breakdown, plus lifecycle events. nil discards
+	// them (tests and embedded use).
+	Logger *slog.Logger
 	// GCInterval is the cadence of the background growth-management pass
 	// (System.CollectGarbage: the reference full eviction sweep, Rule-3
 	// window and size-budget enforcement, and user-output retention). It
@@ -115,6 +130,12 @@ type Server struct {
 	met     metrics
 	persist *persister
 	mux     *http.ServeMux
+	// obsReg is the resolved telemetry registry (never nil; possibly
+	// obs.Disabled), shared with the System and the persister so
+	// GET /metrics renders one coherent view.
+	obsReg *obs.Registry
+	slow   *obs.SlowRing
+	log    *slog.Logger
 
 	httpSrv   *http.Server
 	stopSave  chan struct{}
@@ -138,16 +159,34 @@ func New(cfg Config) (*Server, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		// Adopt a registry the caller already installed on the System, so
+		// library-side samples and daemon-side samples land in one place;
+		// otherwise telemetry is on by default.
+		if reg = sys.Observer(); reg == nil {
+			reg = obs.NewRegistry()
+		}
+	}
+	sys.SetObserver(reg)
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		sys:      sys,
 		sched:    newScheduler(cfg.QueueDepth, workers, cfg.BarrierWindow),
 		mux:      http.NewServeMux(),
 		stopSave: make(chan struct{}),
+		obsReg:   reg,
+		slow:     obs.NewSlowRing(cfg.SlowRingSize),
+		log:      logger,
 	}
 	// Built here, not in Serve, so Close always has it to shut down even
 	// when it races a Serve running on another goroutine.
 	s.httpSrv = &http.Server{Handler: s.mux}
 	s.met.start = time.Now()
+	s.met.rate = obs.NewRateWindow(s.met.start)
 
 	if cfg.StateDir != "" {
 		p, err := newPersister(cfg.StateDir, sys, cfg.WALSyncInterval < 0)
@@ -155,6 +194,9 @@ func New(cfg Config) (*Server, error) {
 			s.sched.close()
 			return nil, err
 		}
+		// Attached after recovery on purpose: replayed records are not live
+		// append traffic and must not skew the WAL histograms.
+		p.obs = reg
 		s.persist = p
 		walSync := cfg.WALSyncInterval
 		if walSync == 0 {
@@ -183,6 +225,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
+	s.mux.HandleFunc("GET /v1/debug/slow", s.handleSlow)
 	return s, nil
 }
 
@@ -294,7 +338,9 @@ func (s *Server) gcLoop(every time.Duration) {
 	for {
 		select {
 		case <-t.C:
+			t0 := time.Now()
 			rep := s.sys.CollectGarbage()
+			s.obsReg.ObserveGCSweep(time.Since(t0))
 			s.met.gcRuns.Add(1)
 			s.met.gcEvicted.Add(int64(len(rep.Evicted)))
 			s.met.gcRetired.Add(int64(len(rep.Retired)))
@@ -358,6 +404,11 @@ type QueryResponse struct {
 	Deduped bool                `json:"deduped"`
 	Result  *restore.Result     `json:"result"`
 	Rows    map[string][]string `json:"rows,omitempty"`
+	// Trace is the submission's stage breakdown, present when the request
+	// asked for it with ?trace=1. A deduped submission's trace shows
+	// parse + flightWait (it ran no stages of its own); the leader's shows
+	// the full pipeline.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // ExplainRequest is the body of POST /v1/explain.
@@ -412,28 +463,91 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequestError{errors.New("empty script")})
 		return
 	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
 	// One retry: a late flight joiner can miss the leader's in-slot rows
 	// read and then find a reused stored file evicted by the time its
 	// fallback read runs; re-submitting re-executes (typically rewritten
 	// against the repository) instead of surfacing a 500 for a query that
-	// succeeded. The retry counts as a fresh submission so the metrics
-	// identity submitted = executed + deduped + failed keeps holding.
+	// succeeded. The retry counts as a fresh submission (with its own
+	// trace) so the metrics identity submitted = executed + deduped +
+	// failed keeps holding.
 	for attempt := 0; ; attempt++ {
+		begin := time.Now()
 		s.met.submitted.Add(1)
-		resp, retryable, err := s.runQueryOnce(&req)
-		if err != nil {
-			if retryable && attempt == 0 {
-				continue
-			}
-			writeError(w, err)
+		s.met.rate.Mark(begin)
+		tr := obs.NewTrace(begin)
+		out := s.runQueryOnce(&req, tr)
+		snap := tr.Snapshot()
+		s.obsReg.ObserveQuery(time.Duration(snap.TotalNanos))
+		if out.err != nil && out.retryable && attempt == 0 {
+			continue
+		}
+		s.finishQuery(&req, out, begin, snap)
+		if out.err != nil {
+			writeError(w, out.err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		if wantTrace {
+			out.resp.Trace = snap
+		}
+		writeJSON(w, http.StatusOK, out.resp)
 		return
 	}
 }
 
-// runQueryOnce runs one submission through single-flight and the scheduler.
+// finishQuery folds one finished submission (success or failure) into the
+// slow-query ring and emits its structured completion line.
+func (s *Server) finishQuery(req *QueryRequest, out queryOutcome, begin time.Time, snap *obs.TraceSnapshot) {
+	errMsg := ""
+	if out.err != nil {
+		errMsg = out.err.Error()
+	}
+	s.slow.Add(obs.SlowQuery{
+		Script:    req.Script,
+		FlightKey: out.flightKey,
+		When:      begin,
+		Deduped:   out.resp.Deduped,
+		Error:     errMsg,
+		Trace:     snap,
+	})
+	lvl := slog.LevelInfo
+	attrs := []slog.Attr{
+		slog.Bool("deduped", out.resp.Deduped),
+		slog.Duration("total", time.Duration(snap.TotalNanos)),
+		slog.String("stages", snap.String()),
+	}
+	if out.flightKey != "" {
+		attrs = append(attrs, slog.String("flightKey", shortKey(out.flightKey)))
+	}
+	if out.err != nil {
+		lvl = slog.LevelWarn
+		attrs = append(attrs, slog.String("error", errMsg))
+	}
+	s.log.LogAttrs(context.Background(), lvl, "query", attrs...)
+}
+
+// shortKey abbreviates a flight key for log lines (full keys are 64 hex
+// chars; 12 is plenty to correlate).
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
+// queryOutcome is one submission's final disposition: the response (on
+// success), its flight key (empty when preparation failed), whether the
+// error is worth one resubmission, and the failure-cause bucket it was
+// counted under.
+type queryOutcome struct {
+	resp      QueryResponse
+	flightKey string
+	retryable bool
+	err       error
+}
+
+// runQueryOnce runs one submission through single-flight and the scheduler,
+// recording its stage spans on tr (and the registry's stage histograms).
 // retryable reports an error worth one resubmission: the execution
 // succeeded but its rows could not be read because a reused stored file was
 // evicted in between.
@@ -441,49 +555,70 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // Every submission prepares (parse/plan/compile — lock-free) to derive its
 // canonical flight key, so semantically identical scripts dedup onto one
 // flight; only the flight leader's Prepared executes, joiners discard
-// theirs.
-func (s *Server) runQueryOnce(req *QueryRequest) (QueryResponse, bool, error) {
+// theirs. The trace belongs to this submission: a flight leader's closure
+// records the queue and execution stages into it, a joiner records only
+// parse and flightWait (its wall-clock is the leader's execution).
+func (s *Server) runQueryOnce(req *QueryRequest, tr *obs.Trace) queryOutcome {
+	t := time.Now()
 	p, perr := s.sys.Prepare(req.Script)
+	// The registry's parse histogram is recorded inside Prepare; only the
+	// trace span is this caller's to add.
+	tr.ObserveSince(obs.StageParse, t)
 	if perr != nil {
-		s.met.failed.Add(1)
-		return QueryResponse{}, false, badRequestError{perr}
+		s.met.fail(failParse)
+		return queryOutcome{err: badRequestError{perr}}
 	}
+	o := queryOutcome{flightKey: p.FlightKey()}
+	tFlight := time.Now()
 	out, shared := s.flights.do(p.FlightKey(), req.ReadOutputs, func(wantRows *atomic.Bool) flightOutcome {
+		tQueue := time.Now()
 		ch := make(chan flightOutcome, 1)
 		if serr := s.sched.submit(p.Access(), func() {
-			var o flightOutcome
-			o.res, o.err = s.sys.ExecutePrepared(p)
-			if o.err == nil && wantRows.Load() {
+			s.obsReg.ObserveStage(obs.StageQueue, tr.ObserveSince(obs.StageQueue, tQueue))
+			var fo flightOutcome
+			fo.res, fo.err = s.sys.ExecutePreparedTraced(p, tr)
+			if fo.err == nil && wantRows.Load() {
 				// Read rows (for the leader or any joiner that asked) while
 				// still inside the execution slot. The slot's access set
 				// keeps conflicting work out, but a *disjoint* concurrent
 				// query's eviction can still delete a stored file these
 				// outputs alias (the execution's pins were released when
 				// ExecutePrepared returned) — mark that case retryable.
-				o.rows, o.err = readRows(s.sys, o.res)
-				o.rowsFailed = o.err != nil
+				tRows := time.Now()
+				fo.rows, fo.err = readRows(s.sys, fo.res)
+				fo.rowsFailed = fo.err != nil
+				s.obsReg.ObserveStage(obs.StageRows, tr.ObserveSince(obs.StageRows, tRows))
 			}
-			ch <- o
+			ch <- fo
 		}); serr != nil {
 			return flightOutcome{err: serr}
 		}
 		return <-ch
 	})
+	if shared {
+		// Joiner: its whole wait was the leader's execution.
+		s.obsReg.ObserveStage(obs.StageFlightWait, tr.ObserveSince(obs.StageFlightWait, tFlight))
+	}
 	// Each submission lands in exactly one bucket — executed, deduped, or
 	// failed — once its final outcome is known, so the identity
 	// submitted = executed + deduped + failed holds: a joiner of a failed
 	// flight counts as failed (not deduped), and a submission whose rows
 	// read fails after a successful execution counts as failed too.
 	if out.err != nil {
-		s.met.failed.Add(1)
+		cause := failExec
+		if errors.Is(out.err, errQueueFull) || errors.Is(out.err, errShuttingDown) {
+			cause = failShed
+		}
+		s.met.fail(cause)
 		// rowsFailed: the execution itself succeeded but the post-execution
 		// rows read lost a race with a disjoint query's eviction; one
 		// resubmission re-executes (typically rewritten) instead of 500ing.
-		return QueryResponse{}, out.rowsFailed, out.err
+		o.retryable, o.err = out.rowsFailed, out.err
+		return o
 	}
 
-	resp := QueryResponse{Deduped: shared, Result: out.res, Rows: out.rows}
-	if req.ReadOutputs && resp.Rows == nil {
+	o.resp = QueryResponse{Deduped: shared, Result: out.res, Rows: out.rows}
+	if req.ReadOutputs && o.resp.Rows == nil {
 		// Rare: this caller joined the flight after the leader's in-slot
 		// rows check. Read through the scheduler under a read-only access
 		// set on the actual output files, so the read serializes with
@@ -492,30 +627,34 @@ func (s *Server) runQueryOnce(req *QueryRequest) (QueryResponse, bool, error) {
 		for _, actual := range out.res.Outputs {
 			reads = append(reads, actual)
 		}
+		tRows := time.Now()
 		ch := make(chan flightOutcome, 1)
 		if err := s.sched.submit(restore.AccessSet{Reads: reads}, func() {
-			var o flightOutcome
-			o.rows, o.err = readRows(s.sys, out.res)
-			ch <- o
+			var fo flightOutcome
+			fo.rows, fo.err = readRows(s.sys, out.res)
+			ch <- fo
 		}); err != nil {
-			s.met.failed.Add(1)
-			return QueryResponse{}, false, err
+			s.met.fail(failShed)
+			o.err = err
+			return o
 		}
-		o := <-ch
-		if o.err != nil {
+		lo := <-ch
+		s.obsReg.ObserveStage(obs.StageRows, tr.ObserveSince(obs.StageRows, tRows))
+		if lo.err != nil {
 			// The aliased stored file was evicted between execution and
 			// this read; let the caller resubmit once.
-			s.met.failed.Add(1)
-			return QueryResponse{}, true, o.err
+			s.met.fail(failExec)
+			o.retryable, o.err = true, lo.err
+			return o
 		}
-		resp.Rows = o.rows
+		o.resp.Rows = lo.rows
 	}
 	if shared {
 		s.met.deduped.Add(1)
 	} else {
 		s.met.executed.Add(1)
 	}
-	return resp, false, nil
+	return o
 }
 
 // readRows reads every output of res as sorted TSV lines.
@@ -626,10 +765,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap.WAL = s.persist.stats()
 	}
 	snap.Reuse = s.sys.Stats()
+	snap.Latency = summarize(s.obsReg.Query.Snapshot())
+	snap.LeaseWait = summarize(s.obsReg.LeaseWait.Snapshot())
 	repo := s.sys.Repository()
 	snap.RepositoryEntries = repo.Len()
 	snap.RepositoryStoredBytes = repo.TotalStoredBytes()
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleSlow serves the retained slowest completions, slowest first.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	out := s.slow.Snapshot()
+	if out == nil {
+		out = []obs.SlowQuery{} // never null: clients iterate the array
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -40,6 +40,7 @@ import (
 	"repro/internal/logical"
 	"repro/internal/mapred"
 	"repro/internal/mrcompile"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/piglatin"
 	"repro/internal/types"
@@ -114,6 +115,12 @@ type System struct {
 	subPath atomic.Int64
 	stats   core.Stats
 
+	// obs records stage latencies and lease gauges; nil (or obs.Disabled)
+	// makes every record a single-branch no-op, so library users who never
+	// call SetObserver pay nothing. Shared with leases.obs — set both via
+	// SetObserver before traffic, never mid-stream.
+	obs *obs.Registry
+
 	// fullSweep requests one naive full-repository eviction sweep before
 	// the next query. Set at construction and by AdoptRepository: an
 	// adopted repository may reference files mutated or missing in ways the
@@ -182,6 +189,12 @@ func WithJobLatency(scale float64) Option {
 	return func(s *System) { s.engine.LatencyScale = scale }
 }
 
+// WithObserver installs a telemetry registry at construction; equivalent to
+// calling SetObserver before any traffic.
+func WithObserver(r *obs.Registry) Option {
+	return func(s *System) { s.SetObserver(r) }
+}
+
 // New creates a System with an empty DFS and repository.
 func New(opts ...Option) *System {
 	fs := dfs.New()
@@ -206,6 +219,19 @@ func New(opts ...Option) *System {
 	s.selector.Cluster = s.cluster
 	return s
 }
+
+// SetObserver installs the telemetry registry the System (and its lease
+// table) records stage latencies, lease waits, and gauges into. Call it
+// before submitting traffic — installation is not synchronized against
+// in-flight executions. nil or obs.Disabled turns recording off.
+func (s *System) SetObserver(r *obs.Registry) {
+	s.obs = r
+	s.leases.obs = r
+}
+
+// Observer returns the installed telemetry registry (nil when none was
+// set). The restored daemon uses it to render GET /metrics.
+func (s *System) Observer() *obs.Registry { return s.obs }
 
 // FS exposes the simulated distributed file system (for loading data sets
 // and reading results).
@@ -341,6 +367,12 @@ func (p *Prepared) Access() AccessSet { return p.access }
 // Prepare parses, plans, and compiles one query without executing it or
 // touching the repository. Safe to call from many goroutines at once.
 func (s *System) Prepare(src string) (*Prepared, error) {
+	// The registry's parse-stage histogram covers the whole prepare path —
+	// including failed parses, which still cost the client that latency.
+	// Per-trace spans are recorded by the caller (the daemon), which owns
+	// the trace.
+	start := time.Now()
+	defer func() { s.obs.ObserveStage(obs.StageParse, time.Since(start)) }()
 	script, err := piglatin.Parse(src)
 	if err != nil {
 		return nil, err
@@ -408,8 +440,22 @@ func (s *System) Execute(src string) (*Result, error) {
 // are admitted FIFO. Stored outputs the rewrite reuses are pinned until the
 // execution finishes, so no concurrent eviction can delete them mid-run.
 func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
+	return s.ExecutePreparedTraced(p, nil)
+}
+
+// ExecutePreparedTraced is ExecutePrepared with per-phase telemetry: each
+// phase's duration is recorded as a span on tr and as a sample in the
+// installed observer's stage histograms. A nil tr records registry samples
+// only; a nil observer records trace spans only; both nil is exactly
+// ExecutePrepared. Phases that error out leave no span — the failure
+// surfaces through the error, not the trace.
+func (s *System) ExecutePreparedTraced(p *Prepared, tr *obs.Trace) (*Result, error) {
+	t := time.Now()
 	lease := s.leases.acquire(p.access)
 	defer s.leases.release(lease)
+	// The lease-wait histogram (all acquirers) is recorded by the lease
+	// table itself; this stage sample covers query executions only.
+	s.obs.ObserveStage(obs.StageLease, tr.ObserveSince(obs.StageLease, t))
 
 	seq := s.seq.Add(1)
 	requested := p.requested
@@ -423,8 +469,10 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 	// with repository size. Owned-file delete failures are counted and the
 	// files re-queued (see Selector.removeEntry); they never fail this
 	// unrelated query.
+	t = time.Now()
 	var est core.EvictStats
 	evicted := s.evictPhase(seq, &est)
+	s.obs.ObserveStage(obs.StageEvict, tr.ObserveSince(obs.StageEvict, t))
 
 	// Phase 1 (§3): match and rewrite against the repository. The rewriter
 	// pins every reused entry; hold the pins until this execution is done
@@ -434,6 +482,7 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 	var rewrites []core.RewriteInfo
 	var matchStats core.MatchStats
 	jobs := workflow.Jobs
+	t = time.Now()
 	if s.reuse {
 		repo := s.repo.Load()
 		rw := &core.Rewriter{Repo: repo, Seq: seq, Guard: func(e *core.Entry) bool {
@@ -472,8 +521,10 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 		rewrites = outcome.Rewrites
 		matchStats = outcome.Match
 	}
+	s.obs.ObserveStage(obs.StageMatch, tr.ObserveSince(obs.StageMatch, t))
 
 	// Phase 2 (§4): enumerate sub-jobs and inject materialization points.
+	t = time.Now()
 	var pending []pendingCandidate
 	finalJobs := make([]*mapred.Job, 0, len(jobs))
 	for _, job := range jobs {
@@ -493,8 +544,10 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 			pending = append(pending, pendingCandidate{jobID: job.ID, inj: inj})
 		}
 	}
+	s.obs.ObserveStage(obs.StagePlan, tr.ObserveSince(obs.StagePlan, t))
 
 	// Phase 3: execute on the MapReduce engine.
+	t = time.Now()
 	res := &Result{Seq: seq, Outputs: make(map[string]string), Rewrites: rewrites}
 	var wfRes *mapred.WorkflowResult
 	if len(finalJobs) > 0 {
@@ -517,8 +570,10 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 			})
 		}
 	}
+	s.obs.ObserveStage(obs.StageExecute, tr.ObserveSince(obs.StageExecute, t))
 
 	// Phase 4 (§5): register candidates.
+	t = time.Now()
 	rejected := 0
 	if s.register && wfRes != nil {
 		added, rej, err := s.registerCandidates(finalJobs, pending, wfRes, seq)
@@ -576,6 +631,7 @@ func (s *System) ExecutePrepared(p *Prepared) (*Result, error) {
 		}
 	}
 	s.stats.RecordQuery(qs)
+	s.obs.ObserveStage(obs.StageStore, tr.ObserveSince(obs.StageStore, t))
 	return res, nil
 }
 
