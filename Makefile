@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race race-server docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke bench-obs bench-obs-smoke
+.PHONY: check fmt vet test race race-server docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke bench-obs bench-obs-smoke bench-hot bench-hot-smoke
 
-check: fmt vet docs-check race race-server bench-match-smoke bench-gc-smoke bench-obs-smoke
+check: fmt vet docs-check race race-server bench-match-smoke bench-gc-smoke bench-obs-smoke bench-hot-smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,16 @@ bench-obs:
 # One-iteration smoke of the telemetry benchmarks for every `make check`.
 bench-obs-smoke:
 	$(GO) test ./internal/obs ./internal/server -run '^$$' -bench 'BenchmarkHistogramObserve|BenchmarkRegistry|BenchmarkTracePerQuery|BenchmarkRateWindowMark|BenchmarkServerSubmit' -benchtime 1x
+
+# Hot-path microbenchmarks: repeat-query submission with the zero-compile
+# hot path (plan cache + result fast path) on vs off. The representative
+# (cluster-latency) comparison is the server-hot experiment in restore-bench.
+bench-hot:
+	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServerHot' -benchmem
+
+# One-iteration smoke of the hot-path benchmark for every `make check`.
+bench-hot-smoke:
+	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServerHot' -benchtime 1x
 
 # Fails when an exported identifier in the documented packages
 # (internal/server, internal/dfs, internal/core, root access.go) lacks a doc

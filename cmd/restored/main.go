@@ -18,6 +18,8 @@
 //	restored -eviction-window 100               # §5 rule 3 (workflows)
 //	restored -repo-budget-bytes 1073741824      # LRU size budget (1 GiB)
 //	restored -output-retention 500 -gc-every 30s  # retire stale out/ files
+//	restored -plan-cache 1024                   # prepared-plan cache capacity (0 = off)
+//	restored -keep-results                      # serve exact repeats from stored bytes
 //	restored -log-level debug -log-format json  # structured ops logging
 //	restored -debug-addr 127.0.0.1:6060         # net/http/pprof sidecar
 //
@@ -75,6 +77,8 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
 		debugAddr    = flag.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty = off)")
 		slowRing     = flag.Int("slow-ring", 64, "how many slowest query completions /v1/debug/slow retains")
+		planCache    = flag.Int("plan-cache", restore.DefaultPlanCacheSize, "prepared-plan cache capacity: repeat scripts skip parse/plan/compile (0 = off)")
+		keepResults  = flag.Bool("keep-results", false, "register user-named query outputs in the repository so exact whole-query repeats are served from stored bytes without re-execution")
 	)
 	flag.Parse()
 
@@ -102,12 +106,14 @@ func main() {
 	if cfgWALSync == 0 {
 		cfgWALSync = server.SyncEveryRecord
 	}
-	cfgCompact := *compactEvery
-	if *saveInterval > 0 {
-		cfgCompact = *saveInterval
-	}
+	cfgCompact := resolveCompactInterval(flag.CommandLine, *compactEvery, *saveInterval, logger)
 
-	sys := restore.New(restore.WithHeuristic(h), restore.WithPolicy(policy))
+	sys := restore.New(
+		restore.WithHeuristic(h),
+		restore.WithPolicy(policy),
+		restore.WithPlanCache(*planCache),
+		restore.WithRegisterFinalOutputs(*keepResults),
+	)
 	srv, err := server.New(server.Config{
 		System:          sys,
 		StateDir:        *stateDir,
@@ -187,6 +193,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "restored: serve:", srvErr)
 		os.Exit(1)
 	}
+}
+
+// resolveCompactInterval reconciles -compact-every with its deprecated alias
+// -save-interval. An explicitly set -compact-every always wins — previously
+// any -save-interval silently overrode it, even when -compact-every was
+// spelled out on the command line. -save-interval alone still works (with a
+// deprecation warning); with neither set, the -compact-every default applies.
+func resolveCompactInterval(fs *flag.FlagSet, compact, save time.Duration, logger *slog.Logger) time.Duration {
+	explicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "compact-every" {
+			explicit = true
+		}
+	})
+	if save > 0 {
+		if explicit {
+			logger.Warn("-save-interval is deprecated and ignored because -compact-every is set",
+				"compactEvery", compact, "saveInterval", save)
+			return compact
+		}
+		logger.Warn("-save-interval is deprecated; use -compact-every",
+			"saveInterval", save)
+		return save
+	}
+	return compact
 }
 
 // buildLogger assembles the daemon's structured logger from the -log-level

@@ -30,6 +30,7 @@ func Experiments() []Experiment {
 		{"server-match", "match-scan cost vs repository size: index vs naive", MatchScaling},
 		{"server-gc", "eviction Rule-4 cost per mutation: index vs naive sweep", GCScaling},
 		{"server-obs", "telemetry overhead: instrumented vs obs.Disabled", ServerObsOverhead},
+		{"server-hot", "zero-compile hot path: repeat-query latency collapse", ServerHotPath},
 	}
 }
 

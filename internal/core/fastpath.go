@@ -1,0 +1,56 @@
+package core
+
+import "repro/internal/mapred"
+
+// FastServe is a successful whole-query fast-path probe: every job of the
+// probed workflow collapsed against fresh stored outputs, so the query can
+// be answered by reading repository files without executing (or leasing)
+// anything. The admission-time hot path in the System is built on it.
+type FastServe struct {
+	// Aliases maps each store path of the collapsed workflow to the stored
+	// repository file holding identical data.
+	Aliases map[string]string
+	// Rewrites lists the reuses the probe applied (all whole-job).
+	Rewrites []RewriteInfo
+	// Pinned are the repository pins the probe took; they keep the matched
+	// entries and their stored files safe from concurrent eviction. The
+	// caller must Unpin them once the stored bytes have been read (or the
+	// serve abandoned) — the pin-for-read window of the hot path.
+	Pinned []string
+	// Uses are the reused entry IDs awaiting a MarkUsed commit: usage
+	// statistics are deferred (Rewriter.DeferUses) so a probe that is
+	// abandoned — not fully collapsed, or its read failed — perturbs no
+	// eviction decisions. Commit with Repository.MarkUsed when serving.
+	Uses []string
+	// Match is the probe's matcher work, for observability.
+	Match MatchStats
+}
+
+// ProbeWholeQuery attempts to prove w is answerable entirely from stored
+// outputs: it rewrites the workflow against repo (guard filters candidate
+// entries — the System requires repository-owned, pin-time-fresh files) and
+// reports ok only when every job collapsed. On ok the returned FastServe
+// holds the pins, aliases, and deferred usage updates; the caller owns the
+// pins. When the workflow does not fully collapse, every pin taken along
+// the way is released before returning and the FastServe carries only the
+// probe's match statistics. The probe itself takes no leases and mutates
+// nothing beyond transient pins.
+func ProbeWholeQuery(w *mapred.Workflow, repo *Repository, guard func(*Entry) bool) (*FastServe, bool, error) {
+	rw := &Rewriter{Repo: repo, Guard: guard, DeferUses: true}
+	out, err := rw.RewriteWorkflow(w)
+	if err != nil {
+		// RewriteWorkflow released its pins before erroring.
+		return nil, false, err
+	}
+	if len(out.Jobs) != 0 {
+		repo.Unpin(out.Pinned)
+		return &FastServe{Match: out.Match}, false, nil
+	}
+	return &FastServe{
+		Aliases:  out.Aliases,
+		Rewrites: out.Rewrites,
+		Pinned:   out.Pinned,
+		Uses:     out.Uses,
+		Match:    out.Match,
+	}, true, nil
+}

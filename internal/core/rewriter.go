@@ -27,6 +27,13 @@ type Rewriter struct {
 	// owned files are immutable and pin-protected, but user paths can be
 	// overwritten by a writer the declared access sets could not predict.
 	Guard func(*Entry) bool
+	// DeferUses suppresses the MarkUsed usage-statistics updates during
+	// rewriting and records the reused entry IDs in Outcome.Uses instead.
+	// The result fast path probes with this set so an abandoned probe (the
+	// workflow did not fully collapse, or the stored bytes were never
+	// served) perturbs no eviction statistics; the caller commits the
+	// deferred updates with Repository.MarkUsed once it decides to serve.
+	DeferUses bool
 }
 
 // RewriteInfo describes one applied reuse.
@@ -54,6 +61,10 @@ type Outcome struct {
 	// workflow's repeated-scan loops (observability, folded into
 	// core.Stats by the System).
 	Match MatchStats
+	// Uses lists the reused entry IDs whose MarkUsed updates were deferred
+	// (Rewriter.DeferUses); empty otherwise. One ID per applied reuse,
+	// duplicates allowed, in application order.
+	Uses []string
 }
 
 // RewriteWorkflow rewrites every job against the repository and drops jobs
@@ -103,7 +114,11 @@ func (rw *Rewriter) RewriteWorkflow(w *mapred.Workflow) (*Outcome, error) {
 			}
 			whole := rewriteMatch(plan, m)
 			if !rw.DryRun {
-				rw.Repo.MarkUsed(m.Entry.ID, rw.Seq)
+				if rw.DeferUses {
+					out.Uses = append(out.Uses, m.Entry.ID)
+				} else {
+					rw.Repo.MarkUsed(m.Entry.ID, rw.Seq)
+				}
 			}
 			out.Rewrites = append(out.Rewrites, RewriteInfo{
 				JobID:      job.ID,

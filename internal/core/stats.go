@@ -29,6 +29,13 @@ type Stats struct {
 	matchIndexHits     atomic.Int64
 	matchFallbackScans atomic.Int64
 
+	// Hot-path observability: prepared-plan cache outcomes and admission-
+	// time result fast-path outcomes (see HotStats).
+	hotPlanHits   atomic.Int64
+	hotPlanMisses atomic.Int64
+	hotServed     atomic.Int64
+	hotFallbacks  atomic.Int64
+
 	// rejected counts candidates the §5 keep rules (or a vanished input)
 	// kept out of the repository.
 	rejected atomic.Int64
@@ -88,6 +95,38 @@ func (s *Stats) RecordQuery(q QueryStats) {
 	s.matchFallbackScans.Add(q.Match.FallbackScans)
 }
 
+// RecordPlanCache counts one prepared-plan cache outcome: hit (a Prepared
+// minted by cloning a cached compiled plan — no parse, plan, or compile) or
+// miss (a full preparation that populated the cache).
+func (s *Stats) RecordPlanCache(hit bool) {
+	if hit {
+		s.hotPlanHits.Add(1)
+	} else {
+		s.hotPlanMisses.Add(1)
+	}
+}
+
+// RecordFastPath counts one admission-time result fast-path outcome: served
+// (the whole query answered from fresh stored outputs, no execution lease)
+// or a fallback to normal execution (no fresh whole-query match, or the
+// pinned read failed).
+func (s *Stats) RecordFastPath(served bool) {
+	if served {
+		s.hotServed.Add(1)
+	} else {
+		s.hotFallbacks.Add(1)
+	}
+}
+
+// RecordMatchWork folds matcher probe work that happened outside an executed
+// query — fast-path probes that fell back to normal execution still did
+// index lookups and containment tests worth counting.
+func (s *Stats) RecordMatchWork(m MatchStats) {
+	s.matchProbes.Add(m.Probes)
+	s.matchIndexHits.Add(m.IndexHits)
+	s.matchFallbackScans.Add(m.FallbackScans)
+}
+
 // RecordEviction folds one eviction pass's work into the counters — used by
 // RecordQuery for the per-query passes and directly by the background GC
 // loop, whose sweeps run outside any query.
@@ -126,6 +165,26 @@ type StatsSnapshot struct {
 	// under "reuse" so the indexed path's flat per-query cost — and any
 	// delete trouble — is observable under live traffic.
 	Evict EvictStats `json:"evict"`
+	// Hot is the zero-compile hot path's work: prepared-plan cache hit
+	// rate and result fast-path serve rate, served under "reuse" so the
+	// repeat-traffic latency collapse is observable under live traffic.
+	Hot HotStats `json:"hot"`
+}
+
+// HotStats counts the zero-compile hot path's outcomes.
+type HotStats struct {
+	// PlanCacheHits counts preparations served by cloning a cached compiled
+	// plan (skipping parse/plan/compile); PlanCacheMisses counts full
+	// preparations that populated the cache. Preparations on a System with
+	// the cache disabled count as neither.
+	PlanCacheHits   int64 `json:"planCacheHits"`
+	PlanCacheMisses int64 `json:"planCacheMisses"`
+	// ResultsServed counts queries answered entirely from fresh stored
+	// outputs without execution leases; Fallbacks counts fast-path probes
+	// that found no fresh whole-query match (or lost their pinned read) and
+	// fell back to normal execution.
+	ResultsServed int64 `json:"resultsServed"`
+	Fallbacks     int64 `json:"fallbacks"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each counter is
@@ -156,6 +215,12 @@ func (s *Stats) Snapshot() StatsSnapshot {
 			DeleteErrors:   s.evictDeleteErrors.Load(),
 			RequeueRetired: s.evictRequeueRetired.Load(),
 			OutputsRetired: s.outputsRetired.Load(),
+		},
+		Hot: HotStats{
+			PlanCacheHits:   s.hotPlanHits.Load(),
+			PlanCacheMisses: s.hotPlanMisses.Load(),
+			ResultsServed:   s.hotServed.Load(),
+			Fallbacks:       s.hotFallbacks.Load(),
 		},
 	}
 	snap.JobsEliminated = snap.JobsCompiled - snap.JobsExecuted

@@ -9,8 +9,9 @@ import (
 
 // Stage identifies one phase of a query's life. The stage set covers the
 // full request wall-clock: a non-deduped query's spans are
-// parse → queue → lease → evict → match → plan → execute → store (→ rows),
-// and a deduped submission's are parse → flight-wait (→ rows). The server's
+// parse → hot → queue → lease → evict → match → plan → execute → store
+// (→ rows), a fast-path-served query's are parse → hot (→ rows), and a
+// deduped submission's are parse → flight-wait (→ rows). The server's
 // trace e2e test pins that the spans account for >= 95% of the measured
 // request time, so any new await added to the query path must either live
 // inside an existing stage or add its own.
@@ -26,6 +27,12 @@ const (
 	// StageFlightWait is a deduped submission's wait on its flight leader's
 	// execution (the joiner runs no stages of its own).
 	StageFlightWait
+	// StageHot is the admission-time result fast path: the whole-query
+	// match probe (with its pin-time staleness guards) a flight leader runs
+	// before any scheduler queueing or lease. Recorded for served and
+	// fallen-back queries alike — on a fallback it measures the probe cost
+	// the miss added.
+	StageHot
 	// StageLease is the wait for the System's path-lease admission
 	// (conflicting in-flight work draining).
 	StageLease
@@ -48,7 +55,7 @@ const (
 
 // stageNames are the wire/label names, indexed by Stage.
 var stageNames = [NumStages]string{
-	"parse", "queue", "flightWait", "lease", "evict",
+	"parse", "queue", "flightWait", "hot", "lease", "evict",
 	"match", "plan", "execute", "store", "rows",
 }
 

@@ -20,6 +20,10 @@ type metrics struct {
 	executed  atomic.Int64
 	deduped   atomic.Int64
 	failed    atomic.Int64
+	// hot counts the executed flights served by the admission-time result
+	// fast path (a subset of executed: the flight completed, it just never
+	// touched the scheduler or took a lease).
+	hot atomic.Int64
 	// The failed total splits by cause: a parse/plan/compile rejection
 	// (client's script), a shed submission (queue full or shutting down —
 	// capacity, not correctness), or an execution/rows failure. The split
@@ -72,6 +76,12 @@ type MetricsSnapshot struct {
 	QueriesExecuted  int64 `json:"queriesExecuted"`
 	QueriesDeduped   int64 `json:"queriesDeduped"`
 	QueriesFailed    int64 `json:"queriesFailed"`
+	// QueriesHot counts executed flights the admission-time result fast
+	// path served from fresh stored outputs — no scheduler, no lease, no
+	// engine run. A subset of QueriesExecuted, so the identity
+	// submitted = executed + deduped + failed is unaffected. Cache and
+	// probe detail is under reuse.hot.
+	QueriesHot int64 `json:"queriesHot"`
 	// The failure split: parse/plan/compile rejections, shed submissions
 	// (queue full or shutting down), and execution or rows-read failures.
 	// The three always sum to QueriesFailed.
@@ -150,6 +160,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		QueriesExecuted:    m.executed.Load(),
 		QueriesDeduped:     m.deduped.Load(),
 		QueriesFailed:      m.failed.Load(),
+		QueriesHot:         m.hot.Load(),
 		QueriesFailedParse: m.failedParse.Load(),
 		QueriesFailedShed:  m.failedShed.Load(),
 		QueriesFailedExec:  m.failedExec.Load(),

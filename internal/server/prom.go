@@ -92,6 +92,7 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	p.counter("restore_queries_submitted_total", "Query submissions (each retry counts once).", snap.QueriesSubmitted)
 	p.counter("restore_queries_executed_total", "Submissions that led their flight and ran to completion.", snap.QueriesExecuted)
 	p.counter("restore_queries_deduped_total", "Submissions served by joining an identical in-flight query.", snap.QueriesDeduped)
+	p.counter("restore_queries_hot_total", "Executed flights served by the admission-time result fast path (subset of executed).", snap.QueriesHot)
 	p.family("restore_queries_failed_total", "Failed submissions by cause: parse (script rejected), shed (queue full or shutting down), exec (execution or rows read failed).", "counter")
 	p.series(`restore_queries_failed_total{cause="parse"}`, snap.QueriesFailedParse)
 	p.series(`restore_queries_failed_total{cause="shed"}`, snap.QueriesFailedShed)
@@ -127,6 +128,10 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	p.counter("restore_reuse_saved_bytes_total", "Input bytes not rescanned thanks to reuse (estimate).", ru.SavedBytes)
 	p.gauge("restore_reuse_saved_simulated_seconds_total", "Simulated cluster seconds saved by reuse (estimate).", ru.SavedTime.Seconds())
 	p.gauge("restore_simulated_seconds_total", "Simulated cluster seconds of executed workflows.", ru.SimulatedTime.Seconds())
+	p.counter("restore_hot_plan_cache_hits_total", "Preparations served by cloning a cached compiled plan (no parse/plan/compile).", ru.Hot.PlanCacheHits)
+	p.counter("restore_hot_plan_cache_misses_total", "Full preparations that populated the prepared-plan cache.", ru.Hot.PlanCacheMisses)
+	p.counter("restore_hot_results_served_total", "Queries answered entirely from fresh stored outputs without execution leases.", ru.Hot.ResultsServed)
+	p.counter("restore_hot_fallbacks_total", "Fast-path probes that found no fresh whole-query match and fell back to normal execution.", ru.Hot.Fallbacks)
 	p.counter("restore_match_probes_total", "Repository match probes (entry plan containment tests).", ru.Match.Probes)
 	p.counter("restore_match_index_hits_total", "Match probes answered through the fingerprint index.", ru.Match.IndexHits)
 	p.counter("restore_match_fallback_scans_total", "Match scans that fell back to the full repository walk.", ru.Match.FallbackScans)
@@ -159,7 +164,7 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	}
 
 	p.histogram("restore_query_duration_seconds", "End-to-end query latency (handler arrival to response build).", reg.Query.Snapshot())
-	p.family("restore_stage_duration_seconds", "Per-stage query latency; stages in lifecycle order: parse, queue, flightWait, lease, evict, match, plan, execute, store, rows.", "histogram")
+	p.family("restore_stage_duration_seconds", "Per-stage query latency; stages in lifecycle order: parse, queue, flightWait, hot, lease, evict, match, plan, execute, store, rows.", "histogram")
 	for st := obs.Stage(0); st < obs.NumStages; st++ {
 		p.histogramSeries("restore_stage_duration_seconds", fmt.Sprintf("stage=%q,", st.String()), reg.Stages[st].Snapshot())
 	}

@@ -142,6 +142,11 @@ type Server struct {
 	saveWG    sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
+	// testRowsHook, when set (tests only), runs after a successful
+	// execution and before the in-slot rows read — the window in which a
+	// disjoint query's eviction can delete an aliased stored file. Tests
+	// use it to force that race deterministically.
+	testRowsHook func(*restore.Result)
 	// compacting lets the periodic compaction run off the persistLoop
 	// goroutine (it blocks on a full drain) without piling up: at most one
 	// timer-driven compaction is in flight.
@@ -464,13 +469,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wantTrace := r.URL.Query().Get("trace") == "1"
-	// One retry: a late flight joiner can miss the leader's in-slot rows
-	// read and then find a reused stored file evicted by the time its
-	// fallback read runs; re-submitting re-executes (typically rewritten
-	// against the repository) instead of surfacing a 500 for a query that
-	// succeeded. The retry counts as a fresh submission (with its own
-	// trace) so the metrics identity submitted = executed + deduped +
-	// failed keeps holding.
+	// One retry, as a true last resort: flight sealing reads rows for every
+	// joiner inside the leader's execution slot, so the fallback read that
+	// could race eviction is nearly unreachable — but a leader whose own
+	// in-slot read loses to a disjoint query's eviction still benefits from
+	// re-submitting (typically rewritten against the repository) instead of
+	// surfacing a 500 for a query that succeeded. The retry counts as a
+	// fresh submission (with its own trace) so the metrics identity
+	// submitted = executed + deduped + failed keeps holding.
 	for attempt := 0; ; attempt++ {
 		begin := time.Now()
 		s.met.submitted.Add(1)
@@ -480,6 +486,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		snap := tr.Snapshot()
 		s.obsReg.ObserveQuery(time.Duration(snap.TotalNanos))
 		if out.err != nil && out.retryable && attempt == 0 {
+			// The failed attempt is a completed submission: it must reach
+			// the slow-query ring and emit its completion line like any
+			// other failure before the retry replaces it.
+			s.finishQuery(&req, out, begin, snap)
 			continue
 		}
 		s.finishQuery(&req, out, begin, snap)
@@ -560,9 +570,9 @@ type queryOutcome struct {
 // parse and flightWait (its wall-clock is the leader's execution).
 func (s *Server) runQueryOnce(req *QueryRequest, tr *obs.Trace) queryOutcome {
 	t := time.Now()
-	p, perr := s.sys.Prepare(req.Script)
-	// The registry's parse histogram is recorded inside Prepare; only the
-	// trace span is this caller's to add.
+	p, _, perr := s.sys.PrepareCached(req.Script)
+	// The registry's parse histogram is recorded inside PrepareCached; only
+	// the trace span is this caller's to add.
 	tr.ObserveSince(obs.StageParse, t)
 	if perr != nil {
 		s.met.fail(failParse)
@@ -570,24 +580,39 @@ func (s *Server) runQueryOnce(req *QueryRequest, tr *obs.Trace) queryOutcome {
 	}
 	o := queryOutcome{flightKey: p.FlightKey()}
 	tFlight := time.Now()
-	out, shared := s.flights.do(p.FlightKey(), req.ReadOutputs, func(wantRows *atomic.Bool) flightOutcome {
+	out, shared := s.flights.do(p.FlightKey(), req.ReadOutputs, func(fl *flightHandle) flightOutcome {
+		// Admission-time fast path: when the fingerprint index proves a
+		// fresh whole-query match, serve the stored bytes right here —
+		// no scheduler queueing, no lease, no execution. The flight is
+		// sealed inside the pin window, so every joiner's rows come from
+		// files that cannot be evicted mid-read.
+		if fo, ok := s.tryHotServe(p, tr, fl); ok {
+			return fo
+		}
 		tQueue := time.Now()
 		ch := make(chan flightOutcome, 1)
 		if serr := s.sched.submit(p.Access(), func() {
 			s.obsReg.ObserveStage(obs.StageQueue, tr.ObserveSince(obs.StageQueue, tQueue))
 			var fo flightOutcome
 			fo.res, fo.err = s.sys.ExecutePreparedTraced(p, tr)
-			if fo.err == nil && wantRows.Load() {
-				// Read rows (for the leader or any joiner that asked) while
-				// still inside the execution slot. The slot's access set
-				// keeps conflicting work out, but a *disjoint* concurrent
+			if fo.err == nil {
+				if h := s.testRowsHook; h != nil {
+					h(fo.res)
+				}
+				// Seal before leaving the slot: no new joiner can arrive
+				// after this, so the wantRows answer is final — every
+				// member that asked for rows gets them read here, inside
+				// the execution slot. The slot's access set keeps
+				// conflicting work out, but a *disjoint* concurrent
 				// query's eviction can still delete a stored file these
 				// outputs alias (the execution's pins were released when
 				// ExecutePrepared returned) — mark that case retryable.
-				tRows := time.Now()
-				fo.rows, fo.err = readRows(s.sys, fo.res)
-				fo.rowsFailed = fo.err != nil
-				s.obsReg.ObserveStage(obs.StageRows, tr.ObserveSince(obs.StageRows, tRows))
+				if fl.seal() {
+					tRows := time.Now()
+					fo.rows, fo.err = readRows(s.sys, fo.res)
+					fo.rowsFailed = fo.err != nil
+					s.obsReg.ObserveStage(obs.StageRows, tr.ObserveSince(obs.StageRows, tRows))
+				}
 			}
 			ch <- fo
 		}); serr != nil {
@@ -619,10 +644,13 @@ func (s *Server) runQueryOnce(req *QueryRequest, tr *obs.Trace) queryOutcome {
 
 	o.resp = QueryResponse{Deduped: shared, Result: out.res, Rows: out.rows}
 	if req.ReadOutputs && o.resp.Rows == nil {
-		// Rare: this caller joined the flight after the leader's in-slot
-		// rows check. Read through the scheduler under a read-only access
-		// set on the actual output files, so the read serializes with
-		// writers of those paths but rides alongside disjoint work.
+		// True last resort: flight sealing makes every joiner's interest
+		// visible before the in-slot read, so this fallback should be
+		// unreachable for joiners — it remains as defense in depth (e.g. a
+		// future flight function that skips its seal point). Read through
+		// the scheduler under a read-only access set on the actual output
+		// files, so the read serializes with writers of those paths but
+		// rides alongside disjoint work.
 		reads := make([]string, 0, len(out.res.Outputs))
 		for _, actual := range out.res.Outputs {
 			reads = append(reads, actual)
@@ -655,6 +683,39 @@ func (s *Server) runQueryOnce(req *QueryRequest, tr *obs.Trace) queryOutcome {
 		s.met.executed.Add(1)
 	}
 	return o
+}
+
+// tryHotServe attempts the admission-time result fast path for a flight
+// leader: System.TryServeStored probes for a fresh whole-query match and,
+// when it proves one, this callback seals the flight and reads rows while
+// the matched entries are still pinned — a concurrently evicted entry fails
+// its pin or freshness check inside the probe and lands on the normal
+// scheduler path instead, never serving deleted bytes. ok=false means no
+// serve happened and the caller must run the query normally.
+func (s *Server) tryHotServe(p *restore.Prepared, tr *obs.Trace, fl *flightHandle) (flightOutcome, bool) {
+	var fo flightOutcome
+	res, ok := s.sys.TryServeStored(p, tr, func(r *restore.Result) error {
+		// Sealing here (inside the pin window) fixes the set of joiners:
+		// anyone who asked for rows is visible now, and the stored files
+		// their rows alias cannot be evicted until the pins release.
+		if !fl.seal() {
+			return nil
+		}
+		tRows := time.Now()
+		rows, err := readRows(s.sys, r)
+		if err != nil {
+			return err
+		}
+		s.obsReg.ObserveStage(obs.StageRows, tr.ObserveSince(obs.StageRows, tRows))
+		fo.rows = rows
+		return nil
+	})
+	if !ok {
+		return flightOutcome{}, false
+	}
+	fo.res = res
+	s.met.hot.Add(1)
+	return fo, true
 }
 
 // readRows reads every output of res as sorted TSV lines.

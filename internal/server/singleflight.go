@@ -21,8 +21,9 @@ import (
 // plans writing the same outputs).
 
 // flightOutcome is what a flight produces: the execution result, plus each
-// output's rows when the leader read them (inside the execution slot, where
-// no concurrent eviction can delete an aliased file underneath).
+// output's rows when the leader read them (inside the execution slot or the
+// fast path's pin window, where no concurrent eviction can delete an
+// aliased file underneath).
 type flightOutcome struct {
 	res  *restore.Result
 	rows map[string][]string
@@ -36,10 +37,45 @@ type flightOutcome struct {
 type flightCall struct {
 	done chan struct{}
 	out  flightOutcome
-	// wantRows is set by any flight member that asked for output rows; the
-	// leader checks it inside the execution slot so joiners' rows are read
-	// before a later query's eviction can delete an aliased stored file.
+	// wantRows is set by any flight member that asked for output rows.
+	// Joiners set it under the group mutex while the flight is still in the
+	// map, so the value the leader reads from seal — which removes the
+	// flight from the map under the same mutex — is final and complete: no
+	// joiner can arrive after seal, and none that arrived before it is
+	// missed.
 	wantRows atomic.Bool
+	// sealed guards against double removal; protected by the group mutex.
+	sealed bool
+}
+
+// flightHandle is the leader's control over its open flight, passed to the
+// flight function.
+type flightHandle struct {
+	g   *flightGroup
+	key string
+	c   *flightCall
+}
+
+// wantRows reports whether any flight member so far asked for output rows.
+// More may still join until seal; use seal for the final answer.
+func (h *flightHandle) wantRows() bool { return h.c.wantRows.Load() }
+
+// seal closes the flight to new joiners — the key is removed from the
+// group, so later identical submissions start a fresh flight — and returns
+// the now-final wantRows. The leader calls it from inside its execution
+// slot (or the fast path's pin window) before reading rows: every joiner
+// that will ever share this outcome is accounted for at that point, which
+// is what makes the in-slot rows read cover them deterministically instead
+// of racing a post-flight fallback read against eviction. Idempotent; do
+// calls it as a backstop after the flight function returns.
+func (h *flightHandle) seal() bool {
+	h.g.mu.Lock()
+	if !h.c.sealed {
+		h.c.sealed = true
+		delete(h.g.flights, h.key)
+	}
+	h.g.mu.Unlock()
+	return h.c.wantRows.Load()
 }
 
 // flightGroup is a minimal single-flight group over query results.
@@ -51,11 +87,11 @@ type flightGroup struct {
 // do executes fn for the first caller of key and hands every concurrent
 // caller of the same key the leader's outcome. shared reports whether this
 // caller joined an existing flight. wantRows records this caller's interest
-// in output rows on the flight (fn receives the flag to check inside the
-// execution slot). Once a flight completes its key is released, so later
-// submissions execute again (and hit the repository's stored outputs
-// instead).
-func (g *flightGroup) do(key string, wantRows bool, fn func(wantRows *atomic.Bool) flightOutcome) (out flightOutcome, shared bool) {
+// in output rows on the flight; fn receives a handle to check it and to
+// seal the flight from inside the execution slot. Once a flight is sealed
+// (at the latest when fn returns) its key is released, so later submissions
+// execute again (and hit the repository's stored outputs instead).
+func (g *flightGroup) do(key string, wantRows bool, fn func(h *flightHandle) flightOutcome) (out flightOutcome, shared bool) {
 	g.mu.Lock()
 	if g.flights == nil {
 		g.flights = make(map[string]*flightCall)
@@ -73,11 +109,11 @@ func (g *flightGroup) do(key string, wantRows bool, fn func(wantRows *atomic.Boo
 	g.flights[key] = c
 	g.mu.Unlock()
 
-	c.out = fn(&c.wantRows)
-
-	g.mu.Lock()
-	delete(g.flights, key)
-	g.mu.Unlock()
+	h := &flightHandle{g: g, key: key, c: c}
+	c.out = fn(h)
+	// Backstop for flight functions that never reached their seal point
+	// (scheduler rejection, execution error).
+	h.seal()
 	close(c.done)
 	return c.out, false
 }

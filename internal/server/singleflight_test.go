@@ -66,7 +66,7 @@ func TestFlightGroupDeduplicatesConcurrentCalls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			arrived.Add(1)
-			out, shared := g.do("k", false, func(*atomic.Bool) flightOutcome {
+			out, shared := g.do("k", false, func(*flightHandle) flightOutcome {
 				runs.Add(1)
 				<-release // hold the flight open while the others join
 				return flightOutcome{res: want}
@@ -102,7 +102,7 @@ func TestFlightGroupDeduplicatesConcurrentCalls(t *testing.T) {
 
 	// The key is released after the flight: a later call runs again.
 	before := runs.Load()
-	_, shared := g.do("k", false, func(*atomic.Bool) flightOutcome { runs.Add(1); return flightOutcome{res: want} })
+	_, shared := g.do("k", false, func(*flightHandle) flightOutcome { runs.Add(1); return flightOutcome{res: want} })
 	if shared {
 		t.Error("post-flight call should not be shared")
 	}
@@ -182,6 +182,114 @@ func TestSemanticSingleFlightSharesExecution(t *testing.T) {
 	if m.QueriesExecuted != 1 || m.QueriesDeduped != 1 {
 		t.Errorf("executed=%d deduped=%d, want 1 execution shared by 2 submissions",
 			m.QueriesExecuted, m.QueriesDeduped)
+	}
+}
+
+// TestFlightSealReleasesKeyMidFlight pins the seal semantics the in-slot
+// rows read depends on: sealing removes the key while the leader is still
+// running, so a later identical submission starts a fresh flight instead of
+// joining one whose rows decision is already final.
+func TestFlightSealReleasesKeyMidFlight(t *testing.T) {
+	var g flightGroup
+	r1, r2 := &restore.Result{Registered: 1}, &restore.Result{Registered: 2}
+	sealed := make(chan struct{})
+	finish := make(chan struct{})
+	type res struct {
+		out    flightOutcome
+		shared bool
+	}
+	ch1 := make(chan res, 1)
+	go func() {
+		out, shared := g.do("k", false, func(h *flightHandle) flightOutcome {
+			if h.wantRows() {
+				t.Error("leader sees wantRows without any rows-interested member")
+			}
+			if h.seal() {
+				t.Error("seal reported rows interest on a rows-free flight")
+			}
+			if h.seal() {
+				t.Error("second seal changed the answer (must be idempotent)")
+			}
+			close(sealed)
+			<-finish // hold the sealed flight open
+			return flightOutcome{res: r1}
+		})
+		ch1 <- res{out, shared}
+	}()
+	<-sealed
+
+	// The first flight is sealed but still running: the same key must start
+	// a fresh flight, and its creation-time rows interest must be final at
+	// its own seal.
+	out2, shared2 := g.do("k", true, func(h *flightHandle) flightOutcome {
+		if !h.seal() {
+			t.Error("fresh flight lost its creator's rows interest")
+		}
+		return flightOutcome{res: r2}
+	})
+	if shared2 {
+		t.Error("post-seal submission joined a sealed flight")
+	}
+	if out2.res != r2 {
+		t.Errorf("post-seal submission got %+v, want its own result", out2.res)
+	}
+
+	close(finish)
+	got1 := <-ch1
+	if got1.shared || got1.out.res != r1 {
+		t.Errorf("sealed leader outcome = %+v shared=%v, want its own result", got1.out.res, got1.shared)
+	}
+}
+
+// TestFlightGroupJoinerStress hammers do() with joiners arriving throughout
+// leader completion — including the window between fn returning and the
+// done channel closing. Every caller must get a non-zero outcome (the
+// finished flight's or a fresh flight's), never a hang and never a
+// zero-value result. Run under -race this also proves the outcome handoff
+// is properly ordered.
+func TestFlightGroupJoinerStress(t *testing.T) {
+	var g flightGroup
+	const (
+		keys    = 3
+		workers = 8
+		rounds  = 200
+	)
+	want := make([]*restore.Result, keys)
+	for k := range want {
+		want[k] = &restore.Result{Registered: k}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (w + r) % keys
+				key := fmt.Sprintf("k%d", k)
+				out, _ := g.do(key, r%2 == 0, func(h *flightHandle) flightOutcome {
+					// Half the leaders seal mid-flight (the hot path and the
+					// in-slot read do), half rely on do's backstop.
+					if r%2 == 0 {
+						h.seal()
+					}
+					return flightOutcome{res: want[k]}
+				})
+				if out.err != nil {
+					errs <- fmt.Errorf("worker %d round %d: %v", w, r, out.err)
+					return
+				}
+				if out.res != want[k] {
+					errs <- fmt.Errorf("worker %d round %d: got %+v, want key %d's result (zero-value outcome?)", w, r, out.res, k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -1,0 +1,130 @@
+package restore
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/mapred"
+)
+
+// maxTextAliases bounds how many distinct script texts one cached plan
+// indexes. Semantically identical scripts (whitespace, alias names) compile
+// to the same canonical plan and share one cached entry; without a bound an
+// adversarial stream of trivially-varied copies of one query could grow the
+// text index without growing the plan LRU.
+const maxTextAliases = 8
+
+// cachedPlan is one cached preparation: the immutable compiled workflow
+// template plus everything needed to mint an independent Prepared from it.
+// The template's plans are never mutated — every execution path clones job
+// plans before rewriting them — so many concurrent clones may read it.
+type cachedPlan struct {
+	key       string // canonical FlightKey
+	requested []string
+	tmpBase   string // the template's private tmp namespace, remapped per clone
+	workflow  *mapred.Workflow
+	texts     []string // script texts indexed to this plan (bounded)
+}
+
+// planCache is a bounded LRU of compiled plans keyed on the canonical
+// FlightKey, with an exact-text alias index in front: a lookup by script
+// text lands on the cached plan directly, and distinct texts that compile
+// to the same canonical plan share one slot. Hits skip parse, logical
+// planning, and MapReduce compilation entirely; only the per-query mutable
+// bits (the restore/tmp/qN namespace and the derived access set) are
+// re-minted per clone.
+type planCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used; values are *cachedPlan
+	byKey  map[string]*list.Element
+	byText map[string]*list.Element
+}
+
+// newPlanCache builds a cache holding at most capacity canonical plans.
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:    capacity,
+		ll:     list.New(),
+		byKey:  make(map[string]*list.Element),
+		byText: make(map[string]*list.Element),
+	}
+}
+
+// lookup returns the cached plan compiled from src (exact text match),
+// promoting it to most-recently-used; nil on a miss.
+func (c *planCache) lookup(src string) *cachedPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byText[src]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cachedPlan)
+}
+
+// add caches p's compiled form under its flight key with src as a text
+// alias, evicting the least-recently-used plan when over capacity. A plan
+// already cached under the same key (a semantically identical script with
+// different text) gains the new text alias instead of a second slot.
+func (c *planCache) add(src string, p *Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[p.flightKey]; ok {
+		cp := el.Value.(*cachedPlan)
+		if _, indexed := c.byText[src]; !indexed && len(cp.texts) < maxTextAliases {
+			cp.texts = append(cp.texts, src)
+			c.byText[src] = el
+		}
+		c.ll.MoveToFront(el)
+		return
+	}
+	cp := &cachedPlan{
+		key:       p.flightKey,
+		requested: append([]string(nil), p.requested...),
+		tmpBase:   p.tmpBase,
+		workflow:  p.workflow,
+		texts:     []string{src},
+	}
+	el := c.ll.PushFront(cp)
+	c.byKey[cp.key] = el
+	c.byText[src] = el
+	for c.ll.Len() > c.cap {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the least-recently-used plan and its text aliases.
+// Caller holds c.mu.
+func (c *planCache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.ll.Remove(el)
+	cp := el.Value.(*cachedPlan)
+	delete(c.byKey, cp.key)
+	for _, t := range cp.texts {
+		if c.byText[t] == el {
+			delete(c.byText, t)
+		}
+	}
+}
+
+// len reports how many canonical plans are cached.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// remapTmpPath rewrites a path under the template's private tmp namespace
+// into the clone's; all other paths pass through.
+func remapTmpPath(p, oldBase, newBase string) string {
+	if rest, ok := strings.CutPrefix(p, oldBase); ok && (rest == "" || rest[0] == '/') {
+		return newBase + rest
+	}
+	return p
+}

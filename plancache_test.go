@@ -1,0 +1,165 @@
+package restore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func seedPlanCacheSystem(t *testing.T) *System {
+	t.Helper()
+	sys := New()
+	if err := sys.LoadTSV("in/pc", "k, v:int", []string{"a\t1", "b\t2", "c\t3"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func pcScript(i int) string {
+	return fmt.Sprintf("A = load 'in/pc' as (k, v:int);\nB = filter A by v > %d;\nstore B into 'out/pc%d';\n", i, i)
+}
+
+// TestPlanCacheLRUEviction pins the bound: a cache of capacity N holds the N
+// most recently used canonical plans; the evicted one recompiles (a miss)
+// and re-enters.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	sys := seedPlanCacheSystem(t)
+	c := newPlanCache(2)
+	sys.plans = c
+
+	for i := 0; i < 3; i++ {
+		if _, hit, err := sys.PrepareCached(pcScript(i)); err != nil || hit {
+			t.Fatalf("script %d: first prepare hit=%v err=%v", i, hit, err)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d plans, want capacity 2", c.len())
+	}
+	// Script 0 was least recently used and must be gone; 1 and 2 must hit.
+	if _, hit, err := sys.PrepareCached(pcScript(1)); err != nil || !hit {
+		t.Errorf("script 1: hit=%v err=%v, want a hit", hit, err)
+	}
+	if _, hit, err := sys.PrepareCached(pcScript(2)); err != nil || !hit {
+		t.Errorf("script 2: hit=%v err=%v, want a hit", hit, err)
+	}
+	if _, hit, err := sys.PrepareCached(pcScript(0)); err != nil || hit {
+		t.Errorf("script 0: hit=%v err=%v, want a miss after LRU eviction", hit, err)
+	}
+}
+
+// TestPlanCacheSharesSlotAcrossTexts: semantically identical scripts with
+// different text share one canonical slot (the second text becomes an
+// alias, not a second plan), and the alias index is bounded.
+func TestPlanCacheSharesSlotAcrossTexts(t *testing.T) {
+	sys := seedPlanCacheSystem(t)
+	c := newPlanCache(4)
+	sys.plans = c
+
+	base := "A = load 'in/pc' as (k, v:int);\nB = filter A by v > 1;\nstore B into 'out/share';\n"
+	if _, hit, err := sys.PrepareCached(base); err != nil || hit {
+		t.Fatalf("base prepare hit=%v err=%v", hit, err)
+	}
+	// Trivially varied copies: same canonical plan, distinct text. Each
+	// first sight is a miss (text-keyed lookup) but must not grow the LRU.
+	for i := 0; i < maxTextAliases+4; i++ {
+		variant := fmt.Sprintf("  alias%d = load 'in/pc' as (kk, vv:int);   beta = filter alias%d by vv > 1; store beta into 'out/share';", i, i)
+		p, hit, err := sys.PrepareCached(variant)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if hit {
+			t.Fatalf("variant %d: unexpected text-index hit on first sight", i)
+		}
+		if c.len() != 1 {
+			t.Fatalf("variant %d: cache grew to %d slots for one canonical plan", i, c.len())
+		}
+		if i < maxTextAliases-1 {
+			// Within the alias bound the variant text is indexed: repeat hits.
+			if _, hit, err := sys.PrepareCached(variant); err != nil || !hit {
+				t.Errorf("variant %d repeat: hit=%v err=%v, want a hit", i, hit, err)
+			}
+		}
+		_ = p
+	}
+	if got := len(c.byText); got > maxTextAliases {
+		t.Errorf("text alias index holds %d entries, want <= %d", got, maxTextAliases)
+	}
+}
+
+// TestPlanCacheClonesAreIndependent: two Prepareds cloned from one cached
+// template must not share a tmp namespace — their executions write disjoint
+// restore/tmp/qN trees and may run concurrently.
+func TestPlanCacheClonesAreIndependent(t *testing.T) {
+	sys := seedPlanCacheSystem(t)
+	// A multi-job script so the tmp namespace actually appears in job paths.
+	src := "A = load 'in/pc' as (k, v:int);\nB = group A by k;\nC = foreach B generate group, COUNT(A);\nD = order C by $1;\nstore D into 'out/multi';\n"
+	if _, hit, err := sys.PrepareCached(src); err != nil || hit {
+		t.Fatalf("populate: hit=%v err=%v", hit, err)
+	}
+	p1, hit1, err := sys.PrepareCached(src)
+	if err != nil || !hit1 {
+		t.Fatalf("clone 1: hit=%v err=%v", hit1, err)
+	}
+	p2, hit2, err := sys.PrepareCached(src)
+	if err != nil || !hit2 {
+		t.Fatalf("clone 2: hit=%v err=%v", hit2, err)
+	}
+	if p1.FlightKey() != p2.FlightKey() {
+		t.Error("clones of one template have different flight keys")
+	}
+	a1, a2 := p1.Access(), p2.Access()
+	tmp1, tmp2 := "", ""
+	for _, w := range a1.Writes {
+		if len(w) > 12 && w[:12] == "restore/tmp/" {
+			tmp1 = w
+		}
+	}
+	for _, w := range a2.Writes {
+		if len(w) > 12 && w[:12] == "restore/tmp/" {
+			tmp2 = w
+		}
+	}
+	if tmp1 == "" || tmp2 == "" {
+		t.Fatalf("clones declare no tmp namespace writes: %v / %v", a1.Writes, a2.Writes)
+	}
+	if tmp1 == tmp2 {
+		t.Errorf("clones share tmp namespace %q — concurrent executions would collide", tmp1)
+	}
+	// Both clones must execute successfully and agree.
+	r1, err := sys.ExecutePrepared(p1)
+	if err != nil {
+		t.Fatalf("execute clone 1: %v", err)
+	}
+	r2, err := sys.ExecutePrepared(p2)
+	if err != nil {
+		t.Fatalf("execute clone 2: %v", err)
+	}
+	rows1, err := sys.ReadOutputTSV(r1, "out/multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := sys.ReadOutputTSV(r2, "out/multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rows1) != fmt.Sprint(rows2) {
+		t.Errorf("clone executions disagree:\n%v\n%v", rows1, rows2)
+	}
+}
+
+// TestRemapTmpPath pins the namespace-remap edge cases: exact base, nested
+// paths, and lookalike prefixes that must pass through untouched.
+func TestRemapTmpPath(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"restore/tmp/q1", "restore/tmp/q9"},
+		{"restore/tmp/q1/j0", "restore/tmp/q9/j0"},
+		{"restore/tmp/q1/a/b", "restore/tmp/q9/a/b"},
+		{"restore/tmp/q12/j0", "restore/tmp/q12/j0"}, // lookalike prefix: not q1
+		{"out/x", "out/x"},
+		{"restore/sub/s1", "restore/sub/s1"},
+	}
+	for _, tc := range cases {
+		if got := remapTmpPath(tc.in, "restore/tmp/q1", "restore/tmp/q9"); got != tc.want {
+			t.Errorf("remapTmpPath(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -98,6 +98,13 @@ type System struct {
 	// intermediates and injected sub-jobs enter the repository.
 	registerFinals bool
 
+	// plans is the bounded LRU prepared-plan cache behind PrepareCached;
+	// nil when disabled (WithPlanCache(0)). Cached compiled workflows are
+	// immutable templates — clones re-mint only the per-query tmp namespace
+	// and access set — so the cache needs no invalidation: plans are a pure
+	// function of the script text, independent of data and repository state.
+	plans *planCache
+
 	// leases admits mutating operations by declared read/write path sets;
 	// parsing, planning, and compilation happen outside it. Disjoint
 	// executions hold leases concurrently; universal operations
@@ -189,6 +196,24 @@ func WithJobLatency(scale float64) Option {
 	return func(s *System) { s.engine.LatencyScale = scale }
 }
 
+// WithPlanCache sizes the prepared-plan cache behind PrepareCached: how
+// many canonical compiled plans are retained (LRU). n <= 0 disables the
+// cache, making PrepareCached exactly Prepare. The default is
+// DefaultPlanCacheSize.
+func WithPlanCache(n int) Option {
+	return func(s *System) {
+		if n <= 0 {
+			s.plans = nil
+			return
+		}
+		s.plans = newPlanCache(n)
+	}
+}
+
+// DefaultPlanCacheSize is the prepared-plan cache capacity a System is
+// constructed with (override with WithPlanCache).
+const DefaultPlanCacheSize = 256
+
 // WithObserver installs a telemetry registry at construction; equivalent to
 // calling SetObserver before any traffic.
 func WithObserver(r *obs.Registry) Option {
@@ -206,6 +231,7 @@ func New(opts ...Option) *System {
 		heuristic: HeuristicAggressive,
 		reuse:     true,
 		register:  true,
+		plans:     newPlanCache(DefaultPlanCacheSize),
 	}
 	s.repo.Store(core.NewRepository())
 	s.selector = &core.Selector{Repo: s.repo.Load(), FS: fs, Cluster: clus, Policy: core.DefaultPolicy()}
@@ -293,6 +319,7 @@ type Prepared struct {
 	workflow  *mapred.Workflow
 	access    AccessSet
 	flightKey string
+	tmpBase   string
 }
 
 // FlightKey returns a canonical fingerprint of what the prepared query
@@ -396,6 +423,78 @@ func (s *System) Prepare(src string) (*Prepared, error) {
 		workflow:  workflow,
 		access:    workflowAccess(workflow, requested, tmpBase),
 		flightKey: canonicalFlightKey(workflow, requested, tmpBase),
+		tmpBase:   tmpBase,
+	}, nil
+}
+
+// PrepareCached is Prepare through the prepared-plan cache: a script whose
+// compiled form is cached skips parse, logical planning, and MapReduce
+// compilation entirely — the cached workflow template is deep-cloned with a
+// fresh restore/tmp/qN namespace (and a re-derived access set), so the
+// returned Prepared is as independent as a freshly compiled one. hit
+// reports whether the cache served the preparation. A miss compiles
+// normally and populates the cache; with the cache disabled
+// (WithPlanCache(0)) PrepareCached is exactly Prepare. Safe for concurrent
+// use.
+func (s *System) PrepareCached(src string) (p *Prepared, hit bool, err error) {
+	if s.plans == nil {
+		p, err = s.Prepare(src)
+		return p, false, err
+	}
+	if cp := s.plans.lookup(src); cp != nil {
+		start := time.Now()
+		p, err = s.prepareFromCache(cp, src)
+		if err == nil {
+			// The clone cost lands in the parse-stage histogram like any
+			// other preparation — the hit-vs-miss collapse is visible there.
+			s.obs.ObserveStage(obs.StageParse, time.Since(start))
+			s.stats.RecordPlanCache(true)
+			return p, true, nil
+		}
+		// A clone failure means the cached template is unusable (it should
+		// never happen: templates come from successful preparations); fall
+		// through to a full prepare rather than failing the query.
+	}
+	p, err = s.Prepare(src)
+	if err != nil {
+		return nil, false, err
+	}
+	s.stats.RecordPlanCache(false)
+	s.plans.add(src, p)
+	return p, false, nil
+}
+
+// prepareFromCache mints an independent Prepared from a cached compiled
+// template: every job plan is deep-cloned with paths under the template's
+// private tmp namespace remapped into a freshly drawn one, jobs are rebuilt
+// (re-validating and recomputing their map/reduce split), and the access
+// set is re-derived. The FlightKey carries over unchanged — it is canonical
+// precisely because the tmp namespace is normalized out of it.
+func (s *System) prepareFromCache(cp *cachedPlan, src string) (*Prepared, error) {
+	tmpBase := fmt.Sprintf("restore/tmp/q%d", s.prep.Add(1))
+	jobs := make([]*mapred.Job, 0, len(cp.workflow.Jobs))
+	for _, job := range cp.workflow.Jobs {
+		plan := job.Plan.Clone()
+		for _, o := range plan.Ops() {
+			if o.Path != "" {
+				o.Path = remapTmpPath(o.Path, cp.tmpBase, tmpBase)
+			}
+		}
+		nj, err := mapred.NewJob(job.ID, plan)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, nj)
+	}
+	w := &mapred.Workflow{Jobs: jobs}
+	requested := append([]string(nil), cp.requested...)
+	return &Prepared{
+		Source:    src,
+		requested: requested,
+		workflow:  w,
+		access:    workflowAccess(w, requested, tmpBase),
+		flightKey: cp.key,
+		tmpBase:   tmpBase,
 	}, nil
 }
 
@@ -633,6 +732,157 @@ func (s *System) ExecutePreparedTraced(p *Prepared, tr *obs.Trace) (*Result, err
 	s.stats.RecordQuery(qs)
 	s.obs.ObserveStage(obs.StageStore, tr.ObserveSince(obs.StageStore, t))
 	return res, nil
+}
+
+// TryServeStored is the admission-time result fast path: it probes whether
+// p is answerable entirely from fresh stored outputs and, if so, serves it
+// without taking any execution lease, touching the scheduler, or running
+// the engine — the repeat query pays index-probe plus read cost instead of
+// execution cost.
+//
+// Every matched entry must be pin-time fresh (core.EntryFresh: inputs exist
+// at their recorded versions, the stored file exists at its recorded
+// version). Repository-owned entries (Entry.OwnsFile) are immutable and
+// eviction-proof while pinned; user-named stored outputs (the
+// WithRegisterFinalOutputs mode) can be overwritten by a concurrent leased
+// writer the fast path holds no lease against, so they are admitted only
+// when the OutputVersion guard is live (versions recorded and checking on)
+// and re-validated after the read — DFS versions are globally monotonic, so
+// recorded-version-before == recorded-version-after proves no overwrite
+// intersected the read. Matched entries stay pinned while read (invoked
+// with the built Result, rows still protected from eviction) and are
+// unpinned before returning; usage statistics and the reuse counters commit
+// only when the serve succeeds, so abandoned probes perturb no eviction
+// decisions. ok=false — no fresh whole-query match, or read returned an
+// error — means the caller must fall back to ExecutePrepared; a
+// concurrently evicted entry simply fails its pin or freshness check and
+// lands there too, never serving deleted bytes.
+//
+// Consistency: no lease is held, so a serve is linearized at its pin-time
+// freshness check — equivalent to the query having executed just before any
+// concurrent upload landed, exactly as a leased execution admitted first
+// would have been.
+func (s *System) TryServeStored(p *Prepared, tr *obs.Trace, read func(*Result) error) (*Result, bool) {
+	if !s.reuse {
+		return nil, false
+	}
+	t := time.Now()
+	repo := s.repo.Load()
+	var est core.EvictStats
+	guard := func(e *core.Entry) bool {
+		if !e.OwnsFile && (!s.selector.Policy.CheckInputVersions || e.OutputVersion == 0) {
+			// A user-named stored output without a live OutputVersion guard
+			// (versions off, or a pre-version persisted entry) cannot be
+			// served leaselessly: an overwrite would be undetectable.
+			return false
+		}
+		if !core.EntryFresh(s.fs, e, s.selector.Policy.CheckInputVersions, &est) {
+			// Queue the stale entry so the next indexed eviction pass
+			// removes it.
+			s.selector.NoteStale(e.ID)
+			return false
+		}
+		return true
+	}
+	fsv, ok, err := core.ProbeWholeQuery(p.workflow, repo, guard)
+	fallBack := func() (*Result, bool) {
+		s.obs.ObserveStage(obs.StageHot, tr.ObserveSince(obs.StageHot, t))
+		if fsv != nil {
+			s.stats.RecordMatchWork(fsv.Match)
+		}
+		s.stats.RecordEviction(est)
+		s.stats.RecordFastPath(false)
+		return nil, false
+	}
+	if err != nil || !ok {
+		return fallBack()
+	}
+	res := &Result{Seq: s.seq.Add(1), Outputs: make(map[string]string, len(p.requested)), Rewrites: fsv.Rewrites}
+	complete := true
+	for _, out := range p.requested {
+		actual, have := fsv.Aliases[out]
+		if !have {
+			complete = false
+			break
+		}
+		res.Outputs[out] = actual
+	}
+	if !complete {
+		// Defensive: a fully collapsed workflow aliases every store path;
+		// if that invariant ever breaks, fall back rather than serve a
+		// partial result.
+		repo.Unpin(fsv.Pinned)
+		return fallBack()
+	}
+	// The probe (everything up to here) is the hot span; the pinned read is
+	// timed by the caller as its rows stage.
+	s.obs.ObserveStage(obs.StageHot, tr.ObserveSince(obs.StageHot, t))
+	abort := func() (*Result, bool) {
+		repo.Unpin(fsv.Pinned)
+		s.stats.RecordMatchWork(fsv.Match)
+		s.stats.RecordEviction(est)
+		s.stats.RecordFastPath(false)
+		return nil, false
+	}
+	if read != nil {
+		if err := read(res); err != nil {
+			return abort()
+		}
+	}
+	// Pins shield owned files from eviction, not user-named files from a
+	// concurrent leased overwrite. Re-validate those entries' output
+	// versions now: the DFS version counter is globally monotonic, so an
+	// unchanged recorded version brackets the read — no overwrite (whose
+	// Create bumps the version before any new byte is visible) intersected
+	// it. A moved version means the bytes just read may mix states; discard
+	// and fall back to a leased execution.
+	for _, id := range fsv.Uses {
+		e := repo.Get(id)
+		if e == nil || e.OwnsFile {
+			continue
+		}
+		if v, verr := s.fs.Version(e.OutputPath); verr != nil || v != e.OutputVersion {
+			s.selector.NoteStale(id)
+			return abort()
+		}
+	}
+	// Commit: the serve happened. Usage statistics feed the Rule-3 eviction
+	// window; retention notes keep recently re-requested outputs alive.
+	for _, id := range fsv.Uses {
+		repo.MarkUsed(id, res.Seq)
+	}
+	repo.Unpin(fsv.Pinned)
+	if s.selector.Policy.OutputRetention > 0 {
+		for _, out := range p.requested {
+			if isSystemPath(out) {
+				continue
+			}
+			if v, verr := s.fs.Version(out); verr == nil {
+				repo.NoteOutput(out, res.Seq, v)
+			}
+		}
+	}
+	qs := core.QueryStats{
+		JobsCompiled: len(p.workflow.Jobs),
+		Evict:        est,
+		Match:        fsv.Match,
+	}
+	for _, ri := range fsv.Rewrites {
+		if ri.WholeJob {
+			qs.WholeJobReuses++
+		} else {
+			qs.SubJobReuses++
+		}
+		if e := repo.Get(ri.EntryID); e != nil {
+			if d := e.InputBytes - e.OutputBytes; d > 0 {
+				qs.SavedBytes += d
+			}
+			qs.SavedTime += e.ExecTime
+		}
+	}
+	s.stats.RecordQuery(qs)
+	s.stats.RecordFastPath(true)
+	return res, true
 }
 
 // Stats returns a snapshot of the system's lifetime reuse counters.
