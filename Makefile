@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race race-server docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke bench-obs bench-obs-smoke bench-hot bench-hot-smoke
+.PHONY: check fmt vet test race race-server race-shard docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke bench-obs bench-obs-smoke bench-hot bench-hot-smoke bench-shard bench-shard-smoke
 
-check: fmt vet docs-check race race-server bench-match-smoke bench-gc-smoke bench-obs-smoke bench-hot-smoke
+check: fmt vet docs-check race race-server race-shard bench-match-smoke bench-gc-smoke bench-obs-smoke bench-hot-smoke bench-shard-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,14 @@ race:
 # rides along for the indexed-vs-naive match equivalence property test.
 race-server:
 	$(GO) test -race -count=2 ./internal/server/... ./internal/persist/... ./internal/core/...
+
+# The sharded-core battery: the differential oracle (sharded system must be
+# observationally identical to the single-domain one), the cross-shard
+# barrier stress storm, and the shard-key unit/fuzz corpus. Runs twice under
+# the detector: the concurrent phases' interleavings differ per run.
+race-shard:
+	$(GO) test -race -count=2 -run 'TestShard|TestUniversalBarrier' .
+	$(GO) test -race -count=2 ./internal/shardkey/...
 
 # Matcher microbenchmarks: indexed vs naive best-match scan across
 # repository sizes, plus the mapping-map allocation profile.
@@ -70,6 +78,17 @@ bench-hot:
 # One-iteration smoke of the hot-path benchmark for every `make check`.
 bench-hot-smoke:
 	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServerHot' -benchtime 1x
+
+# Sharded-core microbenchmark: the all-disjoint round on a single-domain
+# core vs an 8-shard one. The representative scaling curve (shards
+# 1/2/4/8 under op-latency emulation) is the server-shard experiment in
+# restore-bench.
+bench-shard:
+	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServerShard' -benchmem
+
+# One-iteration smoke of the shard benchmark for every `make check`.
+bench-shard-smoke:
+	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServerShard' -benchtime 1x
 
 # Fails when an exported identifier in the documented packages
 # (internal/server, internal/dfs, internal/core, root access.go) lacks a doc

@@ -65,6 +65,7 @@ func main() {
 		saveInterval = flag.Duration("save-interval", 0, "deprecated alias for -compact-every (overrides it when set)")
 		queueDepth   = flag.Int("queue-depth", 256, "bounded execution queue; overflow returns 503")
 		workers      = flag.Int("workers", 0, "execution worker pool: how many path-disjoint workflows run concurrently (0 = GOMAXPROCS, 1 = serialized)")
+		shards       = flag.Int("shards", 0, "execution-core shard count: DFS namespace, repository usage state, lease admission, WAL streams, and GC scanners split into N independently locked shards (0 = GOMAXPROCS, 1 = classic single-domain core)")
 		barrier      = flag.Int("barrier-window", 16, "FIFO overtake window: queued work may pass a blocked head only within the first N queue positions (1 = strict FIFO)")
 		heuristic    = flag.String("heuristic", "aggressive", "sub-job heuristic: off, conservative, aggressive, all")
 		preloadPig   = flag.Bool("pigmix", false, "preload the PigMix tables (15GB instance, laptop scale)")
@@ -113,6 +114,7 @@ func main() {
 		restore.WithPolicy(policy),
 		restore.WithPlanCache(*planCache),
 		restore.WithRegisterFinalOutputs(*keepResults),
+		restore.WithShards(*shards),
 	)
 	srv, err := server.New(server.Config{
 		System:          sys,
@@ -169,7 +171,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "restored:", err)
 		os.Exit(1)
 	}
-	logger.Info("restored listening", "addr", ln.Addr().String(), "repositoryEntries", sys.Repository().Len())
+	logger.Info("restored listening", "addr", ln.Addr().String(), "repositoryEntries", sys.Repository().Len(), "shards", sys.Shards())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -242,3 +242,32 @@ func TestLookup(t *testing.T) {
 		t.Error("unknown experiment found")
 	}
 }
+
+// TestShardScalingShape pins the server-shard headline: the all-disjoint
+// workload must run strictly faster as the core's shard count grows, and
+// the 8-shard row must beat the single-domain core by a clear margin. The
+// asserted floor (2x) sits well under the recorded baseline (~3.8x) so the
+// test survives scheduler jitter; the recorded curve is the number that
+// matters.
+func TestShardScalingShape(t *testing.T) {
+	table, err := ShardScaling(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("expected 4 rows (shards 1/2/4/8), got %d", len(table.Rows))
+	}
+	walls := make([]float64, len(table.Rows))
+	for i := range table.Rows {
+		walls[i] = cell(t, table, i, "wall_ms")
+		if sub, exe := cell(t, table, i, "submitted"), cell(t, table, i, "executed"); sub != exe {
+			t.Errorf("row %d: %v submitted but %v executed; the disjoint stream must not dedup or shed", i, sub, exe)
+		}
+	}
+	if walls[3] <= 0 || walls[0]/walls[3] < 2.0 {
+		t.Errorf("8-shard speedup %.2fx below the 2x floor (walls %v)", walls[0]/walls[3], walls)
+	}
+	if walls[1] >= walls[0] || walls[3] >= walls[1] {
+		t.Errorf("wall times not improving with shard count: %v", walls)
+	}
+}

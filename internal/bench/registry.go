@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{"server-gc", "eviction Rule-4 cost per mutation: index vs naive sweep", GCScaling},
 		{"server-obs", "telemetry overhead: instrumented vs obs.Disabled", ServerObsOverhead},
 		{"server-hot", "zero-compile hot path: repeat-query latency collapse", ServerHotPath},
+		{"server-shard", "sharded execution core: all-disjoint scaling vs shard count", ShardScaling},
 	}
 }
 

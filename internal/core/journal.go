@@ -58,10 +58,12 @@ type Mutation struct {
 	Version uint64 `json:"version,omitempty"`
 }
 
-// Journal receives every committed repository mutation, in commit order.
-// Record is called synchronously under the repository write lock, so the
-// record order is exactly the order the mutations took effect;
-// implementations must be fast and must not call back into the repository.
+// Journal receives every committed repository mutation. Record is called
+// synchronously under the lock that committed the mutation (r.mu for entry
+// mutations, the path shard's lock for retention-table mutations) plus the
+// journal leaf mutex, so records for any one entry or any one path arrive
+// in exactly the order those mutations took effect; implementations must be
+// fast and must not call back into the repository.
 type Journal interface {
 	Record(m Mutation)
 }
@@ -70,14 +72,19 @@ type Journal interface {
 // only while the repository is quiescent (daemon startup, after recovery);
 // earlier mutations are not replayed to the journal.
 func (r *Repository) SetJournal(j Journal) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.jmu.Lock()
+	defer r.jmu.Unlock()
 	r.journal = j
 }
 
-// journalLocked forwards one committed mutation to the attached journal.
-// Called with r.mu held by every mutating method.
-func (r *Repository) journalLocked(m Mutation) {
+// journalEmit forwards one committed mutation to the attached journal.
+// Called by every mutating method while still holding the lock that
+// committed the mutation; takes only the leaf mutex jmu itself, so callers
+// holding r.mu and callers holding a pathShard lock both emit without
+// taking the other's lock.
+func (r *Repository) journalEmit(m Mutation) {
+	r.jmu.Lock()
+	defer r.jmu.Unlock()
 	if r.journal != nil {
 		r.journal.Record(m)
 	}
@@ -108,13 +115,10 @@ func (r *Repository) Apply(m Mutation) error {
 		r.Remove(m.ID)
 	case MutUse:
 		r.mu.Lock()
-		for _, e := range r.entries {
-			if e.ID == m.ID {
-				e.UseCount = m.UseCount
-				if m.LastUsedSeq > e.LastUsedSeq {
-					e.LastUsedSeq = m.LastUsedSeq
-				}
-				break
+		if e, ok := r.byID[m.ID]; ok {
+			e.UseCount = m.UseCount
+			if m.LastUsedSeq > e.LastUsedSeq {
+				e.LastUsedSeq = m.LastUsedSeq
 			}
 		}
 		r.mu.Unlock()

@@ -19,10 +19,18 @@
 //     both pinned entries and entries whose LastUsedSeq moved since the
 //     caller's staleness check — so a stored output a rewrite reuses cannot
 //     be deleted mid-run.
-//   - Every committed mutation (Add, Remove/RemoveIfIdle, MarkUsed) is
-//     forwarded to an attached Journal in commit order; a snapshot (Save)
-//     plus the journaled suffix (Apply) reconstructs the repository exactly
-//     after a crash. Pins are process-local and never persisted.
+//   - Every committed mutation (Add, Remove/RemoveIfIdle, MarkUsed,
+//     NoteOutput/ForgetOutput) is forwarded to an attached Journal in its
+//     commit order; a snapshot (Save) plus the journaled suffix (Apply)
+//     reconstructs the repository exactly after a crash. Pins are
+//     process-local and never persisted.
+//   - The match index (byCanon/ordered/byFP/unindexed) stays under the one
+//     repository mutex — reuse semantics are identical at any shard count.
+//     Only the path-keyed state (the Rule-4 invalidation index byPath and
+//     the §5 retention table) is sharded by shardkey, each shard behind its
+//     own lock, so per-shard GC scanners and disjoint queries' invalidation
+//     probes never contend. Lock order is r.mu → pathShard.mu → r.jmu;
+//     methods that take a later lock never hold an earlier one afterwards.
 package core
 
 import (
@@ -32,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/physical"
+	"repro/internal/shardkey"
 	"repro/internal/types"
 )
 
@@ -141,11 +150,33 @@ func (e *Entry) index() *physical.PlanIndex {
 	return physical.IndexPlan(e.Plan)
 }
 
+// pathShard is one independently locked slice of the repository's
+// path-keyed state: the Rule-4 invalidation index and the §5 retention
+// table, restricted to the DFS paths shardkey routes here. Per-shard GC
+// scanners drain the DFS eviction feed shard-by-shard and probe only the
+// matching pathShard, so scanners never contend with each other or with
+// disjoint queries' invalidation checks.
+type pathShard struct {
+	mu sync.RWMutex
+	// byPath is the inverted invalidation index: DFS path -> entries whose
+	// input set or stored output touches it (exact-path keys; DFS paths are
+	// flat). Eviction Rule-4 checks driven by the DFS mutation feed probe it
+	// so their work scales with the mutated paths, not the repository size.
+	byPath map[string][]*Entry
+	// outputs tracks user-named query outputs for the §5 keep-results-for-N
+	// retention mode: path -> the workflow sequence and file version that
+	// last produced (or re-requested) it. Journaled (MutNoteOutput /
+	// MutForgetOutput) and persisted with the repository, so retention
+	// decisions survive crashes.
+	outputs map[string]OutputRecord
+}
+
 // Repository holds the stored job outputs. All methods are safe for
 // concurrent use.
 type Repository struct {
 	mu      sync.RWMutex
 	entries []*Entry
+	byID    map[string]*Entry // O(1) Get/Pin/MarkUsed; same lifetime as entries
 	byCanon map[string]*Entry // dedup on plan canonical form
 	// ordered maintains the §3 match-scan order incrementally (ordered
 	// insert on Add, removal on Remove) — Ordered() is a copy, never a
@@ -162,32 +193,52 @@ type Repository struct {
 	// unindexed lists entries excluded from byFP (Split-bearing plans);
 	// every probe also verifies these, preserving exact §3 semantics.
 	unindexed []*Entry
-	// byPath is the inverted invalidation index: DFS path -> entries whose
-	// input set or stored output touches it (exact-path keys; DFS paths are
-	// flat). Eviction Rule-4 checks driven by the DFS mutation feed probe it
-	// so their work scales with the mutated paths, not the repository size.
-	// Maintained under mu by Add/Remove alongside byFP.
-	byPath map[string][]*Entry
-	// outputs tracks user-named query outputs for the §5 keep-results-for-N
-	// retention mode: path -> the workflow sequence and file version that
-	// last produced (or re-requested) it. Journaled (MutNoteOutput /
-	// MutForgetOutput) and persisted with the repository, so retention
-	// decisions survive crashes.
-	outputs map[string]OutputRecord
-	nextID  int
-	// journal, when attached, receives every committed mutation in commit
-	// order (see journal.go) — the repository half of the write-ahead log.
+	// pathShards holds the sharded path-keyed state (see pathShard). A
+	// path's shard is shardkey.Index(path, len(pathShards)) — the same
+	// routing the DFS namespace and WAL streams use.
+	pathShards []pathShard
+	nextID     int
+	// jmu is a leaf mutex guarding the journal pointer, so mutations
+	// committed under a pathShard lock (NoteOutput) and mutations committed
+	// under r.mu (Add, Remove, MarkUsed) both journal without either lock
+	// needing the other. Always the last lock taken.
+	jmu sync.Mutex
+	// journal, when attached, receives every committed mutation (see
+	// journal.go) — the repository half of the write-ahead log.
 	journal Journal
 }
 
-// NewRepository returns an empty repository.
-func NewRepository() *Repository {
-	return &Repository{
-		byCanon: make(map[string]*Entry),
-		byFP:    make(map[physical.Fingerprint][]*Entry),
-		byPath:  make(map[string][]*Entry),
-		outputs: make(map[string]OutputRecord),
+// NewRepository returns an empty repository with a single path shard — the
+// single-domain oracle configuration.
+func NewRepository() *Repository { return NewShardedRepository(1) }
+
+// NewShardedRepository returns an empty repository whose path-keyed state
+// (Rule-4 invalidation index, retention table) is split over n
+// independently locked shards (n < 1 is clamped to 1). The match index is
+// unaffected: reuse semantics are identical at any n.
+func NewShardedRepository(n int) *Repository {
+	if n < 1 {
+		n = 1
 	}
+	r := &Repository{
+		byID:       make(map[string]*Entry),
+		byCanon:    make(map[string]*Entry),
+		byFP:       make(map[physical.Fingerprint][]*Entry),
+		pathShards: make([]pathShard, n),
+	}
+	for i := range r.pathShards {
+		r.pathShards[i].byPath = make(map[string][]*Entry)
+		r.pathShards[i].outputs = make(map[string]OutputRecord)
+	}
+	return r
+}
+
+// NumPathShards returns how many path shards the repository was built with.
+func (r *Repository) NumPathShards() int { return len(r.pathShards) }
+
+// pathShardOf returns the shard owning the path-keyed state for path.
+func (r *Repository) pathShardOf(path string) *pathShard {
+	return &r.pathShards[shardkey.Index(path, len(r.pathShards))]
 }
 
 // touchedPaths returns the DFS paths the entry is filed under in byPath:
@@ -230,6 +281,7 @@ func (r *Repository) Add(e *Entry) (*Entry, bool, error) {
 		e.ID = fmt.Sprintf("entry-%d", r.nextID)
 	}
 	r.entries = append(r.entries, e)
+	r.byID[e.ID] = e
 	r.byCanon[canon] = e
 	// Ordered insert keeps r.ordered in §3 match order without a per-lookup
 	// sort; insertion after equal keys mirrors the stable sort it replaces.
@@ -243,9 +295,12 @@ func (r *Repository) Add(e *Entry) (*Entry, bool, error) {
 		r.unindexed = append(r.unindexed, e)
 	}
 	for _, p := range e.touchedPaths() {
-		r.byPath[p] = append(r.byPath[p], e)
+		sh := r.pathShardOf(p)
+		sh.mu.Lock()
+		sh.byPath[p] = append(sh.byPath[p], e)
+		sh.mu.Unlock()
 	}
-	r.journalLocked(Mutation{Op: MutAdd, Entry: e.clone()})
+	r.journalEmit(Mutation{Op: MutAdd, Entry: e.clone()})
 	return e, true, nil
 }
 
@@ -269,32 +324,35 @@ func (r *Repository) Remove(id string) *Entry {
 }
 
 func (r *Repository) removeLocked(id string) *Entry {
-	for i, e := range r.entries {
-		if e.ID == id {
-			r.entries = append(r.entries[:i], r.entries[i+1:]...)
-			delete(r.byCanon, e.Plan.Canonical())
-			r.ordered = dropFromSlice(r.ordered, e)
-			if e.indexable {
-				if b := dropFromSlice(r.byFP[e.termFP], e); len(b) > 0 {
-					r.byFP[e.termFP] = b
-				} else {
-					delete(r.byFP, e.termFP)
-				}
-			} else {
-				r.unindexed = dropFromSlice(r.unindexed, e)
-			}
-			for _, p := range e.touchedPaths() {
-				if b := dropFromSlice(r.byPath[p], e); len(b) > 0 {
-					r.byPath[p] = b
-				} else {
-					delete(r.byPath, p)
-				}
-			}
-			r.journalLocked(Mutation{Op: MutRemove, ID: id})
-			return e
-		}
+	e, ok := r.byID[id]
+	if !ok {
+		return nil
 	}
-	return nil
+	r.entries = dropFromSlice(r.entries, e)
+	delete(r.byID, id)
+	delete(r.byCanon, e.Plan.Canonical())
+	r.ordered = dropFromSlice(r.ordered, e)
+	if e.indexable {
+		if b := dropFromSlice(r.byFP[e.termFP], e); len(b) > 0 {
+			r.byFP[e.termFP] = b
+		} else {
+			delete(r.byFP, e.termFP)
+		}
+	} else {
+		r.unindexed = dropFromSlice(r.unindexed, e)
+	}
+	for _, p := range e.touchedPaths() {
+		sh := r.pathShardOf(p)
+		sh.mu.Lock()
+		if b := dropFromSlice(sh.byPath[p], e); len(b) > 0 {
+			sh.byPath[p] = b
+		} else {
+			delete(sh.byPath, p)
+		}
+		sh.mu.Unlock()
+	}
+	r.journalEmit(Mutation{Op: MutRemove, ID: id})
+	return e
 }
 
 // RemoveIfIdle evicts the entry only when no in-flight execution has it
@@ -309,15 +367,11 @@ func (r *Repository) removeLocked(id string) *Entry {
 func (r *Repository) RemoveIfIdle(id string, lastUsedSeq int64) *Entry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, e := range r.entries {
-		if e.ID == id {
-			if e.pins > 0 || e.LastUsedSeq != lastUsedSeq {
-				return nil
-			}
-			return r.removeLocked(id)
-		}
+	e, ok := r.byID[id]
+	if !ok || e.pins > 0 || e.LastUsedSeq != lastUsedSeq {
+		return nil
 	}
-	return nil
+	return r.removeLocked(id)
 }
 
 // Pin marks the entry as in use by an in-flight execution, preventing its
@@ -327,11 +381,9 @@ func (r *Repository) RemoveIfIdle(id string, lastUsedSeq int64) *Entry {
 func (r *Repository) Pin(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, e := range r.entries {
-		if e.ID == id {
-			e.pins++
-			return true
-		}
+	if e, ok := r.byID[id]; ok {
+		e.pins++
+		return true
 	}
 	return false
 }
@@ -346,11 +398,8 @@ func (r *Repository) Unpin(ids []string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, id := range ids {
-		for _, e := range r.entries {
-			if e.ID == id && e.pins > 0 {
-				e.pins--
-				break
-			}
+		if e, ok := r.byID[id]; ok && e.pins > 0 {
+			e.pins--
 		}
 	}
 }
@@ -359,12 +408,7 @@ func (r *Repository) Unpin(ids []string) {
 func (r *Repository) Get(id string) *Entry {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for _, e := range r.entries {
-		if e.ID == id {
-			return e
-		}
-	}
-	return nil
+	return r.byID[id]
 }
 
 // Ordered returns the entries in match-scan order, implementing the §3
@@ -473,21 +517,36 @@ func (r *Repository) OrderedSnapshot() []*Entry {
 // EntriesTouching returns deep copies of the entries whose input set or
 // stored output touches any of the given DFS paths, deduplicated. This is
 // the indexed Rule-4 candidate set for a batch of mutated paths: its size
-// scales with the mutations, not the repository.
+// scales with the mutations, not the repository. Two-phase: candidate IDs
+// are collected under only the involved path-shard read locks, then cloned
+// under the repository read lock — an entry removed between the phases is
+// simply skipped (it no longer needs invalidating), an entry added between
+// them belongs to a later feed batch.
 func (r *Repository) EntriesTouching(paths []string) []*Entry {
 	if len(paths) == 0 {
 		return nil
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	var out []*Entry
+	var ids []string
 	seen := make(map[string]bool)
 	for _, p := range paths {
-		for _, e := range r.byPath[p] {
-			if seen[e.ID] {
-				continue
+		sh := r.pathShardOf(p)
+		sh.mu.RLock()
+		for _, e := range sh.byPath[p] {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				ids = append(ids, e.ID)
 			}
-			seen[e.ID] = true
+		}
+		sh.mu.RUnlock()
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, 0, len(ids))
+	for _, id := range ids {
+		if e, ok := r.byID[id]; ok {
 			out = append(out, e.clone())
 		}
 	}
@@ -498,10 +557,8 @@ func (r *Repository) EntriesTouching(paths []string) []*Entry {
 func (r *Repository) CloneOf(id string) *Entry {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for _, e := range r.entries {
-		if e.ID == id {
-			return e.clone()
-		}
+	if e, ok := r.byID[id]; ok {
+		return e.clone()
 	}
 	return nil
 }
@@ -510,9 +567,10 @@ func (r *Repository) CloneOf(id string) *Entry {
 // or stores its output there. Retention and deferred-delete retries use it
 // to refuse deleting a file the repository still depends on.
 func (r *Repository) ReferencesPath(path string) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.byPath[path]) > 0
+	sh := r.pathShardOf(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.byPath[path]) > 0
 }
 
 // EntryUsage is the lightweight per-entry metadata the Rule-3 window and
@@ -569,33 +627,41 @@ type OutputRecord struct {
 
 // NoteOutput records (or refreshes) a user-named query output for
 // retention. Journaled, so a recovered repository remembers how old every
-// tracked output is.
+// tracked output is. Takes only the path's shard lock — disjoint queries'
+// output registrations never serialize on the repository mutex.
 func (r *Repository) NoteOutput(path string, seq int64, version uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.outputs[path] = OutputRecord{Path: path, Seq: seq, Version: version}
-	r.journalLocked(Mutation{Op: MutNoteOutput, Path: path, Seq: seq, Version: version})
+	sh := r.pathShardOf(path)
+	sh.mu.Lock()
+	sh.outputs[path] = OutputRecord{Path: path, Seq: seq, Version: version}
+	sh.mu.Unlock()
+	r.journalEmit(Mutation{Op: MutNoteOutput, Path: path, Seq: seq, Version: version})
 }
 
 // ForgetOutput drops a tracked output (it was retired, overwritten, or
 // vanished). Forgetting an untracked path is a no-op and is not journaled.
 func (r *Repository) ForgetOutput(path string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.outputs[path]; !ok {
-		return
+	sh := r.pathShardOf(path)
+	sh.mu.Lock()
+	_, ok := sh.outputs[path]
+	if ok {
+		delete(sh.outputs, path)
 	}
-	delete(r.outputs, path)
-	r.journalLocked(Mutation{Op: MutForgetOutput, Path: path})
+	sh.mu.Unlock()
+	if ok {
+		r.journalEmit(Mutation{Op: MutForgetOutput, Path: path})
+	}
 }
 
 // TrackedOutputs returns the retention table sorted by path.
 func (r *Repository) TrackedOutputs() []OutputRecord {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]OutputRecord, 0, len(r.outputs))
-	for _, rec := range r.outputs {
-		out = append(out, rec)
+	var out []OutputRecord
+	for i := range r.pathShards {
+		sh := &r.pathShards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.outputs {
+			out = append(out, rec)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out
@@ -605,16 +671,15 @@ func (r *Repository) TrackedOutputs() []OutputRecord {
 func (r *Repository) MarkUsed(id string, seq int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, e := range r.entries {
-		if e.ID == id {
-			e.UseCount++
-			if seq > e.LastUsedSeq {
-				e.LastUsedSeq = seq
-			}
-			r.journalLocked(Mutation{Op: MutUse, ID: id, UseCount: e.UseCount, LastUsedSeq: e.LastUsedSeq})
-			return
-		}
+	e, ok := r.byID[id]
+	if !ok {
+		return
 	}
+	e.UseCount++
+	if seq > e.LastUsedSeq {
+		e.LastUsedSeq = seq
+	}
+	r.journalEmit(Mutation{Op: MutUse, ID: id, UseCount: e.UseCount, LastUsedSeq: e.LastUsedSeq})
 }
 
 // TotalStoredBytes sums OutputBytes over all entries.

@@ -11,12 +11,24 @@
 //     so readers and snapshots may share the slices under the read lock.
 //   - File versions only ever advance: Create assigns a fresh FS-clock value
 //     and Delete bumps the clock, so a path recreated after deletion never
-//     reuses a version Rule-4 comparisons have already seen.
-//   - Every mutation is journaled (SetJournal) in its commit order, under
-//     the same write lock that applied it, as an absolute-state Mutation
-//     record; replaying a snapshot plus the journaled suffix (Apply)
-//     reconstructs the FS exactly. DirtyPaths/TakeDirty track which files
-//     changed since the last snapshot.
+//     reuses a version Rule-4 comparisons have already seen. The clock is
+//     FS-global (one atomic counter across every shard), so versions are
+//     globally monotonic — the leaseless result fast path brackets its reads
+//     with version comparisons and depends on exactly that.
+//   - Every mutation is journaled (SetJournal / SetShardJournals) in its
+//     commit order, under the same shard write lock that applied it, as an
+//     absolute-state Mutation record; replaying a snapshot plus the
+//     journaled suffix (Apply) reconstructs the FS exactly.
+//     DirtyPaths/TakeDirty track which files changed since the last snapshot.
+//
+// The namespace is sharded (NewSharded): each path is owned by exactly one
+// shard — chosen by shardkey.Index, so a shard root's whole subtree
+// colocates — and each shard has its own lock, files map, journal, and dirty
+// feeds. Mutations to paths in different shards never contend; operations
+// that span the namespace (List, Export, Import) take every shard lock in
+// ascending order. New() builds the single-shard FS, which is byte-for-byte
+// the old single-mutex implementation and serves as the differential oracle
+// for the sharded configurations.
 package dfs
 
 import (
@@ -26,7 +38,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/shardkey"
 	"repro/internal/types"
 )
 
@@ -81,6 +95,16 @@ type Stat struct {
 	Version    uint64
 }
 
+// fsShard is one independently locked slice of the namespace: the files
+// whose paths route to it, plus that slice's journal and dirty feeds.
+type fsShard struct {
+	mu         sync.RWMutex
+	files      map[string]*File
+	journal    Journal
+	dirty      map[string]struct{}
+	evictDirty map[string]struct{}
+}
+
 // FS is the simulated distributed file system. All methods are safe for
 // concurrent use.
 //
@@ -92,36 +116,78 @@ type Stat struct {
 // half-written partition, only a partition that is entirely present or
 // entirely absent.
 type FS struct {
-	mu          sync.RWMutex
-	files       map[string]*File
-	version     uint64
-	blockSize   int64
-	replication int
+	shards    []fsShard
+	version   atomic.Uint64
+	blockSize int64
+	// replication affects physical-byte accounting only; atomic so
+	// SetReplication needs no shard lock.
+	replication atomic.Int64
 
 	// Counters accumulate across the lifetime of the FS; atomics so the
 	// read path (OpenPartition) needs only the read lock and concurrent
-	// map tasks of parallel workflows never serialize on fs.mu.
+	// map tasks of parallel workflows never serialize on a shard lock.
 	bytesWritten atomic.Int64 // logical bytes written
 	bytesRead    atomic.Int64 // logical bytes read
 
-	// journal, dirty, and mutations implement incremental persistence (see
-	// journal.go): every committed mutation is forwarded to the journal and
-	// marks its path dirty until the next snapshot claims it. evictDirty is
-	// the second, independent consumer of the same dirty marks: the mutation
-	// feed eviction Rule-4 checks drain (TakeEvictionDirty), so invalidation
-	// work scales with what changed, not with repository size.
-	journal    Journal
-	dirty      map[string]struct{}
-	evictDirty map[string]struct{}
-	mutations  atomic.Uint64
+	// mutations counts committed mutations FS-wide (see journal.go).
+	mutations atomic.Uint64
+
+	// opLatency (ns), when set, is slept inside each mutating operation
+	// while its shard lock is held — emulating the namenode/commit RPC a
+	// real DFS pays per metadata mutation, the way mapred's LatencyScale
+	// emulates cluster job time. Benchmarks use it to make the serialized
+	// hold time of a lock domain visible in wall clock; 0 (the default)
+	// disables it.
+	opLatency atomic.Int64
 }
 
-// New creates an empty FS with default block size and replication.
-func New() *FS {
-	return &FS{
-		files:       make(map[string]*File),
-		blockSize:   DefaultBlockSize,
-		replication: DefaultReplication,
+// New creates an empty single-shard FS with default block size and
+// replication — the single-domain configuration, and the differential
+// oracle the sharded configurations are tested against.
+func New() *FS { return NewSharded(1) }
+
+// NewSharded creates an empty FS whose namespace is split over n
+// independently locked shards (n < 1 is clamped to 1). Shard routing is
+// shardkey.Index, shared with the lease tables and the WAL streams.
+func NewSharded(n int) *FS {
+	if n < 1 {
+		n = 1
+	}
+	fs := &FS{
+		shards:    make([]fsShard, n),
+		blockSize: DefaultBlockSize,
+	}
+	fs.replication.Store(DefaultReplication)
+	for i := range fs.shards {
+		fs.shards[i].files = make(map[string]*File)
+	}
+	return fs
+}
+
+// NumShards returns how many namespace shards the FS was built with.
+func (fs *FS) NumShards() int { return len(fs.shards) }
+
+// ShardOf returns the index of the shard owning path.
+func (fs *FS) ShardOf(path string) int { return shardkey.Index(path, len(fs.shards)) }
+
+// shardOf returns the shard owning path.
+func (fs *FS) shardOf(path string) *fsShard {
+	return &fs.shards[shardkey.Index(path, len(fs.shards))]
+}
+
+// SetOpLatency emulates the per-mutation metadata RPC of a remote DFS: every
+// mutating operation (Create, CommitPartition, SetSchema, Delete) sleeps d
+// while holding its shard's write lock. Benchmarks use it to reproduce the
+// regime where namespace mutations are wall-clock-bound rather than
+// CPU-bound, so the serialization removed by sharding is measurable on any
+// machine. 0 disables the emulation.
+func (fs *FS) SetOpLatency(d time.Duration) { fs.opLatency.Store(int64(d)) }
+
+// emulateOp pays the configured per-mutation latency. Called with the
+// owning shard's write lock held.
+func (fs *FS) emulateOp() {
+	if d := fs.opLatency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
 	}
 }
 
@@ -129,32 +195,32 @@ func New() *FS {
 func (fs *FS) BlockSize() int64 { return fs.blockSize }
 
 // Replication returns the configured replication factor.
-func (fs *FS) Replication() int { return fs.replication }
+func (fs *FS) Replication() int { return int(fs.replication.Load()) }
 
 // SetReplication overrides the replication factor (affects physical-byte
 // accounting only).
 func (fs *FS) SetReplication(r int) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if r < 1 {
 		r = 1
 	}
-	fs.replication = r
+	fs.replication.Store(int64(r))
 }
 
 // Exists reports whether a file exists.
 func (fs *FS) Exists(path string) bool {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	_, ok := fs.files[path]
+	sh := fs.shardOf(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.files[path]
 	return ok
 }
 
 // StatFile returns metadata for the file at path.
 func (fs *FS) StatFile(path string) (Stat, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	f, ok := fs.files[path]
+	sh := fs.shardOf(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.files[path]
 	if !ok {
 		return Stat{}, fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
 	}
@@ -165,7 +231,8 @@ func (fs *FS) StatFile(path string) (Stat, error) {
 var ErrNotExist = fmt.Errorf("file does not exist")
 
 // Create makes (or truncates) a file with the given number of partitions and
-// returns its new version.
+// returns its new version. The version comes off the FS-global clock, so
+// versions stay globally monotonic across shards.
 func (fs *FS) Create(path string, partitions int) (uint64, error) {
 	if path == "" {
 		return 0, fmt.Errorf("dfs: empty path")
@@ -173,32 +240,37 @@ func (fs *FS) Create(path string, partitions int) (uint64, error) {
 	if partitions < 1 {
 		partitions = 1
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.version++
-	fs.files[path] = &File{Path: path, Parts: make([]Partition, partitions), Version: fs.version}
-	fs.noteLocked(Mutation{Op: MutCreate, Path: path, Version: fs.version, Partitions: partitions})
-	return fs.version, nil
+	sh := fs.shardOf(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fs.emulateOp()
+	v := fs.version.Add(1)
+	sh.files[path] = &File{Path: path, Parts: make([]Partition, partitions), Version: v}
+	fs.noteLocked(sh, Mutation{Op: MutCreate, Path: path, Version: v, Partitions: partitions})
+	return v, nil
 }
 
 // SetSchema attaches a schema to an existing file.
 func (fs *FS) SetSchema(path string, schema types.Schema) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	f, ok := fs.files[path]
+	sh := fs.shardOf(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.files[path]
 	if !ok {
 		return fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
 	}
+	fs.emulateOp()
 	f.Schema = schema
-	fs.noteLocked(Mutation{Op: MutSchema, Path: path, Schema: schema})
+	fs.noteLocked(sh, Mutation{Op: MutSchema, Path: path, Schema: schema})
 	return nil
 }
 
 // SchemaOf returns the schema recorded for the file (possibly empty).
 func (fs *FS) SchemaOf(path string) (types.Schema, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	f, ok := fs.files[path]
+	sh := fs.shardOf(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.files[path]
 	if !ok {
 		return types.Schema{}, fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
 	}
@@ -209,32 +281,36 @@ func (fs *FS) SchemaOf(path string) (types.Schema, error) {
 // created with Create. Tasks buffer locally and commit once, keeping the FS
 // lock out of the encode path.
 func (fs *FS) CommitPartition(path string, idx int, data []byte, records int64) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	f, ok := fs.files[path]
+	sh := fs.shardOf(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.files[path]
 	if !ok {
 		return fmt.Errorf("dfs: commit to %s: %w", path, ErrNotExist)
 	}
 	if idx < 0 || idx >= len(f.Parts) {
 		return fmt.Errorf("dfs: commit to %s: partition %d out of range [0,%d)", path, idx, len(f.Parts))
 	}
+	fs.emulateOp()
 	f.Parts[idx] = Partition{Data: data, Records: records}
 	fs.bytesWritten.Add(int64(len(data)))
-	fs.noteLocked(Mutation{Op: MutCommit, Path: path, Part: idx, Data: data, Records: records})
+	fs.noteLocked(sh, Mutation{Op: MutCommit, Path: path, Part: idx, Data: data, Records: records})
 	return nil
 }
 
 // Delete removes a file. Deleting a missing file is an error so that callers
 // notice double-deletes.
 func (fs *FS) Delete(path string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if _, ok := fs.files[path]; !ok {
+	sh := fs.shardOf(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.files[path]; !ok {
 		return fmt.Errorf("dfs: delete %s: %w", path, ErrNotExist)
 	}
-	delete(fs.files, path)
-	fs.version++
-	fs.noteLocked(Mutation{Op: MutDelete, Path: path, Version: fs.version})
+	fs.emulateOp()
+	delete(sh.files, path)
+	v := fs.version.Add(1)
+	fs.noteLocked(sh, Mutation{Op: MutDelete, Path: path, Version: v})
 	return nil
 }
 
@@ -242,24 +318,31 @@ func (fs *FS) Delete(path string) error {
 // ErrNotExist if absent. ReStore snapshots input versions when storing a job
 // output and compares them later to detect invalidation.
 func (fs *FS) Version(path string) (uint64, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	f, ok := fs.files[path]
+	sh := fs.shardOf(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.files[path]
 	if !ok {
 		return 0, fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
 	}
 	return f.Version, nil
 }
 
-// List returns the paths with the given prefix, sorted.
+// List returns the paths with the given prefix, sorted. Shards are scanned
+// one at a time, so the listing is per-shard consistent; callers needing a
+// globally consistent view (recovery sweeps, counter advancement) run under
+// the system's universal lease, where nothing mutates concurrently.
 func (fs *FS) List(prefix string) []string {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	var out []string
-	for p := range fs.files {
-		if strings.HasPrefix(p, prefix) {
-			out = append(out, p)
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.RLock()
+		for p := range sh.files {
+			if strings.HasPrefix(p, prefix) {
+				out = append(out, p)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -267,9 +350,10 @@ func (fs *FS) List(prefix string) []string {
 
 // Partitions returns the number of partitions of a file.
 func (fs *FS) Partitions(path string) (int, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	f, ok := fs.files[path]
+	sh := fs.shardOf(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.files[path]
 	if !ok {
 		return 0, fmt.Errorf("dfs: %s: %w", path, ErrNotExist)
 	}
@@ -281,9 +365,10 @@ func (fs *FS) Partitions(path string) (int, error) {
 // (copy-on-write), so concurrent map tasks of parallel workflows read
 // without serializing.
 func (fs *FS) OpenPartition(path string, idx int) (*types.Reader, int64, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	f, ok := fs.files[path]
+	sh := fs.shardOf(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.files[path]
 	if !ok {
 		return nil, 0, fmt.Errorf("dfs: open %s: %w", path, ErrNotExist)
 	}
@@ -382,13 +467,14 @@ func (fs *FS) Counters() (written, read int64) {
 // TotalBytes sums the logical bytes of the files at the given paths,
 // skipping any that are missing.
 func (fs *FS) TotalBytes(paths ...string) int64 {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	var n int64
 	for _, p := range paths {
-		if f, ok := fs.files[p]; ok {
+		sh := fs.shardOf(p)
+		sh.mu.RLock()
+		if f, ok := sh.files[p]; ok {
 			n += f.Bytes()
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }

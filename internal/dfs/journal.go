@@ -13,6 +13,11 @@ import (
 // which files are dirty since the last snapshot. A write-ahead log
 // (internal/persist) appends the records durably while queries execute;
 // replaying them over the last snapshot (Apply) reconstructs the FS exactly.
+// Each namespace shard has its own journal hook and dirty feeds, so a
+// sharded persister can run one WAL stream per shard with no cross-shard
+// ordering requirement: a path's records are totally ordered within its own
+// shard's stream, and records for different paths commute (they carry
+// absolute state and touch disjoint keys).
 
 // MutationOp enumerates the journaled FS mutations.
 type MutationOp string
@@ -54,45 +59,68 @@ type Mutation struct {
 }
 
 // Journal receives every committed FS mutation, in commit order. Record is
-// called synchronously while the FS write lock is held, so the order of
-// Record calls is exactly the order the mutations took effect; implementations
-// must be fast (buffer in memory) and must not call back into the FS.
+// called synchronously while the owning shard's write lock is held, so the
+// order of Record calls on one journal is exactly the order that shard's
+// mutations took effect; implementations must be fast (buffer in memory) and
+// must not call back into the FS.
 type Journal interface {
 	Record(m Mutation)
 }
 
-// SetJournal attaches (or with nil detaches) the mutation journal. Attach it
-// only when the FS is quiescent (daemon startup, after recovery): mutations
-// committed before the attach are not replayed to the journal.
+// SetJournal attaches (or with nil detaches) the same mutation journal to
+// every shard. Attach it only when the FS is quiescent (daemon startup,
+// after recovery): mutations committed before the attach are not replayed to
+// the journal. With more than one shard the single journal sees concurrent
+// Record calls ordered only per shard; use SetShardJournals for one stream
+// per shard.
 func (fs *FS) SetJournal(j Journal) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.journal = j
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.Lock()
+		sh.journal = j
+		sh.mu.Unlock()
+	}
+}
+
+// SetShardJournals attaches one journal per shard (js[i] receives exactly
+// shard i's mutations, each under shard i's write lock — so per-journal
+// Record calls are totally ordered and never concurrent). len(js) must equal
+// NumShards. Same quiescence requirement as SetJournal.
+func (fs *FS) SetShardJournals(js []Journal) {
+	if len(js) != len(fs.shards) {
+		panic(fmt.Sprintf("dfs: SetShardJournals: %d journals for %d shards", len(js), len(fs.shards)))
+	}
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.Lock()
+		sh.journal = js[i]
+		sh.mu.Unlock()
+	}
 }
 
 // noteLocked records one committed mutation: it marks the file dirty (for
 // both the snapshot and eviction consumers), bumps the mutation counter, and
-// forwards the record to the attached journal. Called with fs.mu held by
-// every mutating method.
-func (fs *FS) noteLocked(m Mutation) {
-	if fs.dirty == nil {
-		fs.dirty = make(map[string]struct{})
+// forwards the record to the shard's journal. Called with sh.mu held by
+// every mutating method, and sh must own m.Path.
+func (fs *FS) noteLocked(sh *fsShard, m Mutation) {
+	if sh.dirty == nil {
+		sh.dirty = make(map[string]struct{})
 	}
-	fs.dirty[m.Path] = struct{}{}
-	fs.markEvictDirtyLocked(m.Path)
+	sh.dirty[m.Path] = struct{}{}
+	markEvictDirtyLocked(sh, m.Path)
 	fs.mutations.Add(1)
-	if fs.journal != nil {
-		fs.journal.Record(m)
+	if sh.journal != nil {
+		sh.journal.Record(m)
 	}
 }
 
-// markEvictDirtyLocked adds the path to the eviction mutation feed. Called
-// with fs.mu held.
-func (fs *FS) markEvictDirtyLocked(path string) {
-	if fs.evictDirty == nil {
-		fs.evictDirty = make(map[string]struct{})
+// markEvictDirtyLocked adds the path to the shard's eviction mutation feed.
+// Called with sh.mu held.
+func markEvictDirtyLocked(sh *fsShard, path string) {
+	if sh.evictDirty == nil {
+		sh.evictDirty = make(map[string]struct{})
 	}
-	fs.evictDirty[path] = struct{}{}
+	sh.evictDirty[path] = struct{}{}
 }
 
 // DirtyPaths returns the sorted paths mutated since the last TakeDirty (or
@@ -100,11 +128,14 @@ func (fs *FS) markEvictDirtyLocked(path string) {
 // deleted — the deletion itself is a pending change the next snapshot must
 // capture.
 func (fs *FS) DirtyPaths() []string {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	out := make([]string, 0, len(fs.dirty))
-	for p := range fs.dirty {
-		out = append(out, p)
+	var out []string
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.RLock()
+		for p := range sh.dirty {
+			out = append(out, p)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -114,30 +145,46 @@ func (fs *FS) DirtyPaths() []string {
 // calls it when a snapshot has captured everything, so DirtyPaths afterwards
 // reports only post-snapshot churn.
 func (fs *FS) TakeDirty() []string {
-	fs.mu.Lock()
-	dirty := fs.dirty
-	fs.dirty = nil
-	fs.mu.Unlock()
-	out := make([]string, 0, len(dirty))
-	for p := range dirty {
-		out = append(out, p)
+	var out []string
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.Lock()
+		dirty := sh.dirty
+		sh.dirty = nil
+		sh.mu.Unlock()
+		for p := range dirty {
+			out = append(out, p)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
 // TakeEvictionDirty returns the sorted paths mutated since the last
-// TakeEvictionDirty and resets the feed. This is the eviction subsystem's
-// mutation feed: consumers run Rule-4 staleness checks only on repository
-// entries touching the returned paths, so per-query invalidation work scales
-// with what changed rather than with repository size. The feed is
-// independent of the snapshot consumer (DirtyPaths/TakeDirty); any one
-// taker owns a returned batch exclusively.
+// TakeEvictionDirty and resets the feed across every shard. This is the
+// eviction subsystem's mutation feed: consumers run Rule-4 staleness checks
+// only on repository entries touching the returned paths, so per-query
+// invalidation work scales with what changed rather than with repository
+// size. The feed is independent of the snapshot consumer
+// (DirtyPaths/TakeDirty); any one taker owns a returned batch exclusively.
 func (fs *FS) TakeEvictionDirty() []string {
-	fs.mu.Lock()
-	taken := fs.evictDirty
-	fs.evictDirty = nil
-	fs.mu.Unlock()
+	var out []string
+	for i := range fs.shards {
+		out = append(out, fs.TakeEvictionDirtyShard(i)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TakeEvictionDirtyShard drains shard i's eviction feed only — the per-shard
+// GC scanners use it so each scanner's work is proportional to its own
+// shard's churn and scanners on different shards never contend.
+func (fs *FS) TakeEvictionDirtyShard(i int) []string {
+	sh := &fs.shards[i]
+	sh.mu.Lock()
+	taken := sh.evictDirty
+	sh.evictDirty = nil
+	sh.mu.Unlock()
 	out := make([]string, 0, len(taken))
 	for p := range taken {
 		out = append(out, p)
@@ -150,12 +197,28 @@ func (fs *FS) TakeEvictionDirty() []string {
 // lifetime (monotonic; snapshot Import does not reset it).
 func (fs *FS) MutationCount() uint64 { return fs.mutations.Load() }
 
-// DirtyCount reports how many files are dirty (O(1); metrics poll this on
-// every scrape, where materializing DirtyPaths would be wasted work).
+// DirtyCount reports how many files are dirty (metrics poll this on every
+// scrape, where materializing DirtyPaths would be wasted work).
 func (fs *FS) DirtyCount() int {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return len(fs.dirty)
+	n := 0
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.RLock()
+		n += len(sh.dirty)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// advanceClock lifts the FS-global version clock to at least v (CAS-max, so
+// concurrent replays of different shards' streams may race freely).
+func (fs *FS) advanceClock(v uint64) {
+	for {
+		cur := fs.version.Load()
+		if v <= cur || fs.version.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Apply replays one journaled mutation, without re-journaling it. It is the
@@ -165,21 +228,23 @@ func (fs *FS) DirtyCount() int {
 // between the compactor's snapshot rename and its log truncation makes the
 // log a superset of the snapshot): creates overwrite, deletes of missing
 // files are no-ops, and version fields only ever advance the FS clock.
+// Because records carry absolute state, replay only needs per-path order —
+// shard streams may be applied in any interleaving (order-independence is
+// what the crash battery's shuffled-replay test asserts).
 func (fs *FS) Apply(m Mutation) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	sh := fs.shardOf(m.Path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	switch m.Op {
 	case MutCreate:
 		parts := m.Partitions
 		if parts < 1 {
 			parts = 1
 		}
-		fs.files[m.Path] = &File{Path: m.Path, Parts: make([]Partition, parts), Version: m.Version}
-		if m.Version > fs.version {
-			fs.version = m.Version
-		}
+		sh.files[m.Path] = &File{Path: m.Path, Parts: make([]Partition, parts), Version: m.Version}
+		fs.advanceClock(m.Version)
 	case MutCommit:
-		f, ok := fs.files[m.Path]
+		f, ok := sh.files[m.Path]
 		if !ok {
 			return fmt.Errorf("dfs: apply commit to %s: %w", m.Path, ErrNotExist)
 		}
@@ -188,27 +253,25 @@ func (fs *FS) Apply(m Mutation) error {
 		}
 		f.Parts[m.Part] = Partition{Data: m.Data, Records: m.Records}
 	case MutSchema:
-		f, ok := fs.files[m.Path]
+		f, ok := sh.files[m.Path]
 		if !ok {
 			return fmt.Errorf("dfs: apply schema to %s: %w", m.Path, ErrNotExist)
 		}
 		f.Schema = m.Schema
 	case MutDelete:
-		delete(fs.files, m.Path)
-		if m.Version > fs.version {
-			fs.version = m.Version
-		}
+		delete(sh.files, m.Path)
+		fs.advanceClock(m.Version)
 	default:
 		return fmt.Errorf("dfs: apply: unknown mutation op %q", m.Op)
 	}
 	// Replayed state is not yet covered by any snapshot (the log still holds
 	// it), so it counts as dirty until the next compaction — and feeds the
 	// eviction consumer, which rechecks entries touching replayed paths.
-	if fs.dirty == nil {
-		fs.dirty = make(map[string]struct{})
+	if sh.dirty == nil {
+		sh.dirty = make(map[string]struct{})
 	}
-	fs.dirty[m.Path] = struct{}{}
-	fs.markEvictDirtyLocked(m.Path)
+	sh.dirty[m.Path] = struct{}{}
+	markEvictDirtyLocked(sh, m.Path)
 	fs.mutations.Add(1)
 	return nil
 }

@@ -15,7 +15,10 @@ import (
 // would correctly drop every entry on the first query after a restart.
 
 // snapshotJSON is the persisted form. Partition data is raw encoded tuple
-// records; encoding/json base64s the byte slices.
+// records; encoding/json base64s the byte slices. The snapshot is
+// shard-count-agnostic: files carry no shard assignment, so a snapshot
+// written by an N-shard FS imports cleanly into an M-shard one (paths
+// re-route through shardkey on Import).
 type snapshotJSON struct {
 	Version int        `json:"version"`
 	Clock   uint64     `json:"clock"` // the FS-wide version counter
@@ -38,24 +41,32 @@ const snapshotVersion = 1
 
 // Export writes every file (data, schema, version) as JSON. Versions are
 // preserved exactly so repository entries' InputVersions stay valid across
-// an Export/Import round trip.
+// an Export/Import round trip. Every shard's read lock is held (acquired in
+// ascending index order) while the document is built, so the snapshot is a
+// consistent cut across the whole namespace.
 func (fs *FS) Export(w io.Writer) error {
-	fs.mu.RLock()
-	doc := snapshotJSON{Version: snapshotVersion, Clock: fs.version}
-	paths := make([]string, 0, len(fs.files))
-	for p := range fs.files {
-		paths = append(paths, p)
+	for i := range fs.shards {
+		fs.shards[i].mu.RLock()
+	}
+	doc := snapshotJSON{Version: snapshotVersion, Clock: fs.version.Load()}
+	var paths []string
+	for i := range fs.shards {
+		for p := range fs.shards[i].files {
+			paths = append(paths, p)
+		}
 	}
 	sort.Strings(paths)
 	for _, p := range paths {
-		f := fs.files[p]
+		f := fs.shardOf(p).files[p]
 		fj := fileJSON{Path: p, Version: f.Version, Schema: f.Schema}
 		for _, part := range f.Parts {
 			fj.Parts = append(fj.Parts, partitionJSON{Data: part.Data, Records: part.Records})
 		}
 		doc.Files = append(doc.Files, fj)
 	}
-	fs.mu.RUnlock()
+	for i := len(fs.shards) - 1; i >= 0; i-- {
+		fs.shards[i].mu.RUnlock()
+	}
 
 	if err := json.NewEncoder(w).Encode(doc); err != nil {
 		return fmt.Errorf("dfs: export: %w", err)
@@ -77,15 +88,20 @@ func (fs *FS) Import(r io.Reader) error {
 	if doc.Version != snapshotVersion {
 		return fmt.Errorf("dfs: import: unsupported snapshot version %d", doc.Version)
 	}
-	files := make(map[string]*File, len(doc.Files))
+	shardFiles := make([]map[string]*File, len(fs.shards))
+	for i := range shardFiles {
+		shardFiles[i] = make(map[string]*File)
+	}
+	seen := make(map[string]bool, len(doc.Files))
 	clock := doc.Clock
 	for _, fj := range doc.Files {
 		if fj.Path == "" {
 			return fmt.Errorf("dfs: import: file with empty path")
 		}
-		if _, dup := files[fj.Path]; dup {
+		if seen[fj.Path] {
 			return fmt.Errorf("dfs: import: duplicate path %q", fj.Path)
 		}
+		seen[fj.Path] = true
 		f := &File{Path: fj.Path, Version: fj.Version, Schema: fj.Schema}
 		for _, part := range fj.Parts {
 			f.Parts = append(f.Parts, Partition{Data: part.Data, Records: part.Records})
@@ -96,12 +112,18 @@ func (fs *FS) Import(r io.Reader) error {
 		if fj.Version > clock {
 			clock = fj.Version
 		}
-		files[fj.Path] = f
+		shardFiles[fs.ShardOf(fj.Path)][fj.Path] = f
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.files = files
-	fs.version = clock
-	fs.dirty = nil
+	for i := range fs.shards {
+		fs.shards[i].mu.Lock()
+	}
+	for i := range fs.shards {
+		fs.shards[i].files = shardFiles[i]
+		fs.shards[i].dirty = nil
+	}
+	fs.version.Store(clock)
+	for i := len(fs.shards) - 1; i >= 0; i-- {
+		fs.shards[i].mu.Unlock()
+	}
 	return nil
 }

@@ -140,3 +140,81 @@ func RemoveSegmentsBelow(dir string, n uint64) (int, error) {
 	}
 	return removed, nil
 }
+
+// shardSegmentPattern names per-shard WAL stream segments. The name encodes
+// the sharding layout the segment was written under — total stream count,
+// this stream's shard index, then the epoch — so a directory whose streams
+// were written at a different -shards setting is self-describing: recovery
+// detects the count mismatch from the filenames alone and compacts the old
+// layout away instead of replaying records whose per-path stream routing no
+// longer matches. Epoch numbers share one counter with the meta stream
+// (the legacy wal-NNNNNN.log names, which carry repository mutations): all
+// streams rotate together at compaction.
+const shardSegmentPattern = "wal-s%d-%03d-%06d.log"
+
+// ShardSegmentPath returns the path of shard stream shard-of-count's epoch
+// segment inside dir.
+func ShardSegmentPath(dir string, count, shard int, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf(shardSegmentPattern, count, shard, epoch))
+}
+
+// ShardSegment is one on-disk per-shard WAL stream segment.
+type ShardSegment struct {
+	Count int    // stream count the segment was written under
+	Shard int    // this stream's shard index, 0 <= Shard < Count
+	Epoch uint64 // rotation epoch, shared with the meta stream
+	Path  string
+}
+
+// ShardSegments lists the per-shard stream segments in dir, ordered by
+// (Epoch, Shard) ascending — replay order within an epoch is meta stream
+// first, then shard streams (any shard order is correct: streams for
+// different shards never carry records for the same path).
+func ShardSegments(dir string) ([]ShardSegment, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "wal-s*-*-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	var out []ShardSegment
+	for _, p := range names {
+		var s ShardSegment
+		if _, err := fmt.Sscanf(filepath.Base(p), shardSegmentPattern, &s.Count, &s.Shard, &s.Epoch); err != nil {
+			continue // not ours
+		}
+		s.Path = p
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Epoch != out[j].Epoch {
+			return out[i].Epoch < out[j].Epoch
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out, nil
+}
+
+// RemoveAllSegmentsBelow deletes every segment — meta stream and shard
+// streams of any layout — numbered below epoch n. Compaction's truncation
+// for the sharded WAL: having rotated all streams to epoch n, everything
+// older (including streams of an abandoned shard count) is covered by the
+// new snapshot pair.
+func RemoveAllSegmentsBelow(dir string, n uint64) (int, error) {
+	removed, err := RemoveSegmentsBelow(dir, n)
+	if err != nil {
+		return removed, err
+	}
+	shards, err := ShardSegments(dir)
+	if err != nil {
+		return removed, err
+	}
+	for _, s := range shards {
+		if s.Epoch >= n {
+			continue
+		}
+		if err := os.Remove(s.Path); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}

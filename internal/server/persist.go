@@ -18,22 +18,40 @@ import (
 // Durable state layout inside the daemon's state directory:
 //
 //	repository.json, dfs.json   snapshot pair, rewritten only by compaction
-//	wal-NNNNNN.log              append-only mutation log segments
+//	wal-NNNNNN.log              meta stream: repository mutations (and, for an
+//	                            unsharded core, DFS mutations too)
+//	wal-sC-SSS-NNNNNN.log       shard stream S of a C-shard core: the DFS
+//	                            mutations of paths routed to shard S
 //
 // Routine durability is the write-ahead log: every committed DFS and
 // repository mutation is journaled (see dfs.Journal / core.Journal) into
-// the current segment while queries execute, and fsynced on the -wal-sync
-// cadence — no drain barrier, no rewrite of unchanged data. Only
-// compaction (periodic, -compact-every; manual, POST /v1/checkpoint; and
-// shutdown) quiesces the system: under System.Quiesce it sweeps orphaned
-// restore/ files, rotates the log onto a fresh segment, writes the
-// snapshot pair (tmp + rename per file), and finally deletes the
-// pre-rotation segments.
+// the current segment of its stream while queries execute, and fsynced on
+// the -wal-sync cadence — no drain barrier, no rewrite of unchanged data.
+// A sharded core (-shards > 1) runs one WAL stream per shard so appends
+// from disjoint shards never contend on one writer; repository mutations
+// ride a single meta stream (the legacy wal-NNNNNN.log names, so an
+// unsharded directory is just the degenerate one-stream layout). All
+// streams share one epoch counter and rotate together: only compaction
+// (periodic, -compact-every; manual, POST /v1/checkpoint; and shutdown)
+// quiesces the system, sweeps orphaned restore/ files, rotates every
+// stream onto a fresh epoch, writes the snapshot pair (tmp + rename per
+// file), and finally deletes the pre-rotation segments of every stream.
+//
+// Replay order is epoch-ascending, meta stream first within an epoch, then
+// the shard streams: two shard streams never carry records for the same
+// path (the shard key routes each path to exactly one stream), so their
+// relative order within an epoch is immaterial — replay of interleaved
+// shard segments is order-independent. Stream counts are encoded in the
+// filenames, so a directory written under a different -shards setting is
+// self-describing: recovery replays it (each old layout is internally
+// consistent), then bumps to a fresh epoch and synchronously compacts so
+// new appends never share an epoch with records routed under the old
+// layout.
 //
 // Crash safety does not rely on a manifest. Mutation records carry
 // absolute resulting state, so recovery — load whatever snapshot pair is
-// on disk, then replay every segment in ascending order — converges to
-// the state at the end of the log no matter where a compaction crashed:
+// on disk, then replay every segment in order — converges to the state at
+// the end of the log no matter where a compaction crashed:
 //
 //   - before the snapshot renames: old pair + all segments replay to the
 //     rotation point;
@@ -44,17 +62,24 @@ import (
 //   - after the renames but before segment deletion: same argument, both
 //     files newer;
 //   - mid-append anywhere: the torn final record fails its length+CRC
-//     frame and is truncated off the tail.
+//     frame and is truncated off the tail. Only the final segment of each
+//     stream can tear (appends only ever go to the newest epoch); a tear
+//     anywhere earlier is real corruption and fails recovery.
 //
 // Segments are deleted only after both renames succeed, so every record
 // the on-disk pair lacks is always still on disk. A crash between a WAL
 // fsync and the next loses at most that window's acknowledged-in-memory
-// mutations; the HTTP layer acknowledges queries only after execution, so
-// clients see at-most-a-window staleness, never corruption. A workflow in
-// flight at the crash may leave a prefix of its mutations in the log
-// (exactly as a crashed Hadoop job leaves partial task output); recovery's
-// orphan sweep reclaims its unregistered restore/ files, and re-submitting
-// the query overwrites its partial user outputs.
+// mutations; because the streams fsync independently, such a crash can
+// also strand a repository entry (meta stream) whose stored output's DFS
+// create (shard stream) was lost — recovery heals the divergence by
+// dropping every replayed entry whose output file is absent, and the
+// orphan sweep reclaims the converse (a file whose entry was lost). The
+// HTTP layer acknowledges queries only after execution, so clients see
+// at-most-a-window staleness, never corruption. A workflow in flight at
+// the crash may leave a prefix of its mutations in the log (exactly as a
+// crashed Hadoop job leaves partial task output); recovery's orphan sweep
+// reclaims its unregistered restore/ files, and re-submitting the query
+// overwrites its partial user outputs.
 const (
 	repoStateFile = "repository.json"
 	dfsStateFile  = "dfs.json"
@@ -67,17 +92,26 @@ type persister struct {
 	sys      *restore.System
 	syncEach bool // fsync every record instead of batching
 
+	// nshards is the execution core's shard count; >1 selects the
+	// multi-stream WAL layout (one shard stream per DFS shard plus the
+	// meta stream), 1 the legacy single-log layout.
+	nshards int
+
 	// obs times WAL appends and fsyncs. The server installs it after
 	// construction on purpose: recovery replay and the startup orphan sweep
 	// are not live append traffic and must not skew the histograms. nil is
 	// a no-op sink.
 	obs *obs.Registry
 
-	// walMu guards the current-segment pointer: appenders and flushers
-	// hold it shared, compaction's rotation holds it exclusive.
-	walMu sync.RWMutex
-	wal   *persist.Writer
-	seg   uint64
+	// walMu guards the current-epoch writer pointers: appenders and
+	// flushers hold it shared, compaction's rotation holds it exclusive.
+	// wal is the meta stream; shardWals (empty for an unsharded core) is
+	// indexed by DFS shard. seg is the unified rotation epoch shared by
+	// every stream.
+	walMu     sync.RWMutex
+	wal       *persist.Writer
+	shardWals []*persist.Writer
+	seg       uint64
 
 	// compactMu serializes compactions (periodic, manual, shutdown): two
 	// interleaved rotations would orphan a segment's records.
@@ -86,6 +120,12 @@ type persister struct {
 	// dirty reports mutations since the last compaction; a clean system
 	// skips the snapshot entirely.
 	dirty atomic.Bool
+
+	// layoutChanged records that recovery found on-disk shard streams of a
+	// different count than the configured core: newPersister forces one
+	// synchronous compaction so the old layout's segments are folded into
+	// a snapshot and deleted before live traffic resumes.
+	layoutChanged bool
 
 	walRecords   atomic.Int64
 	walBytes     atomic.Int64
@@ -96,6 +136,7 @@ type persister struct {
 
 	recoveredRecords int
 	recoveredTorn    bool
+	recoveredDropped int
 }
 
 // newPersister opens (or initializes) the state directory, recovers the
@@ -105,21 +146,52 @@ func newPersister(dir string, sys *restore.System, syncEach bool) (*persister, e
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: state dir: %w", err)
 	}
-	p := &persister{dir: dir, sys: sys, syncEach: syncEach}
+	p := &persister{dir: dir, sys: sys, syncEach: syncEach, nshards: sys.FS().NumShards()}
 	if err := p.recover(); err != nil {
 		return nil, err
 	}
 	// Journals attach only after recovery: replayed records must not be
 	// re-journaled, and the sweep below should be. From here on every
-	// committed mutation lands in the current segment.
-	sys.FS().SetJournal(fsJournal{p})
+	// committed mutation lands in the current segment of its stream — for
+	// a sharded core, each DFS shard journals into its own stream.
+	if p.nshards > 1 {
+		js := make([]dfs.Journal, p.nshards)
+		for i := range js {
+			js[i] = shardFSJournal{p, i}
+		}
+		sys.FS().SetShardJournals(js)
+	} else {
+		sys.FS().SetJournal(fsJournal{p})
+	}
 	sys.Repository().SetJournal(repoJournal{p})
 	p.swept.Add(int64(p.sweepOrphans()))
+	if p.layoutChanged {
+		// The directory holds streams written under a different shard
+		// count. Replay was already correct (each layout is internally
+		// consistent and epochs do not mix layouts); compacting now folds
+		// it all into a snapshot and deletes the foreign-layout segments.
+		if _, err := p.compact(); err != nil {
+			p.close()
+			return nil, fmt.Errorf("server: recompact after shard-layout change: %w", err)
+		}
+	}
 	return p, nil
 }
 
-// recover loads the snapshot pair (if any), replays every WAL segment in
-// order, installs the result, and opens the newest segment for appending.
+// replaySegment is one on-disk segment of any stream, flattened for the
+// merged epoch-ordered replay.
+type replaySegment struct {
+	epoch uint64
+	meta  bool // meta stream (sorts before shard streams within an epoch)
+	count int  // shard-stream layout count (0 for meta)
+	shard int
+	path  string
+	final bool // newest segment of its stream: the only one allowed to tear
+}
+
+// recover loads the snapshot pair (if any), replays every WAL stream
+// epoch-ascending (meta first within an epoch), installs the result, and
+// opens the newest epoch of every stream for appending.
 func (p *persister) recover() error {
 	fs := p.sys.FS()
 	if f, err := os.Open(filepath.Join(p.dir, dfsStateFile)); err == nil {
@@ -134,10 +206,12 @@ func (p *persister) recover() error {
 
 	// The repository replays out-of-place and is only adopted once the log
 	// has been applied; a pre-populated Config.System repository is kept
-	// when no snapshot exists (fresh state dir over a warm system).
+	// when no snapshot exists (fresh state dir over a warm system). Loading
+	// with the live repository's path-shard count keeps a sharded daemon's
+	// adopted repository sharded across restarts.
 	repo := p.sys.Repository()
 	if f, err := os.Open(filepath.Join(p.dir, repoStateFile)); err == nil {
-		loaded, lerr := core.LoadRepository(f)
+		loaded, lerr := core.LoadRepositorySharded(f, repo.NumPathShards())
 		f.Close()
 		if lerr != nil {
 			return fmt.Errorf("server: load %s: %w", repoStateFile, lerr)
@@ -147,18 +221,44 @@ func (p *persister) recover() error {
 		return err
 	}
 
-	segs, err := persist.Segments(p.dir)
+	metaSegs, err := persist.Segments(p.dir)
 	if err != nil {
 		return err
 	}
-	for i, seg := range segs {
-		// Only the segment being appended at the crash can tear, so only
-		// the final one gets its tail repaired (truncated); a tear anywhere
-		// earlier is real corruption — fail without modifying the file, so
-		// the evidence (and the fatal error) survives restarts instead of
-		// the next boot silently applying the later segments over a hole.
-		final := i == len(segs)-1
-		n, torn, rerr := persist.ReplayFile(seg.Path, func(rec persist.Record) error {
+	shardSegs, err := persist.ShardSegments(p.dir)
+	if err != nil {
+		return err
+	}
+
+	// Flatten both stream families into one epoch-ordered list. The final
+	// segment of each stream — the one being appended at the crash — is
+	// the only one whose tail may be repaired; ShardSegments is sorted by
+	// (epoch, shard), so a stream's final segment is the last one seen.
+	var all []replaySegment
+	for i, seg := range metaSegs {
+		all = append(all, replaySegment{epoch: seg.N, meta: true, path: seg.Path, final: i == len(metaSegs)-1})
+	}
+	finalOf := make(map[[2]int]int) // (count, shard) -> index in all of its newest segment
+	for _, seg := range shardSegs {
+		all = append(all, replaySegment{epoch: seg.Epoch, count: seg.Count, shard: seg.Shard, path: seg.Path})
+		finalOf[[2]int{seg.Count, seg.Shard}] = len(all) - 1
+		if seg.Count != p.nshards {
+			p.layoutChanged = true
+		}
+	}
+	for _, i := range finalOf {
+		all[i].final = true
+	}
+	sortReplaySegments(all)
+
+	for _, seg := range all {
+		// Only the segment a stream was appending at the crash can tear, so
+		// only each stream's final segment gets its tail repaired
+		// (truncated); a tear anywhere earlier is real corruption — fail
+		// without modifying the file, so the evidence (and the fatal error)
+		// survives restarts instead of the next boot silently applying the
+		// later segments over a hole.
+		n, torn, rerr := persist.ReplayFile(seg.path, func(rec persist.Record) error {
 			switch {
 			case rec.DFS != nil:
 				return fs.Apply(*rec.DFS)
@@ -166,16 +266,30 @@ func (p *persister) recover() error {
 				return repo.Apply(*rec.Repo)
 			}
 			return nil // empty record: tolerated for forward compatibility
-		}, final)
+		}, seg.final)
 		if rerr != nil {
-			return fmt.Errorf("server: replay %s: %w", seg.Path, rerr)
+			return fmt.Errorf("server: replay %s: %w", seg.path, rerr)
 		}
 		p.recoveredRecords += n
 		if torn {
-			if !final {
-				return fmt.Errorf("server: replay %s: torn record in a non-final segment", seg.Path)
+			if !seg.final {
+				return fmt.Errorf("server: replay %s: torn record in a non-final segment", seg.path)
 			}
 			p.recoveredTorn = true
+		}
+	}
+
+	// Heal cross-stream divergence: with independent fsync tails, a crash
+	// can persist an entry's meta-stream add while losing its output's
+	// shard-stream create. An entry whose stored output is gone can never
+	// serve a rewrite; drop it (deterministically — replaying the same
+	// directory again re-drops it) rather than let a later match read a
+	// missing file. The converse divergence (file without entry) is an
+	// orphan and is reclaimed by the post-recovery sweep.
+	for _, e := range repo.All() {
+		if !fs.Exists(e.OutputPath) {
+			repo.Remove(e.ID)
+			p.recoveredDropped++
 		}
 	}
 
@@ -183,43 +297,117 @@ func (p *persister) recover() error {
 	// past everything the log mentioned.
 	p.sys.AdoptRepository(repo)
 
-	// Append to the newest (tail-truncated) segment, or start the first.
+	// Append to the newest epoch (tail-truncated), or start the first. A
+	// shard-layout change instead bumps to a fresh epoch: new appends are
+	// routed under the new shard count and must never share an epoch with
+	// records routed under the old one (replay order within an epoch is
+	// meaningful only within a single layout).
+	var maxEpoch uint64
+	for _, seg := range all {
+		if seg.epoch > maxEpoch {
+			maxEpoch = seg.epoch
+		}
+	}
 	p.seg = 1
-	if len(segs) > 0 {
-		p.seg = segs[len(segs)-1].N
+	if maxEpoch > 0 {
+		p.seg = maxEpoch
+	}
+	if p.layoutChanged {
+		p.seg = maxEpoch + 1
 	}
 	w, err := persist.OpenWriter(persist.SegmentPath(p.dir, p.seg), p.syncEach)
 	if err != nil {
 		return err
 	}
 	p.wal = w
+	if p.nshards > 1 {
+		p.shardWals = make([]*persist.Writer, p.nshards)
+		for i := range p.shardWals {
+			sw, serr := persist.OpenWriter(persist.ShardSegmentPath(p.dir, p.nshards, i, p.seg), p.syncEach)
+			if serr != nil {
+				p.close()
+				return serr
+			}
+			p.shardWals[i] = sw
+		}
+	}
 	// Force one compaction after restart: whatever the log holds (or a
 	// missing snapshot) is folded into a fresh pair on the first interval.
 	p.dirty.Store(true)
 	return nil
 }
 
-// fsJournal and repoJournal forward committed mutations into the WAL. They
-// are called synchronously under the FS/repository write lock, so record
-// order in the log is exactly commit order across both structures.
+// sortReplaySegments orders segments epoch-ascending, meta stream first
+// within an epoch, then shard streams by (count, shard). Shard order
+// within an epoch is for determinism only: streams of one layout never
+// share a path, and distinct layouts never share an epoch.
+func sortReplaySegments(all []replaySegment) {
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && replayBefore(all[j], all[j-1]); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+}
+
+func replayBefore(a, b replaySegment) bool {
+	if a.epoch != b.epoch {
+		return a.epoch < b.epoch
+	}
+	if a.meta != b.meta {
+		return a.meta
+	}
+	if a.count != b.count {
+		return a.count < b.count
+	}
+	return a.shard < b.shard
+}
+
+// fsJournal, shardFSJournal, and repoJournal forward committed mutations
+// into the WAL. They are called synchronously under the lock that committed
+// the mutation (the DFS shard's write lock, the repository's), so record
+// order in each stream is exactly commit order for everything that stream
+// carries: per-path order in a shard stream, repository order in the meta
+// stream. fsJournal is the unsharded core's single-stream routing;
+// shardFSJournal routes shard i's mutations into shard stream i.
 type fsJournal struct{ p *persister }
 
 func (j fsJournal) Record(m dfs.Mutation) { j.p.append(persist.Record{DFS: &m}) }
+
+type shardFSJournal struct {
+	p     *persister
+	shard int
+}
+
+func (j shardFSJournal) Record(m dfs.Mutation) { j.p.appendShard(j.shard, persist.Record{DFS: &m}) }
 
 type repoJournal struct{ p *persister }
 
 func (j repoJournal) Record(m core.Mutation) { j.p.append(persist.Record{Repo: &m}) }
 
-// append logs one record to the current segment. Journal hooks cannot
-// return errors; a failed append (disk full, closed writer during a
-// shutdown race) is counted and resurfaces as the writer's sticky error on
-// the next flush or compaction.
+// append logs one record to the meta stream's current segment. Journal
+// hooks cannot return errors; a failed append (disk full, closed writer
+// during a shutdown race) is counted and resurfaces as the writer's sticky
+// error on the next flush or compaction.
 func (p *persister) append(rec persist.Record) {
 	t := time.Now()
 	p.walMu.RLock()
 	n, err := p.wal.Append(rec)
 	p.walMu.RUnlock()
 	p.obs.ObserveWALAppend(time.Since(t))
+	p.account(n, err)
+}
+
+// appendShard logs one record to shard stream shard's current segment.
+func (p *persister) appendShard(shard int, rec persist.Record) {
+	t := time.Now()
+	p.walMu.RLock()
+	n, err := p.shardWals[shard].Append(rec)
+	p.walMu.RUnlock()
+	p.obs.ObserveWALAppend(time.Since(t))
+	p.account(n, err)
+}
+
+func (p *persister) account(n int, err error) {
 	if err != nil {
 		p.appendErrs.Add(1)
 		// The mutation now exists only in memory: the system is dirtier
@@ -233,23 +421,29 @@ func (p *persister) append(rec persist.Record) {
 	p.dirty.Store(true)
 }
 
-// flush makes every record appended so far durable. This is the routine
-// checkpoint: no lease, no drain, cost proportional to the mutations since
-// the last flush.
+// flush makes every record appended so far durable, across all streams.
+// This is the routine checkpoint: no lease, no drain, cost proportional to
+// the mutations since the last flush.
 func (p *persister) flush() error {
 	t := time.Now()
 	p.walMu.RLock()
 	defer p.walMu.RUnlock()
 	err := p.wal.Flush()
+	for _, w := range p.shardWals {
+		if ferr := w.Flush(); err == nil {
+			err = ferr
+		}
+	}
 	p.obs.ObserveWALFsync(time.Since(t))
 	return err
 }
 
 // compact is the rare, heavyweight checkpoint: under the system's
-// universal lease it sweeps orphaned restore/ files, rotates the WAL onto
-// a fresh segment, writes the snapshot pair, and deletes the pre-rotation
-// segments. It reports whether a compaction actually ran — a clean system
-// (no mutations since the last one) skips entirely.
+// universal lease it sweeps orphaned restore/ files, rotates every WAL
+// stream onto a fresh epoch, writes the snapshot pair, and deletes the
+// pre-rotation segments of every stream (including any foreign-layout
+// shard streams). It reports whether a compaction actually ran — a clean
+// system (no mutations since the last one) skips entirely.
 func (p *persister) compact() (bool, error) {
 	p.compactMu.Lock()
 	defer p.compactMu.Unlock()
@@ -258,33 +452,50 @@ func (p *persister) compact() (bool, error) {
 	}
 	err := p.sys.Quiesce(func() error {
 		// Sweep first so the snapshot is garbage-free; the deletions are
-		// journaled into the outgoing segment, which the snapshot covers.
+		// journaled into the outgoing segments, which the snapshot covers.
 		p.swept.Add(int64(p.sweepOrphans()))
 
 		p.walMu.Lock()
-		old := p.wal
 		next, err := persist.OpenWriter(persist.SegmentPath(p.dir, p.seg+1), p.syncEach)
 		if err != nil {
 			p.walMu.Unlock()
 			return err
 		}
-		p.wal = next
+		nextShards := make([]*persist.Writer, len(p.shardWals))
+		for i := range p.shardWals {
+			nextShards[i], err = persist.OpenWriter(persist.ShardSegmentPath(p.dir, p.nshards, i, p.seg+1), p.syncEach)
+			if err != nil {
+				next.Close()
+				for _, w := range nextShards[:i] {
+					w.Close()
+				}
+				p.walMu.Unlock()
+				return err
+			}
+		}
+		old, oldShards := p.wal, p.shardWals
+		p.wal, p.shardWals = next, nextShards
 		p.seg++
 		p.walMu.Unlock()
-		// A Close failure means the outgoing segment is missing records (a
+		// A Close failure means an outgoing segment is missing records (a
 		// sticky write error dropped them on disk, though they are all in
 		// the quiesced in-memory state). The snapshot below supersedes the
-		// damaged segment entirely, so press on — aborting here would keep
+		// damaged segments entirely, so press on — aborting here would keep
 		// the hole on disk; the error is surfaced after the state is safe.
 		closeErr := old.Close()
+		for _, w := range oldShards {
+			if cerr := w.Close(); closeErr == nil {
+				closeErr = cerr
+			}
+		}
 
 		written, err := p.writeSnapshot()
 		if err != nil {
 			return err
 		}
 		// Only now are the pre-rotation segments redundant: the renamed
-		// pair covers every record they held.
-		if _, err := persist.RemoveSegmentsBelow(p.dir, p.seg); err != nil {
+		// pair covers every record they held, whatever layout wrote them.
+		if _, err := persist.RemoveAllSegmentsBelow(p.dir, p.seg); err != nil {
 			return err
 		}
 		p.sys.FS().TakeDirty()
@@ -372,21 +583,36 @@ func (p *persister) sweepOrphans() int {
 	return swept
 }
 
-// close flushes and closes the current segment. Appends from workers still
-// draining in the background after a timed-out shutdown hit the writer's
-// sticky error and are dropped — exactly the never-acknowledged work a
-// supervisor kill would have lost anyway.
+// close flushes and closes the current segment of every stream. Appends
+// from workers still draining in the background after a timed-out shutdown
+// hit the writers' sticky errors and are dropped — exactly the
+// never-acknowledged work a supervisor kill would have lost anyway.
 func (p *persister) close() error {
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
-	return p.wal.Close()
+	var err error
+	if p.wal != nil {
+		err = p.wal.Close()
+	}
+	for _, w := range p.shardWals {
+		if w == nil {
+			continue
+		}
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // WALStats describes the persistence subsystem in GET /v1/metrics.
 type WALStats struct {
-	// Segment is the current WAL segment number; Records/Bytes count
-	// appends since daemon start (across rotations).
+	// Segment is the current WAL rotation epoch (shared by every stream);
+	// Streams how many append streams the layout runs (1 for an unsharded
+	// core, 1 meta + N shard streams for -shards N); Records/Bytes count
+	// appends since daemon start (across rotations, summed over streams).
 	Segment uint64 `json:"segment"`
+	Streams int    `json:"streams"`
 	Records int64  `json:"records"`
 	Bytes   int64  `json:"bytes"`
 	// AppendErrors counts records dropped by a failed append (sticky
@@ -403,25 +629,31 @@ type WALStats struct {
 	DirtyFiles int `json:"dirtyFiles"`
 	// RecoveredRecords/RecoveredTorn describe the startup replay: how many
 	// log records were applied over the snapshot, and whether a torn final
-	// record was truncated.
-	RecoveredRecords int  `json:"recoveredRecords"`
-	RecoveredTorn    bool `json:"recoveredTorn"`
+	// record was truncated. RecoveredDroppedEntries counts replayed
+	// repository entries dropped because their stored output's DFS create
+	// was lost to cross-stream fsync divergence.
+	RecoveredRecords        int  `json:"recoveredRecords"`
+	RecoveredTorn           bool `json:"recoveredTorn"`
+	RecoveredDroppedEntries int  `json:"recoveredDroppedEntries,omitempty"`
 }
 
 func (p *persister) stats() *WALStats {
 	p.walMu.RLock()
 	seg := p.seg
+	streams := 1 + len(p.shardWals)
 	p.walMu.RUnlock()
 	return &WALStats{
-		Segment:          seg,
-		Records:          p.walRecords.Load(),
-		Bytes:            p.walBytes.Load(),
-		AppendErrors:     p.appendErrs.Load(),
-		Compactions:      p.compactions.Load(),
-		CompactBytes:     p.compactBytes.Load(),
-		TempFilesSwept:   p.swept.Load(),
-		DirtyFiles:       p.sys.FS().DirtyCount(),
-		RecoveredRecords: p.recoveredRecords,
-		RecoveredTorn:    p.recoveredTorn,
+		Segment:                 seg,
+		Streams:                 streams,
+		Records:                 p.walRecords.Load(),
+		Bytes:                   p.walBytes.Load(),
+		AppendErrors:            p.appendErrs.Load(),
+		Compactions:             p.compactions.Load(),
+		CompactBytes:            p.compactBytes.Load(),
+		TempFilesSwept:          p.swept.Load(),
+		DirtyFiles:              p.sys.FS().DirtyCount(),
+		RecoveredRecords:        p.recoveredRecords,
+		RecoveredTorn:           p.recoveredTorn,
+		RecoveredDroppedEntries: p.recoveredDropped,
 	}
 }

@@ -71,6 +71,13 @@ type Config struct {
 	// System is the ReStore deployment to serve. If nil a fresh one (empty
 	// DFS, empty repository) is created.
 	System *restore.System
+	// Shards is the execution-core shard count used when System is nil:
+	// the constructed System partitions its DFS namespace, repository
+	// usage state, and lease admission into Shards independently locked
+	// shards (restore.WithShards), and the persister runs one WAL stream
+	// per shard. <= 1 builds the classic single-domain core. Ignored when
+	// System is set — pass restore.WithShards to restore.New instead.
+	Shards int
 	// StateDir enables durable state when non-empty: the repository and DFS
 	// are recovered from it at startup (snapshot + WAL replay) and every
 	// later mutation is write-ahead-logged into it.
@@ -158,7 +165,11 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	sys := cfg.System
 	if sys == nil {
-		sys = restore.New()
+		if cfg.Shards > 1 {
+			sys = restore.New(restore.WithShards(cfg.Shards))
+		} else {
+			sys = restore.New()
+		}
 	}
 	workers := cfg.Workers
 	if workers < 1 {
@@ -220,6 +231,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.GCInterval > 0 {
 		s.saveWG.Add(1)
 		go s.gcLoop(cfg.GCInterval)
+		// A sharded core additionally runs one scanner per shard: each
+		// drains its own shard's eviction-dirty feed under a shard-local
+		// lease (System.CollectShardGarbage), so scanners of disjoint
+		// shards collect concurrently with each other and with query
+		// traffic, while the full gcLoop pass above keeps owning the
+		// cross-shard work (window, size budget, output retention).
+		if n := sys.Shards(); n > 1 {
+			for i := 0; i < n; i++ {
+				s.saveWG.Add(1)
+				go s.shardGCLoop(i, cfg.GCInterval)
+			}
+		}
 	}
 
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -347,6 +370,31 @@ func (s *Server) gcLoop(every time.Duration) {
 			rep := s.sys.CollectGarbage()
 			s.obsReg.ObserveGCSweep(time.Since(t0))
 			s.met.gcRuns.Add(1)
+			s.met.gcEvicted.Add(int64(len(rep.Evicted)))
+			s.met.gcRetired.Add(int64(len(rep.Retired)))
+		case <-s.stopSave:
+			return
+		}
+	}
+}
+
+// shardGCLoop drives one shard's eviction scanner: each tick drains that
+// shard's eviction-dirty feed (paths whose files changed since the last
+// pass) and runs the index-driven eviction rules over just those paths,
+// under a shard-local lease that excludes only universal barriers. Ticks
+// on a clean shard are near-free, so every shard can afford the same
+// cadence as the full pass.
+func (s *Server) shardGCLoop(shard int, every time.Duration) {
+	defer s.saveWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			t0 := time.Now()
+			rep := s.sys.CollectShardGarbage(shard)
+			s.obsReg.ObserveGCSweep(time.Since(t0))
+			s.met.gcShardRuns.Add(1)
 			s.met.gcEvicted.Add(int64(len(rep.Evicted)))
 			s.met.gcRetired.Add(int64(len(rep.Retired)))
 		case <-s.stopSave:

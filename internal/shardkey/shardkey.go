@@ -1,0 +1,153 @@
+// Package shardkey derives stable shard keys from DFS paths. It is the one
+// routing function shared by every sharded domain of the execution core —
+// the DFS namespace shards, the per-shard lease tables, the repository's
+// path-index shards, and the per-shard WAL streams — so that a path always
+// lands in the same shard no matter which subsystem asks.
+//
+// The derivation must satisfy one invariant on top of determinism, because
+// the lease tables detect conflicts only within a shard: any two paths that
+// can conflict under prefix scoping (restore.PathsConflict — equal, or one a
+// parent of the other at a '/' boundary) must either map to the same shard
+// or at least one of them must be classified shallow, in which case its
+// access set registers in every shard (the barrier). Root implements that
+// with a namespace-aware depth rule:
+//
+//   - Outside the "restore/" namespace the root is the first path segment.
+//     Two conflicting paths always share their first segment, so they always
+//     share a root — single-segment dataset names like "page_views" are
+//     deep, not barriers.
+//   - Inside "restore/" the root is the first three segments ("restore/tmp/q7",
+//     "restore/sub/s12"): each query's private compile namespace and each
+//     injected sub-job output gets its own shard instead of all of ReStore's
+//     bookkeeping serializing on one. A restore/ path with fewer than three
+//     segments ("restore", "restore/tmp") prefix-covers many roots at once,
+//     so it is shallow: its lease must take the cross-shard barrier.
+//
+// Storage routing (Index) needs only per-path determinism, not cross-path
+// colocation, so shallow paths hash by their full path there instead of
+// forcing anything global.
+package shardkey
+
+import "strings"
+
+// restoreNS is the system namespace whose layout is minted by the engine
+// itself (restore/tmp/qN compile namespaces, restore/sub/sN injections).
+const restoreNS = "restore"
+
+// restoreDepth is how many leading segments form a shard root under
+// restore/: "restore/tmp/q7/part0" roots at "restore/tmp/q7".
+const restoreDepth = 3
+
+// Root returns the shard-colocation root of a path and whether the path is
+// deep. Deep paths with a common prefix-scoped ancestor share a root (see
+// the package comment for the invariant); shallow paths (restore/ paths
+// shorter than restoreDepth, or an empty path) have no colocation-safe root
+// and must be treated as touching every shard by lease derivation.
+func Root(path string) (root string, deep bool) {
+	if path == "" {
+		return "", false
+	}
+	first := path
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		first = path[:i]
+	}
+	if first != restoreNS {
+		return first, true
+	}
+	// Under restore/: take the first restoreDepth segments, or declare the
+	// path shallow when it has fewer.
+	end := 0
+	for seg := 0; seg < restoreDepth; seg++ {
+		i := strings.IndexByte(path[end:], '/')
+		if i < 0 {
+			if seg == restoreDepth-1 {
+				return path, true
+			}
+			return path, false
+		}
+		if seg == restoreDepth-1 {
+			return path[:end+i], true
+		}
+		end += i + 1
+	}
+	return path, false // unreachable
+}
+
+// Index returns the shard index of a path for an n-way sharding. It is a
+// total deterministic function: deep paths hash by their Root (so a root's
+// whole subtree colocates), shallow paths hash by their full path (storage
+// structures like the DFS only need per-path stability; lease derivation
+// handles shallow paths via the barrier instead). n < 2 always returns 0.
+func Index(path string, n int) int {
+	if n < 2 {
+		return 0
+	}
+	root, deep := Root(path)
+	if !deep {
+		root = path
+	}
+	return int(fnv32a(root) % uint32(n))
+}
+
+// Shards returns the ascending shard-index set an operation touching the
+// given paths must register in, for an n-way sharding. barrier reports that
+// the operation must hold every shard: the caller passed universal=true
+// (checkpoints, repository swaps), or some path is shallow — its prefix
+// scope spans roots that hash apart, so only the full barrier preserves the
+// lease table's conflict detection. With barrier true the returned set is
+// 0..n-1.
+func Shards(paths []string, universal bool, n int) (shards []int, barrier bool) {
+	if n < 2 {
+		return []int{0}, universal
+	}
+	if universal {
+		return allShards(n), true
+	}
+	var mask = make([]bool, n)
+	count := 0
+	for _, p := range paths {
+		if _, deep := Root(p); !deep {
+			return allShards(n), true
+		}
+		if i := Index(p, n); !mask[i] {
+			mask[i] = true
+			count++
+		}
+	}
+	if count == 0 {
+		// A set touching no paths still needs a home table so universal
+		// barriers drain it; shard 0 is the canonical one.
+		return []int{0}, false
+	}
+	shards = make([]int, 0, count)
+	for i, on := range mask {
+		if on {
+			shards = append(shards, i)
+		}
+	}
+	return shards, false
+}
+
+// allShards returns 0..n-1.
+func allShards(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// fnv32a is the 32-bit FNV-1a hash (inlined to keep the hot routing path
+// allocation-free; hash/fnv's interface forces a write-through object).
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}

@@ -1,0 +1,175 @@
+package shardkey
+
+import (
+	"strings"
+	"testing"
+)
+
+// pathsConflict mirrors restore.PathsConflict (equal, or parent at a '/'
+// boundary). Duplicated here so the fuzz target stays dependency-free: the
+// root package imports shardkey, and the colocation invariant under test is
+// defined in terms of exactly this predicate.
+func pathsConflict(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	return strings.HasPrefix(b, a) && b[len(a)] == '/'
+}
+
+func TestRootDepthRule(t *testing.T) {
+	cases := []struct {
+		path string
+		root string
+		deep bool
+	}{
+		{"page_views", "page_views", true},
+		{"users", "users", true},
+		{"in/c0", "in", true},
+		{"out/c3/q2/part0", "out", true},
+		{"restore/tmp/q7", "restore/tmp/q7", true},
+		{"restore/tmp/q7/j1-out", "restore/tmp/q7", true},
+		{"restore/sub/s12", "restore/sub/s12", true},
+		{"restore/tmp", "restore/tmp", false},
+		{"restore", "restore", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		root, deep := Root(c.path)
+		if root != c.root || deep != c.deep {
+			t.Errorf("Root(%q) = (%q, %v), want (%q, %v)", c.path, root, deep, c.root, c.deep)
+		}
+	}
+}
+
+func TestIndexStableAndBounded(t *testing.T) {
+	paths := []string{"page_views", "in/c0", "out/c1/q1", "restore/tmp/q1", "restore/tmp/q1/x", "restore/tmp", ""}
+	for _, p := range paths {
+		for _, n := range []int{1, 2, 4, 8, 13} {
+			i := Index(p, n)
+			if i < 0 || i >= max(n, 1) {
+				t.Fatalf("Index(%q, %d) = %d out of range", p, n, i)
+			}
+			if j := Index(p, n); j != i {
+				t.Fatalf("Index(%q, %d) unstable: %d then %d", p, n, i, j)
+			}
+		}
+	}
+}
+
+func TestSubtreeColocates(t *testing.T) {
+	const n = 8
+	for _, base := range []string{"out/c3", "restore/tmp/q7", "restore/sub/s12", "page_views"} {
+		want := Index(base, n)
+		for _, suffix := range []string{"/part0", "/a/b/c", "/x"} {
+			if got := Index(base+suffix, n); got != want {
+				t.Errorf("Index(%q) = %d, want %d (same as %q)", base+suffix, got, want, base)
+			}
+		}
+	}
+}
+
+func TestShardsBarrier(t *testing.T) {
+	const n = 4
+	if s, barrier := Shards(nil, true, n); !barrier || len(s) != n {
+		t.Fatalf("universal: shards=%v barrier=%v, want all %d + barrier", s, barrier, n)
+	}
+	// A shallow restore/ path forces the barrier.
+	if s, barrier := Shards([]string{"restore/tmp"}, false, n); !barrier || len(s) != n {
+		t.Fatalf("shallow: shards=%v barrier=%v, want all %d + barrier", s, barrier, n)
+	}
+	// Deep disjoint paths get a proper subset.
+	s, barrier := Shards([]string{"in/c0", "restore/tmp/q1"}, false, n)
+	if barrier || len(s) == 0 || len(s) > 2 {
+		t.Fatalf("deep: shards=%v barrier=%v", s, barrier)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			t.Fatalf("shards not ascending: %v", s)
+		}
+	}
+	// The empty set still registers somewhere so universal leases drain it.
+	if s, barrier := Shards(nil, false, n); barrier || len(s) != 1 || s[0] != 0 {
+		t.Fatalf("empty: shards=%v barrier=%v, want [0]", s, barrier)
+	}
+	// n=1 degenerates to the single-domain oracle.
+	if s, barrier := Shards([]string{"a", "restore/tmp"}, false, 1); barrier || len(s) != 1 || s[0] != 0 {
+		t.Fatalf("n=1: shards=%v barrier=%v, want [0]", s, barrier)
+	}
+}
+
+// FuzzShardKey checks the colocation invariant the lease tables rely on:
+// for ANY two conflicting paths (prefix-scoped overlap), their lease shard
+// sets must collide — same shard, or at least one side classified as the
+// cross-shard barrier — and universal sets always map to the barrier.
+// Storage routing (Index) must be total, stable, and subtree-colocated for
+// deep paths.
+func FuzzShardKey(f *testing.F) {
+	f.Add("page_views", "page_views/part0", 8)
+	f.Add("restore/tmp/q1", "restore/tmp/q1/j2-out", 8)
+	f.Add("restore/tmp", "restore/tmp/q9", 4)
+	f.Add("restore", "restore/sub/s3", 5)
+	f.Add("in/c0", "in/c1", 2)
+	f.Add("out/a", "out/ab", 3)
+	f.Add("", "x", 7)
+	f.Fuzz(func(t *testing.T, a, b string, n int) {
+		if n < 1 || n > 64 {
+			n = 1 + (abs(n) % 64)
+		}
+		// Index is total and bounded for every input.
+		for _, p := range []string{a, b} {
+			i := Index(p, n)
+			if i < 0 || i >= n {
+				t.Fatalf("Index(%q, %d) = %d out of range", p, n, i)
+			}
+		}
+		// Subtree colocation: every deep path shares its root's shard.
+		for _, p := range []string{a, b} {
+			if root, deep := Root(p); deep {
+				if Index(p, n) != Index(root, n) {
+					t.Fatalf("deep path %q shard %d != root %q shard %d", p, Index(p, n), root, Index(root, n))
+				}
+				if _, barrier := Shards([]string{p}, false, n); barrier {
+					t.Fatalf("deep path %q forced the barrier", p)
+				}
+			}
+		}
+		// The lease-table invariant: conflicting paths collide in some shard.
+		if pathsConflict(a, b) {
+			sa, ba := Shards([]string{a}, false, n)
+			sb, bb := Shards([]string{b}, false, n)
+			if !ba && !bb && !intersect(sa, sb) {
+				t.Fatalf("conflicting paths %q (shards %v) and %q (shards %v) never meet", a, sa, b, sb)
+			}
+		}
+		// Universal sets map to the full barrier regardless of paths.
+		if s, barrier := Shards([]string{a, b}, true, n); !barrier || len(s) != n {
+			t.Fatalf("universal over (%q, %q): shards=%v barrier=%v", a, b, s, barrier)
+		}
+	})
+}
+
+func intersect(a, b []int) bool {
+	seen := make(map[int]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, y := range b {
+		if seen[y] {
+			return true
+		}
+	}
+	return false
+}
+
+func abs(n int) int {
+	if n < 0 {
+		if n == -n { // MinInt
+			return 0
+		}
+		return -n
+	}
+	return n
+}

@@ -28,6 +28,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -108,8 +109,16 @@ type System struct {
 	// leases admits mutating operations by declared read/write path sets;
 	// parsing, planning, and compilation happen outside it. Disjoint
 	// executions hold leases concurrently; universal operations
-	// (checkpoints, repository swaps) drain them.
-	leases leaseTable
+	// (checkpoints, repository swaps) drain them. Split into one table per
+	// shard (shardkey routing, same as the DFS namespace): disjoint
+	// executions on different shards never touch the same lease mutex, and
+	// universal operations become the cross-shard barrier, acquiring every
+	// table in ascending order.
+	leases *shardedLeases
+	// shards is the execution-core shard count (DFS namespace, lease
+	// tables, repository path indexes, WAL streams, GC scanners). 1 — the
+	// default — is the single-domain oracle configuration.
+	shards int
 	// seq is the workflow sequence: assigned right after admission (lease
 	// grant) so repository statistics (CreatedSeq, LastUsedSeq) and the §5
 	// eviction window see sequence numbers ordered along every conflict
@@ -220,6 +229,24 @@ func WithObserver(r *obs.Registry) Option {
 	return func(s *System) { s.SetObserver(r) }
 }
 
+// WithShards splits the execution core — DFS namespace, lease tables, and
+// repository path-keyed state — into n independently locked shards, routed
+// by shardkey (a path's whole subtree colocates; universal operations
+// barrier across all shards in canonical order). n <= 0 selects
+// runtime.GOMAXPROCS(0). The default is 1: a single-shard System is
+// behaviorally identical to the pre-sharding implementation and serves as
+// the differential-test oracle for the sharded configurations. Reuse
+// semantics are independent of n — the match/fingerprint index is shared at
+// every shard count.
+func WithShards(n int) Option {
+	return func(s *System) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.shards = n
+	}
+}
+
 // New creates a System with an empty DFS and repository.
 func New(opts ...Option) *System {
 	fs := dfs.New()
@@ -232,6 +259,7 @@ func New(opts ...Option) *System {
 		reuse:     true,
 		register:  true,
 		plans:     newPlanCache(DefaultPlanCacheSize),
+		shards:    1,
 	}
 	s.repo.Store(core.NewRepository())
 	s.selector = &core.Selector{Repo: s.repo.Load(), FS: fs, Cluster: clus, Policy: core.DefaultPolicy()}
@@ -243,8 +271,24 @@ func New(opts ...Option) *System {
 	// pointed at the final one.
 	s.engine.Cluster = s.cluster
 	s.selector.Cluster = s.cluster
+	if s.shards != 1 {
+		// WithShards: rebuild the empty storage domains at the requested
+		// shard count (nothing has been written yet — options only set
+		// configuration) and repoint every component that captured the
+		// originals.
+		s.fs = dfs.NewSharded(s.shards)
+		s.engine.FS = s.fs
+		s.selector.FS = s.fs
+		s.repo.Store(core.NewShardedRepository(s.shards))
+		s.selector.Repo = s.repo.Load()
+	}
+	s.leases = newShardedLeases(s.shards)
+	s.leases.obs = s.obs // WithObserver may have run before leases existed
 	return s
 }
+
+// Shards returns the execution-core shard count the System was built with.
+func (s *System) Shards() int { return s.shards }
 
 // SetObserver installs the telemetry registry the System (and its lease
 // table) records stage latencies, lease waits, and gauges into. Call it
@@ -252,7 +296,9 @@ func New(opts ...Option) *System {
 // in-flight executions. nil or obs.Disabled turns recording off.
 func (s *System) SetObserver(r *obs.Registry) {
 	s.obs = r
-	s.leases.obs = r
+	if s.leases != nil {
+		s.leases.obs = r
+	}
 }
 
 // Observer returns the installed telemetry registry (nil when none was
@@ -987,6 +1033,54 @@ func (s *System) CollectGarbage() GCReport {
 	return rep
 }
 
+// CollectShardGarbage runs one eviction pass over a single shard's slice of
+// the DFS mutation feed: the indexed Rule-4 pass (plus the cascade fixpoint)
+// on only the entries touching paths that shard reported mutated. The
+// restored daemon runs one scanner per shard on a cadence, so each
+// scanner's work is proportional to its own shard's churn and scanners on
+// different shards drain their feeds concurrently.
+//
+// Leasing: eviction itself needs no path lease (pinned entries are never
+// removed), but the pass must not race a universal repository swap
+// (AdoptRepository mutating selector.Repo), so it holds an empty access-set
+// lease — conflicting with nothing except universal barriers, exactly like
+// an in-flight query. A pending full sweep subsumes per-shard work: the
+// pass leaves the feed for the sweep.
+func (s *System) CollectShardGarbage(shard int) GCReport {
+	var rep GCReport
+	if shard < 0 || shard >= s.shards {
+		return rep
+	}
+	lease := s.leases.acquire(AccessSet{})
+	defer s.leases.release(lease)
+	if s.fullSweep.Load() {
+		return rep
+	}
+	nowSeq := s.seq.Load()
+	dirty := s.fs.TakeEvictionDirtyShard(shard)
+	if len(dirty) == 0 && !s.selector.PendingWork() {
+		return rep
+	}
+	st := &rep.Stats
+	ev, _ := s.selector.EvictPaths(nowSeq, dirty, st)
+	rep.Evicted = append(rep.Evicted, ev...)
+	// Cascade fixpoint within the shard: an evicted entry's deleted owned
+	// file re-marks this shard's feed (owned files colocate with their
+	// namespace root), so each extra round touches only readers of the
+	// just-deleted outputs.
+	for last := ev; len(last) > 0; {
+		d := s.fs.TakeEvictionDirtyShard(shard)
+		if len(d) == 0 {
+			break
+		}
+		ev, _ = s.selector.EvictPaths(nowSeq, d, st)
+		rep.Evicted = append(rep.Evicted, ev...)
+		last = ev
+	}
+	s.stats.RecordEviction(*st)
+	return rep
+}
+
 // pendingCandidate is a sub-job injection awaiting post-execution
 // registration.
 type pendingCandidate struct {
@@ -1119,7 +1213,7 @@ func (s *System) SaveState(repoW, dfsW io.Writer) error {
 // SaveRepository. The DFS must already contain the referenced output files
 // (a mismatch is caught by Rule-4 eviction on the next query).
 func (s *System) LoadRepositoryFrom(r io.Reader) error {
-	repo, err := core.LoadRepository(r)
+	repo, err := core.LoadRepositorySharded(r, s.shards)
 	if err != nil {
 		return err
 	}
