@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race race-server race-shard docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke bench-obs bench-obs-smoke bench-hot bench-hot-smoke bench-shard bench-shard-smoke
+.PHONY: check fmt vet test race race-server race-shard race-engine docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke bench-obs bench-obs-smoke bench-hot bench-hot-smoke bench-shard bench-shard-smoke bench-engine bench-engine-smoke
 
-check: fmt vet docs-check race race-server race-shard bench-match-smoke bench-gc-smoke bench-obs-smoke bench-hot-smoke bench-shard-smoke
+check: fmt vet docs-check race race-server race-shard race-engine bench-match-smoke bench-gc-smoke bench-obs-smoke bench-hot-smoke bench-shard-smoke bench-engine-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,15 @@ race-server:
 race-shard:
 	$(GO) test -race -count=2 -run 'TestShard|TestUniversalBarrier' .
 	$(GO) test -race -count=2 ./internal/shardkey/...
+
+# The engine data-plane battery: the differential oracle (the parallel
+# sorted-run/k-way-merge plane must be byte-identical to the serial
+# single-sort reference), the multi-failure map-phase error collection, and
+# the compiled-comparator fuzz corpus. Runs twice under the detector: map
+# and reduce pool interleavings differ per run.
+race-engine:
+	$(GO) test -race -count=2 -run 'TestEngineDataPlane|TestEngineMapPhaseCollectsAllErrors' ./internal/mapred
+	$(GO) test -race -count=2 -run 'FuzzShuffleComparator|TestCompareColumnMatchesCompare' ./internal/mapred ./internal/types
 
 # Matcher microbenchmarks: indexed vs naive best-match scan across
 # repository sizes, plus the mapping-map allocation profile.
@@ -89,6 +98,18 @@ bench-shard:
 # One-iteration smoke of the shard benchmark for every `make check`.
 bench-shard-smoke:
 	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServerShard' -benchtime 1x
+
+# Engine data-plane microbenchmarks: the reduce-side ordering kernel
+# (concat + stable sort vs sorted runs + k-way merge) and the whole
+# shuffle-heavy order job on each plane. The representative sweep (reduce
+# workers 1/2/4/8 with alloc totals) is the server-engine experiment in
+# restore-bench.
+bench-engine:
+	$(GO) test ./internal/mapred -run '^$$' -bench 'BenchmarkShuffleKernel|BenchmarkEngineOrderJob' -benchmem
+
+# One-iteration smoke of the engine benchmarks for every `make check`.
+bench-engine-smoke:
+	$(GO) test ./internal/mapred -run '^$$' -bench 'BenchmarkShuffleKernel|BenchmarkEngineOrderJob' -benchtime 1x
 
 # Fails when an exported identifier in the documented packages
 # (internal/server, internal/dfs, internal/core, root access.go) lacks a doc

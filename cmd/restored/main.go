@@ -80,6 +80,9 @@ func main() {
 		slowRing     = flag.Int("slow-ring", 64, "how many slowest query completions /v1/debug/slow retains")
 		planCache    = flag.Int("plan-cache", restore.DefaultPlanCacheSize, "prepared-plan cache capacity: repeat scripts skip parse/plan/compile (0 = off)")
 		keepResults  = flag.Bool("keep-results", false, "register user-named query outputs in the repository so exact whole-query repeats are served from stored bytes without re-execution")
+		mapPar       = flag.Int("map-parallelism", 0, "concurrent map tasks per job in the engine's map-task pool (0 = GOMAXPROCS)")
+		reduceTasks  = flag.Int("reduce-tasks", restore.DefaultReduceTasks, "reduce partitions per job: how many hash partitions each shuffle splits into")
+		reducePar    = flag.Int("reduce-parallelism", 0, "concurrent reduce partitions per job in the engine's reduce pool (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -109,13 +112,14 @@ func main() {
 	}
 	cfgCompact := resolveCompactInterval(flag.CommandLine, *compactEvery, *saveInterval, logger)
 
-	sys := restore.New(
+	opts := append([]restore.Option{
 		restore.WithHeuristic(h),
 		restore.WithPolicy(policy),
 		restore.WithPlanCache(*planCache),
 		restore.WithRegisterFinalOutputs(*keepResults),
 		restore.WithShards(*shards),
-	)
+	}, engineOptions(*mapPar, *reduceTasks, *reducePar)...)
+	sys := restore.New(opts...)
 	srv, err := server.New(server.Config{
 		System:          sys,
 		StateDir:        *stateDir,
@@ -194,6 +198,16 @@ func main() {
 	if srvErr != nil && srvErr != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "restored: serve:", srvErr)
 		os.Exit(1)
+	}
+}
+
+// engineOptions translates the engine tuning flags (-map-parallelism,
+// -reduce-tasks, -reduce-parallelism) into System options.
+func engineOptions(mapPar, reduceTasks, reducePar int) []restore.Option {
+	return []restore.Option{
+		restore.WithMapParallelism(mapPar),
+		restore.WithReducePartitions(reduceTasks),
+		restore.WithReduceParallelism(reducePar),
 	}
 }
 

@@ -27,6 +27,11 @@ type Config struct {
 	// microseconds against milliseconds of scheduling jitter, so the
 	// recorded baseline needs many pairs; tests need few.
 	ObsPairs int
+	// EngineRows sizes the server-engine experiment: shuffle records in the
+	// kernel rows and input rows in the whole-job rows. EngineRounds is how
+	// many measured rounds each row totals over (after one warmup).
+	EngineRows   int
+	EngineRounds int
 }
 
 // DefaultConfig returns the full-size (laptop-scale) configuration.
@@ -38,6 +43,8 @@ func DefaultConfig() Config {
 		SynthTargetBytes: 40 << 30,
 		MatchRepoSizes:   []int{50, 200, 800},
 		ObsPairs:         12,
+		EngineRows:       60_000,
+		EngineRounds:     3,
 	}
 }
 
@@ -60,6 +67,8 @@ func TinyConfig() Config {
 		SynthTargetBytes: 40 << 30,
 		MatchRepoSizes:   []int{20, 60},
 		ObsPairs:         2,
+		EngineRows:       8_000,
+		EngineRounds:     2,
 	}
 }
 

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// engineReduceWorkerSweep is the reduce-pool widths the whole-job rows
+// sweep. On a single-core host the walls stay ~flat across widths (the win
+// there is the merge/comparator kernel, not core scaling); on multi-core
+// hosts the sweep shows the reduce pool overlapping partition work.
+var engineReduceWorkerSweep = []int{1, 2, 4, 8}
+
+// EngineDataPlane benchmarks the rebuilt MapReduce data plane against the
+// serial reference plane it replaced. The first row pair isolates the
+// reduce-side ordering kernel (concatenate + closure-driven stable sort vs
+// sorted runs + compiled-comparator k-way merge into pooled buffers) — the
+// code the optimization replaced, measured on identical input. The
+// remaining rows run a whole shuffle-heavy order-by job end to end
+// (decode, shuffle, sort/merge, reduce, encode, commit) on the serial
+// plane and then on the default plane across reduce-pool widths. All rows
+// run with zero emulated op latency: the table measures CPU, not simulated
+// cluster time.
+func EngineDataPlane(cfg Config) (*Table, error) {
+	table := &Table{
+		ID:      "server-engine",
+		Title:   "engine data plane: sorted-run merge + parallel reduce vs serial single sort",
+		Columns: []string{"config", "reduce_workers", "records", "rounds", "wall_ms", "alloc_mb", "speedup"},
+	}
+	rounds := cfg.EngineRounds
+	recs := cfg.EngineRows
+
+	// Kernel pair: same synthetic runs, serial reference vs merge kernel.
+	const kernelRuns = 8
+	kWallSerial, kAllocSerial := mapred.RunKernelBench(kernelRuns, recs/kernelRuns, rounds, true)
+	kWallMerge, kAllocMerge := mapred.RunKernelBench(kernelRuns, recs/kernelRuns, rounds, false)
+	addEngineRow(table, "kernel/serial-sort", "-", recs, rounds, kWallSerial, kAllocSerial, kWallSerial)
+	addEngineRow(table, "kernel/run-merge", "-", recs, rounds, kWallMerge, kAllocMerge, kWallSerial)
+
+	// Whole-job sweep: serial plane baseline, then the default plane across
+	// reduce-pool widths.
+	jWallSerial, jAllocSerial, err := engineJobRound(recs, rounds, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	addEngineRow(table, "job/serial-plane", "-", recs, rounds, jWallSerial, jAllocSerial, jWallSerial)
+	for _, workers := range engineReduceWorkerSweep {
+		wall, alloc, err := engineJobRound(recs, rounds, false, workers)
+		if err != nil {
+			return nil, err
+		}
+		addEngineRow(table, "job/parallel-plane", fmt.Sprintf("%d", workers), recs, rounds, wall, alloc, jWallSerial)
+	}
+	table.AddNote("kernel rows: reduce-side ordering only, identical input runs; job rows: whole order-by job on %d rows", recs)
+	table.AddNote("serial rows are the pre-optimization plane (concat + closure-driven sort.SliceStable, no pooling), kept as the differential-test oracle")
+	table.AddNote("wall and alloc are the best of the measured rounds (heap flushed per round), after one untimed warmup (pools warm, as in a long-lived daemon); input generation excluded")
+	return table, nil
+}
+
+func addEngineRow(table *Table, config, workers string, recs, rounds int, wall time.Duration, alloc uint64, baseWall time.Duration) {
+	speedup := "1.00x"
+	if wall > 0 && baseWall != wall {
+		speedup = fmt.Sprintf("%.2fx", float64(baseWall)/float64(wall))
+	}
+	table.AddRow(
+		config,
+		workers,
+		fmt.Sprintf("%d", recs),
+		fmt.Sprintf("%d", rounds),
+		fmt.Sprintf("%d", wall.Milliseconds()),
+		fmt.Sprintf("%.2f", float64(alloc)/(1<<20)),
+		speedup,
+	)
+}
+
+// engineJobRound runs the shuffle-heavy order-by job `rounds` times (after
+// one untimed warmup) on a fresh engine and reports the best (minimum)
+// round's wall time and allocated bytes; the heap is flushed before each
+// round and the min filters rounds a GC cycle landed in. Every input row
+// rides the shuffle: the job is ORDER BY (city, rev, name DESC) over nRows
+// rows with tie-heavy leading columns, so the reduce side is pure ordering
+// work.
+func engineJobRound(nRows, rounds int, serial bool, reduceWorkers int) (time.Duration, uint64, error) {
+	fs := dfs.New()
+	schema := types.NewSchema(
+		types.Field{Name: "name", Kind: types.KindString},
+		types.Field{Name: "city", Kind: types.KindString},
+		types.Field{Name: "rev", Kind: types.KindInt},
+	)
+	rng := rand.New(rand.NewSource(11))
+	rows := make([]types.Tuple, nRows)
+	for i := range rows {
+		rows[i] = types.Tuple{
+			types.NewString(fmt.Sprintf("u%05d", rng.Intn(nRows))),
+			types.NewString(fmt.Sprintf("c%02d", rng.Intn(20))),
+			types.NewInt(int64(rng.Intn(8))),
+		}
+	}
+	if err := fs.WritePartitioned("bench/in", schema, rows, 8); err != nil {
+		return 0, 0, err
+	}
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "bench/in", Schema: schema})
+	o := p.Add(&physical.Operator{Kind: physical.OpOrder, Inputs: []int{l.ID},
+		SortCols: []physical.SortCol{{Index: 1}, {Index: 2}, {Index: 0, Desc: true}}, Schema: schema})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "bench/out", Inputs: []int{o.ID}, Schema: schema})
+	job, err := mapred.NewJob("bench-order", p)
+	if err != nil {
+		return 0, 0, err
+	}
+	e := mapred.NewEngine(fs, cluster.Default())
+	e.SerialDataPlane = serial
+	e.ReduceTasks = 8
+	e.ReduceParallelism = reduceWorkers
+	if _, err := e.RunJob(job); err != nil { // warmup
+		return 0, 0, err
+	}
+	var wall time.Duration
+	var alloc uint64
+	var ms runtime.MemStats
+	for i := 0; i < rounds; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		before := ms.TotalAlloc
+		start := time.Now()
+		if _, err := e.RunJob(job); err != nil {
+			return 0, 0, err
+		}
+		w := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		a := ms.TotalAlloc - before
+		if i == 0 || w < wall {
+			wall = w
+		}
+		if i == 0 || a < alloc {
+			alloc = a
+		}
+	}
+	return wall, alloc, nil
+}

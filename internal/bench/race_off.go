@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is on; the engine shape
+// test skips its allocation assertion under race because sync.Pool
+// deliberately drops entries there.
+const raceEnabled = false

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadRecordedTable reads the checked-in BENCH_server.json baseline and
+// returns the table with the given ID.
+func loadRecordedTable(t *testing.T, id string) *Table {
+	t.Helper()
+	data, err := os.ReadFile("../../BENCH_server.json")
+	if err != nil {
+		t.Fatalf("recorded baseline missing: %v", err)
+	}
+	var tables []*Table
+	if err := json.Unmarshal(data, &tables); err != nil {
+		t.Fatalf("BENCH_server.json: %v", err)
+	}
+	for _, tbl := range tables {
+		if tbl.ID == id {
+			return tbl
+		}
+	}
+	t.Fatalf("BENCH_server.json has no %q table (re-record with restore-bench -json)", id)
+	return nil
+}
+
+// recordedCell parses one cell of a recorded table, stripping the %/x
+// suffixes the formatted columns carry.
+func recordedCell(t *testing.T, tbl *Table, row int, col string) float64 {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == col {
+			v := strings.TrimSuffix(strings.TrimSuffix(tbl.Rows[row][i], "%"), "x")
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				t.Fatalf("cell %s[%d] = %q: %v", col, row, tbl.Rows[row][i], err)
+			}
+			return f
+		}
+	}
+	t.Fatalf("no column %q in %v", col, tbl.Columns)
+	return 0
+}
+
+// TestRecordedEngineBaselineShape pins the checked-in server-engine
+// baseline: the recorded run must show the acceptance floors — reduce-side
+// kernel at least 2x over the serial reference with allocated bytes cut at
+// least 50%, and every whole-job parallel-plane row at least even with the
+// serial plane. Monotone scaling across reduce workers is deliberately NOT
+// asserted: the recorded baseline may come from a single-core machine,
+// where the worker sweep is flat by design and only the constant-factor
+// kernel wins show.
+func TestRecordedEngineBaselineShape(t *testing.T) {
+	tbl := loadRecordedTable(t, "server-engine")
+	if want := 3 + len(engineReduceWorkerSweep); len(tbl.Rows) != want {
+		t.Fatalf("expected %d rows, got %d", want, len(tbl.Rows))
+	}
+	if got := tbl.Rows[0][0] + "|" + tbl.Rows[1][0] + "|" + tbl.Rows[2][0]; got != "kernel/serial-sort|kernel/run-merge|job/serial-plane" {
+		t.Fatalf("unexpected row layout: %s", got)
+	}
+	if sp := recordedCell(t, tbl, 1, "speedup"); sp < 2.0 {
+		t.Errorf("recorded kernel speedup %.2fx below the 2x acceptance floor", sp)
+	}
+	aSerial, aMerge := recordedCell(t, tbl, 0, "alloc_mb"), recordedCell(t, tbl, 1, "alloc_mb")
+	if aMerge > aSerial/2 {
+		t.Errorf("recorded kernel allocation %.2fMB not cut >=50%% vs serial %.2fMB", aMerge, aSerial)
+	}
+	for i := 3; i < len(tbl.Rows); i++ {
+		if sp := recordedCell(t, tbl, i, "speedup"); sp < 1.0 {
+			t.Errorf("recorded job row (workers=%s) speedup %.2fx below 1x", tbl.Rows[i][1], sp)
+		}
+	}
+}

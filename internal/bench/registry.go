@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"server-obs", "telemetry overhead: instrumented vs obs.Disabled", ServerObsOverhead},
 		{"server-hot", "zero-compile hot path: repeat-query latency collapse", ServerHotPath},
 		{"server-shard", "sharded execution core: all-disjoint scaling vs shard count", ShardScaling},
+		{"server-engine", "engine data plane: sorted-run merge + parallel reduce vs serial sort", EngineDataPlane},
 	}
 }
 

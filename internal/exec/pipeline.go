@@ -191,11 +191,19 @@ func applyNested(def physical.NestedDef, in *types.Bag) types.Value {
 // EvalKey evaluates a key-expression list over a tuple, producing the
 // shuffle key tuple.
 func EvalKey(keys []*expr.Expr, t types.Tuple) types.Tuple {
-	out := make(types.Tuple, len(keys))
-	for i, k := range keys {
-		out[i] = k.Eval(t)
+	return EvalKeyInto(make(types.Tuple, 0, len(keys)), keys, t)
+}
+
+// EvalKeyInto evaluates a key-expression list into dst's backing array,
+// returning the key tuple. Callers that retain the key across calls must
+// Clone it — the engine's combiner path reuses one scratch tuple per map
+// task so key evaluation costs no allocation per record.
+func EvalKeyInto(dst types.Tuple, keys []*expr.Expr, t types.Tuple) types.Tuple {
+	dst = dst[:0]
+	for _, k := range keys {
+		dst = append(dst, k.Eval(t))
 	}
-	return out
+	return dst
 }
 
 // KeyHasNull reports whether any component of a key is null. Null join keys

@@ -127,21 +127,27 @@ type partialState struct {
 
 // combAccumulator is the per-map-task combiner.
 type combAccumulator struct {
-	spec   *combineSpec
-	states map[string]*partialState
-	order  []string // deterministic flush order (insertion)
+	spec    *combineSpec
+	states  map[string]*partialState
+	order   []string // deterministic flush order (insertion)
+	scratch []byte   // reused key-encoding buffer
 }
 
 func newCombAccumulator(spec *combineSpec) *combAccumulator {
 	return &combAccumulator{spec: spec, states: make(map[string]*partialState)}
 }
 
-// add folds one pre-shuffle tuple into the partial for its key.
+// add folds one pre-shuffle tuple into the partial for its key. The key may
+// alias a caller-owned scratch tuple: add encodes it into a reused buffer
+// for the map probe (the compiler elides the string conversion in map
+// lookups) and clones both the encoded string and the tuple only when the
+// key is seen for the first time.
 func (a *combAccumulator) add(key types.Tuple, t types.Tuple) {
-	ks := string(types.EncodeTuple(nil, key))
-	st, ok := a.states[ks]
+	a.scratch = types.EncodeTuple(a.scratch[:0], key)
+	st, ok := a.states[string(a.scratch)]
 	if !ok {
-		st = &partialState{key: key, vals: make([]types.Value, len(a.spec.aggs))}
+		ks := string(a.scratch)
+		st = &partialState{key: key.Clone(), vals: make([]types.Value, len(a.spec.aggs))}
 		for i, agg := range a.spec.aggs {
 			if agg.kind == combCount {
 				st.vals[i] = types.NewInt(0)

@@ -1,0 +1,349 @@
+package mapred
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// The differential oracle battery: the default data plane (locally sorted
+// runs, k-way merge, parallel reduce, pooled buffers, compiled comparator)
+// must be observationally identical to the serial single-sort reference
+// plane — byte-identical DFS state after every partition commit, identical
+// rows, and identical JobResult statistics — across randomized datasets and
+// every blocking operator kind. make check runs this under -race -count=2
+// (the race-engine gate), so the parallel plane's interleavings vary per
+// run while the comparison stays exact.
+
+// planeSummary is everything observable about one plane's execution of the
+// whole random workload.
+type planeSummary struct {
+	export  []byte              // full DFS state (deterministic serialization)
+	results []*JobResult        // per job, in workload order
+	rows    map[string][]string // output path -> rows in partition order
+	errs    []string            // per job: "" or the error string
+}
+
+// dpSeedData writes the two random input tables for one seed. Key domains
+// are small so groups and joins collide; values mix ints, floats that
+// equal ints numerically, strings, and nulls to exercise every comparator
+// path the shuffle can see.
+func dpSeedData(t *testing.T, fs *dfs.FS, rng *rand.Rand) {
+	t.Helper()
+	randKey := func() types.Value {
+		switch rng.Intn(10) {
+		case 0:
+			return types.Null()
+		case 1:
+			return types.NewFloat(float64(rng.Intn(8))) // collides with ints numerically
+		default:
+			return types.NewInt(int64(rng.Intn(8)))
+		}
+	}
+	words := []string{"ash", "birch", "cedar", "fir", "oak", "pine"}
+	aRows := make([]types.Tuple, 120+rng.Intn(80))
+	for i := range aRows {
+		aRows[i] = types.Tuple{
+			randKey(),
+			types.NewInt(int64(rng.Intn(100))),
+			types.NewString(words[rng.Intn(len(words))]),
+		}
+	}
+	bRows := make([]types.Tuple, 80+rng.Intn(60))
+	for i := range bRows {
+		bRows[i] = types.Tuple{
+			randKey(),
+			types.NewInt(int64(rng.Intn(50))),
+		}
+	}
+	aSchema := types.NewSchema(
+		types.Field{Name: "k"},
+		types.Field{Name: "v", Kind: types.KindInt},
+		types.Field{Name: "s", Kind: types.KindString},
+	)
+	bSchema := types.NewSchema(
+		types.Field{Name: "k"},
+		types.Field{Name: "w", Kind: types.KindInt},
+	)
+	if err := fs.WritePartitioned("data/a", aSchema, aRows, 3+rng.Intn(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WritePartitioned("data/b", bSchema, bRows, 2+rng.Intn(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dpASchema() types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "k"},
+		types.Field{Name: "v", Kind: types.KindInt},
+		types.Field{Name: "s", Kind: types.KindString},
+	)
+}
+
+func dpBSchema() types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "k"},
+		types.Field{Name: "w", Kind: types.KindInt},
+	)
+}
+
+// dpJobs builds the workload: one job per blocking-operator kind (plus a
+// map-only job and an injected-store job), every one writing to its own
+// output path.
+func dpJobs(t *testing.T, rng *rand.Rand) []*Job {
+	t.Helper()
+	var jobs []*Job
+
+	{ // map-only: filter + project
+		p := physical.NewPlan()
+		l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/a", Schema: dpASchema()})
+		f := p.Add(&physical.Operator{Kind: physical.OpFilter, Inputs: []int{l.ID},
+			Pred:   expr.Binary(">", expr.ColIdx(1), expr.Lit(types.NewInt(int64(rng.Intn(40))))),
+			Schema: l.Schema})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/maponly", Inputs: []int{f.ID}, Schema: f.Schema})
+		jobs = append(jobs, mustJob(t, "maponly", p))
+	}
+
+	{ // group + algebraic aggregate (the combinable shape)
+		p := physical.NewPlan()
+		l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/a", Schema: dpASchema()})
+		sub := dpASchema()
+		g := p.Add(&physical.Operator{Kind: physical.OpGroup, Inputs: []int{l.ID},
+			Keys: [][]*expr.Expr{{expr.ColIdx(0)}},
+			Schema: types.Schema{Fields: []types.Field{
+				{Name: "group"}, {Name: "A", Kind: types.KindBag, Sub: &sub}}}})
+		fe := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{g.ID},
+			Exprs: []*expr.Expr{expr.ColIdx(0),
+				mustBind(t, expr.Call("COUNT", expr.Col("A")), g.Schema),
+				mustBind(t, expr.Call("SUM", expr.BagProj(expr.Col("A"), "v")), g.Schema)},
+			Schema: types.SchemaFromNames("group", "n", "total")})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/grouped", Inputs: []int{fe.ID}, Schema: fe.Schema})
+		jobs = append(jobs, mustJob(t, "group", p))
+	}
+
+	{ // join (null keys dropped on both branches)
+		p := physical.NewPlan()
+		a := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/a", Schema: dpASchema()})
+		b := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/b", Schema: dpBSchema()})
+		j := p.Add(&physical.Operator{Kind: physical.OpJoin, Inputs: []int{a.ID, b.ID},
+			Keys:   [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}},
+			Schema: dpASchema().Concat(dpBSchema())})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/joined", Inputs: []int{j.ID}, Schema: j.Schema})
+		jobs = append(jobs, mustJob(t, "join", p))
+	}
+
+	{ // cogroup
+		p := physical.NewPlan()
+		a := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/a", Schema: dpASchema()})
+		b := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/b", Schema: dpBSchema()})
+		as, bs := dpASchema(), dpBSchema()
+		cg := p.Add(&physical.Operator{Kind: physical.OpCoGroup, Inputs: []int{a.ID, b.ID},
+			Keys: [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}},
+			Schema: types.Schema{Fields: []types.Field{
+				{Name: "group"},
+				{Name: "as", Kind: types.KindBag, Sub: &as},
+				{Name: "bs", Kind: types.KindBag, Sub: &bs}}}})
+		fe := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{cg.ID},
+			Exprs: []*expr.Expr{expr.ColIdx(0),
+				mustBind(t, expr.Call("COUNT", expr.Col("as")), cg.Schema),
+				mustBind(t, expr.Call("COUNT", expr.Col("bs")), cg.Schema)},
+			Schema: types.SchemaFromNames("group", "na", "nb")})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/cogrouped", Inputs: []int{fe.ID}, Schema: fe.Schema})
+		jobs = append(jobs, mustJob(t, "cogroup", p))
+	}
+
+	{ // distinct over a projection
+		p := physical.NewPlan()
+		l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/a", Schema: dpASchema()})
+		fe := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{l.ID},
+			Exprs: []*expr.Expr{expr.ColIdx(0), expr.ColIdx(2)}, Schema: types.SchemaFromNames("k", "s")})
+		d := p.Add(&physical.Operator{Kind: physical.OpDistinct, Inputs: []int{fe.ID}, Schema: fe.Schema})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/distinct", Inputs: []int{d.ID}, Schema: d.Schema})
+		jobs = append(jobs, mustJob(t, "distinct", p))
+	}
+
+	{ // order by multiple columns with mixed directions
+		p := physical.NewPlan()
+		l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/a", Schema: dpASchema()})
+		o := p.Add(&physical.Operator{Kind: physical.OpOrder, Inputs: []int{l.ID},
+			SortCols: []physical.SortCol{
+				{Index: 0, Desc: rng.Intn(2) == 0},
+				{Index: 2, Desc: rng.Intn(2) == 0},
+				{Index: 1, Desc: rng.Intn(2) == 0},
+			}, Schema: l.Schema})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/ordered", Inputs: []int{o.ID}, Schema: o.Schema})
+		jobs = append(jobs, mustJob(t, "order", p))
+	}
+
+	{ // limit
+		p := physical.NewPlan()
+		l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/b", Schema: dpBSchema()})
+		lim := p.Add(&physical.Operator{Kind: physical.OpLimit, Inputs: []int{l.ID},
+			N: int64(5 + rng.Intn(20)), Schema: l.Schema})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/limited", Inputs: []int{lim.ID}, Schema: l.Schema})
+		jobs = append(jobs, mustJob(t, "limit", p))
+	}
+
+	{ // group with an injected map-side store riding along
+		p := physical.NewPlan()
+		l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/b", Schema: dpBSchema()})
+		fe := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{l.ID},
+			Exprs: []*expr.Expr{expr.ColIdx(0)}, Schema: types.SchemaFromNames("k")})
+		sp := p.Add(&physical.Operator{Kind: physical.OpSplit, Inputs: []int{fe.ID}, Schema: fe.Schema, Injected: true})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "restore/sub/dp", Inputs: []int{sp.ID}, Schema: fe.Schema, Injected: true})
+		g := p.Add(&physical.Operator{Kind: physical.OpGroup, Inputs: []int{sp.ID},
+			Keys: [][]*expr.Expr{{expr.ColIdx(0)}}, Schema: types.SchemaFromNames("group", "C")})
+		fe2 := p.Add(&physical.Operator{Kind: physical.OpForeach, Inputs: []int{g.ID},
+			Exprs:  []*expr.Expr{expr.ColIdx(0), expr.Call("COUNT", expr.ColIdx(1))},
+			Schema: types.SchemaFromNames("group", "cnt")})
+		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/injected", Inputs: []int{fe2.ID}, Schema: fe2.Schema})
+		jobs = append(jobs, mustJob(t, "injected", p))
+	}
+
+	return jobs
+}
+
+// dpRunPlane executes the whole seed-derived workload on one engine plane
+// and captures everything observable about it. Randomized engine knobs
+// (reduce partitioning, combiner toggle) are drawn from the same seed on
+// both planes, so the two runs differ only in the data-plane
+// implementation.
+func dpRunPlane(t *testing.T, seed int64, serial bool) *planeSummary {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fs := dfs.New()
+	dpSeedData(t, fs, rng)
+	e := NewEngine(fs, cluster.Default())
+	e.SerialDataPlane = serial
+	e.ReduceTasks = 1 + rng.Intn(6)
+	e.DisableCombiner = rng.Intn(3) == 0
+	// Draw the parallelism knobs unconditionally so both planes consume the
+	// same rng stream and dpJobs builds identical workloads.
+	mapPar, redPar := 1+rng.Intn(4), 1+rng.Intn(4)
+	if !serial {
+		e.MapParallelism = mapPar
+		e.ReduceParallelism = redPar
+	}
+	sum := &planeSummary{rows: make(map[string][]string)}
+	for _, job := range dpJobs(t, rng) {
+		res, err := e.RunJob(job)
+		if err != nil {
+			sum.errs = append(sum.errs, err.Error())
+			sum.results = append(sum.results, nil)
+			continue
+		}
+		sum.errs = append(sum.errs, "")
+		sum.results = append(sum.results, res)
+		for _, st := range job.Plan.Sinks() {
+			rows, err := fs.ReadAll(st.Path)
+			if err != nil {
+				t.Fatalf("read %s: %v", st.Path, err)
+			}
+			lines := make([]string, len(rows))
+			for i, r := range rows {
+				lines[i] = types.FormatTSV(r)
+			}
+			sum.rows[st.Path] = lines
+		}
+	}
+	var buf bytes.Buffer
+	if err := fs.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum.export = buf.Bytes()
+	return sum
+}
+
+// TestEngineDataPlaneDifferential pins the parallel-merge data plane
+// byte-identical to the serial single-sort oracle across seeds: same DFS
+// export bytes (partition-exact output), same rows in the same partition
+// order, same JobResult statistics and simulated times.
+func TestEngineDataPlaneDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			oracle := dpRunPlane(t, seed, true)
+			got := dpRunPlane(t, seed, false)
+
+			if !reflect.DeepEqual(oracle.errs, got.errs) {
+				t.Fatalf("error disagreement:\noracle: %v\nplane:  %v", oracle.errs, got.errs)
+			}
+			for i := range oracle.results {
+				or, gr := oracle.results[i], got.results[i]
+				if or == nil || gr == nil {
+					continue
+				}
+				if or.Stats != gr.Stats {
+					t.Errorf("job %d stats differ:\noracle: %+v\nplane:  %+v", i, or.Stats, gr.Stats)
+				}
+				if or.Times != gr.Times {
+					t.Errorf("job %d simulated times differ: %v vs %v", i, or.Times, gr.Times)
+				}
+				if !reflect.DeepEqual(or.StoreBytes, gr.StoreBytes) {
+					t.Errorf("job %d store bytes differ:\noracle: %v\nplane:  %v", i, or.StoreBytes, gr.StoreBytes)
+				}
+				if or.InjectedStoreBytes != gr.InjectedStoreBytes {
+					t.Errorf("job %d injected bytes differ: %d vs %d", i, or.InjectedStoreBytes, gr.InjectedStoreBytes)
+				}
+			}
+			for path, want := range oracle.rows {
+				if gotRows := got.rows[path]; strings.Join(gotRows, "\n") != strings.Join(want, "\n") {
+					t.Errorf("%s rows differ:\noracle: %v\nplane:  %v", path, want, gotRows)
+				}
+			}
+			if !bytes.Equal(oracle.export, got.export) {
+				t.Error("DFS export bytes differ between planes")
+			}
+		})
+	}
+}
+
+// TestEngineMapPhaseCollectsAllErrors pins the errors.Join regression: when
+// several map tasks fail, the job error must report every failed task, not
+// whichever error won the race onto a channel.
+func TestEngineMapPhaseCollectsAllErrors(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		name := "parallel"
+		if serial {
+			name = "serial"
+		}
+		t.Run(name, func(t *testing.T) {
+			e := newTestEngine()
+			e.SerialDataPlane = serial
+			seedViews(t, e.FS) // 3 partitions -> 3 map tasks
+			// Corrupt partitions 0 and 2 so two independent tasks fail to
+			// decode their input.
+			for _, part := range []int{0, 2} {
+				if err := e.FS.CommitPartition("data/views", part, []byte{0xff, 0xff, 0xff, 0xff}, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p := physical.NewPlan()
+			l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+			d := p.Add(&physical.Operator{Kind: physical.OpDistinct, Inputs: []int{l.ID}, Schema: l.Schema})
+			p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/multierr", Inputs: []int{d.ID}, Schema: d.Schema})
+			_, err := e.RunJob(mustJob(t, "multierr", p))
+			if err == nil {
+				t.Fatal("job over corrupt input succeeded")
+			}
+			for _, want := range []string{"map task 0", "map task 2"} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error missing %q: %v", want, err)
+				}
+			}
+			if strings.Contains(err.Error(), "map task 1") {
+				t.Errorf("healthy task reported as failed: %v", err)
+			}
+		})
+	}
+}

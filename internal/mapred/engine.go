@@ -1,11 +1,13 @@
 package mapred
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -16,6 +18,16 @@ import (
 )
 
 // Engine executes jobs against a DFS and costs them with a cluster model.
+//
+// The data plane shuffles the way Hadoop does: each map task sorts its
+// per-reduce-partition output runs locally (inside the map-task pool), the
+// reduce side k-way-merges the pre-sorted runs, and reduce partitions run
+// on their own bounded worker pool. The shuffle order — (key, tag, seq),
+// compiled per job into a jobComparator — is strict (seq is globally
+// unique), so none of that parallelism or the non-stable sorts can change
+// output bytes; SerialDataPlane keeps the one-buffer-per-partition,
+// stable-sort, sequential-reduce implementation around as the differential
+// oracle and benchmark baseline.
 type Engine struct {
 	FS      *dfs.FS
 	Cluster *cluster.Config
@@ -24,6 +36,19 @@ type Engine struct {
 	ReduceTasks int
 	// MapParallelism bounds concurrent map tasks; 0 means GOMAXPROCS.
 	MapParallelism int
+	// ReduceParallelism bounds concurrent reduce partitions; 0 means
+	// GOMAXPROCS. Partitions are independent (hash-partitioned by key and
+	// committed to distinct file partitions), so the pool changes wall
+	// clock only, never output.
+	ReduceParallelism int
+	// SerialDataPlane selects the serial single-sort reference
+	// implementation: one concatenated shuffle buffer per reduce
+	// partition, stable-sorted from scratch with the closure comparator,
+	// reduce partitions executed sequentially, no buffer pooling. The
+	// differential oracle tests pin the default data plane byte-identical
+	// to it, and the server-engine benchmark uses it as the pre-PR
+	// baseline.
+	SerialDataPlane bool
 	// DisableCombiner turns off map-side combining of algebraic aggregates
 	// (used by tests to verify the combined and uncombined paths agree).
 	DisableCombiner bool
@@ -35,11 +60,19 @@ type Engine struct {
 	// this knob is what lets benchmarks reproduce that regime: a FIFO
 	// scheduler serializes the waits, a concurrent one overlaps them.
 	LatencyScale float64
+
+	// runHint is the observed mean shuffle-run length of the engine's most
+	// recent reduce job; map tasks pre-size their run buffers from it so
+	// steady-state workloads skip the append growth path.
+	runHint atomic.Int64
 }
+
+// DefaultReduceTasks is the reduce partition count NewEngine configures.
+const DefaultReduceTasks = 4
 
 // NewEngine returns an engine with default execution parallelism.
 func NewEngine(fs *dfs.FS, c *cluster.Config) *Engine {
-	return &Engine{FS: fs, Cluster: c, ReduceTasks: 4}
+	return &Engine{FS: fs, Cluster: c, ReduceTasks: DefaultReduceTasks}
 }
 
 // JobResult reports the real counters and simulated timing of one job.
@@ -112,13 +145,14 @@ func (e *Engine) RunJob(job *Job) (*JobResult, error) {
 	}
 
 	res := &JobResult{JobID: job.ID, StoreBytes: make(map[string]int64)}
-	shuffles, err := e.runMapPhase(job, tasks, reduceParts, comb, res)
+	cmp := compileComparator(job.Blocking())
+	runs, err := e.runMapPhase(job, tasks, reduceParts, comb, cmp, res)
 	if err != nil {
 		return nil, err
 	}
 	if job.Blocking() != nil {
 		res.Stats.HasReduce = true
-		if err := e.runReducePhase(job, shuffles, reduceParts, comb, res); err != nil {
+		if err := e.runReducePhase(job, runs, reduceParts, comb, cmp, res); err != nil {
 			return nil, err
 		}
 	}
@@ -212,21 +246,25 @@ func putUvarint(buf []byte, x uint64) int {
 	return i + 1
 }
 
-// runMapPhase executes all map tasks (bounded parallelism) and returns the
-// shuffle buffers per reduce partition.
-func (e *Engine) runMapPhase(job *Job, tasks []mapTask, reduceParts int, comb *combineSpec, res *JobResult) ([][]shuffleRec, error) {
+// runMapPhase executes all map tasks (bounded parallelism), commits the
+// map-side store partitions deterministically, and returns each reduce
+// partition's shuffle runs: the per-task locally sorted runs on the default
+// plane, or a single concatenated unsorted buffer on the serial one. Task
+// failures are all collected — a multi-task failure reports every task's
+// error (in task order), not an arbitrary one.
+func (e *Engine) runMapPhase(job *Job, tasks []mapTask, reduceParts int, comb *combineSpec, cmp *jobComparator, res *JobResult) ([][][]shuffleRec, error) {
 	mapStores, _ := e.splitStores(job)
 	blocking := job.Blocking()
 
-	// Per-task results, merged deterministically afterwards.
+	// Per-task results and errors, merged deterministically afterwards.
 	results := make([]*mapTaskResult, len(tasks))
+	taskErrs := make([]error, len(tasks))
 
 	par := e.MapParallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	sem := make(chan struct{}, par)
-	errs := make(chan error, len(tasks))
 	var wg sync.WaitGroup
 	for _, task := range tasks {
 		wg.Add(1)
@@ -234,37 +272,61 @@ func (e *Engine) runMapPhase(job *Job, tasks []mapTask, reduceParts int, comb *c
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			tr, err := e.runMapTask(job, task, blocking, mapStores, reduceParts, comb)
+			tr, err := e.runMapTask(job, task, blocking, mapStores, reduceParts, comb, cmp)
 			if err != nil {
-				errs <- fmt.Errorf("mapred: job %s map task %d: %w", job.ID, task.taskIdx, err)
+				taskErrs[task.taskIdx] = fmt.Errorf("mapred: job %s map task %d: %w", job.ID, task.taskIdx, err)
 				return
 			}
 			results[task.taskIdx] = tr
 		}(task)
 	}
 	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
+	if err := errors.Join(taskErrs...); err != nil {
 		return nil, err
 	}
 
-	// Commit map-side store partitions and merge shuffle buffers.
-	shuffles := make([][]shuffleRec, reduceParts)
+	// Commit map-side store partitions and collect shuffle runs.
+	runs := make([][][]shuffleRec, reduceParts)
+	pooled := !e.SerialDataPlane
+	var serial [][]shuffleRec
+	if !pooled {
+		serial = make([][]shuffleRec, reduceParts)
+	}
+	var totalRecs, nRuns int
 	for idx, tr := range results {
 		for path, out := range tr.stores {
 			if err := e.FS.CommitPartition(path, idx, out.buf, out.records); err != nil {
 				return nil, err
 			}
+			if pooled {
+				putScratch(out.scratch)
+			}
 		}
 		for r := 0; r < reduceParts; r++ {
-			if tr.shuffle != nil {
-				shuffles[r] = append(shuffles[r], tr.shuffle[r]...)
+			if tr.shuffle == nil || len(tr.shuffle[r]) == 0 {
+				continue
+			}
+			if pooled {
+				runs[r] = append(runs[r], tr.shuffle[r])
+				totalRecs += len(tr.shuffle[r])
+				nRuns++
+			} else {
+				serial[r] = append(serial[r], tr.shuffle[r]...)
 			}
 		}
 		res.Stats.InputBytes += tr.inputBytes
 		res.Stats.ShuffleBytes += tr.shuffleLen
 	}
-	return shuffles, nil
+	if pooled {
+		if nRuns > 0 {
+			e.runHint.Store(int64(totalRecs/nRuns + 1))
+		}
+	} else {
+		for r := range serial {
+			runs[r] = [][]shuffleRec{serial[r]}
+		}
+	}
+	return runs, nil
 }
 
 // mapTaskResult buffers one map task's outputs until the deterministic
@@ -276,13 +338,21 @@ type mapTaskResult struct {
 	shuffleLen int64 // encoded shuffle bytes
 }
 
-func (e *Engine) runMapTask(job *Job, task mapTask, blocking *physical.Operator, mapStores []*physical.Operator, reduceParts int, comb *combineSpec) (*mapTaskResult, error) {
+func (e *Engine) runMapTask(job *Job, task mapTask, blocking *physical.Operator, mapStores []*physical.Operator, reduceParts int, comb *combineSpec, cmp *jobComparator) (*mapTaskResult, error) {
 	tr := &mapTaskResult{stores: make(map[string]*taskOutput)}
 	pipe := exec.NewPipeline(job.Plan, job.mapSide)
+	pooled := !e.SerialDataPlane
+	runHint := 0
+	if pooled {
+		runHint = int(e.runHint.Load())
+	}
 
 	// Wire map-side stores: every task owns one partition of each.
 	for _, st := range mapStores {
 		out := &taskOutput{}
+		if pooled {
+			out.scratch = getScratch()
+		}
 		tr.stores[st.Path] = out
 		if err := pipe.SetOutput(st.ID, func(t types.Tuple) error {
 			out.write(t)
@@ -295,14 +365,24 @@ func (e *Engine) runMapTask(job *Job, task mapTask, blocking *physical.Operator,
 	// Wire shuffle collectors on the producers feeding the blocking op.
 	var seq int64
 	var scratch []byte
+	if pooled {
+		scratch = getScratch()
+		defer func() { putScratch(scratch) }()
+	}
+	push := func(r int, rec shuffleRec) {
+		run := tr.shuffle[r]
+		if pooled && cap(run) == 0 {
+			run = getRecSlice(runHint)
+		}
+		tr.shuffle[r] = append(run, rec)
+	}
 	collect := func(key, val types.Tuple) {
 		r := 0
 		if reduceParts > 1 {
 			r = int(types.HashTuple(key) % uint64(reduceParts))
 		}
-		rec := shuffleRec{key: key, seq: int64(task.taskIdx)<<32 | seq, val: val}
+		push(r, shuffleRec{key: key, seq: int64(task.taskIdx)<<32 | seq, val: val})
 		seq++
-		tr.shuffle[r] = append(tr.shuffle[r], rec)
 		scratch = types.EncodeTuple(scratch[:0], key)
 		tr.shuffleLen += int64(len(scratch))
 		scratch = types.EncodeTuple(scratch[:0], val)
@@ -316,22 +396,26 @@ func (e *Engine) runMapTask(job *Job, task mapTask, blocking *physical.Operator,
 		}
 		for tag, inID := range blocking.Inputs {
 			tag := tag
+			var keyScratch types.Tuple
 			emit := func(t types.Tuple) error {
+				if acc != nil {
+					// The combiner clones the key on first sight of a
+					// group, so the evaluation can reuse one scratch tuple
+					// for the whole task instead of allocating per record.
+					keyScratch = blockingKeyInto(keyScratch, blocking, tag, t)
+					acc.add(keyScratch, t)
+					return nil
+				}
 				key := blockingKey(blocking, tag, t)
 				if blocking.Kind == physical.OpJoin && exec.KeyHasNull(key) {
 					return nil // null join keys never match
-				}
-				if acc != nil {
-					acc.add(key, t)
-					return nil
 				}
 				r := 0
 				if reduceParts > 1 {
 					r = int(types.HashTuple(key) % uint64(reduceParts))
 				}
-				rec := shuffleRec{key: key, tag: tag, seq: int64(task.taskIdx)<<32 | seq, val: t}
+				push(r, shuffleRec{key: key, tag: tag, seq: int64(task.taskIdx)<<32 | seq, val: t})
 				seq++
-				tr.shuffle[r] = append(tr.shuffle[r], rec)
 				scratch = types.EncodeTuple(scratch[:0], key)
 				tr.shuffleLen += int64(len(scratch))
 				scratch = types.EncodeTuple(scratch[:0], t)
@@ -372,6 +456,14 @@ func (e *Engine) runMapTask(job *Job, task mapTask, blocking *physical.Operator,
 			collect(st.key, st.vals)
 		}
 	}
+	// Local sort: ship each reduce partition's run already ordered, so the
+	// reduce side merges instead of re-sorting. Runs from different tasks
+	// sort concurrently inside the map-task pool.
+	if pooled && tr.shuffle != nil {
+		for r := range tr.shuffle {
+			sortRun(cmp, tr.shuffle[r])
+		}
+	}
 	return tr, nil
 }
 
@@ -405,55 +497,129 @@ func blockingKey(b *physical.Operator, tag int, t types.Tuple) types.Tuple {
 	}
 }
 
-// runReducePhase sorts each shuffle partition, applies the blocking
-// operator (or merges combiner partials), and streams results through the
-// reduce-side pipeline.
-func (e *Engine) runReducePhase(job *Job, shuffles [][]shuffleRec, reduceParts int, comb *combineSpec, res *JobResult) error {
+// blockingKeyInto is blockingKey evaluated into a reusable scratch tuple.
+// The caller must not retain the result across calls (the combiner clones
+// it when a new group is first seen).
+func blockingKeyInto(dst types.Tuple, b *physical.Operator, tag int, t types.Tuple) types.Tuple {
+	switch b.Kind {
+	case physical.OpJoin, physical.OpCoGroup:
+		return exec.EvalKeyInto(dst, b.Keys[tag], t)
+	case physical.OpGroup:
+		if len(b.Keys) == 0 || len(b.Keys[0]) == 0 {
+			return dst[:0] // GROUP ALL
+		}
+		return exec.EvalKeyInto(dst, b.Keys[0], t)
+	default:
+		return append(dst[:0], blockingKey(b, tag, t)...)
+	}
+}
+
+// runReducePhase applies the blocking operator (or merges combiner
+// partials) per reduce partition and streams results through the
+// reduce-side pipeline. On the default plane each partition k-way-merges
+// its pre-sorted map runs and partitions execute on the ReduceParallelism
+// worker pool — partitions are independent (distinct keys, distinct output
+// file partitions), so concurrency changes wall clock only. The serial
+// plane keeps the reference behavior: concatenated buffer, stable
+// single-sort, sequential partitions.
+func (e *Engine) runReducePhase(job *Job, runs [][][]shuffleRec, reduceParts int, comb *combineSpec, cmp *jobComparator, res *JobResult) error {
 	blocking := job.Blocking()
 	_, reduceStores := e.splitStores(job)
+	include := make(map[int]bool, len(job.reduceSide)+1)
+	include[blocking.ID] = true
+	for id := range job.reduceSide {
+		include[id] = true
+	}
 
+	if e.SerialDataPlane {
+		for r := 0; r < reduceParts; r++ {
+			var recs []shuffleRec
+			if len(runs[r]) > 0 {
+				recs = runs[r][0]
+			}
+			sortShuffle(blocking, recs)
+			if err := e.runReducePartition(job, blocking, include, reduceStores, comb, r, recs, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	workers := e.ReduceParallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reduceParts {
+		workers = reduceParts
+	}
+	partErrs := make([]error, reduceParts)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	for r := 0; r < reduceParts; r++ {
-		recs := shuffles[r]
-		sortShuffle(blocking, recs)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			total := 0
+			for _, run := range runs[r] {
+				total += len(run)
+			}
+			merged := mergeRuns(cmp, runs[r], getRecSlice(total))
+			partErrs[r] = e.runReducePartition(job, blocking, include, reduceStores, comb, r, merged, true)
+			putRecSlice(merged)
+			for _, run := range runs[r] {
+				putRecSlice(run)
+			}
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(partErrs...)
+}
 
-		include := make(map[int]bool, len(job.reduceSide)+1)
-		include[blocking.ID] = true
-		for id := range job.reduceSide {
-			include[id] = true
+// runReducePartition executes one reduce partition: pipeline wiring, the
+// blocking operator (or combiner finalization) over its sorted records, and
+// the partition commit. pooled gates the encode-scratch pooling so the
+// serial oracle plane keeps its reference allocation behavior.
+func (e *Engine) runReducePartition(job *Job, blocking *physical.Operator, include map[int]bool, reduceStores []*physical.Operator, comb *combineSpec, r int, recs []shuffleRec, pooled bool) error {
+	pipe := exec.NewPipeline(job.Plan, include)
+	outs := make(map[string]*taskOutput)
+	for _, st := range reduceStores {
+		out := &taskOutput{}
+		if pooled {
+			out.scratch = getScratch()
 		}
-		pipe := exec.NewPipeline(job.Plan, include)
-		outs := make(map[string]*taskOutput)
-		for _, st := range reduceStores {
-			out := &taskOutput{}
-			outs[st.Path] = out
-			if err := pipe.SetOutput(st.ID, func(t types.Tuple) error {
-				out.write(t)
-				return nil
-			}); err != nil {
-				return err
-			}
+		outs[st.Path] = out
+		if err := pipe.SetOutput(st.ID, func(t types.Tuple) error {
+			out.write(t)
+			return nil
+		}); err != nil {
+			return err
 		}
-		if err := pipe.Validate(); err != nil {
-			return fmt.Errorf("mapred: job %s reduce pipeline: %w", job.ID, err)
-		}
+	}
+	if err := pipe.Validate(); err != nil {
+		return fmt.Errorf("mapred: job %s reduce pipeline: %w", job.ID, err)
+	}
 
-		if comb != nil {
-			// Merge combiner partials per key and emit the Foreach's
-			// output directly, bypassing bag construction.
-			emitFE := func(t types.Tuple) error { return pipe.PushOutputOf(comb.foreach.ID, t) }
-			if err := applyCombined(comb, recs, emitFE); err != nil {
-				return fmt.Errorf("mapred: job %s reduce %d: %w", job.ID, r, err)
-			}
-		} else {
-			emit := func(t types.Tuple) error { return pipe.PushOutputOf(blocking.ID, t) }
-			if err := applyBlocking(blocking, recs, emit); err != nil {
-				return fmt.Errorf("mapred: job %s reduce %d: %w", job.ID, r, err)
-			}
+	if comb != nil {
+		// Merge combiner partials per key and emit the Foreach's
+		// output directly, bypassing bag construction.
+		emitFE := func(t types.Tuple) error { return pipe.PushOutputOf(comb.foreach.ID, t) }
+		if err := applyCombined(comb, recs, emitFE); err != nil {
+			return fmt.Errorf("mapred: job %s reduce %d: %w", job.ID, r, err)
 		}
-		for path, out := range outs {
-			if err := e.FS.CommitPartition(path, r, out.buf, out.records); err != nil {
-				return err
-			}
+	} else {
+		emit := func(t types.Tuple) error { return pipe.PushOutputOf(blocking.ID, t) }
+		if err := applyBlocking(blocking, recs, emit); err != nil {
+			return fmt.Errorf("mapred: job %s reduce %d: %w", job.ID, r, err)
+		}
+	}
+	for path, out := range outs {
+		if err := e.FS.CommitPartition(path, r, out.buf, out.records); err != nil {
+			return err
+		}
+		if pooled {
+			putScratch(out.scratch)
 		}
 	}
 	return nil
@@ -461,7 +627,10 @@ func (e *Engine) runReducePhase(job *Job, shuffles [][]shuffleRec, reduceParts i
 
 // sortShuffle orders records by key (respecting Order's sort directions),
 // then tag, then sequence — the merge-sort Hadoop performs between map and
-// reduce.
+// reduce. This is the serial reference plane's from-scratch stable sort;
+// the default plane reaches the same order (the (key, tag, seq) order is
+// strict, making stability vacuous) by merging locally sorted runs with the
+// compiled jobComparator.
 func sortShuffle(b *physical.Operator, recs []shuffleRec) {
 	cmpKey := func(a, bk types.Tuple) int { return types.CompareTuples(a, bk) }
 	if b.Kind == physical.OpOrder {

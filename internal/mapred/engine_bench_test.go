@@ -1,0 +1,147 @@
+package mapred
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// benchRuns builds nRuns unsorted shuffle runs of runLen records each, with
+// multi-column keys drawn from a small domain so the comparator does real
+// work on ties.
+func benchRuns(nRuns, runLen int) [][]shuffleRec {
+	rng := rand.New(rand.NewSource(7))
+	runs := make([][]shuffleRec, nRuns)
+	seq := int64(0)
+	for r := range runs {
+		run := make([]shuffleRec, runLen)
+		for i := range run {
+			run[i] = shuffleRec{
+				key: types.Tuple{
+					types.NewInt(int64(rng.Intn(64))),
+					types.NewString(fmt.Sprintf("u%03d", rng.Intn(128))),
+				},
+				seq: seq,
+				val: types.Tuple{types.NewInt(int64(rng.Intn(1000)))},
+			}
+			seq++
+		}
+		runs[r] = run
+	}
+	return runs
+}
+
+func cloneRuns(src [][]shuffleRec) [][]shuffleRec {
+	out := make([][]shuffleRec, len(src))
+	for i, r := range src {
+		out[i] = append([]shuffleRec(nil), r...)
+	}
+	return out
+}
+
+// BenchmarkShuffleKernel measures the reduce-side ordering kernel on
+// identical input: the serial reference (concatenate every run into one
+// buffer, one closure-driven sort.SliceStable) against the default plane
+// (per-run compiled sort + k-way merge into a pooled buffer). This is the
+// code the tentpole replaced; allocs/op is the headline the acceptance
+// criteria pin (>=50% reduction).
+func BenchmarkShuffleKernel(b *testing.B) {
+	const nRuns, runLen = 8, 4_000
+	base := benchRuns(nRuns, runLen)
+	total := nRuns * runLen
+	blocking := &physical.Operator{Kind: physical.OpGroup, Keys: [][]*expr.Expr{{expr.ColIdx(0)}}}
+	cmp := compileComparator(blocking)
+
+	b.Run("serial-concat-slicestable", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			runs := cloneRuns(base)
+			b.StartTimer()
+			buf := make([]shuffleRec, 0, total)
+			for _, r := range runs {
+				buf = append(buf, r...)
+			}
+			sortShuffle(blocking, buf)
+		}
+	})
+
+	b.Run("sorted-runs-kway-merge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			runs := cloneRuns(base)
+			b.StartTimer()
+			for _, r := range runs {
+				sortRun(cmp, r)
+			}
+			merged := mergeRuns(cmp, runs, getRecSlice(total))
+			putRecSlice(merged)
+		}
+	})
+}
+
+// benchOrderJob builds the shuffle-heavy workload: order the whole input by
+// (city, name) so every row rides the shuffle and the reduce side is pure
+// ordering.
+func benchOrderJob(nRows int) (*dfs.FS, *Job, error) {
+	fs := dfs.New()
+	schema := types.NewSchema(
+		types.Field{Name: "name", Kind: types.KindString},
+		types.Field{Name: "city", Kind: types.KindString},
+		types.Field{Name: "rev", Kind: types.KindInt},
+	)
+	rng := rand.New(rand.NewSource(11))
+	rows := make([]types.Tuple, nRows)
+	for i := range rows {
+		rows[i] = types.Tuple{
+			types.NewString(fmt.Sprintf("u%05d", rng.Intn(nRows))),
+			types.NewString(fmt.Sprintf("c%02d", rng.Intn(20))),
+			types.NewInt(int64(rng.Intn(8))),
+		}
+	}
+	if err := fs.WritePartitioned("bench/in", schema, rows, 8); err != nil {
+		return nil, nil, err
+	}
+	p := physical.NewPlan()
+	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "bench/in", Schema: schema})
+	o := p.Add(&physical.Operator{Kind: physical.OpOrder, Inputs: []int{l.ID},
+		SortCols: []physical.SortCol{{Index: 1}, {Index: 2}, {Index: 0, Desc: true}}, Schema: schema})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "bench/out", Inputs: []int{o.ID}, Schema: schema})
+	j, err := NewJob("bench-order", p)
+	return fs, j, err
+}
+
+// BenchmarkEngineOrderJob runs the whole shuffle-heavy job end to end on
+// each plane: decode, shuffle, sort/merge, reduce, encode, commit.
+func BenchmarkEngineOrderJob(b *testing.B) {
+	const nRows = 60_000
+	for _, serial := range []bool{true, false} {
+		name := "parallel-plane"
+		if serial {
+			name = "serial-plane"
+		}
+		b.Run(name, func(b *testing.B) {
+			fs, job, err := benchOrderJob(nRows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := NewEngine(fs, cluster.Default())
+			e.SerialDataPlane = serial
+			e.ReduceTasks = 8
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.RunJob(job); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

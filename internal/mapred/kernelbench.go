@@ -1,0 +1,94 @@
+package mapred
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// RunKernelBench measures the reduce-side ordering kernel for the
+// server-engine benchmark: `rounds` rounds over nRuns synthetic shuffle runs
+// of runLen records each, returning the best (minimum) round's wall time and
+// bytes allocated inside its measured section — the min filters out rounds a
+// concurrent GC cycle happened to land in, and the heap is flushed before
+// each round for the same reason. With serial=true it runs the serial
+// reference (concatenate all runs into one freshly allocated buffer, one
+// closure-driven stable sort — the pre-optimization data plane); otherwise
+// the default plane's kernel (per-run compiled-comparator sort, k-way merge
+// into a pooled buffer). One untimed warmup round precedes measurement so
+// buffer pools are populated, matching the steady state a long-lived daemon
+// runs in. Input cloning between rounds is excluded from both metrics.
+func RunKernelBench(nRuns, runLen, rounds int, serial bool) (wall time.Duration, allocBytes uint64) {
+	rng := rand.New(rand.NewSource(7))
+	base := make([][]shuffleRec, nRuns)
+	seq := int64(0)
+	for r := range base {
+		run := make([]shuffleRec, runLen)
+		for i := range run {
+			run[i] = shuffleRec{
+				key: types.Tuple{
+					types.NewInt(int64(rng.Intn(64))),
+					types.NewString(fmt.Sprintf("u%03d", rng.Intn(128))),
+				},
+				seq: seq,
+				val: types.Tuple{types.NewInt(int64(rng.Intn(1000)))},
+			}
+			seq++
+		}
+		base[r] = run
+	}
+	clone := func() [][]shuffleRec {
+		out := make([][]shuffleRec, len(base))
+		for i, r := range base {
+			out[i] = append([]shuffleRec(nil), r...)
+		}
+		return out
+	}
+	// The blocking operator only steers the comparator; any non-Order kind
+	// yields the generic CompareTuples ordering both planes use for groups.
+	blocking := &physical.Operator{Kind: physical.OpGroup}
+	cmp := compileComparator(blocking)
+	total := nRuns * runLen
+	round := func(runs [][]shuffleRec) {
+		if serial {
+			buf := make([]shuffleRec, 0, total)
+			for _, r := range runs {
+				buf = append(buf, r...)
+			}
+			sortShuffle(blocking, buf)
+			return
+		}
+		for _, r := range runs {
+			sortRun(cmp, r)
+		}
+		merged := mergeRuns(cmp, runs, getRecSlice(total))
+		putRecSlice(merged)
+		for _, r := range runs {
+			putRecSlice(r)
+		}
+	}
+	round(clone()) // warmup: populate pools, fault in the comparator path
+	var ms runtime.MemStats
+	for i := 0; i < rounds; i++ {
+		runs := clone()
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		before := ms.TotalAlloc
+		start := time.Now()
+		round(runs)
+		w := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		a := ms.TotalAlloc - before
+		if i == 0 || w < wall {
+			wall = w
+		}
+		if i == 0 || a < allocBytes {
+			allocBytes = a
+		}
+	}
+	return wall, allocBytes
+}

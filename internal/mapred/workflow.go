@@ -41,7 +41,13 @@ func (w *Workflow) DependencyMap() map[string][]string {
 
 // TopoOrder returns the jobs in dependency order.
 func (w *Workflow) TopoOrder() ([]*Job, error) {
-	deps := w.DependencyMap()
+	return w.topoOrder(w.DependencyMap())
+}
+
+// topoOrder is TopoOrder against an already-derived dependency map, so
+// callers that also need the map (RunWorkflow's critical path) derive it
+// once.
+func (w *Workflow) topoOrder(deps map[string][]string) ([]*Job, error) {
 	byID := make(map[string]*Job, len(w.Jobs))
 	for _, j := range w.Jobs {
 		if byID[j.ID] != nil {
@@ -99,7 +105,8 @@ type WorkflowResult struct {
 // RunWorkflow executes every job in dependency order and computes the
 // simulated workflow completion time via the Equation-1 critical path.
 func (e *Engine) RunWorkflow(w *Workflow) (*WorkflowResult, error) {
-	order, err := w.TopoOrder()
+	deps := w.DependencyMap()
+	order, err := w.topoOrder(deps)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +125,7 @@ func (e *Engine) RunWorkflow(w *Workflow) (*WorkflowResult, error) {
 		res.TotalShuffleBytes += jr.Stats.ShuffleBytes
 		res.TotalInjectedBytes += jr.InjectedStoreBytes
 	}
-	total, err := cluster.CriticalPath(durations, w.DependencyMap())
+	total, err := cluster.CriticalPath(durations, deps)
 	if err != nil {
 		return nil, err
 	}

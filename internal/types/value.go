@@ -258,6 +258,56 @@ func Compare(a, b Value) int {
 
 func (v Value) numericKind() bool { return v.kind == KindInt || v.kind == KindFloat }
 
+// CompareColumn is Compare with the dispatch flattened for the scalar kinds
+// the shuffle hot path actually sees. The engine's compiled per-job
+// comparators call it per key column instead of threading every field
+// through the generic closure chain; the order is identical to Compare's —
+// in particular int/int still compares through float64 (as Compare does via
+// AsFloat), so the two can never disagree, even past 2^53 where that
+// conversion collapses distinct integers. Mixed and nested kinds fall back
+// to Compare.
+func CompareColumn(a, b Value) int {
+	if a.kind != b.kind {
+		return Compare(a, b)
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0
+		case !a.b:
+			return -1
+		default:
+			return 1
+		}
+	case KindInt:
+		af, bf := float64(a.i), float64(b.i)
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	case KindFloat:
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		default:
+			return 0
+		}
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	default:
+		return Compare(a, b)
+	}
+}
+
 // CompareTuples orders tuples lexicographically field by field, shorter
 // tuples first on ties.
 func CompareTuples(a, b Tuple) int {

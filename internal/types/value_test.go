@@ -1,6 +1,7 @@
 package types
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -200,6 +201,38 @@ func TestCompareIsTotalOrderProperty(t *testing.T) {
 		return Compare(vs[0], vs[1]) <= 0 && Compare(vs[1], vs[2]) <= 0 && Compare(vs[0], vs[2]) <= 0
 	}
 	if err := quick.Check(h, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompareColumnMatchesCompare pins the engine's flattened column
+// comparator to the generic total order: any disagreement would let the
+// MapReduce shuffle's compiled comparators order keys differently from the
+// serial reference plane. The explicit pairs cover the traps — int/int past
+// 2^53 where the float64 conversion collapses neighbors, int/float numeric
+// ties, and mixed-kind fallbacks.
+func TestCompareColumnMatchesCompare(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(1<<53 + 1), NewInt(1<<53 + 2)}, // collide under float64: both orders must agree they tie
+		{NewInt(math.MaxInt64), NewInt(math.MaxInt64 - 1)},
+		{NewInt(3), NewFloat(3)},
+		{NewFloat(2.5), NewInt(2)},
+		{Null(), NewInt(0)},
+		{NewBool(false), NewBool(true)},
+		{NewString("ab"), NewString("ab\x00")},
+		{NewTuple(Tuple{NewInt(1)}), NewTuple(Tuple{NewInt(1), NewInt(2)})},
+	}
+	for _, p := range pairs {
+		if got, want := CompareColumn(p[0], p[1]), Compare(p[0], p[1]); got != want {
+			t.Errorf("CompareColumn(%v, %v) = %d, Compare = %d", p[0], p[1], got, want)
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r, 2), randomValue(r, 2)
+		return CompareColumn(a, b) == Compare(a, b) && CompareColumn(b, a) == Compare(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
 	}
 }

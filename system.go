@@ -66,6 +66,10 @@ const (
 // Policy re-exports the repository management policy of §5.
 type Policy = core.Policy
 
+// DefaultReduceTasks re-exports the engine's default reduce partition count
+// (the -reduce-tasks flag default).
+const DefaultReduceTasks = mapred.DefaultReduceTasks
+
 // System is a ReStore deployment: a DFS, a cluster model, a MapReduce
 // engine, and the shared repository that persists across queries.
 //
@@ -189,10 +193,25 @@ func WithPolicy(p Policy) Option {
 	return func(s *System) { s.selector.Policy = p }
 }
 
-// WithReducePartitions sets the real execution parallelism of the reduce
-// phase (not the simulated reduce task count).
+// WithReducePartitions sets the number of real reduce partitions the engine
+// hash-partitions each shuffle into (not the simulated reduce task count).
 func WithReducePartitions(n int) Option {
 	return func(s *System) { s.engine.ReduceTasks = n }
+}
+
+// WithMapParallelism bounds how many map tasks the engine runs
+// concurrently per job; n <= 0 (the default) selects
+// runtime.GOMAXPROCS(0).
+func WithMapParallelism(n int) Option {
+	return func(s *System) { s.engine.MapParallelism = n }
+}
+
+// WithReduceParallelism bounds how many reduce partitions the engine runs
+// concurrently per job; n <= 0 (the default) selects
+// runtime.GOMAXPROCS(0). Reduce partitions are independent, so the setting
+// changes wall clock only, never results.
+func WithReduceParallelism(n int) Option {
+	return func(s *System) { s.engine.ReduceParallelism = n }
 }
 
 // WithJobLatency emulates a remote cluster: each executed job additionally
@@ -311,6 +330,10 @@ func (s *System) FS() *dfs.FS { return s.fs }
 
 // Cluster exposes the cost-model configuration.
 func (s *System) Cluster() *cluster.Config { return s.cluster }
+
+// Engine exposes the MapReduce engine (for inspection and tests asserting
+// option/flag wiring).
+func (s *System) Engine() *mapred.Engine { return s.engine }
 
 // Repository exposes the ReStore repository (for inspection and tooling).
 func (s *System) Repository() *core.Repository { return s.repo.Load() }
