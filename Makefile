@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race race-server race-shard race-engine docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke bench-obs bench-obs-smoke bench-hot bench-hot-smoke bench-shard bench-shard-smoke bench-engine bench-engine-smoke
+.PHONY: check fmt vet test race race-server race-shard race-engine race-fleet docs-check build bench-match bench-match-smoke bench-gc bench-gc-smoke bench-obs bench-obs-smoke bench-hot bench-hot-smoke bench-shard bench-shard-smoke bench-engine bench-engine-smoke bench-fleet bench-fleet-smoke
 
-check: fmt vet docs-check race race-server race-shard race-engine bench-match-smoke bench-gc-smoke bench-obs-smoke bench-hot-smoke bench-shard-smoke bench-engine-smoke
+check: fmt vet docs-check race race-server race-shard race-engine race-fleet bench-match-smoke bench-gc-smoke bench-obs-smoke bench-hot-smoke bench-shard-smoke bench-engine-smoke bench-fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,26 @@ bench-engine:
 # One-iteration smoke of the engine benchmarks for every `make check`.
 bench-engine-smoke:
 	$(GO) test ./internal/mapred -run '^$$' -bench 'BenchmarkShuffleKernel|BenchmarkEngineOrderJob' -benchtime 1x
+
+# The fleet backend battery: the backend differential oracle (the worker
+# fleet must leave repository and DFS byte-identical to the in-process
+# engine), the fault-injection suite (worker crash before/mid/after map,
+# torn shuffle pulls, duplicate completions, repository-backed recovery),
+# and the wire-codec round-trip property. Runs twice under the detector:
+# coordinator dispatch and worker slot interleavings differ per run.
+race-fleet:
+	$(GO) test -race -count=2 ./internal/fleet/...
+	$(GO) test -race -count=2 -run 'TestCodecRoundTrip|TestCodecRejects' ./internal/mapred
+
+# Fleet microbenchmark: a grouped-aggregate query stream through a two-worker
+# HTTP fleet. The representative scaling curve (fleet 1/2/3 with per-task
+# compute emulation) is the server-fleet experiment in restore-bench.
+bench-fleet:
+	$(GO) test ./internal/fleet -run '^$$' -bench 'BenchmarkFleet' -benchmem
+
+# One-iteration smoke of the fleet benchmark for every `make check`.
+bench-fleet-smoke:
+	$(GO) test ./internal/fleet -run '^$$' -bench 'BenchmarkFleet' -benchtime 1x
 
 # Fails when an exported identifier in the documented packages
 # (internal/server, internal/dfs, internal/core, root access.go) lacks a doc

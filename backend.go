@@ -1,0 +1,20 @@
+package restore
+
+import (
+	"context"
+
+	"repro/internal/mapred"
+)
+
+// Backend executes compiled MapReduce workflows on behalf of a System. The
+// in-process *mapred.Engine satisfies it directly and is the default; a
+// fleet coordinator (internal/fleet) satisfies it by shipping serialized job
+// stages to worker processes. The System's planning, reuse rewriting, lease
+// admission, and repository registration sit entirely above this boundary,
+// so swapping backends never changes which workflows run or what is stored —
+// only where the tasks execute.
+type Backend interface {
+	// RunWorkflow executes every job of the workflow in dependency order.
+	// Cancelling ctx stops in-flight tasks and skips unstarted jobs.
+	RunWorkflow(ctx context.Context, w *mapred.Workflow) (*mapred.WorkflowResult, error)
+}

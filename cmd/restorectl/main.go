@@ -20,6 +20,7 @@
 //	restorectl -server http://127.0.0.1:7733 datasets [prefix]
 //	restorectl -server http://127.0.0.1:7733 repo
 //	restorectl -server http://127.0.0.1:7733 metrics [-watch 2s]
+//	restorectl -server http://127.0.0.1:7733 fleet
 //	restorectl -server http://127.0.0.1:7733 slow
 //	restorectl -server http://127.0.0.1:7733 checkpoint
 package main
@@ -202,7 +203,7 @@ func parsePolicy(name string) (restore.Policy, error) {
 
 func runClient(c *server.Client, args []string, asJSON bool) error {
 	if len(args) == 0 {
-		return fmt.Errorf("client mode needs a command: submit, explain, upload, datasets, repo, metrics, slow, checkpoint")
+		return fmt.Errorf("client mode needs a command: submit, explain, upload, datasets, repo, metrics, fleet, slow, checkpoint")
 	}
 	switch cmd := args[0]; cmd {
 	case "submit":
@@ -344,6 +345,33 @@ func runClient(c *server.Client, args []string, asJSON bool) error {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(m)
+	case "fleet":
+		m, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		if m.Fleet == nil {
+			fmt.Println("no fleet: the daemon executes in-process (start restored with -fleet-workers)")
+			return nil
+		}
+		if asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(m.Fleet)
+		}
+		f := m.Fleet
+		fmt.Printf("fleet: %d workers, map dispatched=%d reduce dispatched=%d retried=%d recovered=%d failures=%d shuffle pulled=%d bytes\n",
+			len(f.Workers), f.MapTasksDispatched, f.ReduceTasksDispatched,
+			f.TasksRetried, f.TasksRecovered, f.WorkerFailures, f.ShuffleBytesPulled)
+		for _, w := range f.Workers {
+			state := "alive"
+			if !w.Alive {
+				state = "DEAD"
+			}
+			fmt.Printf("  %-40s %-5s map=%-6d reduce=%-6d failures=%d\n",
+				w.Addr, state, w.MapTasks, w.ReduceTasks, w.Failures)
+		}
+		return nil
 	case "slow":
 		slow, err := c.Slow()
 		if err != nil {

@@ -21,6 +21,7 @@
 //	restored -plan-cache 1024                   # prepared-plan cache capacity (0 = off)
 //	restored -keep-results                      # serve exact repeats from stored bytes
 //	restored -log-level debug -log-format json  # structured ops logging
+//	restored -fleet-workers http://127.0.0.1:7741,http://127.0.0.1:7742   # execute on a restore-worker fleet
 //	restored -debug-addr 127.0.0.1:6060         # net/http/pprof sidecar
 //
 // Endpoints (all JSON unless noted):
@@ -52,6 +53,7 @@ import (
 	"time"
 
 	restore "repro"
+	"repro/internal/fleet"
 	"repro/internal/pigmix"
 	"repro/internal/server"
 )
@@ -83,6 +85,7 @@ func main() {
 		mapPar       = flag.Int("map-parallelism", 0, "concurrent map tasks per job in the engine's map-task pool (0 = GOMAXPROCS)")
 		reduceTasks  = flag.Int("reduce-tasks", restore.DefaultReduceTasks, "reduce partitions per job: how many hash partitions each shuffle splits into")
 		reducePar    = flag.Int("reduce-parallelism", 0, "concurrent reduce partitions per job in the engine's reduce pool (0 = GOMAXPROCS)")
+		fleetAddrs   = flag.String("fleet-workers", "", "comma list of restore-worker base URLs; when set, map tasks and reduce partitions execute on this worker fleet instead of in-process")
 	)
 	flag.Parse()
 
@@ -120,6 +123,31 @@ func main() {
 		restore.WithShards(*shards),
 	}, engineOptions(*mapPar, *reduceTasks, *reducePar)...)
 	sys := restore.New(opts...)
+	var coord *fleet.Coordinator
+	if *fleetAddrs != "" {
+		var addrs []string
+		for _, a := range strings.Split(*fleetAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, strings.TrimSuffix(a, "/"))
+			}
+		}
+		if len(addrs) == 0 {
+			fmt.Fprintln(os.Stderr, "restored: -fleet-workers lists no worker addresses")
+			os.Exit(2)
+		}
+		coord = fleet.NewCoordinator(sys.Engine(), fleet.Config{
+			FS:      sys.FS(),
+			Workers: addrs,
+			// A stored path may serve reuse-as-recovery when the repository
+			// still references it (a registered sub-job output) or it lives
+			// under the restore/ prefix a just-executed job materialized.
+			RepoCheck: func(path string) bool {
+				return sys.Repository().ReferencesPath(path) || strings.HasPrefix(path, "restore/")
+			},
+		})
+		sys.SetBackend(coord)
+		logger.Info("fleet execution backend enabled", "workers", len(addrs))
+	}
 	srv, err := server.New(server.Config{
 		System:          sys,
 		StateDir:        *stateDir,
@@ -131,6 +159,7 @@ func main() {
 		GCInterval:      *gcEvery,
 		SlowRingSize:    *slowRing,
 		Logger:          logger,
+		Fleet:           coord,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "restored:", err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -120,7 +121,7 @@ func engineJobRound(nRows, rounds int, serial bool, reduceWorkers int) (time.Dur
 	e.SerialDataPlane = serial
 	e.ReduceTasks = 8
 	e.ReduceParallelism = reduceWorkers
-	if _, err := e.RunJob(job); err != nil { // warmup
+	if _, err := e.RunJob(context.Background(), job); err != nil { // warmup
 		return 0, 0, err
 	}
 	var wall time.Duration
@@ -131,7 +132,7 @@ func engineJobRound(nRows, rounds int, serial bool, reduceWorkers int) (time.Dur
 		runtime.ReadMemStats(&ms)
 		before := ms.TotalAlloc
 		start := time.Now()
-		if _, err := e.RunJob(job); err != nil {
+		if _, err := e.RunJob(context.Background(), job); err != nil {
 			return 0, 0, err
 		}
 		w := time.Since(start)

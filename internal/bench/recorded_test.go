@@ -76,3 +76,34 @@ func TestRecordedEngineBaselineShape(t *testing.T) {
 		}
 	}
 }
+
+// TestRecordedFleetBaselineShape pins the checked-in server-fleet baseline:
+// the recorded run must show wall-clock improving monotonically as the
+// worker fleet grows 1 -> 2 -> 3 (the acceptance criterion for the
+// multi-process backend), with the 3-worker row clearing a conservative
+// 1.5x floor over the one-worker fleet — well under the recorded ~2.7x so
+// the pin survives re-recording on noisy machines. Every submission must
+// execute: the workload is reuse-free by construction.
+func TestRecordedFleetBaselineShape(t *testing.T) {
+	tbl := loadRecordedTable(t, "server-fleet")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("expected 3 rows (fleet 1/2/3), got %d", len(tbl.Rows))
+	}
+	prev := 0.0
+	for i := range tbl.Rows {
+		if got := tbl.Rows[i][0]; got != strconv.Itoa(i+1) {
+			t.Errorf("row %d: fleet size %s, want %d", i, got, i+1)
+		}
+		if sub, exe := recordedCell(t, tbl, i, "submitted"), recordedCell(t, tbl, i, "executed"); sub != exe {
+			t.Errorf("row %d: %v submitted but %v executed; the distinct stream must not dedup", i, sub, exe)
+		}
+		sp := recordedCell(t, tbl, i, "speedup")
+		if sp <= prev {
+			t.Errorf("recorded speedup not monotone at row %d: %.2fx after %.2fx", i, sp, prev)
+		}
+		prev = sp
+	}
+	if prev < 1.5 {
+		t.Errorf("recorded 3-worker speedup %.2fx below the 1.5x floor", prev)
+	}
+}

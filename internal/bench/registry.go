@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"server-hot", "zero-compile hot path: repeat-query latency collapse", ServerHotPath},
 		{"server-shard", "sharded execution core: all-disjoint scaling vs shard count", ShardScaling},
 		{"server-engine", "engine data plane: sorted-run merge + parallel reduce vs serial sort", EngineDataPlane},
+		{"server-fleet", "fleet execution backend: wall-clock vs worker count", FleetScaling},
 	}
 }
 

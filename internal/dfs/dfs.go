@@ -380,6 +380,28 @@ func (fs *FS) OpenPartition(path string, idx int) (*types.Reader, int64, error) 
 	return types.NewReader(&sliceReader{data: data}), int64(len(data)), nil
 }
 
+// ReadPartitionRaw returns the committed payload bytes of one partition in
+// the encoded wire format, charging the read counters exactly like
+// OpenPartition. The fleet coordinator uses it to ship input partitions to
+// workers (which decode them with types.NewReader) and to assemble replay
+// payloads from stored sub-job outputs. Callers must not mutate the
+// returned slice.
+func (fs *FS) ReadPartitionRaw(path string, idx int) ([]byte, error) {
+	sh := fs.shardOf(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: open %s: %w", path, ErrNotExist)
+	}
+	if idx < 0 || idx >= len(f.Parts) {
+		return nil, fmt.Errorf("dfs: open %s: partition %d out of range [0,%d)", path, idx, len(f.Parts))
+	}
+	data := f.Parts[idx].Data
+	fs.bytesRead.Add(int64(len(data)))
+	return data, nil
+}
+
 // ReadAll decodes every tuple in the file, in partition order. Intended for
 // tests and result verification, not the execution hot path.
 func (fs *FS) ReadAll(path string) ([]types.Tuple, error) {

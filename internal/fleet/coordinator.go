@@ -1,0 +1,590 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/physical"
+)
+
+// Config configures a fleet coordinator.
+type Config struct {
+	// FS is the coordinator-side DFS (the same one the engine commits to):
+	// input partitions are read from it and shipped to workers, and replay
+	// payloads for recovery are assembled from its stored sub-job outputs.
+	FS *dfs.FS
+	// Workers lists the worker base URLs tasks are dispatched to
+	// (round-robin over the live ones).
+	Workers []string
+	// Client performs coordinator→worker requests; nil selects a default.
+	Client *http.Client
+	// RepoCheck reports whether a stored path may serve replay recovery.
+	// The daemon wires it to the repository (stored sub-job outputs
+	// short-circuit recovery; ReStore's reuse-as-recovery); nil accepts
+	// every injected store the plan materialized.
+	RepoCheck func(path string) bool
+	// MaxRetries bounds how many times one task is re-dispatched before the
+	// job fails; 0 selects a default of 3.
+	MaxRetries int
+	// ProbeTimeout bounds a liveness probe; 0 selects 2s.
+	ProbeTimeout time.Duration
+}
+
+// Coordinator is the fleet-side mapred.TaskRunner and the restore.Backend a
+// fleet-configured System executes through: it wraps an in-process engine
+// (which keeps planning, commits, and stats) and ships the engine's tasks to
+// worker processes, recovering from worker death by re-executing only the
+// lost tasks — from repository-backed stored bytes when possible.
+type Coordinator struct {
+	cfg Config
+	eng *mapred.Engine
+
+	workers []*workerState
+	rr      atomic.Uint64
+	seq     atomic.Int64
+
+	mu   sync.Mutex
+	jobs map[*mapred.JobContext]*jobState
+
+	mapDispatched    atomic.Int64
+	reduceDispatched atomic.Int64
+	tasksRetried     atomic.Int64
+	tasksRecovered   atomic.Int64
+	workerFailures   atomic.Int64
+	shuffleBytes     atomic.Int64
+}
+
+// workerState tracks one worker's liveness and task counters.
+type workerState struct {
+	addr        string
+	alive       atomic.Bool
+	mapTasks    atomic.Int64
+	reduceTasks atomic.Int64
+	failures    atomic.Int64
+}
+
+// jobState is the coordinator's per-job-run dispatch memory: what each task
+// was, who executed it last, and which runs it produced — the inputs
+// recovery needs when a worker dies holding shuffle state.
+type jobState struct {
+	key string
+	env []byte
+
+	mu    sync.Mutex
+	specs map[int]mapred.MapTaskSpec
+	owner map[int]*workerState
+	runs  map[int][]mapred.RunRef
+}
+
+// NewCoordinator wires a coordinator to the engine: the engine's TaskRunner
+// becomes the fleet dispatch path while everything else about the engine
+// (planning, DFS commits, stats, cost model) is unchanged. The engine's FS
+// and cfg.FS must be the same filesystem.
+func NewCoordinator(eng *mapred.Engine, cfg Config) *Coordinator {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	c := &Coordinator{cfg: cfg, eng: eng, jobs: make(map[*mapred.JobContext]*jobState)}
+	for _, addr := range cfg.Workers {
+		ws := &workerState{addr: addr}
+		ws.alive.Store(true)
+		c.workers = append(c.workers, ws)
+	}
+	eng.Runner = c
+	return c
+}
+
+// RunWorkflow implements the execution backend: the wrapped engine runs the
+// workflow, dispatching every task through this coordinator.
+func (c *Coordinator) RunWorkflow(ctx context.Context, w *mapred.Workflow) (*mapred.WorkflowResult, error) {
+	return c.eng.RunWorkflow(ctx, w)
+}
+
+// Engine returns the wrapped engine (tests tune its knobs through it).
+func (c *Coordinator) Engine() *mapred.Engine { return c.eng }
+
+// jobState returns (creating on first sight) the dispatch state of a job
+// run, serializing the job into its wire envelope once.
+func (c *Coordinator) jobState(jc *mapred.JobContext) (*jobState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if js, ok := c.jobs[jc]; ok {
+		return js, nil
+	}
+	env, err := mapred.EncodeJob(jc.Job)
+	if err != nil {
+		return nil, err
+	}
+	js := &jobState{
+		key:   fmt.Sprintf("%s#%d", jc.Job.ID, c.seq.Add(1)),
+		env:   env,
+		specs: make(map[int]mapred.MapTaskSpec),
+		owner: make(map[int]*workerState),
+		runs:  make(map[int][]mapred.RunRef),
+	}
+	c.jobs[jc] = js
+	return js, nil
+}
+
+// ReleaseJob frees the job run's state here and (best-effort) on every live
+// worker; the engine calls it when the job finishes.
+func (c *Coordinator) ReleaseJob(jc *mapred.JobContext) {
+	c.mu.Lock()
+	js := c.jobs[jc]
+	delete(c.jobs, jc)
+	c.mu.Unlock()
+	if js == nil {
+		return
+	}
+	body, _ := json.Marshal(releaseRequest{Key: js.key})
+	for _, w := range c.workers {
+		if !w.alive.Load() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.addr+"/v1/release", bytes.NewReader(body))
+		if err == nil {
+			if resp, err := c.cfg.Client.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}
+		cancel()
+	}
+}
+
+// pickWorker round-robins over the live workers; nil when none remain.
+func (c *Coordinator) pickWorker() *workerState {
+	n := len(c.workers)
+	for i := 0; i < n; i++ {
+		w := c.workers[int(c.rr.Add(1))%n]
+		if w.alive.Load() {
+			return w
+		}
+	}
+	return nil
+}
+
+// probe health-checks one address.
+func (c *Coordinator) probe(addr string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// markDead records a worker failure.
+func (c *Coordinator) markDead(w *workerState) {
+	if w.alive.CompareAndSwap(true, false) {
+		c.workerFailures.Add(1)
+	}
+	w.failures.Add(1)
+}
+
+func (c *Coordinator) workerByAddr(addr string) *workerState {
+	for _, w := range c.workers {
+		if w.addr == addr {
+			return w
+		}
+	}
+	return nil
+}
+
+// taskError is an application-level task failure (the task body itself
+// errored on a healthy worker): never retried, never blamed on the worker.
+type taskError struct{ err error }
+
+func (e taskError) Error() string { return e.err.Error() }
+func (e taskError) Unwrap() error { return e.err }
+
+// post sends one JSON request to a worker and decodes the response into out.
+// Worker-level failures (unreachable, 5xx) come back as plain errors;
+// application-level failures (422) come back as taskError. badAddr reports
+// the peer a reduce worker blamed for a failed shuffle pull.
+func (c *Coordinator) post(ctx context.Context, w *workerState, path string, in, out any) (badAddr string, err error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return "", taskError{err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.addr+path, bytes.NewReader(body))
+	if err != nil {
+		return "", taskError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("fleet: %s %s: %w", path, w.addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if json.Unmarshal(data, &er) != nil || er.Error == "" {
+			er.Error = string(data)
+		}
+		err := fmt.Errorf("fleet: %s %s: %s: %s", path, w.addr, resp.Status, er.Error)
+		if resp.StatusCode == http.StatusUnprocessableEntity {
+			return er.BadAddr, taskError{err}
+		}
+		return er.BadAddr, err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return "", fmt.Errorf("fleet: %s %s: decode: %w", path, w.addr, err)
+	}
+	return "", nil
+}
+
+// dispatchMap sends one map request to a live worker, retrying on worker
+// failure (each failed worker is probed and marked dead before moving on).
+func (c *Coordinator) dispatchMap(ctx context.Context, req *mapRequest) (*mapred.MapResult, *workerState, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		w := c.pickWorker()
+		if w == nil {
+			if lastErr != nil {
+				return nil, nil, fmt.Errorf("fleet: no live workers: %w", lastErr)
+			}
+			return nil, nil, errors.New("fleet: no live workers")
+		}
+		if attempt > 0 {
+			c.tasksRetried.Add(1)
+		}
+		c.mapDispatched.Add(1)
+		var resp mapResponse
+		_, err := c.post(ctx, w, "/v1/map", req, &resp)
+		if err == nil {
+			w.mapTasks.Add(1)
+			for i := range resp.Runs {
+				resp.Runs[i].Addr = w.addr
+			}
+			return &mapred.MapResult{
+				Stores:       resp.Stores,
+				Runs:         resp.Runs,
+				InputBytes:   resp.InputBytes,
+				ShuffleBytes: resp.ShuffleBytes,
+			}, w, nil
+		}
+		var te taskError
+		if errors.As(err, &te) || ctx.Err() != nil {
+			return nil, nil, err
+		}
+		lastErr = err
+		if !c.probe(w.addr) {
+			c.markDead(w)
+		}
+	}
+	return nil, nil, fmt.Errorf("fleet: map task %d exhausted retries: %w", req.Spec.TaskIdx, lastErr)
+}
+
+// RunMapTask implements mapred.TaskRunner: read the input partition, ship it
+// to a worker, remember who ran the task (recovery needs it), and hand the
+// engine a result whose runs point at that worker.
+func (c *Coordinator) RunMapTask(ctx context.Context, jc *mapred.JobContext, spec mapred.MapTaskSpec) (*mapred.MapResult, error) {
+	js, err := c.jobState(jc)
+	if err != nil {
+		return nil, err
+	}
+	load := jc.Job.Plan.Op(spec.LoadID)
+	input, err := c.cfg.FS.ReadPartitionRaw(load.Path, spec.Partition)
+	if err != nil {
+		return nil, err
+	}
+	req := mapRequest{
+		Key:         js.key,
+		Job:         js.env,
+		ReduceParts: jc.ReduceParts,
+		Combine:     jc.Combining(),
+		Spec:        spec,
+		Input:       input,
+	}
+	mr, w, err := c.dispatchMap(ctx, &req)
+	if err != nil {
+		return nil, err
+	}
+	js.mu.Lock()
+	js.specs[spec.TaskIdx] = spec
+	js.owner[spec.TaskIdx] = w
+	js.runs[spec.TaskIdx] = mr.Runs
+	js.mu.Unlock()
+	return mr, nil
+}
+
+// RunReducePartition implements mapred.TaskRunner: dispatch the partition to
+// a worker, and on failure decide whether the executor died, a run-holding
+// peer died (recover its tasks and retry with fresh refs), or the pull was
+// transiently torn (retry as-is).
+func (c *Coordinator) RunReducePartition(ctx context.Context, jc *mapred.JobContext, part int, refs []mapred.RunRef) (*mapred.ReduceResult, error) {
+	js, err := c.jobState(jc)
+	if err != nil {
+		return nil, err
+	}
+	req := reduceRequest{
+		Key:         js.key,
+		Job:         js.env,
+		ReduceParts: jc.ReduceParts,
+		Combine:     jc.Combining(),
+		Part:        part,
+		Refs:        refs,
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		w := c.pickWorker()
+		if w == nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("fleet: no live workers: %w", lastErr)
+			}
+			return nil, errors.New("fleet: no live workers")
+		}
+		if attempt > 0 {
+			c.tasksRetried.Add(1)
+		}
+		c.reduceDispatched.Add(1)
+		var resp reduceResponse
+		badAddr, err := c.post(ctx, w, "/v1/reduce", &req, &resp)
+		if err == nil {
+			w.reduceTasks.Add(1)
+			c.shuffleBytes.Add(resp.PulledBytes)
+			return &mapred.ReduceResult{Stores: resp.Stores}, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+		var te taskError
+		isTask := errors.As(err, &te)
+		switch {
+		case badAddr != "":
+			// A shuffle pull failed against badAddr. A live holder means a
+			// transient/torn pull — retry as-is. A dead one means its runs
+			// are gone — recover the lost tasks and retry with fresh refs.
+			if c.probe(badAddr) {
+				continue
+			}
+			if ws := c.workerByAddr(badAddr); ws != nil {
+				c.markDead(ws)
+			}
+			fresh, rerr := c.recoverLostRuns(ctx, jc, js, req.Refs, badAddr, part)
+			if rerr != nil {
+				return nil, rerr
+			}
+			req.Refs = fresh
+		case isTask:
+			// The task body itself failed on a healthy worker: not
+			// recoverable by retrying elsewhere.
+			return nil, err
+		default:
+			// The reduce executor itself is unreachable or sick.
+			if !c.probe(w.addr) {
+				c.markDead(w)
+				// Its retained runs died with it; recover any refs that
+				// pointed there before retrying on another worker.
+				fresh, rerr := c.recoverLostRuns(ctx, jc, js, req.Refs, w.addr, part)
+				if rerr != nil {
+					return nil, rerr
+				}
+				req.Refs = fresh
+			}
+		}
+	}
+	return nil, fmt.Errorf("fleet: reduce partition %d exhausted retries: %w", part, lastErr)
+}
+
+// recoverLostRuns re-materializes the runs of every map task in refs whose
+// holder is deadAddr, returning refs updated to the new holders. For each
+// lost task the repository is consulted first: when every blocking input of
+// the task was materialized by an (approved) injected map-side store, the
+// task is replayed from those stored partition bytes (counted in
+// TasksRecovered) instead of re-executed from its input (TasksRetried). If
+// another partition's recovery already re-ran the task on a live worker, its
+// fresh runs are reused outright.
+func (c *Coordinator) recoverLostRuns(ctx context.Context, jc *mapred.JobContext, js *jobState, refs []mapred.RunRef, deadAddr string, part int) ([]mapred.RunRef, error) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+
+	fresh := make([]mapred.RunRef, len(refs))
+	copy(fresh, refs)
+	for i, ref := range fresh {
+		if ref.Addr != deadAddr {
+			continue
+		}
+		task := ref.TaskIdx
+		if w := js.owner[task]; w != nil && w.alive.Load() && w.addr != deadAddr {
+			// Already recovered on behalf of another partition.
+			if nr, ok := runForPart(js.runs[task], part); ok {
+				fresh[i] = nr
+				continue
+			}
+		}
+		spec, ok := js.specs[task]
+		if !ok {
+			return nil, fmt.Errorf("fleet: lost run of unknown task %d", task)
+		}
+		req := mapRequest{
+			Key:         js.key,
+			Job:         js.env,
+			ReduceParts: jc.ReduceParts,
+			Combine:     jc.Combining(),
+			Spec:        spec,
+		}
+		replayed := false
+		if stored, ok := c.replayPayloads(jc, spec); ok {
+			req.Replay = true
+			req.ReplayTags = stored
+			replayed = true
+		} else {
+			load := jc.Job.Plan.Op(spec.LoadID)
+			input, err := c.cfg.FS.ReadPartitionRaw(load.Path, spec.Partition)
+			if err != nil {
+				return nil, err
+			}
+			req.Input = input
+		}
+		mr, w, err := c.dispatchMap(ctx, &req)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: recover task %d: %w", task, err)
+		}
+		if replayed {
+			c.tasksRecovered.Add(1)
+		} else {
+			c.tasksRetried.Add(1)
+		}
+		js.owner[task] = w
+		js.runs[task] = mr.Runs
+		nr, ok := runForPart(mr.Runs, part)
+		if !ok {
+			return nil, fmt.Errorf("fleet: recovered task %d produced no run for partition %d", task, part)
+		}
+		fresh[i] = nr
+	}
+	return fresh, nil
+}
+
+// runForPart finds the run ref for one reduce partition.
+func runForPart(runs []mapred.RunRef, part int) (mapred.RunRef, bool) {
+	for _, r := range runs {
+		if r.Part == part {
+			return r, true
+		}
+	}
+	return mapred.RunRef{}, false
+}
+
+// replayPayloads assembles the reuse-as-recovery inputs for one lost map
+// task: for every blocking-input tag, the plan must contain an injected
+// map-side store materializing that input (resolved through Split
+// transparency), the store's path must pass RepoCheck (the repository
+// consultation), and the task's partition of it must be readable. Returns
+// false when any tag lacks stored coverage — the caller falls back to full
+// re-execution.
+func (c *Coordinator) replayPayloads(jc *mapred.JobContext, spec mapred.MapTaskSpec) (map[int][]byte, bool) {
+	blocking := jc.Job.Blocking()
+	if blocking == nil {
+		return nil, false
+	}
+	plan := jc.Job.Plan
+	resolve := func(id int) int {
+		for plan.Op(id).Kind == physical.OpSplit {
+			id = plan.Op(id).Inputs[0]
+		}
+		return id
+	}
+	out := make(map[int][]byte, len(blocking.Inputs))
+	for tag, inID := range blocking.Inputs {
+		pid := resolve(inID)
+		var found *physical.Operator
+		for _, st := range plan.Sinks() {
+			if st.Injected && jc.Job.MapSide(st.ID) && resolve(st.Inputs[0]) == pid {
+				found = st
+				break
+			}
+		}
+		if found == nil {
+			return nil, false
+		}
+		if c.cfg.RepoCheck != nil && !c.cfg.RepoCheck(found.Path) {
+			return nil, false
+		}
+		data, err := c.cfg.FS.ReadPartitionRaw(found.Path, spec.TaskIdx)
+		if err != nil {
+			return nil, false
+		}
+		out[tag] = data
+	}
+	return out, true
+}
+
+// WorkerStatus is one worker's row in the fleet stats.
+type WorkerStatus struct {
+	// Addr is the worker's base URL.
+	Addr string `json:"addr"`
+	// Alive reports whether the coordinator still dispatches to it.
+	Alive bool `json:"alive"`
+	// MapTasks / ReduceTasks / Failures count dispatches to this worker.
+	MapTasks    int64 `json:"mapTasks"`
+	ReduceTasks int64 `json:"reduceTasks"`
+	Failures    int64 `json:"failures"`
+}
+
+// Stats is a point-in-time snapshot of the coordinator's counters, surfaced
+// through /v1/metrics, the Prometheus exposition, and `restorectl fleet`.
+type Stats struct {
+	// Workers lists per-worker liveness and task counts.
+	Workers []WorkerStatus `json:"workers"`
+	// MapTasksDispatched / ReduceTasksDispatched count dispatch attempts.
+	MapTasksDispatched    int64 `json:"mapTasksDispatched"`
+	ReduceTasksDispatched int64 `json:"reduceTasksDispatched"`
+	// TasksRetried counts re-dispatches after worker failure (full
+	// re-execution); TasksRecovered counts lost tasks rebuilt from
+	// repository-backed stored outputs instead (reuse as recovery).
+	TasksRetried   int64 `json:"tasksRetried"`
+	TasksRecovered int64 `json:"tasksRecovered"`
+	// WorkerFailures counts live→dead transitions.
+	WorkerFailures int64 `json:"workerFailures"`
+	// ShuffleBytesPulled totals the bytes reduce workers pulled from peers.
+	ShuffleBytesPulled int64 `json:"shuffleBytesPulled"`
+}
+
+// Stats snapshots the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	st := Stats{
+		MapTasksDispatched:    c.mapDispatched.Load(),
+		ReduceTasksDispatched: c.reduceDispatched.Load(),
+		TasksRetried:          c.tasksRetried.Load(),
+		TasksRecovered:        c.tasksRecovered.Load(),
+		WorkerFailures:        c.workerFailures.Load(),
+		ShuffleBytesPulled:    c.shuffleBytes.Load(),
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			Addr:        w.addr,
+			Alive:       w.alive.Load(),
+			MapTasks:    w.mapTasks.Load(),
+			ReduceTasks: w.reduceTasks.Load(),
+			Failures:    w.failures.Load(),
+		})
+	}
+	return st
+}

@@ -1,0 +1,99 @@
+// Package fleet is the first remote execution backend: a coordinator that
+// ships compiled job stages to N worker processes over HTTP/JSON (the same
+// protocol shape as the daemon's) and the worker those processes run.
+//
+// The split follows the engine's TaskRunner boundary. The engine keeps
+// planning, output-file creation, partition commits, and stats; the fleet
+// Coordinator implements mapred.TaskRunner by serializing each job once
+// (mapred.EncodeJob, fingerprint-verified on the worker), shipping map tasks
+// with their raw input partition bytes, and shipping reduce partitions with
+// RunRefs that name which worker holds each sorted shuffle run. Workers pull
+// runs from their peers (GET /v1/shuffle) through the engine's
+// ShuffleTransport interface, so PR 9's k-way merge consumes remote runs
+// unchanged.
+//
+// Worker death triggers recovery, not query failure: the coordinator
+// re-executes only the lost tasks, consulting the repository first —
+// a lost map task whose blocking inputs were materialized by injected
+// sub-job stores is rebuilt from those stored bytes (mapred.ReplayMapTask)
+// instead of re-running its map pipeline, ReStore's reuse-as-recovery path.
+package fleet
+
+import (
+	"repro/internal/mapred"
+)
+
+// mapRequest asks a worker to execute (or replay) one map task.
+type mapRequest struct {
+	// Key uniquely identifies the job run fleet-wide (job IDs repeat across
+	// concurrent queries).
+	Key string `json:"key"`
+	// Job is the mapred wire envelope of the compiled job.
+	Job []byte `json:"job"`
+	// ReduceParts and Combine mirror the coordinator's JobContext so both
+	// sides compile identical execution state.
+	ReduceParts int  `json:"reduceParts"`
+	Combine     bool `json:"combine"`
+	// Spec identifies the task.
+	Spec mapred.MapTaskSpec `json:"spec"`
+	// Input is the raw input partition payload (normal execution).
+	Input []byte `json:"input,omitempty"`
+	// Replay selects reuse-as-recovery: rebuild the task's shuffle runs
+	// from ReplayTags (per blocking-input tag stored partition payloads)
+	// instead of re-running the map pipeline over Input.
+	Replay     bool           `json:"replay,omitempty"`
+	ReplayTags map[int][]byte `json:"replayTags,omitempty"`
+}
+
+// mapResponse reports one executed map task's buffered outputs. The worker
+// retains the encoded shuffle runs for peer pulls; Runs carries their
+// metadata (the coordinator stamps each ref with the worker's address).
+type mapResponse struct {
+	Stores       map[string]mapred.StorePart `json:"stores"`
+	Runs         []mapred.RunRef             `json:"runs"`
+	InputBytes   int64                       `json:"inputBytes"`
+	ShuffleBytes int64                       `json:"shuffleBytes"`
+}
+
+// reduceRequest asks a worker to execute one reduce partition, pulling the
+// named runs from the workers holding them.
+type reduceRequest struct {
+	Key         string          `json:"key"`
+	Job         []byte          `json:"job"`
+	ReduceParts int             `json:"reduceParts"`
+	Combine     bool            `json:"combine"`
+	Part        int             `json:"part"`
+	Refs        []mapred.RunRef `json:"refs"`
+}
+
+// reduceResponse reports one reduce partition's outputs and how many shuffle
+// bytes the worker pulled from peers to compute it.
+type reduceResponse struct {
+	Stores      map[string]mapred.StorePart `json:"stores"`
+	PulledBytes int64                       `json:"pulledBytes"`
+}
+
+// errorResponse is the body of a non-2xx worker reply. BadAddr names the
+// peer a shuffle pull failed against, so the coordinator can tell "this
+// worker is sick" from "this worker's upstream is dead" and recover the
+// right tasks.
+type errorResponse struct {
+	Error   string `json:"error"`
+	BadAddr string `json:"badAddr,omitempty"`
+}
+
+// releaseRequest frees a finished job run's retained state on a worker.
+type releaseRequest struct {
+	Key string `json:"key"`
+}
+
+// healthResponse is the GET /v1/healthz body: liveness plus the task
+// counters restorectl's fleet listing renders.
+type healthResponse struct {
+	OK           bool   `json:"ok"`
+	Addr         string `json:"addr"`
+	MapTasks     int64  `json:"mapTasks"`
+	ReduceTasks  int64  `json:"reduceTasks"`
+	Jobs         int    `json:"jobs"`
+	RetainedRuns int    `json:"retainedRuns"`
+}

@@ -1,0 +1,516 @@
+package fleet
+
+// Fleet backend battery: differential equivalence against the in-process
+// backend, fault injection (worker crash before/during/after the map phase,
+// torn shuffle pulls, duplicate task completion), and the kill-a-worker
+// end-to-end recovery proof where a lost map task is rebuilt from stored
+// sub-job outputs (reuse as recovery) instead of re-executed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	restore "repro"
+	"repro/internal/logical"
+	"repro/internal/mapred"
+	"repro/internal/mrcompile"
+	"repro/internal/physical"
+	"repro/internal/piglatin"
+)
+
+// testFleet is N workers behind httptest servers plus the addresses a
+// coordinator dispatches to.
+type testFleet struct {
+	workers []*Worker
+	servers []*httptest.Server
+	addrs   []string
+}
+
+func startFleet(t *testing.T, n int, cfg WorkerConfig) *testFleet {
+	t.Helper()
+	tf := &testFleet{}
+	for i := 0; i < n; i++ {
+		w := NewWorker(cfg)
+		srv := httptest.NewServer(w.Handler())
+		w.SetAddr(srv.URL)
+		tf.workers = append(tf.workers, w)
+		tf.servers = append(tf.servers, srv)
+		tf.addrs = append(tf.addrs, srv.URL)
+	}
+	t.Cleanup(func() {
+		for _, srv := range tf.servers {
+			srv.Close()
+		}
+	})
+	return tf
+}
+
+// newFleetSystem builds a System executing through a fleet coordinator wired
+// the way restored -fleet-workers wires it (repository-or-restore/-prefix
+// RepoCheck).
+func newFleetSystem(t *testing.T, addrs []string, opts ...restore.Option) (*restore.System, *Coordinator) {
+	t.Helper()
+	sys := restore.New(opts...)
+	coord := NewCoordinator(sys.Engine(), Config{
+		FS:      sys.FS(),
+		Workers: addrs,
+		RepoCheck: func(path string) bool {
+			return sys.Repository().ReferencesPath(path) || strings.HasPrefix(path, "restore/")
+		},
+	})
+	sys.SetBackend(coord)
+	return sys, coord
+}
+
+// seedFleetData loads identical seeded fact/dim tables into a system.
+func seedFleetData(t *testing.T, s *restore.System, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var facts, dims []string
+	for i := 0; i < 200; i++ {
+		facts = append(facts, fmt.Sprintf("k%02d\t%d\t%d\tv%d",
+			rng.Intn(20), rng.Intn(100), rng.Intn(10), rng.Intn(5)))
+	}
+	for i := 0; i < 20; i++ {
+		dims = append(dims, fmt.Sprintf("k%02d\tname%d", i, i))
+	}
+	if err := s.LoadTSV("data/facts", "k, a:int, b:int, c", facts, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadTSV("data/dims", "k, label", dims, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomFleetQuery builds a random pipeline; the small operator space repeats
+// sub-plans across queries so the repository fills and rewrites kick in.
+func randomFleetQuery(rng *rand.Rand, idx int) (src, out string) {
+	out = fmt.Sprintf("out/q%d", idx)
+	var sb strings.Builder
+	sb.WriteString("F = load 'data/facts' as (k, a:int, b:int, c);\n")
+	cur := "F"
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		next := fmt.Sprintf("S%d", i)
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&sb, "%s = filter %s by a > %d;\n", next, cur, 10+10*rng.Intn(6))
+		case 1:
+			fmt.Fprintf(&sb, "%s = foreach %s generate k, a, b, c;\n", next, cur)
+		case 2:
+			fmt.Fprintf(&sb, "%s = distinct %s;\n", next, cur)
+		}
+		cur = next
+	}
+	switch rng.Intn(3) {
+	case 0:
+		fmt.Fprintf(&sb, "G = group %s by k;\nR = foreach G generate group, COUNT(%s), SUM(%s.a);\n", cur, cur, cur)
+		cur = "R"
+	case 1:
+		sb.WriteString("D = load 'data/dims' as (k, label);\n")
+		fmt.Fprintf(&sb, "J = join D by k, %s by k;\n", cur)
+		cur = "J"
+	case 2:
+		fmt.Fprintf(&sb, "O = order %s by a desc, k;\n", cur)
+		cur = "O"
+	}
+	fmt.Fprintf(&sb, "store %s into '%s';\n", cur, out)
+	return sb.String(), out
+}
+
+// groupQuery is the canonical blocking query the fault tests run: one job,
+// injected map-side sub-job stores (aggressive heuristic), a reduce phase.
+const groupQuery = `F = load 'data/facts' as (k, a:int, b:int, c);
+S = filter F by a > 20;
+G = group S by k;
+R = foreach G generate group, COUNT(S), SUM(S.a);
+store R into 'out/fault';
+`
+
+// exportState captures repository + DFS for byte-level comparison.
+func exportState(t *testing.T, s *restore.System) []byte {
+	t.Helper()
+	var repo, fsb bytes.Buffer
+	if err := s.SaveState(&repo, &fsb); err != nil {
+		t.Fatal(err)
+	}
+	return append(repo.Bytes(), fsb.Bytes()...)
+}
+
+// runAndRead executes one query and returns its output rows.
+func runAndRead(t *testing.T, s *restore.System, src, out string) []string {
+	t.Helper()
+	res, err := s.Execute(src)
+	if err != nil {
+		t.Fatalf("execute: %v\n%s", err, src)
+	}
+	rows, err := s.ReadOutputTSV(res, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestFleetDifferentialOracle: a fleet-backed system must be observationally
+// identical to the in-process oracle on seeded workloads — the same rewrite
+// decisions, the same rows, and byte-identical final repository + DFS state.
+func TestFleetDifferentialOracle(t *testing.T) {
+	for seed := int64(0); seed < 2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			tf := startFleet(t, 2, WorkerConfig{})
+			oracle := restore.New()
+			fleetSys, coord := newFleetSystem(t, tf.addrs)
+			seedFleetData(t, oracle, seed)
+			seedFleetData(t, fleetSys, seed)
+
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 12; q++ {
+				src, out := randomFleetQuery(rng, q)
+				resO, err := oracle.Execute(src)
+				if err != nil {
+					t.Fatalf("oracle q%d: %v\n%s", q, err, src)
+				}
+				resF, err := fleetSys.Execute(src)
+				if err != nil {
+					t.Fatalf("fleet q%d: %v\n%s", q, err, src)
+				}
+				if len(resO.Rewrites) != len(resF.Rewrites) {
+					t.Fatalf("q%d rewrite decisions diverged: oracle %d, fleet %d",
+						q, len(resO.Rewrites), len(resF.Rewrites))
+				}
+				rowsO, err := oracle.ReadOutputTSV(resO, out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rowsF, err := fleetSys.ReadOutputTSV(resF, out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if strings.Join(rowsO, "\n") != strings.Join(rowsF, "\n") {
+					t.Fatalf("q%d rows diverged: oracle %d rows, fleet %d rows\n%s",
+						q, len(rowsO), len(rowsF), src)
+				}
+			}
+			if want, got := exportState(t, oracle), exportState(t, fleetSys); !bytes.Equal(want, got) {
+				t.Fatalf("final state diverged: oracle %d bytes, fleet %d bytes", len(want), len(got))
+			}
+			st := coord.Stats()
+			if st.MapTasksDispatched == 0 {
+				t.Fatal("fleet system dispatched no map tasks — backend not wired")
+			}
+			if st.TasksRetried != 0 || st.WorkerFailures != 0 {
+				t.Fatalf("fault-free run recorded failures: %+v", st)
+			}
+		})
+	}
+}
+
+// TestFleetWorkerFaultBeforeMap: a worker failing a map dispatch (HTTP 500)
+// while staying alive forces a retry that succeeds; the query completes with
+// rows identical to the in-process run.
+func TestFleetWorkerFaultBeforeMap(t *testing.T) {
+	tf := startFleet(t, 2, WorkerConfig{})
+	oracle := restore.New()
+	fleetSys, coord := newFleetSystem(t, tf.addrs)
+	seedFleetData(t, oracle, 7)
+	seedFleetData(t, fleetSys, 7)
+
+	tf.workers[0].failNextMap.Store(1)
+	want := runAndRead(t, oracle, groupQuery, "out/fault")
+	got := runAndRead(t, fleetSys, groupQuery, "out/fault")
+	if strings.Join(want, "\n") != strings.Join(got, "\n") {
+		t.Fatalf("rows diverged after injected map fault: %d vs %d rows", len(want), len(got))
+	}
+	if st := coord.Stats(); st.TasksRetried == 0 {
+		t.Fatalf("injected map fault not retried: %+v", st)
+	}
+}
+
+// TestFleetWorkerCrashMidMap: a worker dying outright (server closed) during
+// the map phase is declared dead and its tasks re-dispatched to the survivor.
+func TestFleetWorkerCrashMidMap(t *testing.T) {
+	tf := startFleet(t, 2, WorkerConfig{})
+	oracle := restore.New()
+	fleetSys, coord := newFleetSystem(t, tf.addrs)
+	seedFleetData(t, oracle, 11)
+	seedFleetData(t, fleetSys, 11)
+
+	// Close before the query: every dispatch to it is a transport error, so
+	// the first map task lands on a dead worker mid-stream.
+	tf.servers[1].Close()
+	want := runAndRead(t, oracle, groupQuery, "out/fault")
+	got := runAndRead(t, fleetSys, groupQuery, "out/fault")
+	if strings.Join(want, "\n") != strings.Join(got, "\n") {
+		t.Fatalf("rows diverged after worker crash: %d vs %d rows", len(want), len(got))
+	}
+	st := coord.Stats()
+	if st.WorkerFailures == 0 {
+		t.Fatalf("crashed worker never declared dead: %+v", st)
+	}
+	if st.TasksRetried == 0 {
+		t.Fatalf("no task re-dispatched off the dead worker: %+v", st)
+	}
+}
+
+// TestFleetWorkerCrashAfterMap: a worker killed after the map phase takes its
+// retained shuffle runs with it; the reduce phase must detect the missing
+// holder, recover the lost map tasks, and still produce identical rows.
+func TestFleetWorkerCrashAfterMap(t *testing.T) {
+	tf := startFleet(t, 2, WorkerConfig{})
+	oracle := restore.New()
+	fleetSys, coord := newFleetSystem(t, tf.addrs)
+	seedFleetData(t, oracle, 13)
+	seedFleetData(t, fleetSys, 13)
+
+	var once sync.Once
+	coord.Engine().PhaseHook = func(jobID, phase string) {
+		if phase == "map-done" {
+			once.Do(func() { tf.servers[0].Close() })
+		}
+	}
+	want := runAndRead(t, oracle, groupQuery, "out/fault")
+	got := runAndRead(t, fleetSys, groupQuery, "out/fault")
+	if strings.Join(want, "\n") != strings.Join(got, "\n") {
+		t.Fatalf("rows diverged after post-map crash: %d vs %d rows", len(want), len(got))
+	}
+	st := coord.Stats()
+	if st.WorkerFailures == 0 {
+		t.Fatalf("post-map crash never declared dead: %+v", st)
+	}
+	if st.TasksRetried+st.TasksRecovered == 0 {
+		t.Fatalf("lost shuffle runs never re-materialized: %+v", st)
+	}
+}
+
+// TestFleetTornShufflePull: a truncated shuffle payload must be detected by
+// the run decoder (record count mismatch), attributed to the holding peer,
+// and retried — never silently folded into the merge.
+func TestFleetTornShufflePull(t *testing.T) {
+	tf := startFleet(t, 2, WorkerConfig{})
+	oracle := restore.New()
+	fleetSys, coord := newFleetSystem(t, tf.addrs)
+	seedFleetData(t, oracle, 17)
+	seedFleetData(t, fleetSys, 17)
+
+	tf.workers[0].tornNextShuffle.Store(1)
+	tf.workers[1].tornNextShuffle.Store(1)
+	want := runAndRead(t, oracle, groupQuery, "out/fault")
+	got := runAndRead(t, fleetSys, groupQuery, "out/fault")
+	if strings.Join(want, "\n") != strings.Join(got, "\n") {
+		t.Fatalf("rows diverged after torn shuffle pull: %d vs %d rows", len(want), len(got))
+	}
+	if st := coord.Stats(); st.TasksRetried == 0 {
+		t.Fatalf("torn pull never retried: %+v", st)
+	}
+}
+
+// TestFleetDuplicateCompletionIdempotent: re-dispatching an already-completed
+// map task (what recovery does when two reduce partitions race) must be
+// idempotent at the worker protocol level — the duplicate returns a
+// byte-identical response, the retained run set is overwritten in place, and
+// a reduce over the (twice-completed) runs still succeeds.
+func TestFleetDuplicateCompletionIdempotent(t *testing.T) {
+	tf := startFleet(t, 1, WorkerConfig{})
+	sys := restore.New()
+	seedFleetData(t, sys, 19)
+
+	script, err := piglatin.Parse(groupQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := logical.Build(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := mrcompile.Compile(lp, "tmp/dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := wf.Jobs[0]
+	if job.Blocking() == nil {
+		t.Fatal("expected a blocking job")
+	}
+	env, err := mapred.EncodeJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadID int
+	for _, op := range job.Plan.Ops() {
+		if op.Kind == physical.OpLoad {
+			loadID = op.ID
+			break
+		}
+	}
+	input, err := sys.FS().ReadPartitionRaw("data/facts", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := mapRequest{
+		Key:         "dup-test",
+		Job:         env,
+		ReduceParts: 4,
+		Combine:     true,
+		Spec:        mapred.MapTaskSpec{TaskIdx: 0, LoadID: loadID, Partition: 0},
+		Input:       input,
+	}
+	post := func(path string, in any) []byte {
+		t.Helper()
+		body, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(tf.addrs[0]+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s: %s", path, resp.Status, data)
+		}
+		return data
+	}
+
+	first := post("/v1/map", &req)
+	w := tf.workers[0]
+	w.mu.Lock()
+	retained := len(w.jobs["dup-test"].runs)
+	w.mu.Unlock()
+	if retained == 0 {
+		t.Fatal("map task retained no runs")
+	}
+
+	second := post("/v1/map", &req)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("duplicate completion responses differ:\n%s\n%s", first, second)
+	}
+	w.mu.Lock()
+	after := len(w.jobs["dup-test"].runs)
+	w.mu.Unlock()
+	if after != retained {
+		t.Fatalf("duplicate completion grew retention: %d -> %d runs", retained, after)
+	}
+
+	// The twice-completed runs still serve a reduce.
+	var mresp mapResponse
+	if err := json.Unmarshal(second, &mresp); err != nil {
+		t.Fatal(err)
+	}
+	for i := range mresp.Runs {
+		mresp.Runs[i].Addr = tf.addrs[0]
+	}
+	var refs []mapred.RunRef
+	for _, r := range mresp.Runs {
+		if r.Part == mresp.Runs[0].Part {
+			refs = append(refs, r)
+		}
+	}
+	post("/v1/reduce", &reduceRequest{
+		Key: "dup-test", Job: env, ReduceParts: 4, Combine: true,
+		Part: mresp.Runs[0].Part, Refs: refs,
+	})
+}
+
+// TestFleetKillWorkerRecoversFromRepository is the end-to-end recovery proof:
+// with 3 workers and a worker killed after the map phase, every query still
+// completes, and at least one lost map task is rebuilt from stored sub-job
+// outputs (TasksRecovered) — ReStore's reuse-as-recovery — rather than
+// re-executed from scratch.
+func TestFleetKillWorkerRecoversFromRepository(t *testing.T) {
+	tf := startFleet(t, 3, WorkerConfig{})
+	oracle := restore.New()
+	fleetSys, coord := newFleetSystem(t, tf.addrs)
+	seedFleetData(t, oracle, 23)
+	seedFleetData(t, fleetSys, 23)
+
+	var once sync.Once
+	coord.Engine().PhaseHook = func(jobID, phase string) {
+		if phase == "map-done" {
+			// Map-side sub-job stores are committed by now; killing a worker
+			// forces the reduce phase to recover its lost runs, and the
+			// stored partitions let it replay instead of re-execute.
+			once.Do(func() { tf.servers[0].Close() })
+		}
+	}
+
+	queries := []string{groupQuery}
+	rng := rand.New(rand.NewSource(23))
+	for q := 0; q < 5; q++ {
+		src, _ := randomFleetQuery(rng, q)
+		queries = append(queries, src)
+	}
+	for qi, src := range queries {
+		out := "out/fault"
+		if qi > 0 {
+			out = fmt.Sprintf("out/q%d", qi-1)
+		}
+		want := runAndRead(t, oracle, src, out)
+		got := runAndRead(t, fleetSys, src, out)
+		if strings.Join(want, "\n") != strings.Join(got, "\n") {
+			t.Fatalf("q%d rows diverged after worker kill: %d vs %d rows\n%s",
+				qi, len(want), len(got), src)
+		}
+	}
+	st := coord.Stats()
+	if st.WorkerFailures == 0 {
+		t.Fatalf("killed worker never declared dead: %+v", st)
+	}
+	if st.TasksRecovered == 0 {
+		t.Fatalf("no lost task recovered from stored sub-job outputs (reuse as recovery): %+v", st)
+	}
+	alive := 0
+	for _, w := range st.Workers {
+		if w.Alive {
+			alive++
+		}
+	}
+	if alive != 2 {
+		t.Fatalf("worker liveness wrong after kill: %+v", st.Workers)
+	}
+}
+
+// BenchmarkFleetGroupQuery drives the canonical blocking query through a
+// 2-worker fleet — the bench-fleet-smoke gate.
+func BenchmarkFleetGroupQuery(b *testing.B) {
+	tf := &testFleet{}
+	for i := 0; i < 2; i++ {
+		w := NewWorker(WorkerConfig{})
+		srv := httptest.NewServer(w.Handler())
+		w.SetAddr(srv.URL)
+		tf.workers = append(tf.workers, w)
+		tf.servers = append(tf.servers, srv)
+		tf.addrs = append(tf.addrs, srv.URL)
+	}
+	defer func() {
+		for _, srv := range tf.servers {
+			srv.Close()
+		}
+	}()
+	sys := restore.New()
+	coord := NewCoordinator(sys.Engine(), Config{FS: sys.FS(), Workers: tf.addrs})
+	sys.SetBackend(coord)
+	rng := rand.New(rand.NewSource(1))
+	var facts []string
+	for i := 0; i < 500; i++ {
+		facts = append(facts, fmt.Sprintf("k%02d\t%d\t%d\tv%d",
+			rng.Intn(20), rng.Intn(100), rng.Intn(10), rng.Intn(5)))
+	}
+	if err := sys.LoadTSV("data/facts", "k, a:int, b:int, c", facts, 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := strings.Replace(groupQuery, "out/fault", fmt.Sprintf("out/b%d", i), 1)
+		if _, err := sys.Execute(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

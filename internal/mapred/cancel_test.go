@@ -1,0 +1,85 @@
+package mapred
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// viewsGroupPlan builds load(data/views) -> group(user) -> store: three map
+// tasks (data/views has 3 partitions) and a reduce phase.
+func viewsGroupPlan(t *testing.T, out string) *physical.Plan {
+	t.Helper()
+	p := physical.NewPlan()
+	ld := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
+	sub := viewsSchema()
+	g := p.Add(&physical.Operator{Kind: physical.OpGroup, Inputs: []int{ld.ID},
+		Keys: [][]*expr.Expr{{expr.ColIdx(0)}},
+		Schema: types.Schema{Fields: []types.Field{
+			{Name: "group"}, {Name: "C", Kind: types.KindBag, Sub: &sub}}}})
+	p.Add(&physical.Operator{Kind: physical.OpStore, Inputs: []int{g.ID}, Path: out, Schema: g.Schema})
+	return p
+}
+
+// TestRunJobContextCancellation proves cancellation is honored at task
+// boundaries: with map tasks serialized and the first one blocked on a fault
+// hook, canceling the context while it runs must fail the job with
+// context.Canceled and prevent the remaining tasks from ever starting.
+func TestRunJobContextCancellation(t *testing.T) {
+	e := newTestEngine()
+	seedViews(t, e.FS)
+	e.MapParallelism = 1
+
+	started := make(chan int, 8)
+	block := make(chan struct{})
+	var startedCount atomic.Int32
+	e.mapTaskHook = func(ctx context.Context, taskIdx int) error {
+		startedCount.Add(1)
+		started <- taskIdx
+		<-block
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started // first task is inside the hook
+		cancel()
+		close(block) // let it finish; the dispatcher must now stop
+	}()
+
+	_, err := e.RunJob(ctx, mustJob(t, "cancel", viewsGroupPlan(t, "out/cancel")))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunJob error = %v, want context.Canceled", err)
+	}
+	// data/views has 3 partitions; with parallelism 1 only the blocked first
+	// task may have started before the cancellation was observed.
+	if n := startedCount.Load(); n >= 3 {
+		t.Fatalf("%d map tasks started after cancellation, want the unstarted ones skipped", n)
+	}
+}
+
+// TestRunWorkflowContextCanceledUpFront: an already-canceled context fails
+// the workflow before any task runs.
+func TestRunWorkflowContextCanceledUpFront(t *testing.T) {
+	e := newTestEngine()
+	seedViews(t, e.FS)
+	var ran atomic.Int32
+	e.mapTaskHook = func(ctx context.Context, taskIdx int) error {
+		ran.Add(1)
+		return nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := &Workflow{Jobs: []*Job{mustJob(t, "pre", viewsGroupPlan(t, "out/pre"))}}
+	if _, err := e.RunWorkflow(ctx, w); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunWorkflow error = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d map tasks ran under a pre-canceled context", ran.Load())
+	}
+}

@@ -1,0 +1,254 @@
+package mapred_test
+
+// Seeded round-trip property test for the versioned job wire codec: any
+// compiled job — every operator kind, every blocking kind, combiner and
+// map-only shapes included — must survive EncodeJob/DecodeJob with an
+// identical plan fingerprint, and a decoded workflow must execute
+// byte-identically to the original (full-DFS export comparison). This is the
+// contract the fleet backend rests on: a worker that decodes an envelope runs
+// exactly the job the coordinator compiled.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/logical"
+	"repro/internal/mapred"
+	"repro/internal/mrcompile"
+	"repro/internal/piglatin"
+	"repro/internal/types"
+)
+
+// compileSrc runs the full front end: Pig Latin → logical plan → MR workflow.
+func compileSrc(t *testing.T, src string) *mapred.Workflow {
+	t.Helper()
+	script, err := piglatin.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	plan, err := logical.Build(script)
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, src)
+	}
+	w, err := mrcompile.Compile(plan, "tmp/codec")
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	return w
+}
+
+// seedCodecData loads seeded random views/users tables: a shared name pool
+// keeps joins and cogroups selective but non-empty.
+func seedCodecData(t *testing.T, fs *dfs.FS, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	views := types.NewSchema(
+		types.Field{Name: "user", Kind: types.KindString},
+		types.Field{Name: "rev", Kind: types.KindInt},
+	)
+	var vrows []types.Tuple
+	for i := 0; i < 120; i++ {
+		vrows = append(vrows, types.Tuple{
+			types.NewString(fmt.Sprintf("u%02d", rng.Intn(16))),
+			types.NewInt(int64(rng.Intn(100))),
+		})
+	}
+	if err := fs.WritePartitioned("data/views", views, vrows, 3); err != nil {
+		t.Fatal(err)
+	}
+	users := types.NewSchema(
+		types.Field{Name: "name", Kind: types.KindString},
+		types.Field{Name: "phone", Kind: types.KindString},
+	)
+	var urows []types.Tuple
+	for i := 0; i < 12; i++ {
+		urows = append(urows, types.Tuple{
+			types.NewString(fmt.Sprintf("u%02d", i)),
+			types.NewString(fmt.Sprintf("555-%04d", rng.Intn(10000))),
+		})
+	}
+	if err := fs.WritePartitioned("data/users", users, urows, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// codecQueries builds the seeded query set. Together the templates cover
+// every operator kind the compiler emits (load, filter, foreach, split,
+// store; group, cogroup, join, distinct, union, order, limit as blocking
+// ops), the combiner path (COUNT/SUM over group), multi-job workflows, and a
+// map-only job.
+func codecQueries(rng *rand.Rand) []string {
+	r := 10 + 10*rng.Intn(6)
+	k := 3 + rng.Intn(7)
+	dir := ""
+	if rng.Intn(2) == 1 {
+		dir = " desc"
+	}
+	return []string{
+		// Group with algebraic aggregates: blocking Group + combiner.
+		fmt.Sprintf(`A = load 'data/views' as (user, rev:int);
+B = filter A by rev > %d;
+G = group B by user;
+R = foreach G generate group, COUNT(B), SUM(B.rev);
+store R into 'out/group';`, r),
+		// Join feeding order + limit: blocking Join, Order, Limit chain.
+		fmt.Sprintf(`A = load 'data/views' as (user, rev:int);
+U = load 'data/users' as (name, phone);
+J = join U by name, A by user;
+O = order J by name%s;
+L = limit O %d;
+store L into 'out/joinorder';`, dir, k),
+		// Cogroup + ISEMPTY anti-join (paper L5 shape): blocking CoGroup.
+		`A = load 'data/views' as (user, rev:int);
+B = foreach A generate user;
+U = load 'data/users' as (name, phone);
+V = foreach U generate name;
+C = cogroup V by name, B by user;
+D = filter C by ISEMPTY(B);
+E = foreach D generate group;
+store E into 'out/cogroup';`,
+		// Distinct + union + distinct (paper L11 shape): three jobs,
+		// blocking Distinct and Union.
+		`A = load 'data/views' as (user, rev:int);
+B = foreach A generate user;
+C = distinct B;
+U = load 'data/users' as (name, phone);
+V = foreach U generate name;
+W = distinct V;
+D = union C, W;
+E = distinct D;
+store E into 'out/union';`,
+		// Map-only pipeline: no blocking operator at all.
+		fmt.Sprintf(`A = load 'data/views' as (user, rev:int);
+B = filter A by rev > %d;
+C = foreach B generate user, rev;
+store C into 'out/maponly';`, r),
+	}
+}
+
+// TestCodecRoundTripProperty: for seeded workloads, every compiled job's wire
+// envelope decodes to a job with the identical plan fingerprint, and the
+// decoded workflow executes byte-identically to the original on an
+// identically seeded DFS.
+func TestCodecRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			for qi, src := range codecQueries(rng) {
+				w := compileSrc(t, src)
+
+				// Per-job round trip: fingerprint identity.
+				for _, job := range w.Jobs {
+					fpBefore := mapred.PlanFingerprint(job.Plan)
+					env, err := mapred.EncodeJob(job)
+					if err != nil {
+						t.Fatalf("q%d EncodeJob(%s): %v", qi, job.ID, err)
+					}
+					dec, err := mapred.DecodeJob(env)
+					if err != nil {
+						t.Fatalf("q%d DecodeJob(%s): %v", qi, job.ID, err)
+					}
+					if dec.ID != job.ID {
+						t.Fatalf("q%d decoded ID = %q, want %q", qi, dec.ID, job.ID)
+					}
+					if fpAfter := mapred.PlanFingerprint(dec.Plan); fpAfter != fpBefore {
+						t.Fatalf("q%d job %s fingerprint changed across the wire: %016x -> %016x",
+							qi, job.ID, fpBefore, fpAfter)
+					}
+					// The blocking split must survive recompilation on the
+					// far side.
+					if (job.Blocking() == nil) != (dec.Blocking() == nil) {
+						t.Fatalf("q%d job %s blocking presence diverged", qi, job.ID)
+					}
+					if job.Blocking() != nil && dec.Blocking().Kind != job.Blocking().Kind {
+						t.Fatalf("q%d job %s blocking kind %s -> %s",
+							qi, job.ID, job.Blocking().Kind, dec.Blocking().Kind)
+					}
+				}
+
+				// Workflow round trip: the decoded workflow must execute
+				// byte-identically to the original.
+				wire, err := mapred.EncodeWorkflow(w)
+				if err != nil {
+					t.Fatalf("q%d EncodeWorkflow: %v", qi, err)
+				}
+				decW, err := mapred.DecodeWorkflow(wire)
+				if err != nil {
+					t.Fatalf("q%d DecodeWorkflow: %v", qi, err)
+				}
+
+				fsA, fsB := dfs.New(), dfs.New()
+				seedCodecData(t, fsA, seed)
+				seedCodecData(t, fsB, seed)
+				if _, err := mapred.NewEngine(fsA, cluster.Default()).RunWorkflow(context.Background(), w); err != nil {
+					t.Fatalf("q%d original run: %v", qi, err)
+				}
+				if _, err := mapred.NewEngine(fsB, cluster.Default()).RunWorkflow(context.Background(), decW); err != nil {
+					t.Fatalf("q%d decoded run: %v", qi, err)
+				}
+				var bufA, bufB bytes.Buffer
+				if err := fsA.Export(&bufA); err != nil {
+					t.Fatal(err)
+				}
+				if err := fsB.Export(&bufB); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+					t.Fatalf("q%d decoded workflow diverged from original: %d vs %d exported bytes",
+						qi, bufA.Len(), bufB.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestCodecRejectsWrongVersionAndTamper pins the failure modes: an unknown
+// wire version and a plan whose fingerprint does not match the envelope are
+// both rejected.
+func TestCodecRejectsWrongVersionAndTamper(t *testing.T) {
+	w := compileSrc(t, `A = load 'data/views' as (user, rev:int);
+G = group A by user;
+R = foreach G generate group, COUNT(A);
+store R into 'out/v';`)
+	env, err := mapred.EncodeJob(w.Jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper := func(field string, v any) []byte {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(env, &m); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m[field] = raw
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if _, err := mapred.DecodeJob(tamper("v", 99)); err == nil {
+		t.Error("DecodeJob accepted an unknown wire version")
+	}
+	var fp uint64
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(env, &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(m["fp"], &fp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapred.DecodeJob(tamper("fp", fp+1)); err == nil {
+		t.Error("DecodeJob accepted a fingerprint mismatch")
+	}
+}

@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -101,7 +102,7 @@ func TestCombinedMatchesUncombined(t *testing.T) {
 		if err := e.FS.WritePartitioned("data/views", viewsSchema(), rows, 3); err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.RunJob(buildAggJob(t, "out/agg", false))
+		res, err := e.RunJob(context.Background(), buildAggJob(t, "out/agg", false))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func TestCombinedGroupAll(t *testing.T) {
 	if detectCombiner(job) == nil {
 		t.Fatal("GROUP ALL + algebraic aggregates should combine")
 	}
-	if _, err := e.RunJob(job); err != nil {
+	if _, err := e.RunJob(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	got := readSorted(t, e.FS, "out/all")
@@ -173,7 +174,7 @@ func TestCombinerNullHandling(t *testing.T) {
 			mustBind(t, expr.Call("COUNT", expr.Col("C")), g.Schema)},
 		Schema: types.SchemaFromNames("group", "sum", "cnt")})
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/nulls", Inputs: []int{fe.ID}, Schema: fe.Schema})
-	if _, err := e.RunJob(mustJob(t, "nulls", p)); err != nil {
+	if _, err := e.RunJob(context.Background(), mustJob(t, "nulls", p)); err != nil {
 		t.Fatal(err)
 	}
 	got := readSorted(t, e.FS, "out/nulls")

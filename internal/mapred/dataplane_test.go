@@ -2,6 +2,7 @@ package mapred
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -236,7 +237,7 @@ func dpRunPlane(t *testing.T, seed int64, serial bool) *planeSummary {
 	}
 	sum := &planeSummary{rows: make(map[string][]string)}
 	for _, job := range dpJobs(t, rng) {
-		res, err := e.RunJob(job)
+		res, err := e.RunJob(context.Background(), job)
 		if err != nil {
 			sum.errs = append(sum.errs, err.Error())
 			sum.results = append(sum.results, nil)
@@ -332,7 +333,7 @@ func TestEngineMapPhaseCollectsAllErrors(t *testing.T) {
 			l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "data/views", Schema: viewsSchema()})
 			d := p.Add(&physical.Operator{Kind: physical.OpDistinct, Inputs: []int{l.ID}, Schema: l.Schema})
 			p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/multierr", Inputs: []int{d.ID}, Schema: d.Schema})
-			_, err := e.RunJob(mustJob(t, "multierr", p))
+			_, err := e.RunJob(context.Background(), mustJob(t, "multierr", p))
 			if err == nil {
 				t.Fatal("job over corrupt input succeeded")
 			}

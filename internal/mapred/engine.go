@@ -1,9 +1,9 @@
 package mapred
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -60,11 +60,29 @@ type Engine struct {
 	// this knob is what lets benchmarks reproduce that regime: a FIFO
 	// scheduler serializes the waits, a concurrent one overlaps them.
 	LatencyScale float64
+	// Runner executes individual tasks. Nil selects the in-process runner
+	// (this process's map/reduce pools against FS). Remote backends
+	// (internal/fleet) install a TaskRunner that ships tasks to worker
+	// processes; either way the engine keeps planning, output-file
+	// creation, partition commits, and stats.
+	Runner TaskRunner
+	// Shuffle overrides the transport the in-process runner uses to
+	// materialize a reduce partition's runs. Nil selects the zero-copy
+	// in-memory hand-off.
+	Shuffle ShuffleTransport
+	// PhaseHook, when set, is called as each job passes a phase boundary
+	// with the job ID and a label ("map-done", "job-done"). Fault-injection
+	// tests use it to time worker kills against phase boundaries.
+	PhaseHook func(jobID, phase string)
 
 	// runHint is the observed mean shuffle-run length of the engine's most
 	// recent reduce job; map tasks pre-size their run buffers from it so
 	// steady-state workloads skip the append growth path.
 	runHint atomic.Int64
+	// mapTaskHook, when set, runs at the start of every map task executed
+	// by the in-process runner (the cancellation regression tests block
+	// and release it).
+	mapTaskHook func(ctx context.Context, taskIdx int) error
 }
 
 // DefaultReduceTasks is the reduce partition count NewEngine configures.
@@ -105,24 +123,24 @@ type mapTask struct {
 }
 
 // RunJob executes the job and returns its statistics and simulated times.
-func (e *Engine) RunJob(job *Job) (*JobResult, error) {
+// Cancelling ctx stops in-flight map tasks and reduce partitions at their
+// next record batch and prevents queued ones from starting.
+func (e *Engine) RunJob(ctx context.Context, job *Job) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tasks, err := e.planMapTasks(job)
 	if err != nil {
 		return nil, err
 	}
-	reduceParts := e.ReduceTasks
-	if reduceParts < 1 {
-		reduceParts = 1
-	}
-	if b := job.Blocking(); b != nil && (b.Kind == physical.OpOrder || b.Kind == physical.OpLimit) {
-		// Total order and exact limits need a single reduce partition.
-		reduceParts = 1
+	jc := e.newJobContext(job)
+	if rel, ok := e.runner().(JobReleaser); ok {
+		defer rel.ReleaseJob(jc)
 	}
 
 	// Create output files: map-side stores get one partition per map task,
 	// reduce-side stores one per reduce partition.
-	mapStores, reduceStores := e.splitStores(job)
-	for _, st := range mapStores {
+	for _, st := range jc.mapStores {
 		if _, err := e.FS.Create(st.Path, len(tasks)); err != nil {
 			return nil, err
 		}
@@ -130,8 +148,8 @@ func (e *Engine) RunJob(job *Job) (*JobResult, error) {
 			return nil, err
 		}
 	}
-	for _, st := range reduceStores {
-		if _, err := e.FS.Create(st.Path, reduceParts); err != nil {
+	for _, st := range jc.reduceStores {
+		if _, err := e.FS.Create(st.Path, jc.ReduceParts); err != nil {
 			return nil, err
 		}
 		if err := e.FS.SetSchema(st.Path, st.Schema); err != nil {
@@ -139,22 +157,22 @@ func (e *Engine) RunJob(job *Job) (*JobResult, error) {
 		}
 	}
 
-	var comb *combineSpec
-	if !e.DisableCombiner {
-		comb = detectCombiner(job)
-	}
-
 	res := &JobResult{JobID: job.ID, StoreBytes: make(map[string]int64)}
-	cmp := compileComparator(job.Blocking())
-	runs, err := e.runMapPhase(job, tasks, reduceParts, comb, cmp, res)
+	byPart, err := e.runMapPhase(ctx, jc, tasks, res)
 	if err != nil {
 		return nil, err
 	}
+	if e.PhaseHook != nil {
+		e.PhaseHook(job.ID, "map-done")
+	}
 	if job.Blocking() != nil {
 		res.Stats.HasReduce = true
-		if err := e.runReducePhase(job, runs, reduceParts, comb, cmp, res); err != nil {
+		if err := e.runReducePhase(ctx, jc, byPart, res); err != nil {
 			return nil, err
 		}
+	}
+	if e.PhaseHook != nil {
+		e.PhaseHook(job.ID, "job-done")
 	}
 
 	// Collect per-store byte counts and classify them for the cost model.
@@ -208,7 +226,8 @@ func (e *Engine) planMapTasks(job *Job) ([]mapTask, error) {
 	return tasks, nil
 }
 
-func (e *Engine) splitStores(job *Job) (mapStores, reduceStores []*physical.Operator) {
+// splitStores partitions the job's stores into map-side and reduce-side.
+func splitStores(job *Job) (mapStores, reduceStores []*physical.Operator) {
 	for _, st := range job.Plan.Sinks() {
 		if job.MapSide(st.ID) {
 			mapStores = append(mapStores, st)
@@ -217,6 +236,24 @@ func (e *Engine) splitStores(job *Job) (mapStores, reduceStores []*physical.Oper
 		}
 	}
 	return mapStores, reduceStores
+}
+
+// runner returns the installed TaskRunner, defaulting to in-process.
+func (e *Engine) runner() TaskRunner {
+	if e.Runner != nil {
+		return e.Runner
+	}
+	return localRunner{e}
+}
+
+// newJobContext compiles the engine-side JobContext, wiring the engine's
+// data-plane selection, shared run-length hint, and test hooks into it.
+func (e *Engine) newJobContext(job *Job) *JobContext {
+	jc := NewJobContext(job, e.ReduceTasks, !e.DisableCombiner)
+	jc.pooled = !e.SerialDataPlane
+	jc.hint = &e.runHint
+	jc.mapHook = e.mapTaskHook
+	return jc
 }
 
 // taskOutput buffers one task's writes to one store.
@@ -246,18 +283,16 @@ func putUvarint(buf []byte, x uint64) int {
 	return i + 1
 }
 
-// runMapPhase executes all map tasks (bounded parallelism), commits the
-// map-side store partitions deterministically, and returns each reduce
-// partition's shuffle runs: the per-task locally sorted runs on the default
-// plane, or a single concatenated unsorted buffer on the serial one. Task
-// failures are all collected — a multi-task failure reports every task's
-// error (in task order), not an arbitrary one.
-func (e *Engine) runMapPhase(job *Job, tasks []mapTask, reduceParts int, comb *combineSpec, cmp *jobComparator, res *JobResult) ([][][]shuffleRec, error) {
-	mapStores, _ := e.splitStores(job)
-	blocking := job.Blocking()
-
-	// Per-task results and errors, merged deterministically afterwards.
-	results := make([]*mapTaskResult, len(tasks))
+// runMapPhase executes all map tasks through the TaskRunner (bounded
+// parallelism for the in-process runner; remote runners impose their own),
+// commits the map-side store partitions deterministically, and returns each
+// reduce partition's shuffle run refs in task order. Task failures are all
+// collected — a multi-task failure reports every task's error (in task
+// order), not an arbitrary one — except cancellation, which reports the
+// context error alone.
+func (e *Engine) runMapPhase(ctx context.Context, jc *JobContext, tasks []mapTask, res *JobResult) ([][]RunRef, error) {
+	runner := e.runner()
+	results := make([]*MapResult, len(tasks))
 	taskErrs := make([]error, len(tasks))
 
 	par := e.MapParallelism
@@ -272,199 +307,49 @@ func (e *Engine) runMapPhase(job *Job, tasks []mapTask, reduceParts int, comb *c
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			tr, err := e.runMapTask(job, task, blocking, mapStores, reduceParts, comb, cmp)
-			if err != nil {
-				taskErrs[task.taskIdx] = fmt.Errorf("mapred: job %s map task %d: %w", job.ID, task.taskIdx, err)
+			if err := ctx.Err(); err != nil {
+				taskErrs[task.taskIdx] = err
 				return
 			}
-			results[task.taskIdx] = tr
+			spec := MapTaskSpec{TaskIdx: task.taskIdx, LoadID: task.loadID, Partition: task.partition}
+			mr, err := runner.RunMapTask(ctx, jc, spec)
+			if err != nil {
+				taskErrs[task.taskIdx] = fmt.Errorf("mapred: job %s map task %d: %w", jc.Job.ID, task.taskIdx, err)
+				return
+			}
+			results[task.taskIdx] = mr
 		}(task)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapred: job %s: %w", jc.Job.ID, err)
+	}
 	if err := errors.Join(taskErrs...); err != nil {
 		return nil, err
 	}
 
-	// Commit map-side store partitions and collect shuffle runs.
-	runs := make([][][]shuffleRec, reduceParts)
-	pooled := !e.SerialDataPlane
-	var serial [][]shuffleRec
-	if !pooled {
-		serial = make([][]shuffleRec, reduceParts)
-	}
+	// Commit map-side store partitions and group shuffle runs by reduce
+	// partition, in task order.
+	byPart := make([][]RunRef, jc.ReduceParts)
 	var totalRecs, nRuns int
-	for idx, tr := range results {
-		for path, out := range tr.stores {
-			if err := e.FS.CommitPartition(path, idx, out.buf, out.records); err != nil {
-				return nil, err
-			}
-			if pooled {
-				putScratch(out.scratch)
-			}
-		}
-		for r := 0; r < reduceParts; r++ {
-			if tr.shuffle == nil || len(tr.shuffle[r]) == 0 {
-				continue
-			}
-			if pooled {
-				runs[r] = append(runs[r], tr.shuffle[r])
-				totalRecs += len(tr.shuffle[r])
-				nRuns++
-			} else {
-				serial[r] = append(serial[r], tr.shuffle[r]...)
-			}
-		}
-		res.Stats.InputBytes += tr.inputBytes
-		res.Stats.ShuffleBytes += tr.shuffleLen
-	}
-	if pooled {
-		if nRuns > 0 {
-			e.runHint.Store(int64(totalRecs/nRuns + 1))
-		}
-	} else {
-		for r := range serial {
-			runs[r] = [][]shuffleRec{serial[r]}
-		}
-	}
-	return runs, nil
-}
-
-// mapTaskResult buffers one map task's outputs until the deterministic
-// merge/commit step.
-type mapTaskResult struct {
-	shuffle    [][]shuffleRec // per reduce partition
-	stores     map[string]*taskOutput
-	inputBytes int64
-	shuffleLen int64 // encoded shuffle bytes
-}
-
-func (e *Engine) runMapTask(job *Job, task mapTask, blocking *physical.Operator, mapStores []*physical.Operator, reduceParts int, comb *combineSpec, cmp *jobComparator) (*mapTaskResult, error) {
-	tr := &mapTaskResult{stores: make(map[string]*taskOutput)}
-	pipe := exec.NewPipeline(job.Plan, job.mapSide)
-	pooled := !e.SerialDataPlane
-	runHint := 0
-	if pooled {
-		runHint = int(e.runHint.Load())
-	}
-
-	// Wire map-side stores: every task owns one partition of each.
-	for _, st := range mapStores {
-		out := &taskOutput{}
-		if pooled {
-			out.scratch = getScratch()
-		}
-		tr.stores[st.Path] = out
-		if err := pipe.SetOutput(st.ID, func(t types.Tuple) error {
-			out.write(t)
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-	}
-
-	// Wire shuffle collectors on the producers feeding the blocking op.
-	var seq int64
-	var scratch []byte
-	if pooled {
-		scratch = getScratch()
-		defer func() { putScratch(scratch) }()
-	}
-	push := func(r int, rec shuffleRec) {
-		run := tr.shuffle[r]
-		if pooled && cap(run) == 0 {
-			run = getRecSlice(runHint)
-		}
-		tr.shuffle[r] = append(run, rec)
-	}
-	collect := func(key, val types.Tuple) {
-		r := 0
-		if reduceParts > 1 {
-			r = int(types.HashTuple(key) % uint64(reduceParts))
-		}
-		push(r, shuffleRec{key: key, seq: int64(task.taskIdx)<<32 | seq, val: val})
-		seq++
-		scratch = types.EncodeTuple(scratch[:0], key)
-		tr.shuffleLen += int64(len(scratch))
-		scratch = types.EncodeTuple(scratch[:0], val)
-		tr.shuffleLen += int64(len(scratch))
-	}
-	var acc *combAccumulator
-	if blocking != nil {
-		tr.shuffle = make([][]shuffleRec, reduceParts)
-		if comb != nil {
-			acc = newCombAccumulator(comb)
-		}
-		for tag, inID := range blocking.Inputs {
-			tag := tag
-			var keyScratch types.Tuple
-			emit := func(t types.Tuple) error {
-				if acc != nil {
-					// The combiner clones the key on first sight of a
-					// group, so the evaluation can reuse one scratch tuple
-					// for the whole task instead of allocating per record.
-					keyScratch = blockingKeyInto(keyScratch, blocking, tag, t)
-					acc.add(keyScratch, t)
-					return nil
-				}
-				key := blockingKey(blocking, tag, t)
-				if blocking.Kind == physical.OpJoin && exec.KeyHasNull(key) {
-					return nil // null join keys never match
-				}
-				r := 0
-				if reduceParts > 1 {
-					r = int(types.HashTuple(key) % uint64(reduceParts))
-				}
-				push(r, shuffleRec{key: key, tag: tag, seq: int64(task.taskIdx)<<32 | seq, val: t})
-				seq++
-				scratch = types.EncodeTuple(scratch[:0], key)
-				tr.shuffleLen += int64(len(scratch))
-				scratch = types.EncodeTuple(scratch[:0], t)
-				tr.shuffleLen += int64(len(scratch))
-				return nil
-			}
-			if err := pipe.SetOutput(inID, emit); err != nil {
+	for idx, mr := range results {
+		for path, sp := range mr.Stores {
+			if err := e.FS.CommitPartition(path, idx, sp.Data, sp.Records); err != nil {
 				return nil, err
 			}
 		}
-	}
-	if err := pipe.Validate(); err != nil {
-		return nil, fmt.Errorf("pipeline for %s: %w", job.ID, err)
-	}
-
-	// Stream the input partition through the pipeline.
-	r, nbytes, err := e.FS.OpenPartition(job.Plan.Op(task.loadID).Path, task.partition)
-	if err != nil {
-		return nil, err
-	}
-	tr.inputBytes = nbytes
-	for {
-		t, err := r.Read()
-		if err == io.EOF {
-			break
+		for _, ref := range mr.Runs {
+			byPart[ref.Part] = append(byPart[ref.Part], ref)
+			totalRecs += ref.Records
+			nRuns++
 		}
-		if err != nil {
-			return nil, err
-		}
-		if err := pipe.Push(task.loadID, t); err != nil {
-			return nil, err
-		}
+		res.Stats.InputBytes += mr.InputBytes
+		res.Stats.ShuffleBytes += mr.ShuffleBytes
 	}
-	// Flush combined partials: one shuffle record per group key.
-	if acc != nil {
-		for _, ks := range acc.order {
-			st := acc.states[ks]
-			collect(st.key, st.vals)
-		}
+	if jc.pooled && nRuns > 0 {
+		e.runHint.Store(int64(totalRecs/nRuns + 1))
 	}
-	// Local sort: ship each reduce partition's run already ordered, so the
-	// reduce side merges instead of re-sorting. Runs from different tasks
-	// sort concurrently inside the map-task pool.
-	if pooled && tr.shuffle != nil {
-		for r := range tr.shuffle {
-			sortRun(cmp, tr.shuffle[r])
-		}
-	}
-	return tr, nil
+	return byPart, nil
 }
 
 // blockingKey computes the shuffle key for one record entering the blocking
@@ -514,31 +399,34 @@ func blockingKeyInto(dst types.Tuple, b *physical.Operator, tag int, t types.Tup
 	}
 }
 
-// runReducePhase applies the blocking operator (or merges combiner
-// partials) per reduce partition and streams results through the
-// reduce-side pipeline. On the default plane each partition k-way-merges
-// its pre-sorted map runs and partitions execute on the ReduceParallelism
-// worker pool — partitions are independent (distinct keys, distinct output
-// file partitions), so concurrency changes wall clock only. The serial
-// plane keeps the reference behavior: concatenated buffer, stable
+// runReducePhase runs every reduce partition through the TaskRunner and
+// commits the returned store payloads. On the default plane each partition
+// k-way-merges its pre-sorted map runs and partitions execute on the
+// ReduceParallelism worker pool — partitions are independent (distinct keys,
+// distinct output file partitions), so concurrency changes wall clock only.
+// The serial plane keeps the reference behavior: concatenated buffer, stable
 // single-sort, sequential partitions.
-func (e *Engine) runReducePhase(job *Job, runs [][][]shuffleRec, reduceParts int, comb *combineSpec, cmp *jobComparator, res *JobResult) error {
-	blocking := job.Blocking()
-	_, reduceStores := e.splitStores(job)
-	include := make(map[int]bool, len(job.reduceSide)+1)
-	include[blocking.ID] = true
-	for id := range job.reduceSide {
-		include[id] = true
+func (e *Engine) runReducePhase(ctx context.Context, jc *JobContext, byPart [][]RunRef, res *JobResult) error {
+	runner := e.runner()
+	commit := func(r int, rr *ReduceResult) error {
+		for path, sp := range rr.Stores {
+			if err := e.FS.CommitPartition(path, r, sp.Data, sp.Records); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	if e.SerialDataPlane {
-		for r := 0; r < reduceParts; r++ {
-			var recs []shuffleRec
-			if len(runs[r]) > 0 {
-				recs = runs[r][0]
+		for r := 0; r < jc.ReduceParts; r++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("mapred: job %s: %w", jc.Job.ID, err)
 			}
-			sortShuffle(blocking, recs)
-			if err := e.runReducePartition(job, blocking, include, reduceStores, comb, r, recs, false); err != nil {
+			rr, err := runner.RunReducePartition(ctx, jc, r, byPart[r])
+			if err != nil {
+				return err
+			}
+			if err := commit(r, rr); err != nil {
 				return err
 			}
 		}
@@ -549,80 +437,35 @@ func (e *Engine) runReducePhase(job *Job, runs [][][]shuffleRec, reduceParts int
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > reduceParts {
-		workers = reduceParts
+	if workers > jc.ReduceParts {
+		workers = jc.ReduceParts
 	}
-	partErrs := make([]error, reduceParts)
+	partErrs := make([]error, jc.ReduceParts)
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for r := 0; r < reduceParts; r++ {
+	for r := 0; r < jc.ReduceParts; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			total := 0
-			for _, run := range runs[r] {
-				total += len(run)
+			if err := ctx.Err(); err != nil {
+				partErrs[r] = err
+				return
 			}
-			merged := mergeRuns(cmp, runs[r], getRecSlice(total))
-			partErrs[r] = e.runReducePartition(job, blocking, include, reduceStores, comb, r, merged, true)
-			putRecSlice(merged)
-			for _, run := range runs[r] {
-				putRecSlice(run)
+			rr, err := runner.RunReducePartition(ctx, jc, r, byPart[r])
+			if err != nil {
+				partErrs[r] = err
+				return
 			}
+			partErrs[r] = commit(r, rr)
 		}(r)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("mapred: job %s: %w", jc.Job.ID, err)
+	}
 	return errors.Join(partErrs...)
-}
-
-// runReducePartition executes one reduce partition: pipeline wiring, the
-// blocking operator (or combiner finalization) over its sorted records, and
-// the partition commit. pooled gates the encode-scratch pooling so the
-// serial oracle plane keeps its reference allocation behavior.
-func (e *Engine) runReducePartition(job *Job, blocking *physical.Operator, include map[int]bool, reduceStores []*physical.Operator, comb *combineSpec, r int, recs []shuffleRec, pooled bool) error {
-	pipe := exec.NewPipeline(job.Plan, include)
-	outs := make(map[string]*taskOutput)
-	for _, st := range reduceStores {
-		out := &taskOutput{}
-		if pooled {
-			out.scratch = getScratch()
-		}
-		outs[st.Path] = out
-		if err := pipe.SetOutput(st.ID, func(t types.Tuple) error {
-			out.write(t)
-			return nil
-		}); err != nil {
-			return err
-		}
-	}
-	if err := pipe.Validate(); err != nil {
-		return fmt.Errorf("mapred: job %s reduce pipeline: %w", job.ID, err)
-	}
-
-	if comb != nil {
-		// Merge combiner partials per key and emit the Foreach's
-		// output directly, bypassing bag construction.
-		emitFE := func(t types.Tuple) error { return pipe.PushOutputOf(comb.foreach.ID, t) }
-		if err := applyCombined(comb, recs, emitFE); err != nil {
-			return fmt.Errorf("mapred: job %s reduce %d: %w", job.ID, r, err)
-		}
-	} else {
-		emit := func(t types.Tuple) error { return pipe.PushOutputOf(blocking.ID, t) }
-		if err := applyBlocking(blocking, recs, emit); err != nil {
-			return fmt.Errorf("mapred: job %s reduce %d: %w", job.ID, r, err)
-		}
-	}
-	for path, out := range outs {
-		if err := e.FS.CommitPartition(path, r, out.buf, out.records); err != nil {
-			return err
-		}
-		if pooled {
-			putScratch(out.scratch)
-		}
-	}
-	return nil
 }
 
 // sortShuffle orders records by key (respecting Order's sort directions),

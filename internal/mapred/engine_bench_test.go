@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -138,7 +139,7 @@ func BenchmarkEngineOrderJob(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := e.RunJob(job); err != nil {
+				if _, err := e.RunJob(context.Background(), job); err != nil {
 					b.Fatal(err)
 				}
 			}

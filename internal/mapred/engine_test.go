@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -104,7 +105,7 @@ func TestMapOnlyFilterProject(t *testing.T) {
 	if job.Blocking() != nil {
 		t.Fatal("expected map-only job")
 	}
-	res, err := e.RunJob(job)
+	res, err := e.RunJob(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestJoinJob(t *testing.T) {
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/joined", Inputs: []int{j.ID}, Schema: j.Schema})
 
 	job := mustJob(t, "join", p)
-	res, err := e.RunJob(job)
+	res, err := e.RunJob(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestGroupAggregateJob(t *testing.T) {
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/grouped", Inputs: []int{fe.ID}, Schema: fe.Schema})
 
 	job := mustJob(t, "group", p)
-	if _, err := e.RunJob(job); err != nil {
+	if _, err := e.RunJob(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	got := readSorted(t, e.FS, "out/grouped")
@@ -208,7 +209,7 @@ func TestGroupAllJob(t *testing.T) {
 		Schema: types.SchemaFromNames("n", "total")})
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/all", Inputs: []int{fe.ID}, Schema: fe.Schema})
 
-	if _, err := e.RunJob(mustJob(t, "all", p)); err != nil {
+	if _, err := e.RunJob(context.Background(), mustJob(t, "all", p)); err != nil {
 		t.Fatal(err)
 	}
 	got := readSorted(t, e.FS, "out/all")
@@ -227,7 +228,7 @@ func TestDistinctJob(t *testing.T) {
 	d := p.Add(&physical.Operator{Kind: physical.OpDistinct, Inputs: []int{fe.ID}, Schema: fe.Schema})
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/distinct", Inputs: []int{d.ID}, Schema: d.Schema})
 
-	if _, err := e.RunJob(mustJob(t, "distinct", p)); err != nil {
+	if _, err := e.RunJob(context.Background(), mustJob(t, "distinct", p)); err != nil {
 		t.Fatal(err)
 	}
 	got := readSorted(t, e.FS, "out/distinct")
@@ -259,7 +260,7 @@ func TestCoGroupJob(t *testing.T) {
 		Schema: types.SchemaFromNames("group", "nu", "nv")})
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/cg", Inputs: []int{fe.ID}, Schema: fe.Schema})
 
-	if _, err := e.RunJob(mustJob(t, "cg", p)); err != nil {
+	if _, err := e.RunJob(context.Background(), mustJob(t, "cg", p)); err != nil {
 		t.Fatal(err)
 	}
 	got := readSorted(t, e.FS, "out/cg")
@@ -278,7 +279,7 @@ func TestOrderJob(t *testing.T) {
 		SortCols: []physical.SortCol{{Index: 1, Desc: true}}, Schema: l.Schema})
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/sorted", Inputs: []int{o.ID}, Schema: o.Schema})
 
-	if _, err := e.RunJob(mustJob(t, "order", p)); err != nil {
+	if _, err := e.RunJob(context.Background(), mustJob(t, "order", p)); err != nil {
 		t.Fatal(err)
 	}
 	rows, err := e.FS.ReadAll("out/sorted")
@@ -307,7 +308,7 @@ func TestLimitJob(t *testing.T) {
 	lim := p.Add(&physical.Operator{Kind: physical.OpLimit, Inputs: []int{l.ID}, N: 2, Schema: l.Schema})
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/limited", Inputs: []int{lim.ID}, Schema: l.Schema})
 
-	if _, err := e.RunJob(mustJob(t, "limit", p)); err != nil {
+	if _, err := e.RunJob(context.Background(), mustJob(t, "limit", p)); err != nil {
 		t.Fatal(err)
 	}
 	rows, err := e.FS.ReadAll("out/limited")
@@ -334,7 +335,7 @@ func TestUnionIntoDistinct(t *testing.T) {
 	d := p.Add(&physical.Operator{Kind: physical.OpDistinct, Inputs: []int{un.ID}, Schema: un.Schema})
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/names", Inputs: []int{d.ID}, Schema: d.Schema})
 
-	if _, err := e.RunJob(mustJob(t, "union", p)); err != nil {
+	if _, err := e.RunJob(context.Background(), mustJob(t, "union", p)); err != nil {
 		t.Fatal(err)
 	}
 	got := readSorted(t, e.FS, "out/names")
@@ -360,7 +361,7 @@ func TestNullJoinKeysDropped(t *testing.T) {
 		Keys: [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}}, Schema: schema.Concat(schema)})
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/nulljoin", Inputs: []int{j.ID}, Schema: j.Schema})
 
-	if _, err := e.RunJob(mustJob(t, "nj", p)); err != nil {
+	if _, err := e.RunJob(context.Background(), mustJob(t, "nj", p)); err != nil {
 		t.Fatal(err)
 	}
 	rows, err := e.FS.ReadAll("out/nulljoin")
@@ -389,7 +390,7 @@ func TestInjectedStoreAccounting(t *testing.T) {
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/counts", Inputs: []int{fe2.ID}, Schema: fe2.Schema})
 
 	job := mustJob(t, "inj", p)
-	res, err := e.RunJob(job)
+	res, err := e.RunJob(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +433,7 @@ func TestMissingInputFails(t *testing.T) {
 	p := physical.NewPlan()
 	l := p.Add(&physical.Operator{Kind: physical.OpLoad, Path: "nonexistent", Schema: types.SchemaFromNames("a")})
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "o", Inputs: []int{l.ID}, Schema: l.Schema})
-	if _, err := e.RunJob(mustJob(t, "missing", p)); err == nil {
+	if _, err := e.RunJob(context.Background(), mustJob(t, "missing", p)); err == nil {
 		t.Error("job over missing input succeeded")
 	}
 }
@@ -449,7 +450,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 			Keys:   [][]*expr.Expr{{expr.ColIdx(0)}, {expr.ColIdx(0)}},
 			Schema: usersSchema().Concat(viewsSchema())})
 		p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/j", Inputs: []int{j.ID}, Schema: j.Schema})
-		if _, err := e.RunJob(mustJob(t, "det", p)); err != nil {
+		if _, err := e.RunJob(context.Background(), mustJob(t, "det", p)); err != nil {
 			t.Fatal(err)
 		}
 		rows, err := e.FS.ReadAll("out/j")

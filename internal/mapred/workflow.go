@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -104,7 +105,9 @@ type WorkflowResult struct {
 
 // RunWorkflow executes every job in dependency order and computes the
 // simulated workflow completion time via the Equation-1 critical path.
-func (e *Engine) RunWorkflow(w *Workflow) (*WorkflowResult, error) {
+// Cancelling ctx stops the current job's in-flight tasks and skips the
+// jobs not yet started.
+func (e *Engine) RunWorkflow(ctx context.Context, w *Workflow) (*WorkflowResult, error) {
 	deps := w.DependencyMap()
 	order, err := w.topoOrder(deps)
 	if err != nil {
@@ -113,7 +116,7 @@ func (e *Engine) RunWorkflow(w *Workflow) (*WorkflowResult, error) {
 	res := &WorkflowResult{JobResults: make(map[string]*JobResult, len(order))}
 	durations := make(map[string]time.Duration, len(order))
 	for _, j := range order {
-		jr, err := e.RunJob(j)
+		jr, err := e.RunJob(ctx, j)
 		if err != nil {
 			return nil, fmt.Errorf("mapred: workflow job %s: %w", j.ID, err)
 		}

@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -69,7 +70,7 @@ func TestRunWorkflowQ2(t *testing.T) {
 	seedUsers(t, e.FS)
 	seedViews(t, e.FS)
 	w := buildQ2Workflow(t)
-	res, err := e.RunWorkflow(w)
+	res, err := e.RunWorkflow(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestWorkflowDiamondCriticalPath(t *testing.T) {
 	p.Add(&physical.Operator{Kind: physical.OpStore, Path: "out/d", Inputs: []int{j.ID}, Schema: j.Schema})
 	j3 := mustJob(t, "join", p)
 
-	res, err := e.RunWorkflow(&Workflow{Jobs: []*Job{j3, j1, j2}})
+	res, err := e.RunWorkflow(context.Background(), &Workflow{Jobs: []*Job{j3, j1, j2}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package mrcompile
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -62,7 +63,7 @@ func seed(t *testing.T, fs *dfs.FS) {
 func runWorkflow(t *testing.T, fs *dfs.FS, w *mapred.Workflow) *mapred.WorkflowResult {
 	t.Helper()
 	e := mapred.NewEngine(fs, cluster.Default())
-	res, err := e.RunWorkflow(w)
+	res, err := e.RunWorkflow(context.Background(), w)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 )
 
@@ -122,6 +123,11 @@ type MetricsSnapshot struct {
 	// WAL describes the write-ahead-log persistence subsystem; nil when
 	// the daemon runs without a state directory.
 	WAL *WALStats `json:"wal,omitempty"`
+
+	// Fleet describes the distributed execution backend (worker liveness,
+	// task dispatch and recovery counters, shuffle bytes pulled); nil when
+	// the daemon executes in-process.
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
 
 	// Reuse is the System's lifetime reuse statistics (hit rate, bytes and
 	// simulated time saved).

@@ -163,6 +163,24 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 		p.gauge("restore_wal_recovered_torn", "Whether startup replay truncated a torn final record (0/1).", torn)
 	}
 
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		p.counter("restore_fleet_map_tasks_dispatched_total", "Map task dispatch attempts to fleet workers.", fs.MapTasksDispatched)
+		p.counter("restore_fleet_reduce_tasks_dispatched_total", "Reduce partition dispatch attempts to fleet workers.", fs.ReduceTasksDispatched)
+		p.counter("restore_fleet_tasks_retried_total", "Tasks re-executed in full after a worker failure.", fs.TasksRetried)
+		p.counter("restore_fleet_tasks_recovered_total", "Lost tasks rebuilt from repository-backed stored outputs (reuse as recovery).", fs.TasksRecovered)
+		p.counter("restore_fleet_worker_failures_total", "Workers the coordinator declared dead.", fs.WorkerFailures)
+		p.counter("restore_fleet_shuffle_bytes_pulled_total", "Shuffle bytes reduce workers pulled from peers.", fs.ShuffleBytesPulled)
+		p.family("restore_fleet_worker_alive", "Per-worker liveness (1 = dispatching, 0 = dead).", "gauge")
+		for _, w := range fs.Workers {
+			alive := int64(0)
+			if w.Alive {
+				alive = 1
+			}
+			p.series(fmt.Sprintf("restore_fleet_worker_alive{worker=%q}", w.Addr), alive)
+		}
+	}
+
 	p.histogram("restore_query_duration_seconds", "End-to-end query latency (handler arrival to response build).", reg.Query.Snapshot())
 	p.family("restore_stage_duration_seconds", "Per-stage query latency; stages in lifecycle order: parse, queue, flightWait, hot, lease, evict, match, plan, execute, store, rows.", "histogram")
 	for st := obs.Stage(0); st < obs.NumStages; st++ {

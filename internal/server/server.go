@@ -54,6 +54,7 @@ import (
 
 	restore "repro"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 )
 
@@ -118,6 +119,12 @@ type Config struct {
 	// query with its stage breakdown, plus lifecycle events. nil discards
 	// them (tests and embedded use).
 	Logger *slog.Logger
+	// Fleet is the distributed execution coordinator when the daemon runs
+	// with a worker fleet (restored -fleet-workers). The server only reads
+	// its stats — wiring the coordinator into the System's execution path
+	// (restore.System.SetBackend) is the caller's job. nil means in-process
+	// execution and omits the fleet section from both metrics endpoints.
+	Fleet *fleet.Coordinator
 	// GCInterval is the cadence of the background growth-management pass
 	// (System.CollectGarbage: the reference full eviction sweep, Rule-3
 	// window and size-budget enforcement, and user-output retention). It
@@ -143,6 +150,7 @@ type Server struct {
 	obsReg *obs.Registry
 	slow   *obs.SlowRing
 	log    *slog.Logger
+	fleet  *fleet.Coordinator
 
 	httpSrv   *http.Server
 	stopSave  chan struct{}
@@ -197,6 +205,7 @@ func New(cfg Config) (*Server, error) {
 		obsReg:   reg,
 		slow:     obs.NewSlowRing(cfg.SlowRingSize),
 		log:      logger,
+		fleet:    cfg.Fleet,
 	}
 	// Built here, not in Serve, so Close always has it to shut down even
 	// when it races a Serve running on another goroutine.
@@ -872,6 +881,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Workers = int64(s.sched.workers)
 	if s.persist != nil {
 		snap.WAL = s.persist.stats()
+	}
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		snap.Fleet = &fs
 	}
 	snap.Reuse = s.sys.Stats()
 	snap.Latency = summarize(s.obsReg.Query.Snapshot())

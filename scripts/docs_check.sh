@@ -11,7 +11,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-FILES=$(find internal/server internal/dfs internal/core internal/obs internal/shardkey internal/persist internal/mapred internal/exec -name '*.go' ! -name '*_test.go'; echo access.go)
+FILES=$(find internal/server internal/dfs internal/core internal/obs internal/shardkey internal/persist internal/mapred internal/exec internal/fleet -name '*.go' ! -name '*_test.go'; echo access.go)
 
 status=0
 for f in $FILES; do

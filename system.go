@@ -24,6 +24,7 @@
 package restore
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -91,6 +92,11 @@ type System struct {
 	fs      *dfs.FS
 	cluster *cluster.Config
 	engine  *mapred.Engine
+	// backend executes compiled workflows. It defaults to the in-process
+	// engine; WithBackend/SetBackend swap in a remote coordinator (the
+	// fleet). Everything above this boundary — planning, rewriting,
+	// admission, repository registration — is backend-agnostic.
+	backend Backend
 	// repo is an atomic pointer so lock-free readers (Explain, Repository)
 	// stay safe across a LoadRepositoryFrom swap.
 	repo      atomic.Pointer[core.Repository]
@@ -224,6 +230,14 @@ func WithJobLatency(scale float64) Option {
 	return func(s *System) { s.engine.LatencyScale = scale }
 }
 
+// WithBackend installs the execution backend the System submits compiled
+// workflows to. The default is the System's own in-process engine (which a
+// nil b restores). Backends that need the System's final FS or repository —
+// built only after New returns — can use SetBackend instead.
+func WithBackend(b Backend) Option {
+	return func(s *System) { s.backend = b }
+}
+
 // WithPlanCache sizes the prepared-plan cache behind PrepareCached: how
 // many canonical compiled plans are retained (LRU). n <= 0 disables the
 // cache, making PrepareCached exactly Prepare. The default is
@@ -303,8 +317,26 @@ func New(opts ...Option) *System {
 	}
 	s.leases = newShardedLeases(s.shards)
 	s.leases.obs = s.obs // WithObserver may have run before leases existed
+	if s.backend == nil {
+		s.backend = s.engine
+	}
 	return s
 }
+
+// SetBackend swaps the execution backend after construction (nil restores
+// the in-process engine). Remote coordinators are wired here rather than via
+// WithBackend because they need the System's final FS and repository, which
+// exist only once New has applied every option. Call it before submitting
+// traffic — installation is not synchronized against in-flight executions.
+func (s *System) SetBackend(b Backend) {
+	if b == nil {
+		b = s.engine
+	}
+	s.backend = b
+}
+
+// Backend returns the installed execution backend.
+func (s *System) Backend() Backend { return s.backend }
 
 // Shards returns the execution-core shard count the System was built with.
 func (s *System) Shards() int { return s.shards }
@@ -720,7 +752,7 @@ func (s *System) ExecutePreparedTraced(p *Prepared, tr *obs.Trace) (*Result, err
 	var wfRes *mapred.WorkflowResult
 	if len(finalJobs) > 0 {
 		var err error
-		wfRes, err = s.engine.RunWorkflow(&mapred.Workflow{Jobs: finalJobs})
+		wfRes, err = s.backend.RunWorkflow(context.Background(), &mapred.Workflow{Jobs: finalJobs})
 		if err != nil {
 			return nil, err
 		}
